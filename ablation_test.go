@@ -1,0 +1,250 @@
+package scaddar_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// generator family behind p_r(s_m) (counter-based vs. sequential), the
+// virtual-node count of the consistent-hashing comparator, the parity group
+// size of the hybrid fault-tolerance scheme, and the migration throttle.
+// Domain metrics (balance, storage overhead, drain rounds) are attached via
+// b.ReportMetric so `go test -bench=Ablation` reads as a study, not just a
+// stopwatch.
+
+import (
+	"fmt"
+	"testing"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/experiments"
+	"scaddar/internal/parity"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/scaddar"
+	"scaddar/internal/stats"
+	"scaddar/internal/workload"
+)
+
+// BenchmarkAblationGenerator compares the access function over a
+// counter-based generator (O(1) indexed access) against sequential
+// generators served through the caching adapter. Block accesses are random
+// within a 10k-block object, the server's actual access pattern.
+func BenchmarkAblationGenerator(b *testing.B) {
+	factories := []struct {
+		name string
+		make scaddar.SourceFactory
+	}{
+		{"splitmix64-indexed", func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) }},
+		{"pcg32-cached", func(seed uint64) prng.Source { return prng.NewPCG32(seed) }},
+		{"xorshift-cached", func(seed uint64) prng.Source { return prng.NewXorshift64Star(seed) }},
+	}
+	for _, f := range factories {
+		b.Run(f.name, func(b *testing.B) {
+			hist := scaddar.MustNewHistory(8)
+			hist.Add(2)
+			loc, err := scaddar.NewLocator(hist, f.make)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probe := prng.NewSplitMix64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := loc.Disk(42, probe.At(uint64(i))%10000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVnodes sweeps the consistent-hashing virtual-node count:
+// more vnodes buy balance (reported as the CoV metric) at higher lookup and
+// ring-maintenance cost.
+func BenchmarkAblationVnodes(b *testing.B) {
+	blocks := experiments.BlockUniverse(20, 500)
+	for _, vnodes := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("vnodes=%d", vnodes), func(b *testing.B) {
+			ch, err := placement.NewConsistent(10, vnodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cov := stats.CoVInts(placement.LoadVector(ch, blocks))
+			b.ReportMetric(cov, "CoV")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.Disk(blocks[i%len(blocks)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParityGroup sweeps the parity group size g: larger
+// groups save storage until disk-collision fallbacks eat the savings.
+// Metrics: realized storage overhead and the fraction of groups that fell
+// back to mirroring.
+func BenchmarkAblationParityGroup(b *testing.B) {
+	x0 := experiments.X0FuncBits(64)
+	objects := map[uint64]int{1: 1000, 2: 1000, 3: 1000}
+	for _, g := range []int{2, 3, 4, 6, 8} {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			strat, err := placement.NewScaddar(12, x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := parity.New(strat, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			overhead, err := p.Overhead(objects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mirrored, total := 0, 0
+			for seed, n := range objects {
+				groups := (n + g - 1) / g
+				for k := 0; k < groups; k++ {
+					layout, err := p.Place(seed, uint64(k), n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total++
+					if layout.Mirrored {
+						mirrored++
+					}
+				}
+			}
+			b.ReportMetric(overhead, "overhead")
+			b.ReportMetric(float64(mirrored)/float64(total), "mirror-frac")
+			groups := (1000 + g - 1) / g
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Place(1, uint64(i%groups), 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchedAdds compares growing an array by one k-disk
+// group against k single-disk operations. REMAP chains are not associative:
+// the incremental path moves more blocks (sum of per-step z_j exceeds the
+// batched z) and burns k budget factors instead of one. Metrics: movement
+// fraction and the guaranteed unfairness bound afterwards. Operational
+// guidance: batch your disk additions.
+func BenchmarkAblationBatchedAdds(b *testing.B) {
+	const (
+		n0 = 8
+		k  = 4
+	)
+	blocks := experiments.BlockUniverse(20, 500)
+	x0 := experiments.X0FuncBits(32)
+	for _, mode := range []string{"batched", "incremental"} {
+		b.Run(mode, func(b *testing.B) {
+			var frac, bound float64
+			for i := 0; i < b.N; i++ {
+				strat, err := placement.NewScaddar(n0, x0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				budget := scaddar.MustNewBudget(32, n0)
+				// Count the actual I/O: blocks moved at each step (a block
+				// relocated twice by two single-disk adds costs two moves).
+				moves := 0
+				prev := placement.Snapshot(strat, blocks)
+				step := func(count int) {
+					if err := strat.AddDisks(count); err != nil {
+						b.Fatal(err)
+					}
+					budget.Record(strat.N())
+					cur := placement.Snapshot(strat, blocks)
+					m, err := placement.Moves(prev, cur)
+					if err != nil {
+						b.Fatal(err)
+					}
+					moves += m
+					prev = cur
+				}
+				if mode == "batched" {
+					step(k)
+				} else {
+					for j := 0; j < k; j++ {
+						step(1)
+					}
+				}
+				frac = float64(moves) / float64(len(blocks))
+				bound = budget.GuaranteedUnfairness()
+			}
+			b.ReportMetric(frac, "move-frac")
+			b.ReportMetric(bound*1e9, "bound-ppb")
+		})
+	}
+}
+
+// BenchmarkAblationThrottle measures one full online scale-out per
+// iteration at different stream loads; the drain length in rounds is the
+// reported metric (migration shares bandwidth with streams, so load
+// stretches the drain).
+func BenchmarkAblationThrottle(b *testing.B) {
+	for _, load := range []float64{0, 0.4, 0.8} {
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				r, err := runThrottledScaleOut(load)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = r
+			}
+			b.ReportMetric(float64(rounds), "drain-rounds")
+		})
+	}
+}
+
+// runThrottledScaleOut performs one 6→8 scale-out under the given load and
+// returns the drain length in rounds.
+func runThrottledScaleOut(load float64) (int, error) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(6, x0)
+	if err != nil {
+		return 0, err
+	}
+	srv, err := cm.NewServer(cm.DefaultConfig(), strat)
+	if err != nil {
+		return 0, err
+	}
+	lib, err := workload.Library(workload.LibraryConfig{
+		Objects: 8, MinBlocks: 300, MaxBlocks: 300,
+		BlockBytes: srv.Config().BlockBytes, BitrateBitsPerSec: 4 << 20, SeedBase: 5,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			return 0, err
+		}
+	}
+	pos := prng.NewSplitMix64(9)
+	streams := int(load * float64(srv.N()) * float64(srv.Config().Profile.BlocksPerRound(srv.Config().Round, srv.Config().BlockBytes)))
+	for i := 0; i < streams; i++ {
+		st, err := srv.StartStream(i % len(lib))
+		if err != nil {
+			return 0, err
+		}
+		if err := srv.SeekStream(st.ID, int(pos.Next()%300)); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := srv.ScaleUp(2); err != nil {
+		return 0, err
+	}
+	rounds := 0
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			return 0, err
+		}
+		rounds++
+		if rounds > 100000 {
+			return 0, fmt.Errorf("drain did not converge")
+		}
+	}
+	return rounds, srv.FinishReorganization()
+}

@@ -1,0 +1,159 @@
+// Command benchtables regenerates every table and figure of the SCADDAR
+// paper's evaluation from the simulator in this repository and prints them
+// as aligned text tables.
+//
+// Usage:
+//
+//	benchtables             # run all experiments
+//	benchtables -exp e2,e4  # run a subset
+//
+// Experiment IDs: e1 (Figure 1 naive skew), e2 (Section 5 load balance),
+// e3 (RO1 movement fractions), e4 (Section 4.3 bound table), e5 (AO1 access
+// cost), e6 (unfairness bound), e7 (online reorganization), e8 (fault
+// tolerance: mirroring vs parity), e9 (metadata storage: directory vs log),
+// e10 (round scheduling), e11 (heterogeneous arrays), e12 (generator quality), e13 (block buffer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scaddar/internal/experiments"
+)
+
+// runner produces one experiment table.
+type runner func() (*experiments.Table, error)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (e1..e10) or 'all'")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "benchtables: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	runners := map[string]runner{
+		"e1": func() (*experiments.Table, error) {
+			r, err := experiments.RunE1(experiments.DefaultE1())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e2": func() (*experiments.Table, error) {
+			r, err := experiments.RunE2(experiments.DefaultE2())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e3": func() (*experiments.Table, error) {
+			r, err := experiments.RunE3(experiments.DefaultE3())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e4": func() (*experiments.Table, error) {
+			r, err := experiments.RunE4()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e5": func() (*experiments.Table, error) {
+			r, err := experiments.RunE5(experiments.DefaultE5())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e6": func() (*experiments.Table, error) {
+			r, err := experiments.RunE6(experiments.DefaultE6())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e7": func() (*experiments.Table, error) {
+			r, err := experiments.RunE7(experiments.DefaultE7())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e8": func() (*experiments.Table, error) {
+			r, err := experiments.RunE8(experiments.DefaultE8())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e9": func() (*experiments.Table, error) {
+			r, err := experiments.RunE9(experiments.DefaultE9())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e10": func() (*experiments.Table, error) {
+			r, err := experiments.RunE10(experiments.DefaultE10())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e11": func() (*experiments.Table, error) {
+			r, err := experiments.RunE11(experiments.DefaultE11())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e12": func() (*experiments.Table, error) {
+			r, err := experiments.RunE12(experiments.DefaultE12())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"e13": func() (*experiments.Table, error) {
+			r, err := experiments.RunE13(experiments.DefaultE13())
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (have %s)\n", id, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	for _, id := range selected {
+		tbl, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Print(tbl.RenderCSV())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Command scaddar is a command-line front end to the SCADDAR library:
+// locate blocks through a scaling history, check the randomness budget,
+// simulate load balance, size reorganization plans, and run full online
+// server scenarios.
+//
+// Usage:
+//
+//	scaddar locate   -n0 8 -ops add:2,remove:1+3 -seed 42 -block 17
+//	scaddar bound    -bits 32 -eps 0.05 -disks 8
+//	scaddar balance  -n0 4 -adds 8 -objects 20 -blocks 1000 -bits 32
+//	scaddar plan     -n0 8 -objects 20 -blocks 1000 [-add 2 | -remove 1+3]
+//	scaddar simulate -n0 8 -load 0.6 -add-at 20 -add 2 -rounds 100
+//
+// The -ops grammar is a comma-separated list of "add:K" (add K disks) and
+// "remove:I+J+..." (remove logical disks I, J, ...).
+package main
+
+import (
+	"os"
+
+	"scaddar/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

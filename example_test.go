@@ -1,0 +1,105 @@
+package scaddar_test
+
+// Executable godoc examples for the public API. Each Output comment is
+// verified by `go test`, so these double as golden tests of the library's
+// determinism.
+
+import (
+	"fmt"
+
+	"scaddar"
+)
+
+// ExampleHistory_Locate shows the paper's Section 4.2.1 worked example:
+// removing Disk 4 from a 6-disk array, the block with X = 28 moves and the
+// block with X = 41 stays — both end up on the disk with logical index 4.
+func ExampleHistory_Locate() {
+	hist := scaddar.MustNewHistory(6)
+	if _, err := hist.Remove(4); err != nil {
+		panic(err)
+	}
+	fmt.Println("X=28 ->", hist.Locate(28)) // was on removed disk 4: moves
+	fmt.Println("X=41 ->", hist.Locate(41)) // was on disk 5: stays (now index 4)
+	// Output:
+	// X=28 -> 4
+	// X=41 -> 4
+}
+
+// ExampleNewDiskArray maps the same example to stable physical disk
+// identities: logical index 4 after the removal is physical Disk 5.
+func ExampleNewDiskArray() {
+	array, err := scaddar.NewDiskArray(6)
+	if err != nil {
+		panic(err)
+	}
+	if err := array.Remove(scaddar.DiskID(4)); err != nil {
+		panic(err)
+	}
+	fmt.Println("X=28 -> physical disk", array.Locate(28))
+	fmt.Println("X=41 -> physical disk", array.Locate(41))
+	// Output:
+	// X=28 -> physical disk 5
+	// X=41 -> physical disk 5
+}
+
+// ExampleRuleOfThumb reproduces the Section 4.3 worked example: a 64-bit
+// generator at sixteen disks and 1% tolerance supports 13 operations.
+func ExampleRuleOfThumb() {
+	fmt.Println(scaddar.RuleOfThumb(64, 0.01, 16))
+	// Output:
+	// 13
+}
+
+// ExampleBudget walks the randomness budget through scaling operations.
+func ExampleBudget() {
+	budget, err := scaddar.NewBudget(16, 8) // deliberately small: 16 bits
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range []int{9, 10, 11} {
+		if err := budget.Record(n); err != nil {
+			panic(err)
+		}
+		fmt.Printf("after %d ops: within 5%%? %v\n", budget.Ops(), budget.WithinTolerance(0.05))
+	}
+	// Output:
+	// after 1 ops: within 5%? true
+	// after 2 ops: within 5%? true
+	// after 3 ops: within 5%? false
+}
+
+// ExampleNewLocator locates blocks by computation alone across a scaling
+// operation: movers land only on the added disks.
+func ExampleNewLocator() {
+	hist := scaddar.MustNewHistory(4)
+	loc, err := scaddar.NewLocator(hist, func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	if err != nil {
+		panic(err)
+	}
+	before := make([]int, 6)
+	for i := range before {
+		before[i], _ = loc.Disk(42, uint64(i))
+	}
+	hist.Add(1)
+	for i := range before {
+		after, _ := loc.Disk(42, uint64(i))
+		if after != before[i] {
+			fmt.Printf("block %d moved %d -> %d\n", i, before[i], after)
+		}
+	}
+	// Output:
+	// block 2 moved 2 -> 4
+}
+
+// ExampleUnfairness computes the paper's load-balance metric.
+func ExampleUnfairness() {
+	u, err := scaddar.Unfairness([]int{100, 110, 105, 102})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", u)
+	// Output:
+	// 0.10
+}

@@ -1,0 +1,117 @@
+// Diskupgrade: retiring an old disk generation and absorbing a new one.
+//
+// The paper's Section 1 scenario: "adding newer generation disks ... may
+// cause the existing disks to become bottlenecks. These existing disks may
+// eventually need to be replaced with newer disks." We run that lifecycle:
+//
+//  1. start with 6 old-generation disks;
+//  2. attach a group of 3 new disks (minimal migration onto them);
+//  3. retire 2 old disks (only their blocks move);
+//  4. map the resulting logical array onto heterogeneous physical drives
+//     (Section 6), checking the physical load lands proportional to each
+//     drive's bandwidth share.
+//
+// Run with: go run ./examples/diskupgrade
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaddar"
+)
+
+func main() {
+	x0 := scaddar.NewX0Func(func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	strat, err := scaddar.NewScaddarStrategy(6, x0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := scaddar.NewServer(scaddar.DefaultServerConfig(), strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := scaddar.Library(scaddar.DefaultLibraryConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total := srv.TotalBlocks()
+	fmt.Printf("phase 0: %d blocks on %d old disks (CoV %.4f)\n",
+		total, srv.N(), scaddar.CoV(srv.Array().Loads()))
+
+	// Phase 1: attach the new 3-disk group.
+	plan, err := srv.ScaleUp(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drain(srv)
+	if err := srv.FinishReorganization(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: +3 disks, moved %d/%d blocks (%.1f%%, optimal %.1f%%), CoV %.4f\n",
+		len(plan.Moves), total, 100*plan.MoveFraction(), 100*plan.OptimalFraction(),
+		scaddar.CoV(srv.Array().Loads()))
+
+	// Phase 2: retire two of the old drives (logical indices 0 and 1).
+	plan, err = srv.ScaleDown(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drain(srv)
+	if err := srv.CompleteScaleDown(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 2: -2 disks, moved %d/%d blocks (%.1f%%, optimal %.1f%%), CoV %.4f on %d disks\n",
+		len(plan.Moves), total, 100*plan.MoveFraction(), 100*plan.OptimalFraction(),
+		scaddar.CoV(srv.Array().Loads()), srv.N())
+	if err := srv.VerifyIntegrity(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 3 (Section 6): run the same logical array over heterogeneous
+	// hardware. A new drive with twice the bandwidth and capacity of the
+	// old generation hosts two logical disks; carving every physical drive
+	// into weakest-drive-sized logical disks keeps SCADDAR oblivious to the
+	// heterogeneity.
+	newGen := scaddar.ProfileCheetah73
+	newGen.Name = "nextgen146"
+	newGen.CapacityBytes *= 2
+	newGen.TransferBytesPerSec *= 2
+	mapping, err := scaddar.NewHeteroMapping([]scaddar.HeteroPhysical{
+		{ID: 0, Profile: scaddar.ProfileCheetah73}, // old generation -> 1 logical
+		{ID: 1, Profile: newGen},                   // -> 2 logical
+		{ID: 2, Profile: newGen},                   // -> 2 logical
+		{ID: 3, Profile: newGen},                   // -> 2 logical
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 3: heterogeneous mapping hosts %d logical disks on %d physical drives\n",
+		mapping.Logicals(), mapping.Physicals())
+	if mapping.Logicals() != srv.N() {
+		log.Fatalf("logical count %d does not match array size %d", mapping.Logicals(), srv.N())
+	}
+	worst, err := mapping.ProportionalityError(srv.Array().Loads())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("         physical load within %.1f%% of each drive's bandwidth share\n", 100*worst)
+}
+
+// drain ticks the server until the in-flight migration completes. The
+// caller then finishes the operation: FinishReorganization for scale-ups,
+// CompleteScaleDown for scale-downs.
+func drain(srv *scaddar.Server) {
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Lifecycle: operating a SCADDAR server for years.
+//
+// This example exercises the complete operational story of Section 4.3: a
+// server with a 32-bit generator and a 5% unfairness tolerance undergoes
+// repeated scaling operations; the randomness budget is tracked after each
+// one; and when the NEXT operation would break the Lemma 4.3 precondition,
+// the server performs the paper's recommended complete redistribution
+// online and keeps going. Admission uses the statistical policy (overload
+// probability ≤ 1e-3 per round) and every round is replayed through the
+// calibrated SCAN schedule to confirm no disk overruns its round.
+//
+// Run with: go run ./examples/lifecycle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaddar"
+)
+
+func main() {
+	const bits = 32
+	x0 := scaddar.NewX0Func(func(seed uint64) scaddar.Source {
+		return scaddar.Truncate(scaddar.NewSplitMix64(seed), bits)
+	})
+	strat, err := scaddar.NewScaddarStrategy(4, x0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := strat.SetBits(bits); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := scaddar.DefaultServerConfig()
+	cfg.GeneratorBits = bits
+	cfg.Tolerance = 0.05
+	cfg.OverloadTarget = 1e-3
+	cfg.MeasureRounds = true
+	srv, err := scaddar.NewServer(cfg, strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	libCfg := scaddar.DefaultLibraryConfig()
+	libCfg.Objects = 12
+	libCfg.MinBlocks, libCfg.MaxBlocks = 600, 600
+	lib, err := scaddar.Library(libCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("server: %d disks, %d blocks, b=%d, ε=5%%, statistical admission (P(overload)≤1e-3)\n",
+		srv.N(), srv.TotalBlocks(), bits)
+
+	// Years of operation: one growth operation per "quarter".
+	redistributions := 0
+	for quarter := 1; quarter <= 12; quarter++ {
+		// The Section 4.3 check: would the next operation break the budget?
+		if srv.NeedsRedistribution() {
+			plan, err := srv.FullRedistribute()
+			if err != nil {
+				log.Fatal(err)
+			}
+			rounds := drain(srv)
+			redistributions++
+			fmt.Printf("q%-2d  budget exhausted -> FULL REDISTRIBUTION: %d blocks over %d rounds\n",
+				quarter, len(plan.Moves), rounds)
+			if err := srv.FinishReorganization(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		plan, err := srv.ScaleUp(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounds := drain(srv)
+		if err := srv.FinishReorganization(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("q%-2d  +1 disk -> %d disks; moved %4d blocks (z=%4.1f%%) in %d rounds; CoV %.4f; bound f %.4f\n",
+			quarter, srv.N(), len(plan.Moves), 100*plan.OptimalFraction(), rounds,
+			scaddar.CoV(srv.Array().Loads()), srv.Budget().GuaranteedUnfairness())
+	}
+
+	m := srv.Metrics()
+	fmt.Printf("\nafter 12 quarters: %d disks, %d complete redistributions, hiccups %d, round overruns %d\n",
+		srv.N(), redistributions, m.Hiccups, m.RoundOverruns)
+	if err := srv.VerifyIntegrity(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("integrity verified across the whole lifecycle.")
+}
+
+// drain ticks until the in-flight migration completes, returning the rounds
+// used.
+func drain(srv *scaddar.Server) int {
+	rounds := 0
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		rounds++
+	}
+	return rounds
+}

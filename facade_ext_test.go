@@ -1,0 +1,231 @@
+package scaddar_test
+
+// Facade tests for the extensions beyond the paper's core: parity, jump
+// hashing, traces, forecasting, the concurrent locator, and the cached
+// server — everything exercised strictly through the public API.
+
+import (
+	"testing"
+
+	"scaddar"
+)
+
+func facadeX0() scaddar.X0Func {
+	return scaddar.NewX0Func(func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+}
+
+func TestFacadeParity(t *testing.T) {
+	strat, err := scaddar.NewScaddarStrategy(8, facadeX0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := scaddar.NewParity(strat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := p.Place(1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !layout.Mirrored && layout.ParityDisk < 0 {
+		t.Fatalf("layout %+v", layout)
+	}
+	rep, err := p.Survive(map[uint64]int{1: 100}, map[int]bool{0: true})
+	if err != nil || rep.Lost != 0 {
+		t.Fatalf("survive: %+v %v", rep, err)
+	}
+}
+
+func TestFacadeJump(t *testing.T) {
+	j, err := scaddar.NewJumpStrategy(8, facadeX0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddDisks(2); err != nil {
+		t.Fatal(err)
+	}
+	if d := j.Disk(scaddar.BlockRef{Seed: 3, Index: 9}); d < 0 || d >= 10 {
+		t.Fatalf("disk %d", d)
+	}
+	if err := j.RemoveDisks(4); err == nil {
+		t.Fatal("jump middle removal accepted")
+	}
+	if err := j.RemoveDisks(9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeForecast(t *testing.T) {
+	hist := scaddar.MustNewHistory(4)
+	f, err := scaddar.ForecastPlan(hist, 32, 0.05, []scaddar.PlannedOp{
+		{Add: 1}, {Add: 1}, {Remove: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Steps) != 3 || f.RedistributeAfter != 3 {
+		t.Fatalf("forecast %+v", f)
+	}
+}
+
+func TestFacadeSafeLocator(t *testing.T) {
+	hist := scaddar.MustNewHistory(6)
+	hist.Add(1)
+	safe, err := scaddar.NewSafeLocator(hist, func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := scaddar.NewLocator(hist, func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		a, err := safe.Disk(5, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := plain.Disk(5, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("block %d: safe %d, plain %d", i, a, b)
+		}
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	cfg := scaddar.DefaultSession()
+	cfg.Streams = 10
+	cfg.Rounds = 15
+	cfg.ScaleUpAt = 0
+	tr, err := scaddar.GenerateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back scaddar.Trace
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+
+	strat, err := scaddar.NewScaddarStrategy(6, facadeX0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := scaddar.NewServer(scaddar.DefaultServerConfig(), strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libCfg := scaddar.DefaultLibraryConfig()
+	libCfg.Objects = cfg.Objects
+	libCfg.MinBlocks, libCfg.MaxBlocks = cfg.BlocksPer, cfg.BlocksPer
+	lib, err := scaddar.Library(libCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := scaddar.ApplyTrace(srv, &back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Streams != cfg.Streams || res.Metrics.Rounds != cfg.Rounds {
+		t.Fatalf("replay %+v", res)
+	}
+}
+
+func TestFacadeCachedServer(t *testing.T) {
+	strat, err := scaddar.NewScaddarStrategy(4, facadeX0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scaddar.DefaultServerConfig()
+	cfg.CacheBlocks = 256
+	srv, err := scaddar.NewServer(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libCfg := scaddar.DefaultLibraryConfig()
+	libCfg.Objects = 2
+	libCfg.MinBlocks, libCfg.MaxBlocks = 100, 100
+	lib, err := scaddar.Library(libCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two synchronized streams: the second hits the cache.
+	if _, err := srv.StartStream(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.StartStream(0); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 50; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Metrics().CacheHits == 0 {
+		t.Fatal("no cache hits for a synchronized pair")
+	}
+}
+
+func TestFacadeFullRedistributeAndBudget(t *testing.T) {
+	strat, err := scaddar.NewScaddarStrategy(4, facadeX0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scaddar.DefaultServerConfig()
+	cfg.GeneratorBits = 64
+	cfg.Tolerance = 0.01
+	srv, err := scaddar.NewServer(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libCfg := scaddar.DefaultLibraryConfig()
+	libCfg.Objects = 2
+	libCfg.MinBlocks, libCfg.MaxBlocks = 150, 150
+	lib, err := scaddar.Library(libCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Budget() == nil || srv.NeedsRedistribution() {
+		t.Fatal("budget state wrong on a fresh server")
+	}
+	if _, err := srv.FullRedistribute(); err != nil {
+		t.Fatal(err)
+	}
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module scaddar
+
+go 1.22

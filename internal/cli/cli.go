@@ -1,0 +1,344 @@
+// Package cli implements the scaddar command-line tool: locating blocks
+// through a scaling history, computing the Section 4.3 randomness budget,
+// simulating load balance, sizing reorganization plans, and running full
+// server scenarios. It lives apart from cmd/scaddar so the command logic is
+// unit-testable.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/experiments"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/reorg"
+	"scaddar/internal/scaddar"
+	"scaddar/internal/stats"
+	"scaddar/internal/workload"
+)
+
+// Run executes the tool with the given arguments (excluding the program
+// name) and returns a process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "locate":
+		err = cmdLocate(args[1:], stdout)
+	case "bound":
+		err = cmdBound(args[1:], stdout)
+	case "balance":
+		err = cmdBalance(args[1:], stdout)
+	case "plan":
+		err = cmdPlan(args[1:], stdout)
+	case "simulate":
+		err = cmdSimulate(args[1:], stdout)
+	case "trace":
+		err = cmdTrace(args[1:], stdout)
+	case "forecast":
+		err = cmdForecast(args[1:], stdout)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "scaddar: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "scaddar: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: scaddar <command> [flags]
+
+commands:
+  locate    locate a block through a scaling history (the access function)
+  bound     compute the Section 4.3 randomness budget
+  balance   simulate load balance across scaling operations
+  plan      size the reorganization plan of one scaling operation
+  simulate  run an online server scenario (streams + scaling) and report
+  trace     generate | replay | show deterministic session traces
+  forecast  predict movement and budget for a planned operation sequence`)
+}
+
+// ParseOps applies an operation list like "add:2,remove:1+3" to a history.
+func ParseOps(h *scaddar.History, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, raw := range strings.Split(spec, ",") {
+		op := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(op, "add:"):
+			k, err := strconv.Atoi(op[len("add:"):])
+			if err != nil {
+				return fmt.Errorf("bad op %q: %v", op, err)
+			}
+			if _, err := h.Add(k); err != nil {
+				return err
+			}
+		case strings.HasPrefix(op, "remove:"):
+			indices, err := parseIndices(op[len("remove:"):])
+			if err != nil {
+				return fmt.Errorf("bad op %q: %v", op, err)
+			}
+			if _, err := h.Remove(indices...); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("bad op %q: want add:K or remove:I+J", op)
+		}
+	}
+	return nil
+}
+
+// parseIndices parses "1+3+5" into a slice of ints.
+func parseIndices(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, "+") {
+		i, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+func cmdLocate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("locate", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n0 := fs.Int("n0", 8, "initial disk count")
+	ops := fs.String("ops", "", "scaling operations, e.g. add:2,remove:1+3")
+	seed := fs.Uint64("seed", 1, "object seed s_m")
+	block := fs.Uint64("block", 0, "block index i")
+	bits := fs.Uint("bits", 64, "generator width b")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	h, err := scaddar.NewHistory(*n0)
+	if err != nil {
+		return err
+	}
+	if err := ParseOps(h, *ops); err != nil {
+		return err
+	}
+	loc, err := scaddar.NewLocator(h, func(s uint64) prng.Source {
+		return prng.Truncate(prng.NewSplitMix64(s), *bits)
+	})
+	if err != nil {
+		return err
+	}
+	x0, err := loc.X0(*seed, *block)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "history:  %s\n", h)
+	fmt.Fprintf(w, "X0:       %d\n", x0)
+	for j, x := range h.Trace(x0) {
+		fmt.Fprintf(w, "  X_%d = %-22d disk %d of %d\n", j, x, x%uint64(h.NAt(j)), h.NAt(j))
+	}
+	fmt.Fprintf(w, "disk:     %d (of %d)\n", h.Locate(x0), h.N())
+	return nil
+}
+
+func cmdBound(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bound", flag.ContinueOnError)
+	fs.SetOutput(w)
+	bits := fs.Uint("bits", 32, "generator width b")
+	eps := fs.Float64("eps", 0.05, "unfairness tolerance ε")
+	disks := fs.Int("disks", 8, "average disk count N̄")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	thumb := scaddar.RuleOfThumb(*bits, *eps, float64(*disks))
+	exact, err := scaddar.MaxOpsExact(*bits, *disks, *eps, func(int) int { return *disks }, 500)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rule of thumb: k ≤ %d operations\n", thumb)
+	fmt.Fprintf(w, "exact (constant %d disks): k = %d operations\n", *disks, exact)
+	fmt.Fprintf(w, "after that, redistribute all blocks and restart the chain.\n")
+	return nil
+}
+
+func cmdBalance(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("balance", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n0 := fs.Int("n0", 4, "initial disk count")
+	adds := fs.Int("adds", 8, "number of single-disk additions")
+	objects := fs.Int("objects", 20, "number of objects")
+	blocks := fs.Int("blocks", 1000, "blocks per object")
+	bits := fs.Uint("bits", 32, "generator width b")
+	eps := fs.Float64("eps", 0.05, "unfairness tolerance ε")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := experiments.RunE2(experiments.E2Config{
+		N0: *n0, Ops: *adds, Objects: *objects, BlocksPer: *blocks, Bits: *bits, Eps: *eps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, res.Table().Render())
+	if res.BudgetExhaustedAt > 0 {
+		fmt.Fprintf(w, "budget exhausted at operation %d: schedule a full redistribution.\n", res.BudgetExhaustedAt)
+	}
+	return nil
+}
+
+func cmdPlan(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n0 := fs.Int("n0", 8, "initial disk count")
+	objects := fs.Int("objects", 20, "number of objects")
+	blocksPer := fs.Int("blocks", 1000, "blocks per object")
+	add := fs.Int("add", 0, "disks to add")
+	remove := fs.String("remove", "", "logical indices to remove, e.g. 1+3")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if (*add > 0) == (*remove != "") {
+		return fmt.Errorf("specify exactly one of -add or -remove")
+	}
+	blocks := experiments.BlockUniverse(*objects, *blocksPer)
+	x0 := experiments.X0FuncBits(64)
+	strat, err := placement.NewScaddar(*n0, x0)
+	if err != nil {
+		return err
+	}
+	var plan *reorg.Plan
+	if *add > 0 {
+		plan, err = reorg.PlanAdd(strat, blocks, *add)
+	} else {
+		indices, convErr := parseIndices(*remove)
+		if convErr != nil {
+			return fmt.Errorf("bad -remove: %v", convErr)
+		}
+		plan, err = reorg.PlanRemove(strat, blocks, indices...)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "operation:      %d → %d disks\n", plan.NBefore, plan.NAfter)
+	fmt.Fprintf(w, "blocks total:   %d\n", plan.Blocks)
+	fmt.Fprintf(w, "blocks to move: %d (%.1f%%)\n", len(plan.Moves), 100*plan.MoveFraction())
+	fmt.Fprintf(w, "optimal z_j:    %.1f%%\n", 100*plan.OptimalFraction())
+	fmt.Fprintf(w, "post-op CoV:    %.4f\n", stats.CoVInts(placement.LoadVector(strat, blocks)))
+	return nil
+}
+
+func cmdSimulate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n0 := fs.Int("n0", 8, "initial disk count")
+	objects := fs.Int("objects", 12, "number of objects")
+	blocks := fs.Int("blocks", 600, "blocks per object")
+	load := fs.Float64("load", 0.6, "stream load as a fraction of capacity")
+	addAt := fs.Int("add-at", 20, "round at which to add disks (0 = never)")
+	addCount := fs.Int("add", 2, "disks to add at -add-at")
+	rounds := fs.Int("rounds", 100, "rounds to simulate")
+	measure := fs.Bool("measure", true, "replay rounds through the SCAN model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *load <= 0 || *load > 1 {
+		return fmt.Errorf("load %g outside (0,1]", *load)
+	}
+	if *rounds < 1 {
+		return fmt.Errorf("rounds %d", *rounds)
+	}
+
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(*n0, x0)
+	if err != nil {
+		return err
+	}
+	cfg := cm.DefaultConfig()
+	cfg.MeasureRounds = *measure
+	srv, err := cm.NewServer(cfg, strat)
+	if err != nil {
+		return err
+	}
+	lib, err := workload.Library(workload.LibraryConfig{
+		Objects: *objects, MinBlocks: *blocks, MaxBlocks: *blocks,
+		BlockBytes: cfg.BlockBytes, BitrateBitsPerSec: 4 << 20, SeedBase: 42,
+	})
+	if err != nil {
+		return err
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			return err
+		}
+	}
+	zipf, err := workload.NewZipf(prng.NewSplitMix64(1), *objects, 0.729)
+	if err != nil {
+		return err
+	}
+	pos := prng.NewSplitMix64(2)
+	target := int(*load * float64(srv.N()) * float64(cfg.Profile.BlocksPerRound(cfg.Round, cfg.BlockBytes)))
+	admit := func() error {
+		o := zipf.Draw()
+		st, err := srv.StartStream(o)
+		if err != nil {
+			return err
+		}
+		return srv.SeekStream(st.ID, int(pos.Next()%uint64(lib[o].Blocks)))
+	}
+	for i := 0; i < target; i++ {
+		if err := admit(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "simulate: %d disks, %d blocks, %d streams (load %.0f%%)\n",
+		srv.N(), srv.TotalBlocks(), srv.ActiveStreams(), *load*100)
+
+	var plan *reorg.Plan
+	for r := 1; r <= *rounds; r++ {
+		if *addAt > 0 && r == *addAt {
+			plan, err = srv.ScaleUp(*addCount)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "round %d: scale-out to %d disks (%d moves planned, z=%.1f%%)\n",
+				r, srv.N(), len(plan.Moves), 100*plan.OptimalFraction())
+		}
+		if err := srv.Tick(); err != nil {
+			return err
+		}
+		if plan != nil && !srv.Reorganizing() {
+			fmt.Fprintf(w, "round %d: migration complete\n", r)
+			if err := srv.FinishReorganization(); err != nil {
+				return err
+			}
+			plan = nil
+		}
+		for srv.ActiveStreams() < target {
+			if err := admit(); err != nil {
+				return err
+			}
+		}
+	}
+	m := srv.Metrics()
+	fmt.Fprintf(w, "rounds %d  served %d  hiccups %d  migrated %d  overruns %d\n",
+		m.Rounds, m.BlocksServed, m.Hiccups, m.BlocksMigrated, m.RoundOverruns)
+	fmt.Fprintf(w, "final: %d disks, CoV %.4f\n", srv.N(), stats.CoVInts(srv.Array().Loads()))
+	return srv.VerifyIntegrity()
+}

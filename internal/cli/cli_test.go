@@ -1,0 +1,142 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scaddar/internal/scaddar"
+)
+
+// run executes the CLI and returns (stdout, stderr, exit code).
+func run(args ...string) (string, string, int) {
+	var out, errOut bytes.Buffer
+	code := Run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestRunNoArgs(t *testing.T) {
+	_, errOut, code := run()
+	if code != 2 || !strings.Contains(errOut, "usage") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	_, errOut, code := run("frobnicate")
+	if code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	out, _, code := run("help")
+	if code != 0 || !strings.Contains(out, "simulate") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestParseOps(t *testing.T) {
+	h := scaddar.MustNewHistory(6)
+	if err := ParseOps(h, "add:2,remove:1+3,add:1"); err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 7 || h.Ops() != 3 {
+		t.Fatalf("N=%d ops=%d", h.N(), h.Ops())
+	}
+	if err := ParseOps(scaddar.MustNewHistory(4), ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"nop:1", "add:x", "remove:a", "remove:", "add:0", "remove:9"} {
+		if err := ParseOps(scaddar.MustNewHistory(4), bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+// TestLocatePaperExample drives the locate command through the paper's
+// Section 4.2.1 removal scenario.
+func TestLocatePaperExample(t *testing.T) {
+	out, errOut, code := run("locate", "-n0", "6", "-ops", "remove:4", "-seed", "9", "-block", "3")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"history:  N0=6 remove(1)→5", "X_0", "X_1", "disk:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoundPaperExample(t *testing.T) {
+	out, _, code := run("bound", "-bits", "64", "-eps", "0.01", "-disks", "16")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "k ≤ 13") || !strings.Contains(out, "k = 13") {
+		t.Fatalf("bound output wrong:\n%s", out)
+	}
+}
+
+func TestBalanceSmall(t *testing.T) {
+	out, errOut, code := run("balance", "-n0", "4", "-adds", "3", "-objects", "4", "-blocks", "200")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "scaddar") || !strings.Contains(out, "reshuffle") {
+		t.Fatalf("balance output wrong:\n%s", out)
+	}
+}
+
+func TestPlanAddAndRemove(t *testing.T) {
+	out, errOut, code := run("plan", "-n0", "8", "-objects", "4", "-blocks", "250", "-add", "2")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "8 → 10 disks") {
+		t.Fatalf("plan output wrong:\n%s", out)
+	}
+	out, _, code = run("plan", "-n0", "8", "-objects", "4", "-blocks", "250", "-remove", "1+3")
+	if code != 0 || !strings.Contains(out, "8 → 6 disks") {
+		t.Fatalf("plan remove output wrong (code %d):\n%s", code, out)
+	}
+	// Exactly one of -add/-remove.
+	if _, _, code := run("plan", "-n0", "8"); code == 0 {
+		t.Fatal("plan with neither flag accepted")
+	}
+	if _, _, code := run("plan", "-n0", "8", "-add", "1", "-remove", "0"); code == 0 {
+		t.Fatal("plan with both flags accepted")
+	}
+	if _, _, code := run("plan", "-n0", "8", "-remove", "x"); code == 0 {
+		t.Fatal("plan with bad remove spec accepted")
+	}
+}
+
+func TestSimulateScenario(t *testing.T) {
+	out, errOut, code := run("simulate",
+		"-n0", "6", "-objects", "6", "-blocks", "200",
+		"-load", "0.5", "-add-at", "5", "-add", "1", "-rounds", "40")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"scale-out to 7 disks", "migration complete", "hiccups 0", "overruns 0", "final: 7 disks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("simulate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, _, code := run("simulate", "-load", "0"); code == 0 {
+		t.Fatal("zero load accepted")
+	}
+	if _, _, code := run("simulate", "-rounds", "0"); code == 0 {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestFlagErrorsPropagate(t *testing.T) {
+	if _, _, code := run("locate", "-n0", "notanumber"); code != 1 {
+		t.Fatal("flag parse error not propagated")
+	}
+}

@@ -1,0 +1,101 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"scaddar/internal/scaddar"
+)
+
+// cmdForecast implements `scaddar forecast`: evaluate a planned operation
+// sequence without moving a block — expected movement per operation,
+// cumulative I/O, and the budget trajectory with the recommended
+// redistribution point.
+func cmdForecast(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("forecast", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n0 := fs.Int("n0", 8, "current disk count")
+	done := fs.String("done", "", "operations already performed, e.g. add:2,remove:1+3")
+	plan := fs.String("plan", "", "planned operations, e.g. add:2,add:1,remove:1 (counts only)")
+	bits := fs.Uint("bits", 32, "generator width b")
+	eps := fs.Float64("eps", 0.05, "unfairness tolerance ε")
+	blocks := fs.Int("blocks", 0, "total blocks, to print absolute move counts (0 = fractions only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *plan == "" {
+		return fmt.Errorf("forecast: -plan is required")
+	}
+
+	hist, err := scaddar.NewHistory(*n0)
+	if err != nil {
+		return err
+	}
+	if err := ParseOps(hist, *done); err != nil {
+		return err
+	}
+	planned, err := parsePlan(*plan)
+	if err != nil {
+		return err
+	}
+	f, err := scaddar.ForecastPlan(hist, *bits, *eps, planned)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "state: %s, b=%d, ε=%g\n", hist, *bits, *eps)
+	fmt.Fprintf(w, "%-4s %-8s %-10s %-12s %-10s %s\n", "op", "disks", "move z_j", "cumulative", "bound f", "within ε")
+	for _, s := range f.Steps {
+		moveStr := fmt.Sprintf("%.3f", s.MoveFraction)
+		cumStr := fmt.Sprintf("%.3f", s.CumulativeMoves)
+		if *blocks > 0 {
+			moveStr = fmt.Sprintf("%d", int(s.MoveFraction*float64(*blocks)+0.5))
+			cumStr = fmt.Sprintf("%d", int(s.CumulativeMoves*float64(*blocks)+0.5))
+		}
+		bound := "∞"
+		if s.GuaranteedUnfairness < 1e6 {
+			bound = fmt.Sprintf("%.4f", s.GuaranteedUnfairness)
+		}
+		fmt.Fprintf(w, "%-4d %3d→%-4d %-10s %-12s %-10s %v\n",
+			s.Op, s.NBefore, s.NAfter, moveStr, cumStr, bound, s.WithinTolerance)
+	}
+	switch {
+	case f.RedistributeAfter == len(f.Steps):
+		fmt.Fprintln(w, "the whole plan fits the randomness budget.")
+	case f.RedistributeAfter == 0:
+		fmt.Fprintln(w, "even the first operation breaks the budget: redistribute first.")
+	default:
+		fmt.Fprintf(w, "schedule a FULL REDISTRIBUTION after operation %d; later operations break the budget.\n",
+			f.RedistributeAfter)
+	}
+	return nil
+}
+
+// parsePlan parses "add:2,remove:1" into planned operations (removal
+// entries give a count, not indices — the forecast is index-agnostic).
+func parsePlan(spec string) ([]scaddar.PlannedOp, error) {
+	var out []scaddar.PlannedOp
+	for _, raw := range strings.Split(spec, ",") {
+		op := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(op, "add:"):
+			k, err := strconv.Atoi(op[len("add:"):])
+			if err != nil {
+				return nil, fmt.Errorf("bad plan op %q: %v", op, err)
+			}
+			out = append(out, scaddar.PlannedOp{Add: k})
+		case strings.HasPrefix(op, "remove:"):
+			k, err := strconv.Atoi(op[len("remove:"):])
+			if err != nil {
+				return nil, fmt.Errorf("bad plan op %q: %v", op, err)
+			}
+			out = append(out, scaddar.PlannedOp{Remove: k})
+		default:
+			return nil, fmt.Errorf("bad plan op %q: want add:K or remove:K", op)
+		}
+	}
+	return out, nil
+}

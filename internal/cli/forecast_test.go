@@ -1,0 +1,55 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForecastCommand(t *testing.T) {
+	out, errOut, code := run("forecast",
+		"-n0", "4", "-bits", "32", "-eps", "0.05",
+		"-plan", "add:1,add:1,add:1,add:1,add:1,add:1,add:1,add:1,add:1")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "FULL REDISTRIBUTION after operation 8") {
+		t.Fatalf("forecast output wrong:\n%s", out)
+	}
+}
+
+func TestForecastWholePlanFits(t *testing.T) {
+	out, _, code := run("forecast", "-n0", "8", "-bits", "64", "-eps", "0.01", "-plan", "add:2,remove:1")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "whole plan fits") {
+		t.Fatalf("forecast output wrong:\n%s", out)
+	}
+}
+
+func TestForecastWithHistoryAndBlocks(t *testing.T) {
+	out, _, code := run("forecast",
+		"-n0", "4", "-done", "add:1,add:1,add:1,add:1,add:1,add:1",
+		"-bits", "32", "-eps", "0.05", "-plan", "add:1,add:1,add:1", "-blocks", "10000")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "after operation 2") {
+		t.Fatalf("forecast with prior history wrong:\n%s", out)
+	}
+}
+
+func TestForecastErrors(t *testing.T) {
+	if _, _, code := run("forecast", "-n0", "4"); code == 0 {
+		t.Error("missing plan accepted")
+	}
+	if _, _, code := run("forecast", "-plan", "nop:1"); code == 0 {
+		t.Error("bad plan grammar accepted")
+	}
+	if _, _, code := run("forecast", "-plan", "add:x"); code == 0 {
+		t.Error("bad count accepted")
+	}
+	if _, _, code := run("forecast", "-plan", "remove:9", "-n0", "4"); code == 0 {
+		t.Error("total removal accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/trace"
+	"scaddar/internal/workload"
+)
+
+// cmdTrace implements `scaddar trace <generate|replay|show>`: synthetic
+// session traces can be generated to a file, inspected, and replayed
+// deterministically against a fresh server.
+func cmdTrace(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("trace: want generate, replay, or show")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdTraceGenerate(args[1:], w)
+	case "replay":
+		return cmdTraceReplay(args[1:], w)
+	case "show":
+		return cmdTraceShow(args[1:], w)
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q", args[0])
+	}
+}
+
+// traceSessionFlags registers the session-shape flags shared by generate
+// and replay (replay needs them to rebuild the matching library).
+func traceSessionFlags(fs *flag.FlagSet) *trace.SessionConfig {
+	cfg := trace.DefaultSession()
+	fs.IntVar(&cfg.Objects, "objects", cfg.Objects, "library size")
+	fs.IntVar(&cfg.BlocksPer, "blocks", cfg.BlocksPer, "blocks per object")
+	fs.IntVar(&cfg.Streams, "streams", cfg.Streams, "streams to admit")
+	fs.IntVar(&cfg.Rounds, "rounds", cfg.Rounds, "rounds to run")
+	fs.IntVar(&cfg.ScaleUpAt, "add-at", cfg.ScaleUpAt, "round to scale out at (0 = never)")
+	fs.IntVar(&cfg.ScaleUpCount, "add", cfg.ScaleUpCount, "disks to add")
+	fs.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	return &cfg
+}
+
+func cmdTraceGenerate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace generate", flag.ContinueOnError)
+	fs.SetOutput(w)
+	cfg := traceSessionFlags(fs)
+	out := fs.String("o", "session.sctr", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := trace.GenerateSession(*cfg)
+	if err != nil {
+		return err
+	}
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s: %d events, %d bytes\n", *out, len(tr.Events), len(data))
+	return nil
+}
+
+// loadTrace reads and decodes a trace file.
+func loadTrace(path string) (*trace.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr trace.Trace
+	if err := tr.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+func cmdTraceReplay(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace replay", flag.ContinueOnError)
+	fs.SetOutput(w)
+	cfg := traceSessionFlags(fs)
+	in := fs.String("i", "session.sctr", "trace file")
+	n0 := fs.Int("n0", 6, "initial disk count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(*n0, x0)
+	if err != nil {
+		return err
+	}
+	srv, err := cm.NewServer(cm.DefaultConfig(), strat)
+	if err != nil {
+		return err
+	}
+	lib, err := workload.Library(workload.LibraryConfig{
+		Objects: cfg.Objects, MinBlocks: cfg.BlocksPer, MaxBlocks: cfg.BlocksPer,
+		BlockBytes: srv.Config().BlockBytes, BitrateBitsPerSec: 4 << 20, SeedBase: 99,
+	})
+	if err != nil {
+		return err
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			return err
+		}
+	}
+	res, err := trace.Apply(srv, tr)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics
+	fmt.Fprintf(w, "replayed %d events: %d streams, %d rounds, %d blocks served, %d hiccups, %d migrated\n",
+		len(tr.Events), res.Streams, m.Rounds, m.BlocksServed, m.Hiccups, m.BlocksMigrated)
+	fmt.Fprintf(w, "final: %d disks, %d blocks\n", srv.N(), srv.TotalBlocks())
+	return srv.VerifyIntegrity()
+}
+
+func cmdTraceShow(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace show", flag.ContinueOnError)
+	fs.SetOutput(w)
+	in := fs.String("i", "session.sctr", "trace file")
+	limit := fs.Int("n", 20, "events to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	counts := make(map[trace.Kind]int)
+	for _, ev := range tr.Events {
+		counts[ev.Kind]++
+	}
+	fmt.Fprintf(w, "%d events:", len(tr.Events))
+	for k := trace.KindTick; k <= trace.KindRedistribute; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(w, " %s=%d", k, counts[k])
+		}
+	}
+	fmt.Fprintln(w)
+	n := *limit
+	if n == 0 || n > len(tr.Events) {
+		n = len(tr.Events)
+	}
+	for i := 0; i < n; i++ {
+		ev := tr.Events[i]
+		fmt.Fprintf(w, "%4d  %-20s A=%d B=%d\n", i, ev.Kind, ev.A, ev.B)
+	}
+	return nil
+}

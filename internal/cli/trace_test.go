@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceGenerateReplayShow(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "session.sctr")
+	out, errOut, code := run("trace", "generate", "-o", file, "-streams", "20", "-rounds", "30")
+	if code != 0 {
+		t.Fatalf("generate: code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "wrote "+file) {
+		t.Fatalf("generate output: %q", out)
+	}
+
+	out, errOut, code = run("trace", "replay", "-i", file, "-streams", "20", "-rounds", "30")
+	if code != 0 {
+		t.Fatalf("replay: code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"20 streams", "hiccups", "final:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replay output missing %q:\n%s", want, out)
+		}
+	}
+	// Replays are deterministic: identical output both times.
+	out2, _, code := run("trace", "replay", "-i", file, "-streams", "20", "-rounds", "30")
+	if code != 0 || out2 != out {
+		t.Fatalf("replay not deterministic:\n%s\nvs\n%s", out, out2)
+	}
+
+	out, _, code = run("trace", "show", "-i", file, "-n", "5")
+	if code != 0 {
+		t.Fatalf("show: code=%d", code)
+	}
+	if !strings.Contains(out, "events:") || !strings.Contains(out, "admit") {
+		t.Fatalf("show output: %q", out)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, _, code := run("trace"); code == 0 {
+		t.Error("bare trace accepted")
+	}
+	if _, _, code := run("trace", "frobnicate"); code == 0 {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, _, code := run("trace", "replay", "-i", "/nonexistent/file"); code == 0 {
+		t.Error("missing file accepted")
+	}
+	if _, _, code := run("trace", "show", "-i", "/nonexistent/file"); code == 0 {
+		t.Error("missing file accepted")
+	}
+}

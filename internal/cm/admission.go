@@ -1,0 +1,108 @@
+package cm
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements statistical admission control for randomly placed
+// blocks — the quantitative form of the RIO advantage the paper adopts
+// random placement for ("load balancing by the law of large numbers").
+//
+// With S concurrent streams each reading one block per round and blocks
+// placed uniformly at random, a disk's per-round demand is Binomial(S, 1/N).
+// Deterministic admission must assume the worst case (all S requests on one
+// disk); statistical admission only keeps the *probability* of a round
+// overload below a target, which admits far more streams — and the gap is
+// exactly the law-of-large-numbers effect.
+
+// BinomialTail returns P(X > c) for X ~ Binomial(s, q), computed by
+// log-space summation of the upper tail (stable for the s ≈ 10³ range of
+// round-based admission).
+func BinomialTail(s int, q float64, c int) (float64, error) {
+	if s < 0 {
+		return 0, fmt.Errorf("cm: negative trial count %d", s)
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("cm: probability %g outside [0,1]", q)
+	}
+	if c >= s {
+		return 0, nil
+	}
+	if c < 0 {
+		return 1, nil
+	}
+	if q == 0 {
+		return 0, nil
+	}
+	if q == 1 {
+		return 1, nil
+	}
+	lq := math.Log(q)
+	l1q := math.Log1p(-q)
+	lgS, _ := math.Lgamma(float64(s) + 1)
+	sum := 0.0
+	for k := c + 1; k <= s; k++ {
+		lgK, _ := math.Lgamma(float64(k) + 1)
+		lgSK, _ := math.Lgamma(float64(s-k) + 1)
+		logTerm := lgS - lgK - lgSK + float64(k)*lq + float64(s-k)*l1q
+		sum += math.Exp(logTerm)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum, nil
+}
+
+// OverloadProbability returns the probability that at least one of n disks
+// receives more than capacity requests in a round with streams concurrent
+// streams, under uniform random placement. The per-disk tails are combined
+// with a union bound, so the result is a (tight, for small values)
+// overestimate — the safe direction for admission control.
+func OverloadProbability(streams, n, capacity int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("cm: need at least one disk")
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("cm: negative capacity %d", capacity)
+	}
+	tail, err := BinomialTail(streams, 1/float64(n), capacity)
+	if err != nil {
+		return 0, err
+	}
+	p := tail * float64(n)
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// MaxStreamsStatistical returns the largest stream count whose per-round
+// overload probability (union-bounded over disks) stays at or below target.
+// It is the statistical counterpart of the deterministic limit n*capacity
+// used when every stream must be guaranteed service even if all requests
+// collide — random placement admits between those two extremes.
+func MaxStreamsStatistical(n, capacity int, target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("cm: overload target %g outside (0,1)", target)
+	}
+	if n < 1 || capacity < 1 {
+		return 0, fmt.Errorf("cm: degenerate array n=%d capacity=%d", n, capacity)
+	}
+	// The overload probability is monotone in the stream count; binary
+	// search on [0, n*capacity].
+	lo, hi := 0, n*capacity
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		p, err := OverloadProbability(mid, n, capacity)
+		if err != nil {
+			return 0, err
+		}
+		if p <= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}

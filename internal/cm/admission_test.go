@@ -1,0 +1,220 @@
+package cm
+
+import (
+	"math"
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+func TestBinomialTailEdges(t *testing.T) {
+	if _, err := BinomialTail(-1, 0.5, 0); err == nil {
+		t.Error("negative trials accepted")
+	}
+	if _, err := BinomialTail(10, -0.1, 0); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := BinomialTail(10, 1.1, 0); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if p, _ := BinomialTail(10, 0.5, 10); p != 0 {
+		t.Errorf("P(X > s) = %g, want 0", p)
+	}
+	if p, _ := BinomialTail(10, 0.5, -1); p != 1 {
+		t.Errorf("P(X > -1) = %g, want 1", p)
+	}
+	if p, _ := BinomialTail(10, 0, 0); p != 0 {
+		t.Errorf("q=0 tail = %g, want 0", p)
+	}
+	if p, _ := BinomialTail(10, 1, 5); p != 1 {
+		t.Errorf("q=1 tail = %g, want 1", p)
+	}
+}
+
+func TestBinomialTailKnownValues(t *testing.T) {
+	// P(X > 5) for X ~ Bin(10, 0.5) = 1 - P(X <= 5) = 0.376953125.
+	p, err := BinomialTail(10, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.376953125) > 1e-9 {
+		t.Errorf("Bin(10,0.5) tail at 5 = %.9f, want 0.376953125", p)
+	}
+	// P(X > 0) for Bin(4, 0.25) = 1 - 0.75^4 = 0.68359375.
+	p, err = BinomialTail(4, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.68359375) > 1e-9 {
+		t.Errorf("Bin(4,0.25) tail at 0 = %.9f, want 0.68359375", p)
+	}
+}
+
+func TestBinomialTailMatchesSimulation(t *testing.T) {
+	const (
+		s      = 400
+		n      = 8
+		c      = 60
+		rounds = 200000
+	)
+	analytic, err := BinomialTail(s, 1.0/n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.NewSplitMix64(7)
+	over := 0
+	for r := 0; r < rounds; r++ {
+		load := 0
+		for i := 0; i < s; i++ {
+			if src.Next()%n == 0 {
+				load++
+			}
+		}
+		if load > c {
+			over++
+		}
+	}
+	empirical := float64(over) / rounds
+	// analytic ≈ 0.02-0.1 territory; allow 20% relative + absolute slack.
+	if math.Abs(empirical-analytic) > 0.2*analytic+0.002 {
+		t.Errorf("empirical %.5f vs analytic %.5f", empirical, analytic)
+	}
+}
+
+func TestOverloadProbabilityMonotone(t *testing.T) {
+	prev := 0.0
+	for _, streams := range []int{100, 200, 400, 600} {
+		p, err := OverloadProbability(streams, 8, 79)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Errorf("overload probability decreased at %d streams", streams)
+		}
+		prev = p
+	}
+	if _, err := OverloadProbability(10, 0, 5); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if _, err := OverloadProbability(10, 4, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestMaxStreamsStatistical(t *testing.T) {
+	if _, err := MaxStreamsStatistical(8, 79, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := MaxStreamsStatistical(8, 79, 1); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if _, err := MaxStreamsStatistical(0, 79, 0.01); err == nil {
+		t.Error("zero disks accepted")
+	}
+	limit, err := MaxStreamsStatistical(8, 79, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The statistical limit sits strictly between a conservative fixed
+	// utilization (say 60%) and the aggregate capacity.
+	aggregate := 8 * 79
+	if limit <= aggregate*60/100 || limit >= aggregate {
+		t.Fatalf("statistical limit %d outside (%d, %d)", limit, aggregate*60/100, aggregate)
+	}
+	// The limit it returns must actually satisfy the target, and limit+1
+	// must not.
+	p, _ := OverloadProbability(limit, 8, 79)
+	if p > 1e-3 {
+		t.Fatalf("limit %d violates the target: p=%g", limit, p)
+	}
+	p, _ = OverloadProbability(limit+1, 8, 79)
+	if p <= 1e-3 {
+		t.Fatalf("limit %d is not maximal: p=%g at +1", limit, p)
+	}
+}
+
+func TestMaxStreamsFractionGrowsWithCapacity(t *testing.T) {
+	// The law of large numbers acts per disk: as the per-round capacity c
+	// grows, the relative fluctuation of Binomial demand shrinks like
+	// 1/sqrt(c), so the admissible *fraction* of aggregate capacity grows.
+	frac := func(c int) float64 {
+		limit, err := MaxStreamsStatistical(8, c, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(limit) / float64(8*c)
+	}
+	f20, f79, f320 := frac(20), frac(79), frac(320)
+	if !(f20 < f79 && f79 < f320) {
+		t.Fatalf("admissible fractions not increasing with capacity: %.3f %.3f %.3f", f20, f79, f320)
+	}
+}
+
+func TestMaxStreamsBeatsWorstCaseGuarantee(t *testing.T) {
+	// A deterministic guarantee under random placement must survive the
+	// worst case of every request landing on one disk, i.e. admit only a
+	// single disk's capacity. The statistical policy admits a large
+	// multiple of that at a 1e-3 overload probability — the quantitative
+	// form of the paper's "load balancing by the law of large numbers".
+	limit, err := MaxStreamsStatistical(8, 79, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit < 4*79 {
+		t.Fatalf("statistical limit %d not well above the worst-case 79", limit)
+	}
+	if limit >= 8*79 {
+		t.Fatalf("statistical limit %d at or above aggregate capacity", limit)
+	}
+}
+
+func TestServerStatisticalAdmission(t *testing.T) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(8, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.OverloadTarget = 1e-3
+	srv, err := NewServer(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadObjects(t, srv, 4, 5000)
+	want, err := MaxStreamsStatistical(8, srv.diskCapacityPerRound(), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.capacityStreams(); got != want {
+		t.Fatalf("capacity = %d, want %d", got, want)
+	}
+	// It must admit far more than the worst-case deterministic guarantee
+	// (a single disk's capacity) while staying below aggregate capacity.
+	if want <= 2*srv.diskCapacityPerRound() || want >= 8*srv.diskCapacityPerRound() {
+		t.Fatalf("statistical limit %d outside the sensible band", want)
+	}
+	// And the server rejects exactly past the limit.
+	for i := 0; i < want; i++ {
+		if _, err := srv.StartStream(i % 4); err != nil {
+			t.Fatalf("admission %d/%d: %v", i, want, err)
+		}
+	}
+	if _, err := srv.StartStream(0); err == nil {
+		t.Fatal("stream beyond statistical limit admitted")
+	}
+}
+
+func TestServerOverloadTargetValidation(t *testing.T) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, _ := placement.NewScaddar(4, x0)
+	cfg := DefaultConfig()
+	cfg.OverloadTarget = -0.1
+	if _, err := NewServer(cfg, strat); err == nil {
+		t.Fatal("negative overload target accepted")
+	}
+	cfg.OverloadTarget = 1
+	if _, err := NewServer(cfg, strat); err == nil {
+		t.Fatal("overload target 1 accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package cm
+
+import (
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// newCachedServer builds a server with a block buffer of the given size.
+func newCachedServer(t *testing.T, n0, cacheBlocks int) *Server {
+	t.Helper()
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(n0, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CacheBlocks = cacheBlocks
+	srv, err := NewServer(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, _ := placement.NewScaddar(4, x0)
+	cfg := DefaultConfig()
+	cfg.CacheBlocks = -1
+	if _, err := NewServer(cfg, strat); err == nil {
+		t.Fatal("negative cache size accepted")
+	}
+}
+
+// TestCloseFollowersHitCache is the interval-caching effect end to end: a
+// follower trailing a leader by a few blocks on the same object streams
+// from the buffer, consuming no disk bandwidth.
+func TestCloseFollowersHitCache(t *testing.T) {
+	srv := newCachedServer(t, 4, 256)
+	loadObjects(t, srv, 1, 400)
+	leader, err := srv.StartStream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := srv.StartStream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The follower starts 10 blocks behind.
+	if err := srv.SeekStream(leader.ID, 10); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 200; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	// Leader misses everything; follower hits everything after warm-up.
+	// (Stream IDs are served in order, so the leader reads first each
+	// round.)
+	if m.CacheHits < follower.Served*8/10 {
+		t.Fatalf("cache hits %d, follower served %d; interval effect missing", m.CacheHits, follower.Served)
+	}
+	if leader.Hiccups != 0 || follower.Hiccups != 0 {
+		t.Fatal("hiccups with cache enabled")
+	}
+}
+
+// TestCacheReducesDiskLoad verifies that cache hits do not consume disk
+// bandwidth: with many synchronized followers the server sustains a stream
+// population far beyond raw disk capacity.
+func TestCacheReducesDiskLoad(t *testing.T) {
+	srv := newCachedServer(t, 2, 512)
+	loadObjects(t, srv, 1, 2000)
+	// Capacity without cache: 2 disks * ~79 = 158 streams. Admit 120
+	// streams all within a tight window: after warm-up only the leader
+	// touches the disks.
+	lead, err := srv.StartStream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SeekStream(lead.ID, 119); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 120; i++ {
+		st, err := srv.StartStream(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.SeekStream(st.ID, 119-i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 300; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	if m.Hiccups != 0 {
+		t.Fatalf("%d hiccups", m.Hiccups)
+	}
+	// The vast majority of reads come from the buffer.
+	if m.CacheHits*10 < m.BlocksServed*8 {
+		t.Fatalf("cache hits %d of %d served", m.CacheHits, m.BlocksServed)
+	}
+	// Per-round disk reads stay near one stream's worth: check a final
+	// round's accounting.
+	srv.Array().ResetRounds()
+	if err := srv.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	diskReads := 0
+	for i := 0; i < srv.N(); i++ {
+		d, err := srv.Array().Disk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _, _ := d.RoundLoad()
+		diskReads += r
+	}
+	if diskReads > 5 {
+		t.Fatalf("disk reads per round = %d with a warm cache; want ~1", diskReads)
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 1, 100)
+	if _, err := srv.StartStream(0); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 20; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Metrics().CacheHits != 0 {
+		t.Fatal("cache hits without a cache")
+	}
+}
+
+func TestCachePurgedOnObjectRemoval(t *testing.T) {
+	srv := newCachedServer(t, 4, 128)
+	loadObjects(t, srv, 2, 100)
+	st, err := srv.StartStream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st.State == StreamPlaying {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.RemoveObject(0); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding an object with the same ID must not hit stale cache
+	// entries (the blocks are gone from the disks).
+	obj := testObject(0, 100)
+	obj.Seed = 123456
+	if err := srv.AddObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := srv.StartStream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := srv.Metrics().CacheHits
+	for r := 0; r < 3 && st2.State == StreamPlaying; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Metrics().CacheHits != hitsBefore {
+		t.Fatal("stale cache entries survived object removal")
+	}
+	if err := srv.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

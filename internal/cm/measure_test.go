@@ -1,0 +1,83 @@
+package cm
+
+import (
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// TestMeasuredRoundsNoOverrunAtBudget runs a fully loaded server with SCAN
+// round measurement enabled: because the fixed admission budget is derived
+// from the average-seek model and SCAN amortizes seeks below it (E10), a
+// server admitted to its fixed budget must not overrun rounds.
+func TestMeasuredRoundsNoOverrunAtBudget(t *testing.T) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(6, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MeasureRounds = true
+	cfg.Utilization = 1.0 // fill the fixed budget completely
+	srv, err := NewServer(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadObjects(t, srv, 6, 3000)
+
+	// Admit to capacity, staggered to steady-state positions.
+	pos := prng.NewSplitMix64(5)
+	for i := 0; srv.ActiveStreams() < srv.capacityStreams(); i++ {
+		st, err := srv.StartStream(i % 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.SeekStream(st.ID, int(pos.Next()%3000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 50; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	if m.BlocksServed == 0 {
+		t.Fatal("no blocks served")
+	}
+	if m.RoundOverruns != 0 {
+		t.Fatalf("%d disk-round overruns at the fixed budget; the budget is not conservative", m.RoundOverruns)
+	}
+}
+
+// TestMeasuredRoundsDisabledByDefault checks the metric stays zero when
+// measurement is off.
+func TestMeasuredRoundsDisabledByDefault(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 2, 100)
+	if _, err := srv.StartStream(0); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Metrics().RoundOverruns != 0 {
+		t.Fatal("overruns counted without measurement")
+	}
+}
+
+// TestMeasuredRoundsRejectDegenerateProfile checks calibration failures
+// surface at construction.
+func TestMeasuredRoundsRejectDegenerateProfile(t *testing.T) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, _ := placement.NewScaddar(4, x0)
+	cfg := DefaultConfig()
+	cfg.MeasureRounds = true
+	cfg.Profile.AvgSeek = 0
+	if _, err := NewServer(cfg, strat); err == nil {
+		t.Fatal("degenerate profile accepted with measurement enabled")
+	}
+}

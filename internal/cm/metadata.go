@@ -1,0 +1,158 @@
+package cm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/scaddar"
+	"scaddar/internal/workload"
+)
+
+// This file implements server metadata persistence — the operational payoff
+// of SCADDAR's no-directory design. The durable state of the whole server
+// is the object catalog (IDs, seeds, sizes) plus the scaling-operation log;
+// block locations are NOT stored anywhere. Restore rebuilds the placement
+// strategy from the log and re-derives every block's disk, and
+// VerifyIntegrity proves the physical inventory matches.
+
+// Metadata is the durable state of a Server.
+type Metadata struct {
+	// Version guards the format.
+	Version int `json:"version"`
+	// History is the scaling-operation log.
+	History *scaddar.History `json:"history"`
+	// Epoch counts complete redistributions (the placement strategy's
+	// rebaseline epoch).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Bits is the generator width the strategy was configured with.
+	Bits uint `json:"bits"`
+	// Objects is the catalog.
+	Objects []workload.Object `json:"objects"`
+}
+
+// metadataVersion is the current format version.
+const metadataVersion = 1
+
+// ExportMetadata captures the server's durable state. It requires a SCADDAR
+// placement strategy (the schemes without an operation log have nothing
+// this compact to export) and a quiescent server (no migration in flight —
+// a real system would persist the pending move set too; this simulator
+// keeps the boundary clean instead).
+func (s *Server) ExportMetadata() (*Metadata, error) {
+	if s.Reorganizing() || len(s.pendingRemoval) > 0 {
+		return nil, fmt.Errorf("cm: cannot export metadata during a reorganization")
+	}
+	sc, ok := s.strat.(*placement.Scaddar)
+	if !ok {
+		return nil, fmt.Errorf("cm: strategy %q has no exportable operation log", s.strat.Name())
+	}
+	md := &Metadata{
+		Version: metadataVersion,
+		History: sc.History().Clone(),
+		Epoch:   sc.Epoch(),
+		Bits:    sc.Bits(),
+	}
+	// Export objects in ID order for stable output.
+	ids := make([]int, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+	for _, id := range ids {
+		md.Objects = append(md.Objects, s.objects[id])
+	}
+	return md, nil
+}
+
+// MarshalJSON is provided by the embedded fields; Metadata round-trips
+// through encoding/json directly.
+
+// RestoreServer rebuilds a server from exported metadata: the strategy is
+// reconstructed from the operation log (replaying it into a fresh SCADDAR
+// strategy), every object's blocks are re-placed by computation alone, and
+// the result is integrity-verified. x0 must be built over the same
+// generator family and seeds as the original server.
+func RestoreServer(cfg Config, md *Metadata, x0 placement.X0Func) (*Server, error) {
+	if md == nil {
+		return nil, fmt.Errorf("cm: nil metadata")
+	}
+	if md.Version != metadataVersion {
+		return nil, fmt.Errorf("cm: metadata version %d, want %d", md.Version, metadataVersion)
+	}
+	if md.History == nil {
+		return nil, fmt.Errorf("cm: metadata has no history")
+	}
+	strat, err := placement.NewScaddar(md.History.N0(), x0)
+	if err != nil {
+		return nil, err
+	}
+	if md.Bits != 0 {
+		if err := strat.SetBits(md.Bits); err != nil {
+			return nil, err
+		}
+	}
+	for e := uint64(0); e < md.Epoch; e++ {
+		if err := strat.Rebaseline(); err != nil {
+			return nil, err
+		}
+	}
+	// Replay the operation log into the strategy.
+	for j := 1; j <= md.History.Ops(); j++ {
+		op := md.History.Op(j)
+		switch op.Kind {
+		case scaddar.OpAdd:
+			if err := strat.AddDisks(op.Count()); err != nil {
+				return nil, err
+			}
+		case scaddar.OpRemove:
+			if err := strat.RemoveDisks(op.Removed...); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("cm: metadata op %d has unknown kind", j)
+		}
+	}
+	srv, err := NewServer(cfg, strat)
+	if err != nil {
+		return nil, err
+	}
+	// The budget, if tracked, resumes from the recorded history.
+	if srv.budget != nil {
+		if err := srv.budget.Reset(md.History.N0()); err != nil {
+			return nil, err
+		}
+		for j := 1; j <= md.History.Ops(); j++ {
+			if err := srv.budget.Record(md.History.NAt(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, obj := range md.Objects {
+		if err := srv.AddObject(obj); err != nil {
+			return nil, err
+		}
+	}
+	if err := srv.VerifyIntegrity(); err != nil {
+		return nil, fmt.Errorf("cm: restored server failed verification: %w", err)
+	}
+	return srv, nil
+}
+
+// EncodeMetadata serializes metadata as JSON.
+func EncodeMetadata(md *Metadata) ([]byte, error) {
+	return json.Marshal(md)
+}
+
+// DecodeMetadata parses JSON metadata.
+func DecodeMetadata(data []byte) (*Metadata, error) {
+	var md Metadata
+	if err := json.Unmarshal(data, &md); err != nil {
+		return nil, err
+	}
+	return &md, nil
+}

@@ -1,0 +1,228 @@
+package cm
+
+import (
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+func x0Of(bits uint) placement.X0Func {
+	return placement.NewX0Func(func(seed uint64) prng.Source {
+		return prng.Truncate(prng.NewSplitMix64(seed), bits)
+	})
+}
+
+// buildBusyServer creates a server, runs several scaling operations and a
+// full redistribution, and returns it quiescent.
+func buildBusyServer(t *testing.T) *Server {
+	t.Helper()
+	strat, err := placement.NewScaddar(4, x0Of(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := strat.SetBits(32); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.GeneratorBits = 32
+	cfg.Tolerance = 0.05
+	srv, err := NewServer(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadObjects(t, srv, 5, 300)
+	step := func(f func() error) {
+		t.Helper()
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+		for srv.Reorganizing() {
+			if err := srv.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := srv.FinishReorganization(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(func() error { _, err := srv.ScaleUp(2); return err })
+	step(func() error { _, err := srv.FullRedistribute(); return err })
+	step(func() error { _, err := srv.ScaleUp(1); return err })
+	sd := func() error {
+		_, err := srv.ScaleDown(3)
+		return err
+	}
+	if err := sd(); err != nil {
+		t.Fatal(err)
+	}
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.CompleteScaleDown(); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	srv := buildBusyServer(t)
+	md, err := srv.ExportMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeMetadata(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole server's durable state stays tiny — the paper's point.
+	if len(data) > 4096 {
+		t.Fatalf("metadata is %d bytes; expected compact", len(data))
+	}
+	back, err := DecodeMetadata(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.GeneratorBits = 32
+	cfg.Tolerance = 0.05
+	restored, err := RestoreServer(cfg, back, x0Of(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every block must be located identically by the restored server.
+	if restored.N() != srv.N() {
+		t.Fatalf("restored N = %d, want %d", restored.N(), srv.N())
+	}
+	if restored.TotalBlocks() != srv.TotalBlocks() {
+		t.Fatalf("restored blocks = %d, want %d", restored.TotalBlocks(), srv.TotalBlocks())
+	}
+	// Logical placement must match block for block. (Physical IDs differ
+	// by construction: the original array carried stable IDs across
+	// removals, while the restore builds a fresh array.)
+	for id := 0; id < 5; id++ {
+		obj, err := srv.Object(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < obj.Blocks; i += 7 {
+			ref := placement.BlockRef{Seed: obj.Seed, Index: uint64(i)}
+			a := srv.Strategy().Disk(ref)
+			b := restored.Strategy().Disk(ref)
+			if a != b {
+				t.Fatalf("block %d/%d: original logical disk %d, restored %d", id, i, a, b)
+			}
+			if _, err := restored.Lookup(id, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The restored budget resumes where the original left off.
+	if (srv.Budget() == nil) != (restored.Budget() == nil) {
+		t.Fatal("budget presence differs")
+	}
+	if srv.Budget().Mu().Cmp(restored.Budget().Mu()) != 0 {
+		t.Fatalf("restored budget mu %v, want %v", restored.Budget().Mu(), srv.Budget().Mu())
+	}
+	// And the restored server keeps working.
+	if _, err := restored.ScaleUp(1); err != nil {
+		t.Fatal(err)
+	}
+	for restored.Reorganizing() {
+		if err := restored.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := restored.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportMetadataGuards(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 2, 100)
+	if _, err := srv.ScaleUp(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ExportMetadata(); err == nil {
+		t.Fatal("export during migration accepted")
+	}
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ExportMetadata(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportMetadataRequiresScaddar(t *testing.T) {
+	rr, err := placement.NewRoundRobin(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(DefaultConfig(), rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ExportMetadata(); err == nil {
+		t.Fatal("export with non-scaddar strategy accepted")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	if _, err := RestoreServer(DefaultConfig(), nil, x0Of(32)); err == nil {
+		t.Error("nil metadata accepted")
+	}
+	if _, err := RestoreServer(DefaultConfig(), &Metadata{Version: 99}, x0Of(32)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := RestoreServer(DefaultConfig(), &Metadata{Version: 1}, x0Of(32)); err == nil {
+		t.Error("missing history accepted")
+	}
+}
+
+// TestRestoreGeneratorContract documents the recovery contract: metadata
+// alone does not pin the generator family — the operator must supply the
+// same one. A restore with a different generator builds a self-consistent
+// server whose placements differ from the original (in a real recovery the
+// mismatch against the surviving physical disks would surface immediately;
+// this simulator restores onto fresh disks).
+func TestRestoreGeneratorContract(t *testing.T) {
+	srv := buildBusyServer(t)
+	md, err := srv.ExportMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := placement.NewX0Func(func(seed uint64) prng.Source {
+		return prng.Truncate(prng.NewSplitMix64(seed^0xdead), 32)
+	})
+	restored, err := RestoreServer(DefaultConfig(), md, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := 0
+	obj, err := srv.Object(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < obj.Blocks; i++ {
+		ref := placement.BlockRef{Seed: obj.Seed, Index: uint64(i)}
+		if srv.Strategy().Disk(ref) != restored.Strategy().Disk(ref) {
+			differ++
+		}
+	}
+	if differ < obj.Blocks/2 {
+		t.Fatalf("wrong-generator restore agrees on %d/%d blocks; generators are not actually different",
+			obj.Blocks-differ, obj.Blocks)
+	}
+}

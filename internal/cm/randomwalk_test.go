@@ -1,0 +1,186 @@
+package cm
+
+import (
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/stats"
+	"scaddar/internal/workload"
+)
+
+// TestRandomWalk drives a server through a long random sequence of
+// operations — scale-ups, scale-downs, full redistributions, object adds
+// and removals, stream churn, ingests — verifying the global invariants
+// after every step: physical inventory matches the access function, no
+// blocks are lost, and load balance stays healthy. This is the model-based
+// integration test for the whole stack.
+func TestRandomWalk(t *testing.T) {
+	const steps = 60
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(6, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.GeneratorBits = 64
+	cfg.Tolerance = 0.05
+	srv, err := NewServer(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := prng.NewSplitMix64(20260704)
+	nextObj := 0
+	addObject := func(blocks int) {
+		t.Helper()
+		obj := workload.Object{
+			ID:                nextObj,
+			Seed:              uint64(nextObj)*31 + 5,
+			Blocks:            blocks,
+			BlockBytes:        cfg.BlockBytes,
+			BitrateBitsPerSec: 4 << 20,
+		}
+		nextObj++
+		if err := srv.AddObject(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		addObject(150 + int(rnd.Next()%100))
+	}
+
+	drain := func() {
+		t.Helper()
+		for srv.Reorganizing() {
+			if err := srv.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	verify := func(step int, what string) {
+		t.Helper()
+		if err := srv.VerifyIntegrity(); err != nil {
+			t.Fatalf("step %d (%s): %v", step, what, err)
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		action := rnd.Next() % 8
+		switch action {
+		case 0, 1: // scale up
+			if srv.N() < 24 {
+				if _, err := srv.ScaleUp(int(rnd.Next()%2) + 1); err != nil {
+					t.Fatalf("step %d scale-up: %v", step, err)
+				}
+				drain()
+				if err := srv.FinishReorganization(); err != nil {
+					t.Fatal(err)
+				}
+				verify(step, "scale-up")
+			}
+		case 2: // scale down
+			if srv.N() > 4 {
+				victim := int(rnd.Next() % uint64(srv.N()))
+				if _, err := srv.ScaleDown(victim); err != nil {
+					t.Fatalf("step %d scale-down: %v", step, err)
+				}
+				drain()
+				if err := srv.CompleteScaleDown(); err != nil {
+					t.Fatal(err)
+				}
+				verify(step, "scale-down")
+			}
+		case 3: // full redistribution
+			if _, err := srv.FullRedistribute(); err != nil {
+				t.Fatalf("step %d redistribute: %v", step, err)
+			}
+			drain()
+			if err := srv.FinishReorganization(); err != nil {
+				t.Fatal(err)
+			}
+			verify(step, "redistribute")
+		case 4: // add an object
+			if srv.Objects() < 12 {
+				addObject(100 + int(rnd.Next()%200))
+				verify(step, "add-object")
+			}
+		case 5: // remove an object without active streams
+			for id := 0; id < nextObj; id++ {
+				if _, err := srv.Object(id); err != nil {
+					continue
+				}
+				busy := false
+				for sid := 0; sid < 1000; sid++ {
+					st, err := srv.Stream(sid)
+					if err != nil {
+						continue
+					}
+					if st.Object == id && st.State == StreamPlaying {
+						busy = true
+						break
+					}
+				}
+				if busy {
+					continue
+				}
+				if srv.Objects() > 2 {
+					if err := srv.RemoveObject(id); err != nil {
+						t.Fatalf("step %d remove-object: %v", step, err)
+					}
+					verify(step, "remove-object")
+				}
+				break
+			}
+		case 6: // stream churn: admit a few, tick a few rounds
+			for k := 0; k < 3 && srv.ActiveStreams() < srv.capacityStreams(); k++ {
+				// Pick any live object.
+				for id := 0; id < nextObj; id++ {
+					if _, err := srv.Object(id); err == nil {
+						if _, err := srv.StartStream(id); err != nil {
+							t.Fatalf("step %d stream: %v", step, err)
+						}
+						break
+					}
+				}
+			}
+			for k := 0; k < 5; k++ {
+				if err := srv.Tick(); err != nil {
+					t.Fatalf("step %d tick: %v", step, err)
+				}
+			}
+		case 7: // ingest a small object to completion
+			if srv.Objects() < 12 {
+				obj := workload.Object{
+					ID:                nextObj,
+					Seed:              uint64(nextObj)*31 + 5,
+					Blocks:            40 + int(rnd.Next()%40),
+					BlockBytes:        cfg.BlockBytes,
+					BitrateBitsPerSec: 4 << 20,
+				}
+				nextObj++
+				in, err := srv.StartIngest(obj, 10)
+				if err != nil {
+					t.Fatalf("step %d ingest: %v", step, err)
+				}
+				for !in.Done {
+					if err := srv.Tick(); err != nil {
+						t.Fatalf("step %d ingest tick: %v", step, err)
+					}
+				}
+				verify(step, "ingest")
+			}
+		}
+	}
+
+	// Final global checks.
+	verify(steps, "final")
+	if srv.TotalBlocks() > 0 && srv.N() >= 4 {
+		cov := stats.CoVInts(srv.Array().Loads())
+		if cov > 0.25 {
+			t.Fatalf("final CoV %.4f; load balance lost along the walk (loads %v)", cov, srv.Array().Loads())
+		}
+	}
+	if srv.Metrics().Hiccups != 0 {
+		t.Fatalf("%d hiccups along the walk", srv.Metrics().Hiccups)
+	}
+}

@@ -1,0 +1,883 @@
+// Package cm implements the continuous-media server the SCADDAR paper
+// targets: objects split into fixed-size blocks and scattered over a disk
+// array by a pluggable placement strategy, round-based retrieval of one
+// block per active stream per round, admission control against disk
+// bandwidth, and online scaling operations that reorganize blocks while
+// streams keep playing.
+//
+// The server is a discrete-time simulator: Tick() advances one scheduling
+// round, serving every active stream and spending each disk's leftover
+// bandwidth on any in-progress reorganization. The paper's claims — minimal
+// movement, preserved load balance, one disk access per block — are all
+// observable through this layer.
+package cm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scaddar/internal/cache"
+	"scaddar/internal/disk"
+	"scaddar/internal/placement"
+	"scaddar/internal/reorg"
+	"scaddar/internal/scaddar"
+	"scaddar/internal/schedule"
+	"scaddar/internal/workload"
+)
+
+// Config fixes the server's scheduling and hardware parameters.
+type Config struct {
+	// Round is the scheduling round length; every active stream receives
+	// one block per round.
+	Round time.Duration
+	// Profile is the disk model used for every disk in the array.
+	Profile disk.Profile
+	// BlockBytes is the server-wide block size; objects must match it.
+	BlockBytes int64
+	// Utilization is the admission-control target in (0, 1]: streams are
+	// admitted while activeStreams < Utilization * aggregate per-round
+	// block capacity.
+	Utilization float64
+	// OverloadTarget, when non-zero, switches admission to the statistical
+	// policy: admit streams while the probability that any disk's
+	// per-round demand exceeds its capacity stays at or below this value
+	// (see MaxStreamsStatistical). Utilization is ignored in that mode.
+	OverloadTarget float64
+	// GeneratorBits, when non-zero, enables Section 4.3 randomness-budget
+	// tracking: every scaling operation is recorded against a Budget and
+	// NeedsRedistribution reports when the Tolerance can no longer be
+	// guaranteed. It must match the width of the placement strategy's
+	// generators.
+	GeneratorBits uint
+	// Tolerance is the unfairness tolerance ε for the budget check; only
+	// meaningful when GeneratorBits is non-zero.
+	Tolerance float64
+	// CacheBlocks, when non-zero, puts an LRU block buffer of that many
+	// blocks in front of the disks: a stream's read that hits the cache
+	// consumes no disk bandwidth (the interval-caching effect for close
+	// followers on popular titles). Sized in blocks of BlockBytes.
+	CacheBlocks int
+	// MeasureRounds, when true, replays each round's per-disk requests
+	// through a calibrated SCAN schedule (seek-distance model, elevator
+	// ordering, head tracking) and counts rounds whose actual service time
+	// exceeds the round length in Metrics.RoundOverruns. It validates the
+	// fixed per-round block budget from inside the live simulation.
+	MeasureRounds bool
+}
+
+// DefaultConfig returns a server configuration matching the paper's era:
+// one-second rounds of 256 KiB blocks on Cheetah-class disks, admitting up
+// to 80% of theoretical capacity.
+func DefaultConfig() Config {
+	return Config{
+		Round:       time.Second,
+		Profile:     disk.Cheetah73,
+		BlockBytes:  256 << 10,
+		Utilization: 0.8,
+	}
+}
+
+// StreamState describes a stream's lifecycle.
+type StreamState int
+
+// Stream states.
+const (
+	// StreamPlaying streams are served one block per round.
+	StreamPlaying StreamState = iota
+	// StreamDone streams reached the end of their object.
+	StreamDone
+	// StreamStopped streams were terminated by the viewer.
+	StreamStopped
+)
+
+// Stream is one active playback session.
+type Stream struct {
+	// ID is the server-assigned stream identity.
+	ID int
+	// Object is the object being played.
+	Object int
+	// Position is the next block index to deliver.
+	Position int
+	// State is the lifecycle state.
+	State StreamState
+	// Hiccups counts rounds in which the block could not be served in
+	// time because its disk was overloaded.
+	Hiccups int
+	// Served counts blocks delivered.
+	Served int
+}
+
+// Metrics aggregates server activity.
+type Metrics struct {
+	// Rounds is the number of Tick calls.
+	Rounds int
+	// BlocksServed counts blocks delivered to streams.
+	BlocksServed int
+	// Hiccups counts stream-rounds that missed their deadline.
+	Hiccups int
+	// StreamsCompleted counts streams that played to the end.
+	StreamsCompleted int
+	// StreamsRejected counts admission-control rejections.
+	StreamsRejected int
+	// BlocksMigrated counts reorganization moves executed inside Tick.
+	BlocksMigrated int
+	// RoundOverruns counts disk-rounds whose measured SCAN service time
+	// exceeded the round length (only tracked with Config.MeasureRounds).
+	RoundOverruns int
+	// BlocksIngested counts blocks written by recording sessions.
+	BlocksIngested int
+	// CacheHits counts stream reads served from the block buffer.
+	CacheHits int
+}
+
+// Server is the continuous-media server simulator.
+type Server struct {
+	cfg     Config
+	strat   placement.Strategy
+	array   *disk.Array
+	objects map[int]workload.Object
+	seedOf  map[uint64]int // object seed -> object ID, for block IDs
+	streams map[int]*Stream
+	nextSID int
+	metrics Metrics
+
+	// migration is the in-progress reorganization, if any.
+	migration *reorg.Executor
+	// pendingRemoval holds logical indices awaiting CompleteScaleDown, and
+	// removalPreOf translates post-removal logical indices (what the
+	// already-updated strategy reports) back to the pre-removal numbering
+	// the physical array still uses while the drain is in flight.
+	pendingRemoval []int
+	removalPreOf   []int
+	// budget tracks the Section 4.3 randomness budget when configured.
+	budget *scaddar.Budget
+	// seek and heads implement MeasureRounds: the calibrated seek model
+	// and the per-physical-disk head positions.
+	seek  *schedule.SeekModel
+	heads map[int]int64
+	// ingests holds recording sessions (completed ones are kept for
+	// inspection).
+	ingests []*Ingest
+	// blockCache is the optional LRU block buffer.
+	blockCache *cache.LRU
+}
+
+// NewServer creates a server over a fresh homogeneous array sized to the
+// strategy's current disk count.
+func NewServer(cfg Config, strat placement.Strategy) (*Server, error) {
+	if cfg.Round <= 0 {
+		return nil, fmt.Errorf("cm: round length %v must be positive", cfg.Round)
+	}
+	if cfg.BlockBytes <= 0 {
+		return nil, fmt.Errorf("cm: block size %d must be positive", cfg.BlockBytes)
+	}
+	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
+		return nil, fmt.Errorf("cm: utilization %g outside (0,1]", cfg.Utilization)
+	}
+	if cfg.OverloadTarget < 0 || cfg.OverloadTarget >= 1 {
+		return nil, fmt.Errorf("cm: overload target %g outside [0,1)", cfg.OverloadTarget)
+	}
+	if strat == nil {
+		return nil, fmt.Errorf("cm: server needs a placement strategy")
+	}
+	if cfg.Profile.BlocksPerRound(cfg.Round, cfg.BlockBytes) < 1 {
+		return nil, fmt.Errorf("cm: disk %s cannot serve a single %d-byte block per %v round",
+			cfg.Profile.Name, cfg.BlockBytes, cfg.Round)
+	}
+	array, err := disk.NewArray(strat.N(), cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	var budget *scaddar.Budget
+	if cfg.GeneratorBits > 0 {
+		if cfg.Tolerance <= 0 || cfg.Tolerance >= 1 {
+			return nil, fmt.Errorf("cm: tolerance %g outside (0,1) with budget tracking enabled", cfg.Tolerance)
+		}
+		budget, err = scaddar.NewBudget(cfg.GeneratorBits, strat.N())
+		if err != nil {
+			return nil, err
+		}
+	}
+	var seek *schedule.SeekModel
+	if cfg.MeasureRounds {
+		seek, err = schedule.Calibrate(cfg.Profile, cfg.BlockBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	blockCache, err := cache.New(cfg.CacheBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:        cfg,
+		strat:      strat,
+		array:      array,
+		objects:    make(map[int]workload.Object),
+		seedOf:     make(map[uint64]int),
+		streams:    make(map[int]*Stream),
+		budget:     budget,
+		seek:       seek,
+		heads:      make(map[int]int64),
+		blockCache: blockCache,
+	}, nil
+}
+
+// Config returns the server configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Strategy returns the placement strategy in use.
+func (s *Server) Strategy() placement.Strategy { return s.strat }
+
+// Array exposes the physical disk array.
+func (s *Server) Array() *disk.Array { return s.array }
+
+// Metrics returns a copy of the accumulated metrics.
+func (s *Server) Metrics() Metrics { return s.metrics }
+
+// N returns the current number of disks.
+func (s *Server) N() int { return s.array.N() }
+
+// Reorganizing reports whether a scaling operation is still migrating
+// blocks.
+func (s *Server) Reorganizing() bool {
+	return s.migration != nil && !s.migration.Done()
+}
+
+// blockID packs (object, index) into a disk-layer block identity.
+func blockID(object int, index uint64) disk.BlockID {
+	return disk.BlockID(uint64(object)<<40 | index)
+}
+
+// blockIDOf resolves a placement reference through the seed table.
+func (s *Server) blockIDOf(b placement.BlockRef) disk.BlockID {
+	obj, ok := s.seedOf[b.Seed]
+	if !ok {
+		panic(fmt.Sprintf("cm: block reference with unknown seed %d", b.Seed))
+	}
+	return blockID(obj, b.Index)
+}
+
+// AddObject loads an object's blocks onto the array according to the
+// placement strategy. Objects must have distinct IDs and seeds and match
+// the server block size.
+func (s *Server) AddObject(obj workload.Object) error {
+	if s.Reorganizing() {
+		return fmt.Errorf("cm: cannot add objects during reorganization")
+	}
+	if _, dup := s.objects[obj.ID]; dup {
+		return fmt.Errorf("cm: duplicate object ID %d", obj.ID)
+	}
+	if _, dup := s.seedOf[obj.Seed]; dup {
+		return fmt.Errorf("cm: duplicate object seed %d", obj.Seed)
+	}
+	for _, in := range s.ingests {
+		if !in.Done && in.Object.ID == obj.ID {
+			return fmt.Errorf("cm: object %d is being ingested", obj.ID)
+		}
+	}
+	if obj.Blocks < 1 {
+		return fmt.Errorf("cm: object %d has no blocks", obj.ID)
+	}
+	if obj.BlockBytes != s.cfg.BlockBytes {
+		return fmt.Errorf("cm: object %d block size %d != server block size %d",
+			obj.ID, obj.BlockBytes, s.cfg.BlockBytes)
+	}
+	if obj.ID < 0 || obj.ID >= 1<<24 || uint64(obj.Blocks) >= 1<<40 {
+		return fmt.Errorf("cm: object %d outside addressable range", obj.ID)
+	}
+	for i := 0; i < obj.Blocks; i++ {
+		logical := s.strat.Disk(placement.BlockRef{Seed: obj.Seed, Index: uint64(i)})
+		d, err := s.array.Disk(logical)
+		if err != nil {
+			return err
+		}
+		if err := d.Store(blockID(obj.ID, uint64(i))); err != nil {
+			return err
+		}
+	}
+	s.objects[obj.ID] = obj
+	s.seedOf[obj.Seed] = obj.ID
+	return nil
+}
+
+// RemoveObject deletes an object and its blocks.
+func (s *Server) RemoveObject(id int) error {
+	if s.Reorganizing() {
+		return fmt.Errorf("cm: cannot remove objects during reorganization")
+	}
+	obj, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("cm: unknown object %d", id)
+	}
+	for _, st := range s.streams {
+		if st.Object == id && st.State == StreamPlaying {
+			return fmt.Errorf("cm: object %d has active streams", id)
+		}
+	}
+	for i := 0; i < obj.Blocks; i++ {
+		logical := s.strat.Disk(placement.BlockRef{Seed: obj.Seed, Index: uint64(i)})
+		d, err := s.array.Disk(logical)
+		if err != nil {
+			return err
+		}
+		if err := d.Remove(blockID(obj.ID, uint64(i))); err != nil {
+			return err
+		}
+		s.blockCache.Remove(blockID(obj.ID, uint64(i)))
+	}
+	delete(s.objects, id)
+	delete(s.seedOf, obj.Seed)
+	return nil
+}
+
+// Object returns an object by ID.
+func (s *Server) Object(id int) (workload.Object, error) {
+	obj, ok := s.objects[id]
+	if !ok {
+		return workload.Object{}, fmt.Errorf("cm: unknown object %d", id)
+	}
+	return obj, nil
+}
+
+// Objects returns the number of loaded objects.
+func (s *Server) Objects() int { return len(s.objects) }
+
+// TotalBlocks returns the number of blocks stored across the array.
+func (s *Server) TotalBlocks() int { return s.array.TotalBlocks() }
+
+// allBlocks enumerates every loaded block as a placement reference.
+func (s *Server) allBlocks() []placement.BlockRef {
+	var blocks []placement.BlockRef
+	for _, obj := range s.objects {
+		for i := 0; i < obj.Blocks; i++ {
+			blocks = append(blocks, placement.BlockRef{Seed: obj.Seed, Index: uint64(i)})
+		}
+	}
+	return blocks
+}
+
+// locate returns the logical disk a block must be read from right now:
+// normally the strategy's answer, but while a reorganization is in flight a
+// block whose move is still pending is served from its pre-operation home,
+// and during a scale-down drain the strategy's post-removal numbering is
+// translated back to the pre-removal numbering the physical array still
+// uses.
+func (s *Server) locate(b placement.BlockRef) int {
+	if s.migration != nil {
+		if from, pending := s.migration.PendingSource(b); pending {
+			return from
+		}
+		if s.removalPreOf != nil {
+			return s.removalPreOf[s.strat.Disk(b)]
+		}
+	}
+	return s.strat.Disk(b)
+}
+
+// Lookup returns the disk currently holding a block, verifying that the
+// placement layer and the physical inventory agree — the paper's AO1
+// one-access guarantee depends on this invariant. It is correct even while
+// a reorganization is in flight.
+func (s *Server) Lookup(object int, index int) (*disk.Disk, error) {
+	obj, ok := s.objects[object]
+	if !ok {
+		return nil, fmt.Errorf("cm: unknown object %d", object)
+	}
+	if index < 0 || index >= obj.Blocks {
+		return nil, fmt.Errorf("cm: object %d has no block %d", object, index)
+	}
+	logical := s.locate(placement.BlockRef{Seed: obj.Seed, Index: uint64(index)})
+	d, err := s.array.Disk(logical)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Has(blockID(object, uint64(index))) {
+		return nil, fmt.Errorf("cm: block %d/%d not on disk %d where placement expects it",
+			object, index, d.ID())
+	}
+	return d, nil
+}
+
+// diskCapacityPerRound is the block budget of one round for the server's
+// configured (baseline) profile.
+func (s *Server) diskCapacityPerRound() int {
+	return s.cfg.Profile.BlocksPerRound(s.cfg.Round, s.cfg.BlockBytes)
+}
+
+// capacities returns the per-logical-disk block budgets of one round,
+// honoring per-disk profiles in mixed-generation arrays.
+func (s *Server) capacities() ([]int, error) {
+	out := make([]int, s.N())
+	for i := range out {
+		d, err := s.array.Disk(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d.Profile().BlocksPerRound(s.cfg.Round, s.cfg.BlockBytes)
+	}
+	return out, nil
+}
+
+// capacityStreams is the admission limit on simultaneous streams: the
+// statistical limit when an overload target is configured, the fixed
+// utilization fraction otherwise. Uniform random placement spreads demand
+// evenly over logical disks, so in a mixed-generation array the WEAKEST
+// disk binds: admission uses N times the minimum per-disk capacity (this
+// is exactly the inefficiency the Section 6 logical mapping removes; see
+// experiment E11).
+func (s *Server) capacityStreams() int {
+	caps, err := s.capacities()
+	if err != nil || len(caps) == 0 {
+		return 0
+	}
+	minCap := caps[0]
+	for _, c := range caps[1:] {
+		if c < minCap {
+			minCap = c
+		}
+	}
+	if s.cfg.OverloadTarget > 0 {
+		limit, err := MaxStreamsStatistical(s.N(), minCap, s.cfg.OverloadTarget)
+		if err != nil {
+			return 0 // degenerate configuration: admit nothing
+		}
+		return limit
+	}
+	return int(s.cfg.Utilization * float64(s.N()*minCap))
+}
+
+// ActiveStreams returns the number of playing streams.
+func (s *Server) ActiveStreams() int {
+	n := 0
+	for _, st := range s.streams {
+		if st.State == StreamPlaying {
+			n++
+		}
+	}
+	return n
+}
+
+// StartStream admits a new playback session for an object, or rejects it if
+// the server is at its admission limit.
+func (s *Server) StartStream(object int) (*Stream, error) {
+	if _, ok := s.objects[object]; !ok {
+		return nil, fmt.Errorf("cm: unknown object %d", object)
+	}
+	if s.ActiveStreams() >= s.capacityStreams() {
+		s.metrics.StreamsRejected++
+		return nil, fmt.Errorf("cm: admission control rejected stream for object %d (%d active, capacity %d)",
+			object, s.ActiveStreams(), s.capacityStreams())
+	}
+	st := &Stream{ID: s.nextSID, Object: object}
+	s.nextSID++
+	s.streams[st.ID] = st
+	return st, nil
+}
+
+// StopStream terminates a stream (viewer pressed stop).
+func (s *Server) StopStream(id int) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("cm: unknown stream %d", id)
+	}
+	if st.State == StreamPlaying {
+		st.State = StreamStopped
+	}
+	return nil
+}
+
+// SeekStream repositions a stream (VCR jump).
+func (s *Server) SeekStream(id, position int) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("cm: unknown stream %d", id)
+	}
+	obj := s.objects[st.Object]
+	if position < 0 || position >= obj.Blocks {
+		return fmt.Errorf("cm: seek position %d outside object %d", position, st.Object)
+	}
+	st.Position = position
+	return nil
+}
+
+// Stream returns a stream by ID.
+func (s *Server) Stream(id int) (*Stream, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("cm: unknown stream %d", id)
+	}
+	return st, nil
+}
+
+// Tick advances one scheduling round: every playing stream requests its next
+// block from the disk the placement strategy names; disks serve up to their
+// per-round capacity and excess requests hiccup (the stream stalls one
+// round). Leftover per-disk capacity is then granted to any in-progress
+// reorganization.
+func (s *Server) Tick() error {
+	s.metrics.Rounds++
+	s.array.ResetRounds()
+	caps, err := s.capacities()
+	if err != nil {
+		return err
+	}
+	used := make([]int, s.N())
+
+	// Serve streams in ID order so the simulation is deterministic.
+	ids := make([]int, 0, len(s.streams))
+	for id := range s.streams {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var roundReqs map[int][]schedule.Request
+	if s.seek != nil {
+		roundReqs = make(map[int][]schedule.Request)
+	}
+	for _, id := range ids {
+		st := s.streams[id]
+		if st.State != StreamPlaying {
+			continue
+		}
+		obj := s.objects[st.Object]
+		bid := blockID(st.Object, uint64(st.Position))
+		// A block-buffer hit serves the stream without touching a disk.
+		if s.blockCache.Get(bid) {
+			s.metrics.CacheHits++
+			st.Served++
+			s.metrics.BlocksServed++
+			st.Position++
+			if st.Position >= obj.Blocks {
+				st.State = StreamDone
+				s.metrics.StreamsCompleted++
+			}
+			continue
+		}
+		logical := s.locate(placement.BlockRef{Seed: obj.Seed, Index: uint64(st.Position)})
+		d, err := s.array.Disk(logical)
+		if err != nil {
+			return err
+		}
+		if used[logical] >= caps[logical] {
+			st.Hiccups++
+			s.metrics.Hiccups++
+			continue // stalled this round; retry next round
+		}
+		if !d.Read(bid) {
+			return fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
+				st.ID, st.Object, st.Position, d.ID())
+		}
+		s.blockCache.Put(bid)
+		if roundReqs != nil {
+			lba, err := schedule.LBAFor(bid, int64(s.cfg.Profile.CapacityBlocks(s.cfg.BlockBytes)))
+			if err != nil {
+				return err
+			}
+			roundReqs[d.ID()] = append(roundReqs[d.ID()], schedule.Request{Block: bid, LBA: lba})
+		}
+		used[logical]++
+		st.Served++
+		s.metrics.BlocksServed++
+		st.Position++
+		if st.Position >= obj.Blocks {
+			st.State = StreamDone
+			s.metrics.StreamsCompleted++
+		}
+	}
+
+	// Writes of in-progress recordings share the round's leftover budget.
+	if err := s.stepIngests(used, caps); err != nil {
+		return err
+	}
+
+	// Replay each disk's round through the calibrated SCAN schedule. The
+	// measurement covers stream reads (the traffic the admission budget
+	// models); migration I/O is bounded separately by the spare-capacity
+	// accounting below.
+	for id, reqs := range roundReqs {
+		head := s.heads[id]
+		ordered, err := schedule.Order(schedule.SCAN, reqs, head)
+		if err != nil {
+			return err
+		}
+		cost := schedule.ServiceTime(s.seek, s.cfg.Profile, s.cfg.BlockBytes, ordered, head, schedule.SCAN)
+		if cost.Total > s.cfg.Round {
+			s.metrics.RoundOverruns++
+		}
+		s.heads[id] = cost.Head
+	}
+
+	if s.Reorganizing() {
+		spare := make([]int, s.N())
+		for i := range spare {
+			spare[i] = caps[i] - used[i]
+			if spare[i] < 0 {
+				spare[i] = 0
+			}
+		}
+		moved, err := s.migration.Step(spare)
+		if err != nil {
+			return err
+		}
+		s.metrics.BlocksMigrated += moved
+	}
+	return nil
+}
+
+// ScaleUp attaches count new disks and starts the minimal reorganization
+// that rebalances onto them. The migration runs inside subsequent Tick
+// calls using spare bandwidth; the new disks serve reads immediately for
+// blocks already moved. The returned plan describes the migration.
+func (s *Server) ScaleUp(count int) (*reorg.Plan, error) {
+	if s.Ingesting() {
+		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+	}
+	if s.Reorganizing() {
+		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+	}
+	if len(s.pendingRemoval) > 0 {
+		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+	}
+	blocks := s.allBlocks()
+	plan, err := reorg.PlanAdd(s.strat, blocks, count)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.array.Add(count, s.cfg.Profile); err != nil {
+		return nil, err
+	}
+	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	if err != nil {
+		return nil, err
+	}
+	s.migration = exec
+	if s.budget != nil {
+		if err := s.budget.Record(s.strat.N()); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// ScaleUpProfile attaches count new disks of a possibly different
+// generation (profile) and starts the minimal rebalancing migration, the
+// Section 1 scenario of "adding newer generation disks (higher bandwidth
+// and more capacity)". Placement stays uniform across logical disks, so a
+// faster disk in a mixed array is simply underutilized; carving it into
+// multiple logical disks via the hetero mapping is how its full bandwidth
+// is exploited (experiment E11 quantifies the difference).
+func (s *Server) ScaleUpProfile(count int, profile disk.Profile) (*reorg.Plan, error) {
+	if s.Ingesting() {
+		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+	}
+	if s.Reorganizing() {
+		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+	}
+	if len(s.pendingRemoval) > 0 {
+		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+	}
+	if profile.BlocksPerRound(s.cfg.Round, s.cfg.BlockBytes) < 1 {
+		return nil, fmt.Errorf("cm: disk %s cannot serve a single %d-byte block per %v round",
+			profile.Name, s.cfg.BlockBytes, s.cfg.Round)
+	}
+	blocks := s.allBlocks()
+	plan, err := reorg.PlanAdd(s.strat, blocks, count)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.array.Add(count, profile); err != nil {
+		return nil, err
+	}
+	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	if err != nil {
+		return nil, err
+	}
+	s.migration = exec
+	if s.budget != nil {
+		if err := s.budget.Record(s.strat.N()); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// ScaleDown starts draining the disks at the given logical indices. Blocks
+// migrate off them inside subsequent Tick calls; once the migration is done,
+// CompleteScaleDown detaches the empty disks. Streams keep reading from the
+// doomed disks until their blocks have moved.
+func (s *Server) ScaleDown(indices ...int) (*reorg.Plan, error) {
+	if s.Ingesting() {
+		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+	}
+	if s.Reorganizing() {
+		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+	}
+	if len(s.pendingRemoval) > 0 {
+		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+	}
+	blocks := s.allBlocks()
+	plan, err := reorg.PlanRemove(s.strat, blocks, indices...)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	if err != nil {
+		return nil, err
+	}
+	s.migration = exec
+	s.pendingRemoval = append([]int(nil), indices...)
+	// Build the post-removal -> pre-removal logical translation used by
+	// locate() while the drain is in flight.
+	sorted := append([]int(nil), indices...)
+	sort.Ints(sorted)
+	surv := placement.SurvivorMap(plan.NBefore, sorted)
+	s.removalPreOf = make([]int, plan.NAfter)
+	for old, nw := range surv {
+		if nw >= 0 {
+			s.removalPreOf[nw] = old
+		}
+	}
+	if s.budget != nil {
+		if err := s.budget.Record(s.strat.N()); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// NeedsRedistribution reports whether the configured unfairness tolerance
+// can no longer be guaranteed (the Lemma 4.3 precondition failed) and a
+// FullRedistribute should be scheduled. Always false when budget tracking
+// is disabled.
+func (s *Server) NeedsRedistribution() bool {
+	return s.budget != nil && !s.budget.WithinTolerance(s.cfg.Tolerance)
+}
+
+// Budget exposes the randomness budget, or nil when tracking is disabled.
+func (s *Server) Budget() *scaddar.Budget { return s.budget }
+
+// FullRedistribute performs the complete redistribution the paper
+// recommends once the randomness budget is exhausted: every block re-places
+// with fresh randomness (nearly all of them move), the operation log
+// restarts from the current disk count, and the budget resets. The
+// migration runs inside subsequent Tick calls like any scaling operation.
+// The placement strategy must support rebaselining (SCADDAR does).
+func (s *Server) FullRedistribute() (*reorg.Plan, error) {
+	if s.Ingesting() {
+		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+	}
+	if s.Reorganizing() {
+		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+	}
+	if len(s.pendingRemoval) > 0 {
+		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+	}
+	rb, ok := s.strat.(reorg.Rebaseliner)
+	if !ok {
+		return nil, fmt.Errorf("cm: strategy %q does not support full redistribution", s.strat.Name())
+	}
+	plan, err := reorg.PlanRebaseline(rb, s.allBlocks())
+	if err != nil {
+		return nil, err
+	}
+	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	if err != nil {
+		return nil, err
+	}
+	s.migration = exec
+	if s.budget != nil {
+		if err := s.budget.Reset(s.strat.N()); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// CompleteScaleDown detaches the drained disks of a ScaleDown. It fails if
+// the migration has not finished or any doomed disk still holds blocks.
+func (s *Server) CompleteScaleDown() error {
+	if len(s.pendingRemoval) == 0 {
+		return fmt.Errorf("cm: no scale-down in progress")
+	}
+	if s.Reorganizing() {
+		return fmt.Errorf("cm: scale-down migration still has %d moves pending", s.migration.Remaining())
+	}
+	for _, logical := range s.pendingRemoval {
+		d, err := s.array.Disk(logical)
+		if err != nil {
+			return err
+		}
+		if d.Len() != 0 {
+			return fmt.Errorf("cm: disk %d still holds %d blocks", d.ID(), d.Len())
+		}
+	}
+	if _, err := s.array.Remove(s.pendingRemoval...); err != nil {
+		return err
+	}
+	s.pendingRemoval = nil
+	s.removalPreOf = nil
+	s.migration = nil
+	return nil
+}
+
+// FinishReorganization clears a completed scale-up migration. It is called
+// automatically by the next scaling operation; exposing it lets callers
+// assert quiescence.
+func (s *Server) FinishReorganization() error {
+	if s.migration == nil {
+		return nil
+	}
+	if !s.migration.Done() {
+		return fmt.Errorf("cm: reorganization still has %d moves pending", s.migration.Remaining())
+	}
+	if len(s.pendingRemoval) > 0 {
+		return s.CompleteScaleDown()
+	}
+	s.migration = nil
+	return nil
+}
+
+// MigrationRemaining reports pending reorganization moves.
+func (s *Server) MigrationRemaining() int {
+	if s.migration == nil {
+		return 0
+	}
+	return s.migration.Remaining()
+}
+
+// ProblemStreams — streams currently mid-hiccup — is not tracked separately;
+// use Stream.Hiccups. VerifyIntegrity checks the global invariant instead:
+// every loaded block is on exactly the disk the strategy names.
+func (s *Server) VerifyIntegrity() error {
+	total := 0
+	for _, obj := range s.objects {
+		for i := 0; i < obj.Blocks; i++ {
+			if _, err := s.Lookup(obj.ID, i); err != nil {
+				return err
+			}
+			total++
+		}
+	}
+	// Partially ingested objects account for their written prefix.
+	for _, in := range s.ingests {
+		if in.Done {
+			continue
+		}
+		for i := 0; i < in.Written; i++ {
+			logical := s.strat.Disk(placement.BlockRef{Seed: in.Object.Seed, Index: uint64(i)})
+			d, err := s.array.Disk(logical)
+			if err != nil {
+				return err
+			}
+			if !d.Has(blockID(in.Object.ID, uint64(i))) {
+				return fmt.Errorf("cm: ingested block %d/%d missing from disk %d", in.Object.ID, i, d.ID())
+			}
+			total++
+		}
+	}
+	if got := s.array.TotalBlocks(); got != total {
+		return fmt.Errorf("cm: array holds %d blocks, catalog expects %d", got, total)
+	}
+	return nil
+}

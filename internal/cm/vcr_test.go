@@ -1,0 +1,102 @@
+package cm
+
+import (
+	"testing"
+
+	"scaddar/internal/prng"
+	"scaddar/internal/workload"
+)
+
+// TestVCRChurn drives streams with VCR behavior — random jumps and stops at
+// block boundaries — the unpredictable access pattern the paper adopts
+// random placement to support ("support for unpredictable access patterns
+// as generated, for example, by interactive applications or VCR-style
+// operations"). The server must stay hiccup-free and consistent, including
+// across a mid-churn scale-out.
+func TestVCRChurn(t *testing.T) {
+	srv := newServer(t, 6)
+	loadObjects(t, srv, 6, 500)
+	vcr, err := workload.NewVCR(prng.NewSplitMix64(8), 100, 20) // 10% jump, 2% stop
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := prng.NewSplitMix64(9)
+
+	const target = 100
+	admit := func() {
+		t.Helper()
+		st, err := srv.StartStream(int(rnd.Next() % 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.SeekStream(st.ID, int(rnd.Next()%500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < target; i++ {
+		admit()
+	}
+
+	live := func() []*Stream {
+		var out []*Stream
+		for id := 0; id < 100000; id++ {
+			st, err := srv.Stream(id)
+			if err != nil {
+				break
+			}
+			if st.State == StreamPlaying {
+				out = append(out, st)
+			}
+		}
+		return out
+	}
+
+	scaleAt := 40
+	for round := 0; round < 120; round++ {
+		if round == scaleAt {
+			if _, err := srv.ScaleUp(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Apply viewer actions to every live stream at block boundaries.
+		for _, st := range live() {
+			action, pos := vcr.Next(500)
+			switch action {
+			case workload.VCRJump:
+				if err := srv.SeekStream(st.ID, pos); err != nil {
+					t.Fatal(err)
+				}
+			case workload.VCRStop:
+				if err := srv.StopStream(st.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for srv.ActiveStreams() < target {
+			admit()
+		}
+	}
+	if srv.Reorganizing() {
+		for srv.Reorganizing() {
+			if err := srv.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	if m.Hiccups != 0 {
+		t.Fatalf("%d hiccups under VCR churn", m.Hiccups)
+	}
+	if m.BlocksServed < 100*100 {
+		t.Fatalf("served only %d blocks", m.BlocksServed)
+	}
+	if err := srv.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

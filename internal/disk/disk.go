@@ -1,0 +1,296 @@
+// Package disk models the magnetic disks a continuous-media server stores
+// its blocks on: capacity in blocks, a seek/rotation/transfer service-time
+// model, and per-disk block inventories. The model is deliberately simple —
+// a fixed average seek, half-rotation latency, and linear transfer — which
+// is the standard first-order model for round-based CM retrieval scheduling
+// and is all the SCADDAR experiments need: the paper's claims are about
+// which blocks live where and how many must move, not about head-scheduling
+// micro-behaviour.
+//
+// Profiles of typical circa-2001 drives (the paper's hardware era) and a
+// modern comparator are provided so examples and benchmarks can speak in
+// real units.
+package disk
+
+import (
+	"fmt"
+	"time"
+)
+
+// BlockID identifies a stored block. The continuous-media layer composes it
+// from (object, index); this package treats it as opaque.
+type BlockID uint64
+
+// Profile describes a disk model's performance characteristics.
+type Profile struct {
+	// Name of the disk model.
+	Name string
+	// CapacityBytes is the formatted capacity.
+	CapacityBytes int64
+	// AvgSeek is the average seek time.
+	AvgSeek time.Duration
+	// RPM is the spindle speed, used for the half-rotation latency.
+	RPM int
+	// TransferBytesPerSec is the sustained transfer rate.
+	TransferBytesPerSec int64
+}
+
+// Typical profiles. Cheetah73 approximates a Seagate Cheetah 73LP (2001),
+// the class of drive a CM server of the paper's era would use; Barracuda180
+// a slower high-capacity drive of the same period; Modern a contemporary
+// 7200-RPM nearline disk for scale-up experiments.
+var (
+	Cheetah73 = Profile{
+		Name:                "cheetah73lp",
+		CapacityBytes:       73 << 30,
+		AvgSeek:             4900 * time.Microsecond,
+		RPM:                 10000,
+		TransferBytesPerSec: 53 << 20,
+	}
+	Barracuda180 = Profile{
+		Name:                "barracuda180",
+		CapacityBytes:       180 << 30,
+		AvgSeek:             7400 * time.Microsecond,
+		RPM:                 7200,
+		TransferBytesPerSec: 26 << 20,
+	}
+	Modern = Profile{
+		Name:                "modern7200",
+		CapacityBytes:       4 << 40,
+		AvgSeek:             8 * time.Millisecond,
+		RPM:                 7200,
+		TransferBytesPerSec: 220 << 20,
+	}
+)
+
+// RotationalLatency returns the expected rotational delay (half a
+// revolution).
+func (p Profile) RotationalLatency() time.Duration {
+	if p.RPM <= 0 {
+		return 0
+	}
+	revolution := time.Duration(float64(time.Minute) / float64(p.RPM))
+	return revolution / 2
+}
+
+// ServiceTime returns the expected time to read one block of the given
+// size: average seek + half rotation + transfer.
+func (p Profile) ServiceTime(blockBytes int64) time.Duration {
+	transfer := time.Duration(0)
+	if p.TransferBytesPerSec > 0 {
+		transfer = time.Duration(float64(blockBytes) / float64(p.TransferBytesPerSec) * float64(time.Second))
+	}
+	return p.AvgSeek + p.RotationalLatency() + transfer
+}
+
+// BlocksPerRound returns how many block reads of the given size fit into
+// one scheduling round — the per-disk stream capacity of a round-based CM
+// server.
+func (p Profile) BlocksPerRound(round time.Duration, blockBytes int64) int {
+	st := p.ServiceTime(blockBytes)
+	if st <= 0 {
+		return 0
+	}
+	return int(round / st)
+}
+
+// CapacityBlocks returns how many blocks of the given size the disk holds.
+func (p Profile) CapacityBlocks(blockBytes int64) int {
+	if blockBytes <= 0 {
+		return 0
+	}
+	return int(p.CapacityBytes / blockBytes)
+}
+
+// Disk is one simulated disk: a profile, a stable identity, and the
+// inventory of blocks currently stored on it.
+type Disk struct {
+	id      int
+	profile Profile
+	blocks  map[BlockID]struct{}
+
+	// Round accounting, reset by ResetRound.
+	reads    int
+	writes   int
+	migrated int
+}
+
+// New creates an empty disk with the given stable identity and profile.
+func New(id int, profile Profile) *Disk {
+	return &Disk{id: id, profile: profile, blocks: make(map[BlockID]struct{})}
+}
+
+// ID returns the disk's stable identity.
+func (d *Disk) ID() int { return d.id }
+
+// Profile returns the disk's performance profile.
+func (d *Disk) Profile() Profile { return d.profile }
+
+// Len returns the number of blocks stored.
+func (d *Disk) Len() int { return len(d.blocks) }
+
+// Has reports whether the block is stored on this disk.
+func (d *Disk) Has(b BlockID) bool {
+	_, ok := d.blocks[b]
+	return ok
+}
+
+// Store places a block on the disk. Storing a block twice is an error — it
+// would mask accounting bugs in the reorganization engine.
+func (d *Disk) Store(b BlockID) error {
+	if _, ok := d.blocks[b]; ok {
+		return fmt.Errorf("disk %d: block %d already stored", d.id, b)
+	}
+	d.blocks[b] = struct{}{}
+	d.writes++
+	return nil
+}
+
+// Remove deletes a block from the disk.
+func (d *Disk) Remove(b BlockID) error {
+	if _, ok := d.blocks[b]; !ok {
+		return fmt.Errorf("disk %d: block %d not stored", d.id, b)
+	}
+	delete(d.blocks, b)
+	return nil
+}
+
+// Read records a block read for round accounting and reports whether the
+// block was present.
+func (d *Disk) Read(b BlockID) bool {
+	if _, ok := d.blocks[b]; !ok {
+		return false
+	}
+	d.reads++
+	return true
+}
+
+// RecordMigration accounts one migration I/O (read from a source or write
+// to a target during reorganization).
+func (d *Disk) RecordMigration() { d.migrated++ }
+
+// RoundLoad reports the I/Os recorded since the last ResetRound: stream
+// reads, block writes, and migration I/Os.
+func (d *Disk) RoundLoad() (reads, writes, migrated int) {
+	return d.reads, d.writes, d.migrated
+}
+
+// ResetRound clears the per-round counters.
+func (d *Disk) ResetRound() {
+	d.reads, d.writes, d.migrated = 0, 0, 0
+}
+
+// Blocks returns the stored block IDs in unspecified order.
+func (d *Disk) Blocks() []BlockID {
+	out := make([]BlockID, 0, len(d.blocks))
+	for b := range d.blocks {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Array is an ordered collection of disks addressed by logical index, with
+// stable per-disk identities preserved across removals — the physical layer
+// the placement strategies decide over.
+type Array struct {
+	disks  []*Disk
+	nextID int
+}
+
+// NewArray creates an array of n identical disks with IDs 0..n-1.
+func NewArray(n int, profile Profile) (*Array, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("disk: array needs at least 1 disk, got %d", n)
+	}
+	a := &Array{}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, New(a.nextID, profile))
+		a.nextID++
+	}
+	return a, nil
+}
+
+// N returns the number of disks.
+func (a *Array) N() int { return len(a.disks) }
+
+// Disk returns the disk at a logical index.
+func (a *Array) Disk(logical int) (*Disk, error) {
+	if logical < 0 || logical >= len(a.disks) {
+		return nil, fmt.Errorf("disk: logical index %d outside [0,%d)", logical, len(a.disks))
+	}
+	return a.disks[logical], nil
+}
+
+// Add appends count new disks with the given profile; heterogeneous arrays
+// arise by adding groups with different profiles.
+func (a *Array) Add(count int, profile Profile) ([]*Disk, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("disk: add of %d disks", count)
+	}
+	added := make([]*Disk, count)
+	for i := range added {
+		d := New(a.nextID, profile)
+		a.nextID++
+		a.disks = append(a.disks, d)
+		added[i] = d
+	}
+	return added, nil
+}
+
+// Remove detaches the disks at the given logical indices (sorted or not)
+// and returns them — still holding their blocks, so the reorganization
+// engine can drain them. Survivors are compacted in order.
+func (a *Array) Remove(indices ...int) ([]*Disk, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("disk: removal of empty disk group")
+	}
+	if len(indices) >= len(a.disks) {
+		return nil, fmt.Errorf("disk: removing %d of %d disks leaves none", len(indices), len(a.disks))
+	}
+	gone := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(a.disks) {
+			return nil, fmt.Errorf("disk: logical index %d outside [0,%d)", i, len(a.disks))
+		}
+		if gone[i] {
+			return nil, fmt.Errorf("disk: duplicate removal index %d", i)
+		}
+		gone[i] = true
+	}
+	var removed []*Disk
+	survivors := a.disks[:0]
+	for i, d := range a.disks {
+		if gone[i] {
+			removed = append(removed, d)
+		} else {
+			survivors = append(survivors, d)
+		}
+	}
+	a.disks = survivors
+	return removed, nil
+}
+
+// TotalBlocks returns the number of blocks across all disks.
+func (a *Array) TotalBlocks() int {
+	n := 0
+	for _, d := range a.disks {
+		n += d.Len()
+	}
+	return n
+}
+
+// Loads returns the per-disk block counts in logical order.
+func (a *Array) Loads() []int {
+	out := make([]int, len(a.disks))
+	for i, d := range a.disks {
+		out[i] = d.Len()
+	}
+	return out
+}
+
+// ResetRounds clears the round counters of every disk.
+func (a *Array) ResetRounds() {
+	for _, d := range a.disks {
+		d.ResetRound()
+	}
+}

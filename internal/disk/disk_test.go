@@ -1,0 +1,225 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfileRotationalLatency(t *testing.T) {
+	// 10000 RPM: one revolution is 6 ms, half is 3 ms.
+	if got := Cheetah73.RotationalLatency(); got != 3*time.Millisecond {
+		t.Errorf("Cheetah73 rotational latency = %v, want 3ms", got)
+	}
+	zero := Profile{RPM: 0}
+	if got := zero.RotationalLatency(); got != 0 {
+		t.Errorf("zero-RPM latency = %v, want 0", got)
+	}
+}
+
+func TestProfileServiceTime(t *testing.T) {
+	// Cheetah73: 4.9ms seek + 3ms rotation + 256KiB/53MiB/s ≈ 4.72ms.
+	st := Cheetah73.ServiceTime(256 << 10)
+	if st < 12*time.Millisecond || st > 13*time.Millisecond {
+		t.Errorf("service time = %v, want ~12.6ms", st)
+	}
+}
+
+func TestProfileBlocksPerRound(t *testing.T) {
+	// ~12.6ms per block -> 79 blocks per 1s round.
+	got := Cheetah73.BlocksPerRound(time.Second, 256<<10)
+	if got < 75 || got > 85 {
+		t.Errorf("blocks per round = %d, want ~79", got)
+	}
+	if got := (Profile{}).BlocksPerRound(time.Second, 1); got != 0 {
+		t.Errorf("degenerate profile blocks per round = %d, want 0", got)
+	}
+}
+
+func TestProfileCapacityBlocks(t *testing.T) {
+	if got := Cheetah73.CapacityBlocks(256 << 10); got != int((73<<30)/(256<<10)) {
+		t.Errorf("capacity blocks = %d", got)
+	}
+	if got := Cheetah73.CapacityBlocks(0); got != 0 {
+		t.Errorf("zero block size capacity = %d, want 0", got)
+	}
+}
+
+func TestDiskStoreRemove(t *testing.T) {
+	d := New(7, Cheetah73)
+	if d.ID() != 7 {
+		t.Fatalf("ID = %d, want 7", d.ID())
+	}
+	if err := d.Store(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store(42); err == nil {
+		t.Fatal("duplicate store accepted")
+	}
+	if !d.Has(42) || d.Len() != 1 {
+		t.Fatal("stored block not visible")
+	}
+	if err := d.Remove(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove(42); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if d.Has(42) || d.Len() != 0 {
+		t.Fatal("removed block still visible")
+	}
+}
+
+func TestDiskReadAccounting(t *testing.T) {
+	d := New(0, Cheetah73)
+	d.Store(1)
+	if d.Read(2) {
+		t.Fatal("read of absent block succeeded")
+	}
+	if !d.Read(1) {
+		t.Fatal("read of present block failed")
+	}
+	d.RecordMigration()
+	reads, writes, migrated := d.RoundLoad()
+	if reads != 1 || writes != 1 || migrated != 1 {
+		t.Fatalf("round load = %d/%d/%d, want 1/1/1", reads, writes, migrated)
+	}
+	d.ResetRound()
+	reads, writes, migrated = d.RoundLoad()
+	if reads != 0 || writes != 0 || migrated != 0 {
+		t.Fatal("ResetRound did not clear counters")
+	}
+}
+
+func TestDiskBlocks(t *testing.T) {
+	d := New(0, Cheetah73)
+	want := map[BlockID]bool{1: true, 5: true, 9: true}
+	for b := range want {
+		d.Store(b)
+	}
+	got := d.Blocks()
+	if len(got) != 3 {
+		t.Fatalf("Blocks() returned %d, want 3", len(got))
+	}
+	for _, b := range got {
+		if !want[b] {
+			t.Fatalf("unexpected block %d", b)
+		}
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(0, Cheetah73); err == nil {
+		t.Error("empty array accepted")
+	}
+	a, err := NewArray(4, Cheetah73)
+	if err != nil || a.N() != 4 {
+		t.Fatalf("array: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		d, err := a.Disk(i)
+		if err != nil || d.ID() != i {
+			t.Fatalf("disk %d: id=%v err=%v", i, d, err)
+		}
+	}
+	if _, err := a.Disk(4); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+	if _, err := a.Disk(-1); err == nil {
+		t.Error("negative disk accepted")
+	}
+}
+
+func TestArrayAdd(t *testing.T) {
+	a, _ := NewArray(2, Cheetah73)
+	added, err := a.Add(3, Barracuda180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 3 || a.N() != 5 {
+		t.Fatalf("added %d, N=%d", len(added), a.N())
+	}
+	// New disks get fresh stable IDs and the requested profile.
+	if added[0].ID() != 2 || added[2].ID() != 4 {
+		t.Fatalf("added IDs = %d..%d, want 2..4", added[0].ID(), added[2].ID())
+	}
+	if added[0].Profile().Name != Barracuda180.Name {
+		t.Fatal("added disk has wrong profile")
+	}
+	if _, err := a.Add(0, Cheetah73); err == nil {
+		t.Error("add of zero disks accepted")
+	}
+}
+
+func TestArrayRemove(t *testing.T) {
+	a, _ := NewArray(5, Cheetah73)
+	d3, _ := a.Disk(3)
+	d3.Store(77)
+	removed, err := a.Remove(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || a.N() != 3 {
+		t.Fatalf("removed %d, N=%d", len(removed), a.N())
+	}
+	// Removed disks keep their blocks for draining.
+	found := false
+	for _, d := range removed {
+		if d.Has(77) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("removed disk lost its blocks")
+	}
+	// Survivors compact in order: IDs 0, 2, 4.
+	wantIDs := []int{0, 2, 4}
+	for i, want := range wantIDs {
+		d, _ := a.Disk(i)
+		if d.ID() != want {
+			t.Fatalf("logical %d has ID %d, want %d", i, d.ID(), want)
+		}
+	}
+}
+
+func TestArrayRemoveValidation(t *testing.T) {
+	a, _ := NewArray(3, Cheetah73)
+	if _, err := a.Remove(); err == nil {
+		t.Error("empty removal accepted")
+	}
+	if _, err := a.Remove(0, 1, 2); err == nil {
+		t.Error("removing all disks accepted")
+	}
+	if _, err := a.Remove(5); err == nil {
+		t.Error("out-of-range removal accepted")
+	}
+	if _, err := a.Remove(1, 1); err == nil {
+		t.Error("duplicate removal accepted")
+	}
+	if a.N() != 3 {
+		t.Fatal("failed removals mutated the array")
+	}
+}
+
+func TestArrayLoadsAndTotal(t *testing.T) {
+	a, _ := NewArray(3, Cheetah73)
+	for i := 0; i < 3; i++ {
+		d, _ := a.Disk(i)
+		for b := 0; b <= i; b++ {
+			d.Store(BlockID(i*10 + b))
+		}
+	}
+	loads := a.Loads()
+	if loads[0] != 1 || loads[1] != 2 || loads[2] != 3 {
+		t.Fatalf("loads = %v, want [1 2 3]", loads)
+	}
+	if a.TotalBlocks() != 6 {
+		t.Fatalf("total = %d, want 6", a.TotalBlocks())
+	}
+	a.ResetRounds()
+	for i := 0; i < 3; i++ {
+		d, _ := a.Disk(i)
+		if r, w, m := d.RoundLoad(); r != 0 || w != 0 || m != 0 {
+			t.Fatal("ResetRounds did not clear counters")
+		}
+	}
+}

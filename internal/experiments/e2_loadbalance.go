@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/scaddar"
+	"scaddar/internal/stats"
+)
+
+// E2Config parameterizes the Section 5 load-balance experiment.
+type E2Config struct {
+	// N0 is the initial disk count.
+	N0 int
+	// Ops is the number of successive single-disk additions to perform.
+	Ops int
+	// Objects and BlocksPer size the library; the paper uses 20 objects.
+	Objects, BlocksPer int
+	// Bits is the generator width; the paper's Section 5 uses 32.
+	Bits uint
+	// Eps is the unfairness tolerance; the paper uses ~5%.
+	Eps float64
+}
+
+// DefaultE2 matches the Section 5 protocol: 20 objects, b=32, ε≈5%,
+// single-disk additions starting from 4 disks so the average array size
+// across the run is the paper's N̄≈8. With these numbers the exact Lemma 4.3
+// precondition fails after the 8th operation — the paper's "after eight
+// scaling operations ... redistribution of all blocks is recommended".
+func DefaultE2() E2Config {
+	return E2Config{N0: 4, Ops: 10, Objects: 20, BlocksPer: 1000, Bits: 32, Eps: 0.05}
+}
+
+// E2Point is the measurement after one scaling operation.
+type E2Point struct {
+	// OpIndex is j (1-based); 0 is the initial state.
+	OpIndex int
+	// Disks is N_j.
+	Disks int
+	// CoV maps strategy name to the coefficient of variation of per-disk
+	// block counts.
+	CoV map[string]float64
+	// WithinBudget reports whether the exact Lemma 4.3 precondition still
+	// holds for SCADDAR at this point.
+	WithinBudget bool
+	// GuaranteedUnfairness is the analytical bound at this point.
+	GuaranteedUnfairness float64
+}
+
+// E2Result is the full CoV-vs-operations series.
+type E2Result struct {
+	Config E2Config
+	Points []E2Point
+	// BudgetExhaustedAt is the first operation index where the Lemma 4.3
+	// precondition fails (0 if never).
+	BudgetExhaustedAt int
+	// Rebaselines counts the complete redistributions the lifecycle series
+	// ("scaddar+redist") performed.
+	Rebaselines int
+}
+
+// RunE2 regenerates the Section 5 experiment (whose figures the paper
+// omitted): the coefficient of variation of blocks per disk after each
+// scaling operation, for SCADDAR, the naive scheme, and complete
+// redistribution, with the Section 4.3 budget tracked alongside.
+func RunE2(cfg E2Config) (*E2Result, error) {
+	blocks := BlockUniverse(cfg.Objects, cfg.BlocksPer)
+	x0 := X0FuncBits(cfg.Bits)
+
+	sc, err := placement.NewScaddar(cfg.N0, x0)
+	if err != nil {
+		return nil, err
+	}
+	nv, err := placement.NewNaive(cfg.N0, x0)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := placement.NewReshuffle(cfg.N0, x0)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's full lifecycle: SCADDAR plus the recommended complete
+	// redistribution whenever the next operation would break the budget.
+	rb, err := placement.NewScaddar(cfg.N0, x0)
+	if err != nil {
+		return nil, err
+	}
+	if err := rb.SetBits(cfg.Bits); err != nil {
+		return nil, err
+	}
+	strategies := []placement.Strategy{sc, nv, rs, rb}
+
+	budget, err := scaddar.NewBudget(cfg.Bits, cfg.N0)
+	if err != nil {
+		return nil, err
+	}
+	rbBudget, err := scaddar.NewBudget(cfg.Bits, cfg.N0)
+	if err != nil {
+		return nil, err
+	}
+
+	labels := []string{"scaddar", "naive", "reshuffle", "scaddar+redist"}
+
+	res := &E2Result{Config: cfg}
+	measure := func(op int) {
+		p := E2Point{
+			OpIndex:              op,
+			Disks:                sc.N(),
+			CoV:                  make(map[string]float64),
+			WithinBudget:         budget.WithinTolerance(cfg.Eps),
+			GuaranteedUnfairness: budget.GuaranteedUnfairness(),
+		}
+		for i, s := range strategies {
+			p.CoV[labels[i]] = stats.CoVInts(placement.LoadVector(s, blocks))
+		}
+		res.Points = append(res.Points, p)
+		if !p.WithinBudget && res.BudgetExhaustedAt == 0 {
+			res.BudgetExhaustedAt = op
+		}
+	}
+
+	measure(0)
+	for op := 1; op <= cfg.Ops; op++ {
+		// The lifecycle strategy redistributes *before* the operation that
+		// would break its budget, exactly as Section 4.3 prescribes.
+		if !rbBudget.NextWithinTolerance(rb.N()+1, cfg.Eps) {
+			if err := rb.Rebaseline(); err != nil {
+				return nil, err
+			}
+			if err := rbBudget.Reset(rb.N()); err != nil {
+				return nil, err
+			}
+			res.Rebaselines++
+		}
+		for _, s := range strategies {
+			if err := s.AddDisks(1); err != nil {
+				return nil, err
+			}
+		}
+		if err := budget.Record(sc.N()); err != nil {
+			return nil, err
+		}
+		if err := rbBudget.Record(rb.N()); err != nil {
+			return nil, err
+		}
+		measure(op)
+	}
+	return res, nil
+}
+
+// Table renders the CoV series.
+func (r *E2Result) Table() *Table {
+	t := &Table{
+		ID: "E2",
+		Caption: fmt.Sprintf("Section 5 — CoV of blocks/disk vs. scaling operations (%d objects, b=%d, ε=%g)",
+			r.Config.Objects, r.Config.Bits, r.Config.Eps),
+		Header: []string{"op", "disks", "scaddar", "naive", "reshuffle", "scaddar+redist", "bound f", "within ε"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			d(p.OpIndex), d(p.Disks),
+			f4(p.CoV["scaddar"]), f4(p.CoV["naive"]), f4(p.CoV["reshuffle"]), f4(p.CoV["scaddar+redist"]),
+			f4(p.GuaranteedUnfairness),
+			fmt.Sprintf("%v", p.WithinBudget),
+		})
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"scaddar/internal/scaddar"
+)
+
+// E4Row is one (b, ε, N̄) configuration with the rule-of-thumb and exact
+// maximum operation counts.
+type E4Row struct {
+	Bits     uint
+	Eps      float64
+	AvgDisks int
+	// RuleOfThumb is the paper's closed-form estimate.
+	RuleOfThumb int
+	// Exact is the simulation of the Lemma 4.3 precondition for a
+	// constant-size array of AvgDisks disks.
+	Exact int
+}
+
+// E4Result is the Section 4.3 table.
+type E4Result struct {
+	Rows []E4Row
+}
+
+// RunE4 reproduces and extends the Section 4.3 worked examples: the number
+// of scaling operations supportable before the randomness budget forces a
+// full redistribution, for a grid of generator widths, tolerances, and
+// average array sizes. The paper's own rows are (64, 1%, 16) → 13 and
+// (32, 5%, 8) → 8.
+func RunE4() (*E4Result, error) {
+	type cfg struct {
+		bits uint
+		eps  float64
+		n    int
+	}
+	grid := []cfg{
+		{64, 0.01, 16}, // the paper's Section 4.3 worked example
+		{32, 0.05, 8},  // the paper's Section 5 setting
+		{32, 0.01, 8},
+		{32, 0.05, 16},
+		{32, 0.01, 16},
+		{48, 0.01, 16},
+		{64, 0.05, 8},
+		{64, 0.01, 8},
+		{64, 0.01, 64},
+		{64, 0.001, 16},
+	}
+	res := &E4Result{}
+	for _, c := range grid {
+		exact, err := scaddar.MaxOpsExact(c.bits, c.n, c.eps, func(int) int { return c.n }, 200)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, E4Row{
+			Bits:        c.bits,
+			Eps:         c.eps,
+			AvgDisks:    c.n,
+			RuleOfThumb: scaddar.RuleOfThumb(c.bits, c.eps, float64(c.n)),
+			Exact:       exact,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the bound table.
+func (r *E4Result) Table() *Table {
+	t := &Table{
+		ID:      "E4",
+		Caption: "Section 4.3 — max scaling operations k before full redistribution",
+		Header:  []string{"bits", "ε", "N̄", "rule-of-thumb k", "exact k"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			d(int(row.Bits)),
+			f4(row.Eps),
+			d(row.AvgDisks),
+			d(row.RuleOfThumb),
+			d(row.Exact),
+		})
+	}
+	return t
+}

@@ -1,0 +1,128 @@
+// Package experiments implements the reproduction of every table and figure
+// in the SCADDAR paper's evaluation, plus the quantitative claims its
+// analysis sections make. Each experiment is a pure function from a
+// configuration to a structured result; cmd/benchtables renders the results
+// as tables and the root bench_test.go wraps them as Go benchmarks.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	E1  Figure 1 — naive-approach skew after two single-disk additions
+//	E2  Section 5 — CoV of per-disk load vs. number of scaling operations
+//	E3  RO1 — block-movement fractions vs. the optimal z_j, per strategy
+//	E4  Section 4.3 — rule-of-thumb vs. exact max operations table
+//	E5  AO1 — access-function cost vs. number of operations
+//	E6  Lemmas 4.2/4.3 — empirical unfairness vs. the analytical bound
+//	E7  online reorganization under live streams (Section 1/6 motivation)
+//	E8  Section 6 — offset mirroring: availability under disk failures
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// BlockUniverse builds the standard experiment block population: nobj
+// objects of blocksPer blocks each, with deterministic seeds.
+func BlockUniverse(nobj, blocksPer int) []placement.BlockRef {
+	blocks := make([]placement.BlockRef, 0, nobj*blocksPer)
+	for o := 0; o < nobj; o++ {
+		for i := 0; i < blocksPer; i++ {
+			blocks = append(blocks, placement.BlockRef{Seed: uint64(o)*0x10001 + 11, Index: uint64(i)})
+		}
+	}
+	return blocks
+}
+
+// X0FuncBits returns a block-randomness source of the given generator width
+// built on SplitMix64 (truncated as needed), the experiments' default.
+func X0FuncBits(bits uint) placement.X0Func {
+	return placement.NewX0Func(func(seed uint64) prng.Source {
+		return prng.Truncate(prng.NewSplitMix64(seed), bits)
+	})
+}
+
+// Table is a rendered experiment result: a caption, a header row, and data
+// rows, ready for text output.
+type Table struct {
+	ID      string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderCSV formats the table as RFC-4180 CSV, with the experiment ID
+// prefixed to every row so multiple tables concatenate into one file.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString(csvEscape(t.ID))
+		for _, cell := range cells {
+			b.WriteByte(',')
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// csvEscape quotes a cell when it contains CSV metacharacters.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// f3 formats a float with three decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// f4 formats a float with four decimals.
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// d formats an int.
+func d(x int) string { return fmt.Sprintf("%d", x) }

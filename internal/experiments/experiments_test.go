@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1ReproducesFigure1Skew(t *testing.T) {
+	res, err := RunE1(DefaultE1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive second addition must ignore some disks (Figure 1: 0 and 2)…
+	if len(res.IgnoredDisks["naive"]) == 0 {
+		t.Fatalf("naive ignored no disks: %v", res.Sources["naive"])
+	}
+	// …while SCADDAR draws movers from every disk.
+	if len(res.IgnoredDisks["scaddar"]) != 0 {
+		t.Fatalf("scaddar ignored disks %v", res.IgnoredDisks["scaddar"])
+	}
+	// With N0=4 and two 1-disk adds, the naive movers have X0 ≡ 5 (mod 6);
+	// specifically disks 0 and 2 contribute nothing.
+	src := res.Sources["naive"]
+	if src[0] != 0 || src[2] != 0 {
+		t.Fatalf("naive sources = %v, want disks 0 and 2 empty", src)
+	}
+	if src[1] == 0 || src[3] == 0 || src[4] == 0 {
+		t.Fatalf("naive sources = %v, want disks 1, 3, 4 non-empty", src)
+	}
+	tbl := res.Table().Render()
+	if !strings.Contains(tbl, "naive") || !strings.Contains(tbl, "scaddar") {
+		t.Fatal("table rendering incomplete")
+	}
+}
+
+func TestE1RejectsSingleAdd(t *testing.T) {
+	cfg := DefaultE1()
+	cfg.Adds = 1
+	if _, err := RunE1(cfg); err == nil {
+		t.Fatal("single-add E1 accepted")
+	}
+}
+
+func TestE2MatchesSection5(t *testing.T) {
+	res, err := RunE2(DefaultE2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 11 {
+		t.Fatalf("points = %d, want 11", len(res.Points))
+	}
+	// The paper's protocol: with b=32, ε≈5%, N̄≈8 the budget is exhausted
+	// right after the 8th operation (exact Lemma 4.3 check: 9th op fails).
+	if res.BudgetExhaustedAt != 9 {
+		t.Fatalf("budget exhausted at op %d, want 9 (i.e. 8 ops supported)", res.BudgetExhaustedAt)
+	}
+	// SCADDAR stays load balanced throughout the supported window: CoV
+	// within 3x of the ideal reshuffle curve while within budget.
+	for _, p := range res.Points {
+		if p.OpIndex == 0 || !p.WithinBudget {
+			continue
+		}
+		if p.CoV["scaddar"] > 3*p.CoV["reshuffle"]+0.05 {
+			t.Errorf("op %d: scaddar CoV %.4f vs reshuffle %.4f", p.OpIndex, p.CoV["scaddar"], p.CoV["reshuffle"])
+		}
+	}
+	// The paper: the SCADDAR curve grows faster than the full-redistribution
+	// curve. Compare the final supported point against the start.
+	last := res.Points[8]
+	first := res.Points[1]
+	growthSc := last.CoV["scaddar"] - first.CoV["scaddar"]
+	growthRs := last.CoV["reshuffle"] - first.CoV["reshuffle"]
+	if growthSc < growthRs-0.01 {
+		t.Errorf("scaddar CoV growth %.4f not above reshuffle growth %.4f", growthSc, growthRs)
+	}
+	// The recommended lifecycle (rebaseline before the budget breaks) keeps
+	// the balance healthy through the whole run, unlike plain SCADDAR whose
+	// CoV degrades once past the budget.
+	if res.Rebaselines == 0 {
+		t.Error("lifecycle series never rebaselined in a budget-exceeding run")
+	}
+	final := res.Points[len(res.Points)-1]
+	if final.CoV["scaddar+redist"] > 0.1 {
+		t.Errorf("lifecycle CoV %.4f at the end of the run", final.CoV["scaddar+redist"])
+	}
+	if final.CoV["scaddar"] < 2*final.CoV["scaddar+redist"] {
+		t.Errorf("past-budget scaddar CoV %.4f not clearly worse than lifecycle %.4f",
+			final.CoV["scaddar"], final.CoV["scaddar+redist"])
+	}
+}
+
+func TestE3MovementShape(t *testing.T) {
+	res, err := RunE3(DefaultE3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(DefaultE3Schedule())*7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Strategy == "jump" && row.Fraction < 0 {
+			continue // arbitrary removals: structurally unsupported
+		}
+		switch row.Strategy {
+		case "scaddar", "naive", "directory", "jump":
+			if row.Fraction < row.Optimal-0.03 || row.Fraction > row.Optimal+0.03 {
+				t.Errorf("%s %s: fraction %.3f, optimal %.3f", row.Op, row.Strategy, row.Fraction, row.Optimal)
+			}
+		case "consistent":
+			if row.Fraction > row.Optimal+0.12 {
+				t.Errorf("%s consistent: fraction %.3f far above optimal %.3f", row.Op, row.Fraction, row.Optimal)
+			}
+		case "reshuffle", "roundrobin":
+			if row.Fraction < 2*row.Optimal {
+				t.Errorf("%s %s: fraction %.3f suspiciously low (optimal %.3f)", row.Op, row.Strategy, row.Fraction, row.Optimal)
+			}
+		}
+	}
+}
+
+func TestE4PaperRows(t *testing.T) {
+	res, err := RunE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found64, found32 := false, false
+	for _, row := range res.Rows {
+		if row.Bits == 64 && row.Eps == 0.01 && row.AvgDisks == 16 {
+			found64 = true
+			if row.RuleOfThumb != 13 {
+				t.Errorf("(64,1%%,16) rule of thumb = %d, want 13", row.RuleOfThumb)
+			}
+			if row.Exact < 12 || row.Exact > 14 {
+				t.Errorf("(64,1%%,16) exact = %d, want ~13", row.Exact)
+			}
+		}
+		if row.Bits == 32 && row.Eps == 0.05 && row.AvgDisks == 8 {
+			found32 = true
+			if row.RuleOfThumb != 8 {
+				t.Errorf("(32,5%%,8) rule of thumb = %d, want 8", row.RuleOfThumb)
+			}
+		}
+		// Monotonicity sanity: more bits can never hurt.
+	}
+	if !found64 || !found32 {
+		t.Fatal("paper rows missing from the grid")
+	}
+}
+
+func TestE5AccessCost(t *testing.T) {
+	cfg := DefaultE5()
+	cfg.Lookups = 20000 // keep the unit test fast
+	res, err := RunE5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.OpCounts) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The chain cost must grow with j but stay cheap in absolute terms
+	// (well under a microsecond even at j=32).
+	last := res.Rows[len(res.Rows)-1]
+	if last.ScaddarNs > 5000 {
+		t.Errorf("j=%d lookup costs %.0f ns; AO1 violated", last.Ops, last.ScaddarNs)
+	}
+	if res.Rows[0].ScaddarNs > last.ScaddarNs+500 {
+		t.Errorf("cost at j=0 (%.0f ns) exceeds cost at j=%d (%.0f ns)",
+			res.Rows[0].ScaddarNs, last.Ops, last.ScaddarNs)
+	}
+}
+
+func TestE5Validation(t *testing.T) {
+	if _, err := RunE5(E5Config{OpCounts: []int{1}, Lookups: 0}); err == nil {
+		t.Fatal("zero lookups accepted")
+	}
+}
+
+func TestE6BoundDominatesEmpirical(t *testing.T) {
+	cfg := DefaultE6()
+	cfg.Blocks = 1 << 17 // faster in unit tests
+	res, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling noise on max/min-1 with ~Blocks/N per disk: generous slack.
+	for _, row := range res.Rows {
+		if row.Bound > 10 {
+			continue // bound collapsed; nothing to check
+		}
+		noise := 0.12
+		if row.Empirical > row.Bound+noise {
+			t.Errorf("op %d: empirical %.4f exceeds bound %.4f (+noise)", row.Ops, row.Empirical, row.Bound)
+		}
+	}
+	// The bound grows monotonically with operations.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Bound < res.Rows[i-1].Bound {
+			t.Errorf("bound decreased at op %d", res.Rows[i].Ops)
+		}
+	}
+}
+
+func TestE7OnlineReorgNoHiccups(t *testing.T) {
+	cfg := DefaultE7()
+	cfg.Objects = 10
+	cfg.BlocksPer = 300 // keep the unit test fast
+	res, err := RunE7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Hiccups != 0 {
+			t.Errorf("load %.2f: %d hiccups during online reorganization", row.LoadFraction, row.Hiccups)
+		}
+		if row.Rounds < 1 {
+			t.Errorf("load %.2f: migration took %d rounds", row.LoadFraction, row.Rounds)
+		}
+	}
+	// Higher load leaves less spare bandwidth: drains take at least as many
+	// rounds as the idle drain.
+	if res.Rows[2].Rounds < res.Rows[0].Rounds {
+		t.Errorf("loaded drain (%d rounds) faster than idle drain (%d rounds)",
+			res.Rows[2].Rounds, res.Rows[0].Rounds)
+	}
+}
+
+func TestE8FaultToleranceSurvival(t *testing.T) {
+	res, err := RunE8(DefaultE8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MirrorOverhead != 2 {
+		t.Fatalf("mirror overhead = %g", res.MirrorOverhead)
+	}
+	// Hybrid parity must actually save storage over mirroring.
+	if res.ParityOverhead >= 2 || res.ParityOverhead < 1.25 {
+		t.Fatalf("parity overhead = %.3f, want in [1.25, 2)", res.ParityOverhead)
+	}
+	lostSomewhere := false
+	for _, row := range res.Rows {
+		// Both schemes guarantee zero loss for any single-disk failure.
+		if strings.HasPrefix(row.Failed, "disk ") {
+			if row.Lost != 0 {
+				t.Errorf("%s %s: lost %d blocks", row.Scheme, row.Failed, row.Lost)
+			}
+			if row.Readable != row.Blocks {
+				t.Errorf("%s %s: %d/%d readable", row.Scheme, row.Failed, row.Readable, row.Blocks)
+			}
+		}
+		// Mirroring also survives non-partner double failures.
+		if row.Scheme == "mirror" && strings.Contains(row.Failed, "non-partners") && row.Lost != 0 {
+			t.Errorf("mirror %s: lost %d blocks", row.Failed, row.Lost)
+		}
+		if strings.Contains(row.Failed, "offset partners") && row.Lost > 0 {
+			lostSomewhere = true
+		}
+	}
+	if !lostSomewhere {
+		t.Fatal("offset-partner double failure lost nothing; drill is miswired")
+	}
+}
+
+func TestE9StorageAdvantage(t *testing.T) {
+	res, err := RunE9(DefaultE9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(DefaultE9().Libraries) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	prev := 0.0
+	for _, row := range res.Rows {
+		if row.ScaddarBytes >= row.DirectoryBytes {
+			t.Errorf("%dx%d: scaddar %d bytes not below directory %d",
+				row.Objects, row.BlocksPer, row.ScaddarBytes, row.DirectoryBytes)
+		}
+		// SCADDAR metadata is dominated by seeds (8 B/object), so the
+		// advantage grows with blocks per object.
+		if row.Ratio <= prev && row.BlocksPer > 1000 {
+			t.Errorf("ratio not growing: %.0f after %.0f", row.Ratio, prev)
+		}
+		prev = row.Ratio
+	}
+	// The paper-scale row (thousands of objects, tens of thousands of
+	// blocks): the directory is thousands of times larger.
+	big := res.Rows[2]
+	if big.Ratio < 1000 {
+		t.Errorf("paper-scale ratio %.0f, want >= 1000", big.Ratio)
+	}
+}
+
+func TestE9Validation(t *testing.T) {
+	if _, err := RunE9(E9Config{Ops: 0}); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+}
+
+func TestE10SchedulingBudgets(t *testing.T) {
+	cfg := DefaultE10()
+	cfg.Trials = 10 // keep the unit test fast
+	res, err := RunE10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := map[string]int{}
+	for _, row := range res.Rows {
+		budgets[row.Policy] = row.Budget
+	}
+	// The fixed average-seek model must be conservative relative to a real
+	// elevator schedule, and FCFS must not beat SCAN.
+	if budgets["scan"] <= res.FixedModel {
+		t.Errorf("SCAN budget %d not above fixed model %d", budgets["scan"], res.FixedModel)
+	}
+	if budgets["fcfs"] > budgets["scan"] {
+		t.Errorf("FCFS budget %d above SCAN %d", budgets["fcfs"], budgets["scan"])
+	}
+	if budgets["cscan"] <= res.FixedModel {
+		t.Errorf("CSCAN budget %d not above fixed model %d", budgets["cscan"], res.FixedModel)
+	}
+}
+
+func TestE11LogicalMappingWins(t *testing.T) {
+	cfg := DefaultE11()
+	cfg.Rounds = 10 // keep the unit test fast
+	res, err := RunE11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	mixed, mapped := res.Rows[0], res.Rows[1]
+	if mixed.Config == "logical mapping" {
+		mixed, mapped = mapped, mixed
+	}
+	// The logical mapping must admit strictly more streams from the same
+	// hardware (the new disks' extra bandwidth is otherwise stranded).
+	if mapped.AdmittedStreams <= mixed.AdmittedStreams {
+		t.Errorf("mapping admits %d, mixed admits %d", mapped.AdmittedStreams, mixed.AdmittedStreams)
+	}
+	if mapped.UtilizationPct <= mixed.UtilizationPct {
+		t.Errorf("mapping utilization %.0f%% not above mixed %.0f%%", mapped.UtilizationPct, mixed.UtilizationPct)
+	}
+	// Both stay hiccup-free under statistical admission.
+	if mixed.Hiccups != 0 || mapped.Hiccups != 0 {
+		t.Errorf("hiccups: mixed %d, mapped %d", mixed.Hiccups, mapped.Hiccups)
+	}
+	// Logical disk counts: 8 physical vs 6 + 2*2 logical.
+	if mixed.LogicalDisks != 8 || mapped.LogicalDisks != 10 {
+		t.Errorf("logical disks: mixed %d, mapped %d", mixed.LogicalDisks, mapped.LogicalDisks)
+	}
+}
+
+func TestE12GeneratorQuality(t *testing.T) {
+	res, err := RunE12(DefaultE12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]E12Row{}
+	for _, row := range res.Rows {
+		rows[row.Generator] = row
+	}
+	// Quality generators look like random samples: p-values away from both
+	// 0 (skew) and 1 (lattice), CoV near multinomial noise.
+	for _, name := range []string{"splitmix64", "xorshift64star", "pcg32"} {
+		row := rows[name]
+		if row.ChiP0 < 0.01 || row.ChiP0 > 0.999 {
+			t.Errorf("%s initial p = %g", name, row.ChiP0)
+		}
+		if row.CoV0 > 0.05 {
+			t.Errorf("%s initial CoV = %g", name, row.CoV0)
+		}
+	}
+	// The LCG's low bits cycle with period N on a power-of-two modulus:
+	// the initial placement is PERFECTLY uniform (CoV ~ 0, p ~ 1) — the
+	// lattice signature, not randomness. Consecutive blocks would march
+	// round-robin across disks, defeating the statistical independence the
+	// admission analysis needs.
+	for _, name := range []string{"lcg64", "lcg64-low"} {
+		row := rows[name]
+		if row.CoV0 > 0.001 {
+			t.Errorf("%s initial CoV = %g, expected the degenerate lattice ~0", name, row.CoV0)
+		}
+		if row.ChiP0 < 0.999 {
+			t.Errorf("%s initial p = %g, expected ~1 (over-uniform)", name, row.ChiP0)
+		}
+	}
+}
+
+func TestE13CacheSweep(t *testing.T) {
+	cfg := DefaultE13()
+	cfg.Rounds = 80 // keep the unit test fast
+	res, err := RunE13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.CacheSizes) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Hit rate grows monotonically with cache size; disk reads shrink.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].HitRate < res.Rows[i-1].HitRate {
+			t.Errorf("hit rate fell from %.3f to %.3f at %d blocks",
+				res.Rows[i-1].HitRate, res.Rows[i].HitRate, res.Rows[i].CacheBlocks)
+		}
+		if res.Rows[i].DiskReads > res.Rows[i-1].DiskReads {
+			t.Errorf("disk reads grew from %d to %d at %d blocks",
+				res.Rows[i-1].DiskReads, res.Rows[i].DiskReads, res.Rows[i].CacheBlocks)
+		}
+	}
+	// No cache: zero hits. Largest cache: the majority of reads hit.
+	if res.Rows[0].HitRate != 0 {
+		t.Errorf("cacheless hit rate %.3f", res.Rows[0].HitRate)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.HitRate < 0.5 {
+		t.Errorf("largest cache hit rate %.3f, want > 0.5", last.HitRate)
+	}
+	// Accounting: disk reads + hits == blocks served.
+	for _, row := range res.Rows {
+		if got := row.DiskReads + int(row.HitRate*float64(row.BlocksServed)+0.5); got < row.BlocksServed*99/100 || got > row.BlocksServed*101/100 {
+			t.Errorf("cache %d: reads %d + hits ≈ %d != served %d",
+				row.CacheBlocks, row.DiskReads, got-row.DiskReads, row.BlocksServed)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Caption: "caption",
+		Header:  []string{"a", "long-header"},
+		Rows:    [][]string{{"xxxxx", "1"}},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== T: caption ==", "long-header", "xxxxx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBlockUniverseDeterministic(t *testing.T) {
+	a := BlockUniverse(3, 5)
+	b := BlockUniverse(3, 5)
+	if len(a) != 15 {
+		t.Fatalf("universe size %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("universe not deterministic")
+		}
+	}
+}

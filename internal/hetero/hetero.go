@@ -1,0 +1,172 @@
+// Package hetero implements the heterogeneous-disk extension of the paper's
+// Section 6: "By applying previous work of mapping homogeneous logical disks
+// to heterogeneous physical disks [Zimmermann & Ghandeharizadeh 1997],
+// SCADDAR may naturally evolve to allow block redistribution on
+// heterogeneous physical disks."
+//
+// The idea: carve every physical disk into some number of identical logical
+// disks sized to the weakest disk's bandwidth and capacity. SCADDAR (or any
+// placement strategy) runs over the logical disks, blind to heterogeneity;
+// this package supplies the logical→physical mapping and checks that the
+// resulting physical load is proportional to each disk's share of logical
+// disks.
+package hetero
+
+import (
+	"fmt"
+
+	"scaddar/internal/disk"
+)
+
+// Physical describes one heterogeneous physical disk.
+type Physical struct {
+	// ID is the disk's stable identity.
+	ID int
+	// Profile is the disk's performance/capacity profile.
+	Profile disk.Profile
+}
+
+// Mapping assigns contiguous ranges of logical disk indices to physical
+// disks, in proportion to each disk's resources.
+type Mapping struct {
+	physicals []Physical
+	counts    []int // logical disks carved from each physical
+	physOf    []int // logical index -> position in physicals
+	firstOf   []int // position in physicals -> first logical index
+}
+
+// unitsFor returns how many logical disks a profile supports given the unit
+// (weakest-disk) bandwidth and capacity: the binding constraint is the
+// smaller of the bandwidth and capacity ratios.
+func unitsFor(p disk.Profile, unitBW, unitCap int64) int {
+	if unitBW <= 0 || unitCap <= 0 {
+		return 0
+	}
+	byBW := p.TransferBytesPerSec / unitBW
+	byCap := p.CapacityBytes / unitCap
+	n := byBW
+	if byCap < n {
+		n = byCap
+	}
+	return int(n)
+}
+
+// NewMapping builds a logical→physical mapping over the given disks. The
+// logical-disk unit is the weakest disk's bandwidth and capacity, so the
+// weakest disk hosts exactly one logical disk and a disk with twice its
+// bandwidth and capacity hosts two.
+func NewMapping(physicals []Physical) (*Mapping, error) {
+	if len(physicals) == 0 {
+		return nil, fmt.Errorf("hetero: mapping needs at least one physical disk")
+	}
+	unitBW := physicals[0].Profile.TransferBytesPerSec
+	unitCap := physicals[0].Profile.CapacityBytes
+	for _, p := range physicals {
+		if p.Profile.TransferBytesPerSec <= 0 || p.Profile.CapacityBytes <= 0 {
+			return nil, fmt.Errorf("hetero: disk %d has non-positive resources", p.ID)
+		}
+		if p.Profile.TransferBytesPerSec < unitBW {
+			unitBW = p.Profile.TransferBytesPerSec
+		}
+		if p.Profile.CapacityBytes < unitCap {
+			unitCap = p.Profile.CapacityBytes
+		}
+	}
+	m := &Mapping{physicals: append([]Physical(nil), physicals...)}
+	for i, p := range m.physicals {
+		n := unitsFor(p.Profile, unitBW, unitCap)
+		if n < 1 {
+			return nil, fmt.Errorf("hetero: disk %d cannot host a single logical disk", p.ID)
+		}
+		m.counts = append(m.counts, n)
+		m.firstOf = append(m.firstOf, len(m.physOf))
+		for k := 0; k < n; k++ {
+			m.physOf = append(m.physOf, i)
+		}
+	}
+	return m, nil
+}
+
+// Logicals returns the total number of logical disks — the N the placement
+// strategy should be constructed with.
+func (m *Mapping) Logicals() int { return len(m.physOf) }
+
+// Physicals returns the number of physical disks.
+func (m *Mapping) Physicals() int { return len(m.physicals) }
+
+// Physical resolves a logical disk index to its physical disk.
+func (m *Mapping) Physical(logical int) (Physical, error) {
+	if logical < 0 || logical >= len(m.physOf) {
+		return Physical{}, fmt.Errorf("hetero: logical disk %d outside [0,%d)", logical, len(m.physOf))
+	}
+	return m.physicals[m.physOf[logical]], nil
+}
+
+// LogicalsOf returns the logical disk indices carved from the physical disk
+// at the given position.
+func (m *Mapping) LogicalsOf(position int) ([]int, error) {
+	if position < 0 || position >= len(m.physicals) {
+		return nil, fmt.Errorf("hetero: physical position %d outside [0,%d)", position, len(m.physicals))
+	}
+	first := m.firstOf[position]
+	out := make([]int, m.counts[position])
+	for k := range out {
+		out[k] = first + k
+	}
+	return out, nil
+}
+
+// Share returns the fraction of all logical disks hosted by the physical
+// disk at the given position — the expected fraction of blocks (and of
+// retrieval load) it carries under a balanced logical placement.
+func (m *Mapping) Share(position int) (float64, error) {
+	if position < 0 || position >= len(m.physicals) {
+		return 0, fmt.Errorf("hetero: physical position %d outside [0,%d)", position, len(m.physicals))
+	}
+	return float64(m.counts[position]) / float64(len(m.physOf)), nil
+}
+
+// PhysicalLoads folds a per-logical-disk load vector into per-physical
+// loads. The vector length must equal Logicals().
+func (m *Mapping) PhysicalLoads(logicalLoads []int) ([]int, error) {
+	if len(logicalLoads) != len(m.physOf) {
+		return nil, fmt.Errorf("hetero: load vector has %d entries, mapping has %d logical disks",
+			len(logicalLoads), len(m.physOf))
+	}
+	out := make([]int, len(m.physicals))
+	for logical, load := range logicalLoads {
+		out[m.physOf[logical]] += load
+	}
+	return out, nil
+}
+
+// ProportionalityError measures how far the physical load distribution is
+// from each disk's resource share: the maximum over disks of
+// |observedShare - expectedShare| / expectedShare. Zero means perfectly
+// proportional.
+func (m *Mapping) ProportionalityError(logicalLoads []int) (float64, error) {
+	phys, err := m.PhysicalLoads(logicalLoads)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, l := range phys {
+		total += l
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("hetero: empty load vector")
+	}
+	worst := 0.0
+	for i, l := range phys {
+		expected := float64(m.counts[i]) / float64(len(m.physOf))
+		observed := float64(l) / float64(total)
+		err := observed/expected - 1
+		if err < 0 {
+			err = -err
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,199 @@
+package hetero
+
+import (
+	"testing"
+
+	"scaddar/internal/disk"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// profiles with clean 1:2:4 resource ratios for exact expectations.
+func unitProfile(mult int64) disk.Profile {
+	return disk.Profile{
+		Name:                "synthetic",
+		CapacityBytes:       mult * (10 << 30),
+		AvgSeek:             5000000,
+		RPM:                 10000,
+		TransferBytesPerSec: mult * (20 << 20),
+	}
+}
+
+func TestNewMappingValidation(t *testing.T) {
+	if _, err := NewMapping(nil); err == nil {
+		t.Error("empty mapping accepted")
+	}
+	bad := []Physical{{ID: 0, Profile: disk.Profile{}}}
+	if _, err := NewMapping(bad); err == nil {
+		t.Error("zero-resource disk accepted")
+	}
+}
+
+func TestMappingCounts(t *testing.T) {
+	phys := []Physical{
+		{ID: 0, Profile: unitProfile(1)},
+		{ID: 1, Profile: unitProfile(2)},
+		{ID: 2, Profile: unitProfile(4)},
+	}
+	m, err := NewMapping(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Logicals() != 7 {
+		t.Fatalf("logicals = %d, want 7 (1+2+4)", m.Logicals())
+	}
+	if m.Physicals() != 3 {
+		t.Fatalf("physicals = %d, want 3", m.Physicals())
+	}
+	// Logical 0 -> disk 0; logicals 1,2 -> disk 1; logicals 3..6 -> disk 2.
+	wantPhys := []int{0, 1, 1, 2, 2, 2, 2}
+	for l, want := range wantPhys {
+		p, err := m.Physical(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID != want {
+			t.Fatalf("logical %d -> disk %d, want %d", l, p.ID, want)
+		}
+	}
+	if _, err := m.Physical(7); err == nil {
+		t.Error("out-of-range logical accepted")
+	}
+	if _, err := m.Physical(-1); err == nil {
+		t.Error("negative logical accepted")
+	}
+}
+
+func TestLogicalsOf(t *testing.T) {
+	m, err := NewMapping([]Physical{
+		{ID: 0, Profile: unitProfile(2)},
+		{ID: 1, Profile: unitProfile(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := m.LogicalsOf(0)
+	if err != nil || len(ls) != 2 || ls[0] != 0 || ls[1] != 1 {
+		t.Fatalf("LogicalsOf(0) = %v, %v", ls, err)
+	}
+	ls, err = m.LogicalsOf(1)
+	if err != nil || len(ls) != 1 || ls[0] != 2 {
+		t.Fatalf("LogicalsOf(1) = %v, %v", ls, err)
+	}
+	if _, err := m.LogicalsOf(2); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+}
+
+func TestShare(t *testing.T) {
+	m, err := NewMapping([]Physical{
+		{ID: 0, Profile: unitProfile(1)},
+		{ID: 1, Profile: unitProfile(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := m.Share(0)
+	if err != nil || s0 != 0.25 {
+		t.Fatalf("Share(0) = %g, want 0.25", s0)
+	}
+	s1, err := m.Share(1)
+	if err != nil || s1 != 0.75 {
+		t.Fatalf("Share(1) = %g, want 0.75", s1)
+	}
+	if _, err := m.Share(5); err == nil {
+		t.Error("out-of-range share accepted")
+	}
+}
+
+func TestPhysicalLoads(t *testing.T) {
+	m, err := NewMapping([]Physical{
+		{ID: 0, Profile: unitProfile(1)},
+		{ID: 1, Profile: unitProfile(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := m.PhysicalLoads([]int{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[0] != 10 || loads[1] != 50 {
+		t.Fatalf("physical loads = %v, want [10 50]", loads)
+	}
+	if _, err := m.PhysicalLoads([]int{1, 2}); err == nil {
+		t.Error("short load vector accepted")
+	}
+}
+
+func TestProportionalityError(t *testing.T) {
+	m, err := NewMapping([]Physical{
+		{ID: 0, Profile: unitProfile(1)},
+		{ID: 1, Profile: unitProfile(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect, err := m.ProportionalityError([]int{100, 100})
+	if err != nil || perfect != 0 {
+		t.Fatalf("perfect proportionality error = %g, %v", perfect, err)
+	}
+	skewed, err := m.ProportionalityError([]int{150, 50})
+	if err != nil || skewed != 0.5 {
+		t.Fatalf("skewed proportionality error = %g, want 0.5", skewed)
+	}
+	if _, err := m.ProportionalityError([]int{0, 0}); err == nil {
+		t.Error("empty load vector accepted")
+	}
+}
+
+// TestScaddarOverHeterogeneousArray is the end-to-end Section 6 scenario:
+// SCADDAR places blocks over the logical disks; the physical load lands
+// proportional to each heterogeneous disk's resources.
+func TestScaddarOverHeterogeneousArray(t *testing.T) {
+	m, err := NewMapping([]Physical{
+		{ID: 0, Profile: unitProfile(1)},
+		{ID: 1, Profile: unitProfile(2)},
+		{ID: 2, Profile: unitProfile(4)},
+		{ID: 3, Profile: unitProfile(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(m.Logicals(), x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale the logical array too: add a disk group (e.g. a new physical
+	// disk worth 2 logical units would mean AddDisks(2)).
+	if err := strat.AddDisks(2); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMapping([]Physical{
+		{ID: 0, Profile: unitProfile(1)},
+		{ID: 1, Profile: unitProfile(2)},
+		{ID: 2, Profile: unitProfile(4)},
+		{ID: 3, Profile: unitProfile(1)},
+		{ID: 4, Profile: unitProfile(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Logicals() != strat.N() {
+		t.Fatalf("mapping has %d logicals, strategy %d", m2.Logicals(), strat.N())
+	}
+	logical := make([]int, strat.N())
+	for o := 0; o < 20; o++ {
+		for i := 0; i < 500; i++ {
+			logical[strat.Disk(placement.BlockRef{Seed: uint64(o + 1), Index: uint64(i)})]++
+		}
+	}
+	worst, err := m2.ProportionalityError(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.1 {
+		t.Fatalf("physical load deviates %.3f from resource shares", worst)
+	}
+}

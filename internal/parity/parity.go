@@ -1,0 +1,236 @@
+// Package parity implements the second fault-tolerance idea of the paper's
+// Section 6: "We also plan to investigate using data parity bits to handle
+// faults with less required storage space."
+//
+// Blocks are grouped g at a time within each object (indices g·k .. g·k+g-1
+// form group k). A group whose members land on pairwise-distinct disks gets
+// one parity block (the XOR of its members) on yet another disk, so a
+// single-disk failure removes at most one unit and XOR reconstructs it.
+//
+// Random placement, however, puts two members of some groups on the same
+// disk — with g members over N disks a fraction ≈ 1−∏(1−i/N) of groups
+// collide — and a collided group cannot be protected by one parity block.
+// Rather than weaken the guarantee, collided groups fall back to the
+// Section 6 offset-mirroring scheme: each member gets a mirror at offset
+// ⌈N/2⌉, which is always a different disk. The choice is a pure function of
+// the placement, so the whole scheme stays directory-free, and the
+// single-disk-failure guarantee is absolute. Storage overhead lands between
+// 1 + 1/g (all-parity) and 2 (all-mirrored), depending on the collision
+// rate; Overhead reports the realized figure.
+package parity
+
+import (
+	"fmt"
+
+	"scaddar/internal/mirror"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// Parity derives hybrid parity/mirror layouts for blocks placed by an
+// underlying strategy.
+type Parity struct {
+	strat placement.Strategy
+	g     int
+}
+
+// New wraps a strategy with parity groups of size g >= 2. Arrays must keep
+// at least 2 disks (for the mirror fallback); groups that span every disk
+// always take the mirror path.
+func New(strat placement.Strategy, g int) (*Parity, error) {
+	if strat == nil {
+		return nil, fmt.Errorf("parity: nil strategy")
+	}
+	if g < 2 {
+		return nil, fmt.Errorf("parity: group size %d, need at least 2", g)
+	}
+	return &Parity{strat: strat, g: g}, nil
+}
+
+// GroupSize returns g.
+func (p *Parity) GroupSize() int { return p.g }
+
+// Strategy returns the underlying placement strategy.
+func (p *Parity) Strategy() placement.Strategy { return p.strat }
+
+// N returns the current disk count.
+func (p *Parity) N() int { return p.strat.N() }
+
+// Group returns the index of the parity group containing block i.
+func (p *Parity) Group(index uint64) uint64 { return index / uint64(p.g) }
+
+// Members returns the member block references of group k of an object with
+// nblocks blocks (the last group may be short).
+func (p *Parity) Members(seed uint64, k uint64, nblocks int) []placement.BlockRef {
+	start := k * uint64(p.g)
+	var members []placement.BlockRef
+	for i := start; i < start+uint64(p.g) && i < uint64(nblocks); i++ {
+		members = append(members, placement.BlockRef{Seed: seed, Index: i})
+	}
+	return members
+}
+
+// Layout describes one parity group's protection.
+type Layout struct {
+	// MemberDisks holds each member block's disk, in index order.
+	MemberDisks []int
+	// Mirrored reports the fallback path: members collided on a disk, so
+	// each member is mirrored at the ⌈N/2⌉ offset instead of XOR-protected.
+	Mirrored bool
+	// ParityDisk holds the parity block when !Mirrored; -1 otherwise. It is
+	// distinct from every member disk.
+	ParityDisk int
+}
+
+// Place computes the layout of group k of an object. Groups with
+// pairwise-distinct member disks get a parity disk chosen deterministically
+// among the unused disks (hashed from the group identity, so parity load
+// spreads); collided groups take the mirror fallback.
+func (p *Parity) Place(seed uint64, k uint64, nblocks int) (*Layout, error) {
+	members := p.Members(seed, k, nblocks)
+	if len(members) == 0 {
+		return nil, fmt.Errorf("parity: object %d has no group %d", seed, k)
+	}
+	n := p.strat.N()
+	if n < 2 {
+		return nil, fmt.Errorf("parity: protection needs at least 2 disks, have %d", n)
+	}
+	layout := &Layout{ParityDisk: -1}
+	used := make(map[int]bool, len(members))
+	collided := false
+	for _, m := range members {
+		d := p.strat.Disk(m)
+		layout.MemberDisks = append(layout.MemberDisks, d)
+		if used[d] {
+			collided = true
+		}
+		used[d] = true
+	}
+	free := n - len(used)
+	if collided || free == 0 {
+		layout.Mirrored = true
+		return layout, nil
+	}
+	// Pick the r-th unused disk, r hashed from (seed, group).
+	r := int(prng.Combine(seed^0x9a417, k) % uint64(free))
+	for d := 0; d < n; d++ {
+		if used[d] {
+			continue
+		}
+		if r == 0 {
+			layout.ParityDisk = d
+			return layout, nil
+		}
+		r--
+	}
+	panic("parity: unreachable")
+}
+
+// mirrorDisk returns the offset-mirror disk of a member on disk d.
+func (p *Parity) mirrorDisk(d int) int {
+	n := p.strat.N()
+	return (d + mirror.HalfOffset(n)%n) % n
+}
+
+// Recoverable reports whether block index of the object is readable when
+// the given disks have failed: directly, via its group's parity, or via its
+// mirror on the fallback path.
+func (p *Parity) Recoverable(seed uint64, index uint64, nblocks int, failed map[int]bool) (bool, error) {
+	own := p.strat.Disk(placement.BlockRef{Seed: seed, Index: index})
+	if !failed[own] {
+		return true, nil
+	}
+	layout, err := p.Place(seed, p.Group(index), nblocks)
+	if err != nil {
+		return false, err
+	}
+	if layout.Mirrored {
+		return !failed[p.mirrorDisk(own)], nil
+	}
+	if failed[layout.ParityDisk] {
+		return false, nil
+	}
+	groupStart := p.Group(index) * uint64(p.g)
+	for i, d := range layout.MemberDisks {
+		if groupStart+uint64(i) == index {
+			continue // the lost block itself
+		}
+		if failed[d] {
+			return false, nil // two failures in one group
+		}
+	}
+	return true, nil
+}
+
+// SurvivalReport summarizes availability under a failure set.
+type SurvivalReport struct {
+	// Blocks is the number of data blocks examined.
+	Blocks int
+	// Direct is the number readable from their own disk.
+	Direct int
+	// Reconstructed is the number recoverable via parity XOR.
+	Reconstructed int
+	// FromMirror is the number recovered from a fallback mirror.
+	FromMirror int
+	// Lost is the number unrecoverable.
+	Lost int
+}
+
+// Survive evaluates availability of an object set under the given failed
+// disks. objects maps seed -> block count.
+func (p *Parity) Survive(objects map[uint64]int, failed map[int]bool) (SurvivalReport, error) {
+	var r SurvivalReport
+	for seed, nblocks := range objects {
+		for i := uint64(0); i < uint64(nblocks); i++ {
+			r.Blocks++
+			own := p.strat.Disk(placement.BlockRef{Seed: seed, Index: i})
+			if !failed[own] {
+				r.Direct++
+				continue
+			}
+			layout, err := p.Place(seed, p.Group(i), nblocks)
+			if err != nil {
+				return r, err
+			}
+			ok, err := p.Recoverable(seed, i, nblocks, failed)
+			if err != nil {
+				return r, err
+			}
+			switch {
+			case !ok:
+				r.Lost++
+			case layout.Mirrored:
+				r.FromMirror++
+			default:
+				r.Reconstructed++
+			}
+		}
+	}
+	return r, nil
+}
+
+// Overhead returns the realized storage multiplier over the given objects:
+// (data + parity blocks + mirror blocks) / data. It sits between 1 + 1/g
+// and 2 depending on how many groups collide.
+func (p *Parity) Overhead(objects map[uint64]int) (float64, error) {
+	data, extra := 0, 0
+	for seed, nblocks := range objects {
+		groups := (uint64(nblocks) + uint64(p.g) - 1) / uint64(p.g)
+		for k := uint64(0); k < groups; k++ {
+			layout, err := p.Place(seed, k, nblocks)
+			if err != nil {
+				return 0, err
+			}
+			data += len(layout.MemberDisks)
+			if layout.Mirrored {
+				extra += len(layout.MemberDisks)
+			} else {
+				extra++
+			}
+		}
+	}
+	if data == 0 {
+		return 0, fmt.Errorf("parity: no blocks")
+	}
+	return float64(data+extra) / float64(data), nil
+}

@@ -1,0 +1,262 @@
+package parity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+func newScaddar(t *testing.T, n0 int) *placement.Scaddar {
+	t.Helper()
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	s, err := placement.NewScaddar(n0, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 4); err == nil {
+		t.Error("nil strategy accepted")
+	}
+	if _, err := New(newScaddar(t, 8), 1); err == nil {
+		t.Error("group size 1 accepted")
+	}
+	p, err := New(newScaddar(t, 8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GroupSize() != 4 || p.N() != 8 {
+		t.Fatalf("g=%d n=%d", p.GroupSize(), p.N())
+	}
+	if p.Strategy().Name() != "scaddar" {
+		t.Fatal("strategy accessor broken")
+	}
+}
+
+func TestGroupAndMembers(t *testing.T) {
+	p, _ := New(newScaddar(t, 8), 4)
+	if p.Group(0) != 0 || p.Group(3) != 0 || p.Group(4) != 1 || p.Group(11) != 2 {
+		t.Fatal("group arithmetic wrong")
+	}
+	m := p.Members(7, 0, 100)
+	if len(m) != 4 || m[0].Index != 0 || m[3].Index != 3 {
+		t.Fatalf("members = %v", m)
+	}
+	// The last group of a 10-block object with g=4 has 2 members.
+	m = p.Members(7, 2, 10)
+	if len(m) != 2 || m[0].Index != 8 || m[1].Index != 9 {
+		t.Fatalf("tail members = %v", m)
+	}
+	if m := p.Members(7, 5, 10); len(m) != 0 {
+		t.Fatalf("out-of-range group has members %v", m)
+	}
+}
+
+func TestPlaceInvariants(t *testing.T) {
+	p, _ := New(newScaddar(t, 8), 4)
+	sawParity, sawMirror := false, false
+	for seed := uint64(1); seed <= 20; seed++ {
+		for k := uint64(0); k < 50; k++ {
+			layout, err := p.Place(seed, k, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[int]bool{}
+			collided := false
+			for _, d := range layout.MemberDisks {
+				if seen[d] {
+					collided = true
+				}
+				seen[d] = true
+			}
+			if collided != layout.Mirrored {
+				t.Fatalf("seed %d group %d: collided=%v but Mirrored=%v", seed, k, collided, layout.Mirrored)
+			}
+			if layout.Mirrored {
+				sawMirror = true
+				if layout.ParityDisk != -1 {
+					t.Fatalf("mirrored layout has parity disk %d", layout.ParityDisk)
+				}
+				continue
+			}
+			sawParity = true
+			if layout.ParityDisk < 0 || layout.ParityDisk >= 8 {
+				t.Fatalf("parity disk %d out of range", layout.ParityDisk)
+			}
+			for _, d := range layout.MemberDisks {
+				if d == layout.ParityDisk {
+					t.Fatalf("seed %d group %d: parity co-located on disk %d", seed, k, d)
+				}
+			}
+		}
+	}
+	if !sawParity || !sawMirror {
+		t.Fatalf("expected both paths exercised: parity=%v mirror=%v", sawParity, sawMirror)
+	}
+}
+
+func TestGroupSpanningArrayTakesMirrorPath(t *testing.T) {
+	// 2 disks, groups of 4: every group either collides or covers the
+	// array; both must take the mirror fallback, never error.
+	p, _ := New(newScaddar(t, 2), 4)
+	for k := uint64(0); k < 20; k++ {
+		layout, err := p.Place(1, k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !layout.Mirrored {
+			t.Fatalf("group %d on 2 disks not mirrored", k)
+		}
+	}
+}
+
+func TestPlaceEmptyGroup(t *testing.T) {
+	p, _ := New(newScaddar(t, 8), 4)
+	if _, err := p.Place(1, 99, 10); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestParityLoadSpreads(t *testing.T) {
+	p, _ := New(newScaddar(t, 8), 2) // small groups: mostly parity path
+	counts := make([]int, 8)
+	total := 0
+	for seed := uint64(1); seed <= 40; seed++ {
+		for k := uint64(0); k < 100; k++ {
+			layout, err := p.Place(seed, k, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if layout.Mirrored {
+				continue
+			}
+			counts[layout.ParityDisk]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no parity groups at all")
+	}
+	for d, c := range counts {
+		if c < total/8*60/100 || c > total/8*140/100 {
+			t.Fatalf("parity load on disk %d is %d, want ~%d (counts %v)", d, c, total/8, counts)
+		}
+	}
+}
+
+func TestSingleFailureFullyRecoverable(t *testing.T) {
+	p, _ := New(newScaddar(t, 8), 4)
+	objects := map[uint64]int{1: 200, 2: 200, 3: 200}
+	for d := 0; d < 8; d++ {
+		rep, err := p.Survive(objects, map[int]bool{d: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Lost != 0 {
+			t.Fatalf("disk %d failure lost %d blocks", d, rep.Lost)
+		}
+		if rep.Direct+rep.Reconstructed+rep.FromMirror != rep.Blocks {
+			t.Fatalf("disk %d: %d+%d+%d != %d", d, rep.Direct, rep.Reconstructed, rep.FromMirror, rep.Blocks)
+		}
+		if rep.Reconstructed == 0 || rep.FromMirror == 0 {
+			t.Fatalf("disk %d: both recovery paths should trigger (recon=%d mirror=%d)",
+				d, rep.Reconstructed, rep.FromMirror)
+		}
+	}
+}
+
+func TestDoubleFailureLosesSomeBlocks(t *testing.T) {
+	p, _ := New(newScaddar(t, 8), 4)
+	objects := map[uint64]int{1: 400, 2: 400}
+	rep, err := p.Survive(objects, map[int]bool{0: true, 4: true}) // offset partners for the mirror path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost == 0 {
+		t.Fatal("double failure lost nothing; single-parity cannot be that strong")
+	}
+	if rep.Lost > rep.Blocks/2 {
+		t.Fatalf("double failure lost %d of %d; too many", rep.Lost, rep.Blocks)
+	}
+}
+
+func TestRecoverableDirect(t *testing.T) {
+	p, _ := New(newScaddar(t, 8), 4)
+	own := p.Strategy().Disk(placement.BlockRef{Seed: 1, Index: 5})
+	other := (own + 1) % 8
+	ok, err := p.Recoverable(1, 5, 100, map[int]bool{other: true})
+	if err != nil || !ok {
+		t.Fatalf("direct read reported unrecoverable: %v %v", ok, err)
+	}
+}
+
+func TestOverheadBetweenParityAndMirroring(t *testing.T) {
+	p, _ := New(newScaddar(t, 16), 4) // 16 disks: most groups distinct
+	objects := map[uint64]int{1: 400, 2: 400, 3: 400}
+	got, err := p.Overhead(objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.25 || got >= 2 {
+		t.Fatalf("overhead = %.3f, want in [1.25, 2)", got)
+	}
+	// More disks -> fewer collisions -> closer to 1+1/g than a tiny array.
+	pSmall, _ := New(newScaddar(t, 4), 4)
+	small, err := pSmall.Overhead(objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= got {
+		t.Fatalf("4-disk overhead %.3f not above 16-disk overhead %.3f", small, got)
+	}
+	if _, err := p.Overhead(nil); err == nil {
+		t.Fatal("empty object set accepted")
+	}
+}
+
+// TestQuickSurvivalInvariant property-tests that a single-disk failure
+// never loses data for any group size fitting the array.
+func TestQuickSurvivalInvariant(t *testing.T) {
+	s := newScaddar(t, 10)
+	f := func(gRaw, diskRaw uint8, seed uint64) bool {
+		g := int(gRaw%6) + 2 // 2..7
+		p, err := New(s, g)
+		if err != nil {
+			return false
+		}
+		failed := map[int]bool{int(diskRaw) % 10: true}
+		rep, err := p.Survive(map[uint64]int{seed%1000 + 1: 60}, failed)
+		return err == nil && rep.Lost == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParitySurvivesScaling mirrors the mirroring guarantee: placements
+// recompute after scaling operations and the single-failure guarantee
+// holds on the new array.
+func TestParitySurvivesScaling(t *testing.T) {
+	s := newScaddar(t, 8)
+	p, _ := New(s, 4)
+	objects := map[uint64]int{1: 200, 2: 200}
+	if err := s.AddDisks(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveDisks(3); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < s.N(); d++ {
+		rep, err := p.Survive(objects, map[int]bool{d: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Lost != 0 {
+			t.Fatalf("after scaling, disk %d failure lost %d blocks", d, rep.Lost)
+		}
+	}
+}

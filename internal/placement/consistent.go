@@ -1,0 +1,124 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"scaddar/internal/prng"
+)
+
+// Consistent is consistent hashing with virtual nodes, included as a modern
+// comparator: it solves the same minimal-remapping problem SCADDAR solves,
+// with different trade-offs. Movement on scaling is near-optimal, but load
+// balance depends on the virtual-node count (per-disk load concentrates
+// around the mean with relative spread ~1/sqrt(vnodes)), whereas SCADDAR's
+// balance depends on the remaining random range. Unlike SCADDAR it needs no
+// operation log — only the current disk roster — but its lookups cost
+// O(log(N·vnodes)) instead of O(j).
+type Consistent struct {
+	vnodes    int
+	disks     []int // logical index -> stable disk identity
+	logicalOf map[int]int
+	next      int // next identity to assign
+	ring      []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the 2^64 ring owned by a
+// disk identity.
+type ringPoint struct {
+	point uint64
+	id    int
+}
+
+// NewConsistent creates a consistent-hashing strategy with the given number
+// of virtual nodes per disk (128-256 is typical).
+func NewConsistent(n0, vnodes int) (*Consistent, error) {
+	if n0 < 1 {
+		return nil, fmt.Errorf("placement: consistent hashing needs at least 1 disk, got %d", n0)
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("placement: consistent hashing needs at least 1 vnode, got %d", vnodes)
+	}
+	s := &Consistent{vnodes: vnodes, logicalOf: make(map[int]int)}
+	for i := 0; i < n0; i++ {
+		s.addDisk()
+	}
+	return s, nil
+}
+
+// Name returns "consistent".
+func (s *Consistent) Name() string { return "consistent" }
+
+// N returns the current disk count.
+func (s *Consistent) N() int { return len(s.disks) }
+
+// Disk maps the block's hash to the owning virtual node's disk.
+func (s *Consistent) Disk(b BlockRef) int {
+	h := prng.Combine(b.Seed, b.Index)
+	i := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].point >= h })
+	if i == len(s.ring) {
+		i = 0 // wrap around the ring
+	}
+	logical, ok := s.logicalOf[s.ring[i].id]
+	if !ok {
+		panic("placement: consistent ring references unknown disk")
+	}
+	return logical
+}
+
+// AddDisks appends count disks, each with vnodes ring positions.
+func (s *Consistent) AddDisks(count int) error {
+	if count < 1 {
+		return fmt.Errorf("placement: add of %d disks", count)
+	}
+	for i := 0; i < count; i++ {
+		s.addDisk()
+	}
+	return nil
+}
+
+// addDisk assigns the next identity and inserts its virtual nodes.
+func (s *Consistent) addDisk() {
+	id := s.next
+	s.next++
+	s.logicalOf[id] = len(s.disks)
+	s.disks = append(s.disks, id)
+	for v := 0; v < s.vnodes; v++ {
+		s.ring = append(s.ring, ringPoint{
+			point: prng.Combine(uint64(id)+0x5ca0dda5, uint64(v)),
+			id:    id,
+		})
+	}
+	sort.Slice(s.ring, func(i, j int) bool { return s.ring[i].point < s.ring[j].point })
+}
+
+// RemoveDisks removes the disk group with the given logical indices and
+// drops their virtual nodes; blocks they owned fall to ring successors.
+func (s *Consistent) RemoveDisks(indices ...int) error {
+	if err := checkRemoval(len(s.disks), indices); err != nil {
+		return err
+	}
+	removed := sortedCopy(indices)
+	gone := make(map[int]bool, len(removed))
+	for _, logical := range removed {
+		gone[s.disks[logical]] = true
+	}
+	survivors := s.disks[:0]
+	for _, id := range s.disks {
+		if gone[id] {
+			delete(s.logicalOf, id)
+			continue
+		}
+		s.logicalOf[id] = len(survivors)
+		survivors = append(survivors, id)
+	}
+	s.disks = survivors
+	kept := s.ring[:0]
+	for _, p := range s.ring {
+		if !gone[p.id] {
+			kept = append(kept, p)
+		}
+	}
+	s.ring = kept
+	return nil
+}

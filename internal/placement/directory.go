@@ -1,0 +1,104 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"scaddar/internal/prng"
+)
+
+// Directory is the bookkeeping baseline of Appendix A: blocks are placed
+// uniformly at random and a directory remembers every location. Scaling
+// moves the optimal number of blocks (each to a fresh uniform destination),
+// so the scheme is ideal on both RO1 and RO2 — its cost is the per-block
+// directory the paper is designed to eliminate: millions of entries for a
+// realistic server, with concurrency-control and consistency burdens.
+//
+// Blocks are assigned lazily on first lookup, drawing from a dedicated
+// decision source, so the directory only grows with the blocks actually in
+// use.
+type Directory struct {
+	n       int
+	src     prng.Source
+	entries map[BlockRef]int
+}
+
+// NewDirectory creates the directory baseline; src supplies placement and
+// redistribution randomness.
+func NewDirectory(n0 int, src prng.Source) (*Directory, error) {
+	if n0 < 1 {
+		return nil, fmt.Errorf("placement: directory needs at least 1 disk, got %d", n0)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("placement: directory needs a random source")
+	}
+	return &Directory{n: n0, src: src, entries: make(map[BlockRef]int)}, nil
+}
+
+// Name returns "directory".
+func (s *Directory) Name() string { return "directory" }
+
+// N returns the current disk count.
+func (s *Directory) N() int { return s.n }
+
+// Len returns the number of directory entries — the storage cost the paper
+// contrasts with SCADDAR's operation log.
+func (s *Directory) Len() int { return len(s.entries) }
+
+// Disk returns the block's recorded disk, assigning a uniform one on first
+// sight.
+func (s *Directory) Disk(b BlockRef) int {
+	if d, ok := s.entries[b]; ok {
+		return d
+	}
+	d := int(s.src.Next() % uint64(s.n))
+	s.entries[b] = d
+	return d
+}
+
+// AddDisks moves each known block onto the added disks with the optimal
+// probability: a block moves iff a fresh uniform draw over the new array
+// lands on an added disk, which relocates an expected (N_j-N_{j-1})/N_j
+// fraction, each mover uniform over the new disks.
+func (s *Directory) AddDisks(count int) error {
+	if count < 1 {
+		return fmt.Errorf("placement: add of %d disks", count)
+	}
+	nAfter := s.n + count
+	for b, d := range s.entries {
+		t := int(s.src.Next() % uint64(nAfter))
+		if t >= s.n {
+			s.entries[b] = t
+		} else {
+			s.entries[b] = d
+		}
+	}
+	s.n = nAfter
+	return nil
+}
+
+// RemoveDisks relocates exactly the blocks of the removed disks, each to a
+// uniform surviving disk; survivors are renumbered compactly.
+func (s *Directory) RemoveDisks(indices ...int) error {
+	if err := checkRemoval(s.n, indices); err != nil {
+		return err
+	}
+	removed := sortedCopy(indices)
+	nAfter := s.n - len(removed)
+	for b, d := range s.entries {
+		if nd, gone := compactIndex(d, removed); gone {
+			s.entries[b] = int(s.src.Next() % uint64(nAfter))
+		} else {
+			s.entries[b] = nd
+		}
+	}
+	s.n = nAfter
+	return nil
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

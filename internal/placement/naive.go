@@ -1,0 +1,89 @@
+package placement
+
+import (
+	"scaddar/internal/scaddar"
+)
+
+// Naive implements the paper's Section 4.1 scheme (Eq. 2): at every addition
+// the block is re-hashed with its ORIGINAL random number X_0 against the new
+// disk count and moves only if the re-hash lands on an added disk. The first
+// operation is perfectly random; every later one reuses the same randomness,
+// so the set of source disks that feed the new disks becomes skewed — the
+// Figure 1 pathology this repository reproduces as experiment E1.
+//
+// The paper omits the removal case ("the same results are seen when the
+// scaling operation is a removal of a disk group"); we implement the natural
+// analogue with the same flaw: blocks on removed disks re-hash with X_0
+// against the survivor count, and survivors keep their (compacted) position.
+type Naive struct {
+	hist *scaddar.History
+	x0   X0Func
+}
+
+// NewNaive creates the Section 4.1 baseline over n0 initial disks.
+func NewNaive(n0 int, x0 X0Func) (*Naive, error) {
+	h, err := scaddar.NewHistory(n0)
+	if err != nil {
+		return nil, err
+	}
+	return &Naive{hist: h, x0: x0}, nil
+}
+
+// Name returns "naive".
+func (s *Naive) Name() string { return "naive" }
+
+// N returns the current disk count.
+func (s *Naive) N() int { return s.hist.N() }
+
+// Disk chains Eq. 2 over every recorded operation.
+func (s *Naive) Disk(b BlockRef) int {
+	x0 := s.x0(b)
+	d := int(x0 % uint64(s.hist.N0()))
+	for j := 1; j <= s.hist.Ops(); j++ {
+		op := s.hist.Op(j)
+		switch op.Kind {
+		case scaddar.OpAdd:
+			// Re-hash with the same X_0; move only to an added disk.
+			t := int(x0 % uint64(op.NAfter))
+			if t >= op.NBefore {
+				d = t
+			}
+		case scaddar.OpRemove:
+			if nd, gone := compactIndex(d, op.Removed); gone {
+				d = int(x0 % uint64(op.NAfter))
+			} else {
+				d = nd
+			}
+		}
+	}
+	return d
+}
+
+// AddDisks records an addition operation.
+func (s *Naive) AddDisks(count int) error {
+	_, err := s.hist.Add(count)
+	return err
+}
+
+// RemoveDisks records a removal operation.
+func (s *Naive) RemoveDisks(indices ...int) error {
+	_, err := s.hist.Remove(indices...)
+	return err
+}
+
+// compactIndex maps a pre-removal disk index to the compacted post-removal
+// numbering; gone reports the disk itself was removed. removed is sorted.
+func compactIndex(d int, removed []int) (newIndex int, gone bool) {
+	below := 0
+	for _, r := range removed {
+		if r == d {
+			return 0, true
+		}
+		if r < d {
+			below++
+		} else {
+			break
+		}
+	}
+	return d - below, false
+}

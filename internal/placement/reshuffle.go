@@ -1,0 +1,70 @@
+package placement
+
+import "fmt"
+
+// Reshuffle is the complete-redistribution baseline of Appendix A: after
+// every scaling operation each block is re-placed at X_0 mod N_j. Placement
+// stays perfectly random — the unfairness never grows — but nearly every
+// block moves on every operation, violating RO1. The Section 5 experiment
+// compares SCADDAR's coefficient of variation against this curve.
+type Reshuffle struct {
+	n  int
+	x0 X0Func
+}
+
+// NewReshuffle creates the complete-redistribution baseline.
+func NewReshuffle(n0 int, x0 X0Func) (*Reshuffle, error) {
+	if n0 < 1 {
+		return nil, fmt.Errorf("placement: reshuffle needs at least 1 disk, got %d", n0)
+	}
+	return &Reshuffle{n: n0, x0: x0}, nil
+}
+
+// Name returns "reshuffle".
+func (s *Reshuffle) Name() string { return "reshuffle" }
+
+// N returns the current disk count.
+func (s *Reshuffle) N() int { return s.n }
+
+// Disk returns X_0 mod N.
+func (s *Reshuffle) Disk(b BlockRef) int { return int(s.x0(b) % uint64(s.n)) }
+
+// AddDisks grows the array.
+func (s *Reshuffle) AddDisks(count int) error {
+	if count < 1 {
+		return fmt.Errorf("placement: add of %d disks", count)
+	}
+	s.n += count
+	return nil
+}
+
+// RemoveDisks shrinks the array; which logical indices are named is
+// irrelevant to this scheme since every block is re-hashed anyway.
+func (s *Reshuffle) RemoveDisks(indices ...int) error {
+	if err := checkRemoval(s.n, indices); err != nil {
+		return err
+	}
+	s.n -= len(indices)
+	return nil
+}
+
+// checkRemoval validates a removal request against the current disk count.
+func checkRemoval(n int, indices []int) error {
+	if len(indices) == 0 {
+		return fmt.Errorf("placement: removal of empty disk group")
+	}
+	if len(indices) >= n {
+		return fmt.Errorf("placement: removing %d of %d disks leaves none", len(indices), n)
+	}
+	seen := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= n {
+			return fmt.Errorf("placement: removal index %d outside [0,%d)", i, n)
+		}
+		if seen[i] {
+			return fmt.Errorf("placement: duplicate removal index %d", i)
+		}
+		seen[i] = true
+	}
+	return nil
+}

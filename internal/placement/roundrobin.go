@@ -1,0 +1,56 @@
+package placement
+
+import (
+	"fmt"
+
+	"scaddar/internal/prng"
+)
+
+// RoundRobin is the constrained-placement baseline: block i of an object is
+// stored on disk (start_m + i) mod N, the classic striping layout of
+// multimedia servers. The start disk is derived from the object seed so
+// different objects begin on different disks. On any scaling operation the
+// stripe is recomputed against the new disk count, which relocates almost
+// all blocks — the behaviour the paper's Related Work attributes to on-line
+// reorganization of round-robin striping (Ghandeharizadeh & Kim, DEXA'96).
+type RoundRobin struct {
+	n int
+}
+
+// NewRoundRobin creates the striping baseline.
+func NewRoundRobin(n0 int) (*RoundRobin, error) {
+	if n0 < 1 {
+		return nil, fmt.Errorf("placement: round-robin needs at least 1 disk, got %d", n0)
+	}
+	return &RoundRobin{n: n0}, nil
+}
+
+// Name returns "roundrobin".
+func (s *RoundRobin) Name() string { return "roundrobin" }
+
+// N returns the current disk count.
+func (s *RoundRobin) N() int { return s.n }
+
+// Disk returns (start_m + i) mod N with start_m seed-derived.
+func (s *RoundRobin) Disk(b BlockRef) int {
+	start := prng.Hash64(b.Seed) % uint64(s.n)
+	return int((start + b.Index) % uint64(s.n))
+}
+
+// AddDisks grows the array and implicitly re-stripes every object.
+func (s *RoundRobin) AddDisks(count int) error {
+	if count < 1 {
+		return fmt.Errorf("placement: add of %d disks", count)
+	}
+	s.n += count
+	return nil
+}
+
+// RemoveDisks shrinks the array and implicitly re-stripes every object.
+func (s *RoundRobin) RemoveDisks(indices ...int) error {
+	if err := checkRemoval(s.n, indices); err != nil {
+		return err
+	}
+	s.n -= len(indices)
+	return nil
+}

@@ -1,0 +1,105 @@
+package placement
+
+import (
+	"fmt"
+
+	"scaddar/internal/prng"
+	"scaddar/internal/scaddar"
+)
+
+// Scaddar adapts the core SCADDAR remap chain to the Strategy interface.
+//
+// Beyond the paper's REMAP chain it implements the paper's own prescription
+// for a chain that has exhausted its randomness budget: "In this case, we
+// suggest a redistribution of all the blocks" (Section 4). Rebaseline
+// performs that complete redistribution logically: the operation log resets
+// to a fresh single-epoch history over the current disk count and every
+// block draws a brand-new random number (its X0 mixed with the epoch
+// counter), restoring the full b-bit range at the cost of moving almost all
+// blocks once.
+type Scaddar struct {
+	hist  *scaddar.History
+	x0    X0Func
+	epoch uint64
+	bits  uint
+}
+
+// NewScaddar creates a SCADDAR strategy over n0 initial disks with the given
+// block-randomness source. The generator width defaults to 64 bits; when the
+// x0 source is narrower, call SetBits so post-Rebaseline values stay within
+// the same range the Budget accounts for.
+func NewScaddar(n0 int, x0 X0Func) (*Scaddar, error) {
+	h, err := scaddar.NewHistory(n0)
+	if err != nil {
+		return nil, err
+	}
+	return &Scaddar{hist: h, x0: x0, bits: 64}, nil
+}
+
+// SetBits declares the width of the x0 source (1..64). Epoch-mixed values
+// after a Rebaseline are truncated to this width, keeping the randomness
+// budget honest for narrow generators.
+func (s *Scaddar) SetBits(bits uint) error {
+	if bits == 0 || bits > 64 {
+		return fmt.Errorf("placement: scaddar bits %d outside [1,64]", bits)
+	}
+	s.bits = bits
+	return nil
+}
+
+// Name returns "scaddar".
+func (s *Scaddar) Name() string { return "scaddar" }
+
+// N returns the current disk count.
+func (s *Scaddar) N() int { return s.hist.N() }
+
+// History exposes the underlying operation log (shared, not a copy).
+func (s *Scaddar) History() *scaddar.History { return s.hist }
+
+// Epoch returns the number of complete redistributions performed.
+func (s *Scaddar) Epoch() uint64 { return s.epoch }
+
+// Bits returns the declared width of the x0 source.
+func (s *Scaddar) Bits() uint { return s.bits }
+
+// blockX0 returns the block's effective random number in the current epoch:
+// the raw X0 in epoch 0 (byte-for-byte the paper's scheme), an
+// epoch-mixed value afterwards so each redistribution draws an independent
+// fresh placement.
+func (s *Scaddar) blockX0(b BlockRef) uint64 {
+	x := s.x0(b)
+	if s.epoch == 0 {
+		return x
+	}
+	return prng.Combine(s.epoch, x) >> (64 - s.bits)
+}
+
+// Disk locates the block through the REMAP chain.
+func (s *Scaddar) Disk(b BlockRef) int { return s.hist.Locate(s.blockX0(b)) }
+
+// Rebaseline performs the complete redistribution the paper recommends once
+// the Section 4.3 budget is exhausted: the operation log is cleared (N0
+// becomes the current disk count) and every block re-places with fresh
+// randomness. Nearly all blocks move; afterwards the full random range is
+// available again and the caller should Reset its Budget.
+func (s *Scaddar) Rebaseline() error {
+	h, err := scaddar.NewHistory(s.hist.N())
+	if err != nil {
+		return err
+	}
+	s.hist = h
+	s.epoch++
+	return nil
+}
+
+// AddDisks records an addition operation.
+func (s *Scaddar) AddDisks(count int) error {
+	_, err := s.hist.Add(count)
+	return err
+}
+
+// RemoveDisks records a removal operation.
+func (s *Scaddar) RemoveDisks(indices ...int) error {
+	_, err := s.hist.Remove(indices...)
+	return err
+}

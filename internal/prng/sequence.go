@@ -1,0 +1,116 @@
+package prng
+
+import "sync"
+
+// Cached adapts any sequential Source into an Indexed one by memoizing the
+// values generated so far. The paper's access function needs X(i)_0 — the
+// i-th value of the object's pseudo-random sequence — for arbitrary i; with
+// a purely sequential generator that requires either re-iterating from the
+// seed (O(i)) or remembering the prefix. Cached remembers the prefix, so the
+// first access to block i costs O(i) and subsequent accesses cost O(1).
+//
+// Counter-based generators (SplitMix64) implement Indexed natively and do
+// not need this adapter; EnsureIndexed picks whichever applies.
+type Cached struct {
+	src  Source
+	vals []uint64
+}
+
+// NewCached wraps src. The source is Reset so the cache is aligned with the
+// beginning of the sequence; the caller must not use src directly afterward.
+func NewCached(src Source) *Cached {
+	src.Reset()
+	return &Cached{src: src}
+}
+
+// At returns the i-th value of the underlying sequence, generating and
+// memoizing any missing prefix.
+func (c *Cached) At(i uint64) uint64 {
+	for uint64(len(c.vals)) <= i {
+		c.vals = append(c.vals, c.src.Next())
+	}
+	return c.vals[i]
+}
+
+// Next returns the value after the highest one generated so far, mirroring
+// sequential use of the underlying source.
+func (c *Cached) Next() uint64 {
+	v := c.src.Next()
+	c.vals = append(c.vals, v)
+	return v
+}
+
+// Bits reports the output width of the underlying source.
+func (c *Cached) Bits() uint { return c.src.Bits() }
+
+// Seed reports the seed of the underlying source.
+func (c *Cached) Seed() uint64 { return c.src.Seed() }
+
+// Reset rewinds the sequential position; the memoized prefix is kept, so
+// previously generated values are replayed identically.
+func (c *Cached) Reset() {
+	c.src.Reset()
+	c.vals = c.vals[:0]
+}
+
+// EnsureIndexed returns src itself when it already supports O(1) indexed
+// access and a caching adapter otherwise.
+func EnsureIndexed(src Source) Indexed {
+	if idx, ok := src.(Indexed); ok {
+		return idx
+	}
+	return NewCached(src)
+}
+
+// SyncCached is a Cached whose At is safe for concurrent use.
+type SyncCached struct {
+	mu sync.Mutex
+	c  *Cached
+}
+
+// NewSyncCached wraps src with a memoizing, mutex-guarded indexed view.
+func NewSyncCached(src Source) *SyncCached {
+	return &SyncCached{c: NewCached(src)}
+}
+
+// At returns the i-th value; safe for concurrent callers.
+func (s *SyncCached) At(i uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.At(i)
+}
+
+// Next returns the next sequential value; safe for concurrent callers.
+func (s *SyncCached) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Next()
+}
+
+// Bits reports the output width of the underlying source.
+func (s *SyncCached) Bits() uint { return s.c.Bits() }
+
+// Seed reports the seed of the underlying source.
+func (s *SyncCached) Seed() uint64 { return s.c.Seed() }
+
+// Reset rewinds the underlying sequence; safe for concurrent callers.
+func (s *SyncCached) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Reset()
+}
+
+// EnsureConcurrentIndexed returns an Indexed view of src whose At is safe
+// for concurrent use: counter-based generators (whose At is a pure
+// function) are returned as-is, everything else is wrapped in a SyncCached.
+func EnsureConcurrentIndexed(src Source) Indexed {
+	switch v := src.(type) {
+	case *SplitMix64:
+		return v
+	case *truncatedIndexed:
+		if _, pure := v.src.(*SplitMix64); pure {
+			return v
+		}
+	}
+	return NewSyncCached(src)
+}

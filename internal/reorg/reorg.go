@@ -1,0 +1,280 @@
+// Package reorg turns a scaling operation into an executable block-movement
+// plan — the paper's redistribution function RF() — and executes it against
+// a simulated disk array, either all at once or throttled round by round so
+// the continuous-media server keeps serving streams while it reorganizes
+// ("no prior work has addressed such redistribution while the CM server is
+// online").
+//
+// Plans are expressed over logical disk indices with a precise execution
+// convention:
+//
+//   - PlanAdd returns moves valid AFTER the physical array has grown: old
+//     disks keep their logical indices and destinations include the new
+//     ones. Grow the array, then execute.
+//   - PlanRemove returns moves valid BEFORE the physical array shrinks:
+//     sources are the doomed disks and destinations are survivors, both in
+//     the pre-removal numbering. Execute (drain), then detach the disks.
+//
+// This matches operational reality: added disks are attached empty before
+// data flows to them, and disks being retired are drained before they are
+// pulled.
+package reorg
+
+import (
+	"fmt"
+
+	"scaddar/internal/disk"
+	"scaddar/internal/placement"
+)
+
+// Move relocates one block between logical disk indices (see the package
+// comment for when each index space is valid).
+type Move struct {
+	Block placement.BlockRef
+	From  int
+	To    int
+}
+
+// Plan is the ordered list of block movements implementing one scaling
+// operation.
+type Plan struct {
+	// NBefore and NAfter are the disk counts around the operation.
+	NBefore, NAfter int
+	// Moves lists every block that changes disks.
+	Moves []Move
+	// Blocks is the total number of blocks considered, for movement-
+	// fraction reporting.
+	Blocks int
+}
+
+// MoveFraction returns the fraction of all blocks the plan relocates.
+func (p *Plan) MoveFraction() float64 {
+	if p.Blocks == 0 {
+		return 0
+	}
+	return float64(len(p.Moves)) / float64(p.Blocks)
+}
+
+// OptimalFraction returns z_j, the minimum movement fraction for this
+// operation (Definition 3.4 RO1).
+func (p *Plan) OptimalFraction() float64 {
+	return placement.OptimalMoveFraction(p.NBefore, p.NAfter)
+}
+
+// PlanAdd applies an addition of count disks to the strategy and returns the
+// resulting plan. The strategy is mutated; the physical array must be grown
+// before the plan is executed.
+func PlanAdd(s placement.Strategy, blocks []placement.BlockRef, count int) (*Plan, error) {
+	nBefore := s.N()
+	before := placement.Snapshot(s, blocks)
+	if err := s.AddDisks(count); err != nil {
+		return nil, err
+	}
+	after := placement.Snapshot(s, blocks)
+	plan := &Plan{NBefore: nBefore, NAfter: s.N(), Blocks: len(blocks)}
+	for i, b := range blocks {
+		if before[i] != after[i] {
+			plan.Moves = append(plan.Moves, Move{Block: b, From: before[i], To: after[i]})
+		}
+	}
+	return plan, nil
+}
+
+// PlanRemove applies a removal of the given logical indices to the strategy
+// and returns the resulting plan with both endpoints in the PRE-removal
+// numbering. The strategy is mutated; the plan must be executed before the
+// physical array is shrunk.
+func PlanRemove(s placement.Strategy, blocks []placement.BlockRef, indices ...int) (*Plan, error) {
+	nBefore := s.N()
+	before := placement.Snapshot(s, blocks)
+	if err := s.RemoveDisks(indices...); err != nil {
+		return nil, err
+	}
+	after := placement.Snapshot(s, blocks)
+
+	// Invert the survivor compaction: post-removal logical -> pre-removal.
+	removed := make([]int, 0, len(indices))
+	removed = append(removed, indices...)
+	sortInts(removed)
+	surv := placement.SurvivorMap(nBefore, removed)
+	preOf := make([]int, s.N())
+	for old, nw := range surv {
+		if nw >= 0 {
+			preOf[nw] = old
+		}
+	}
+
+	plan := &Plan{NBefore: nBefore, NAfter: s.N(), Blocks: len(blocks)}
+	for i, b := range blocks {
+		destPre := preOf[after[i]]
+		if before[i] != destPre {
+			plan.Moves = append(plan.Moves, Move{Block: b, From: before[i], To: destPre})
+		}
+	}
+	return plan, nil
+}
+
+// Rebaseliner is a strategy that supports the paper's complete
+// redistribution (placement.Scaddar implements it).
+type Rebaseliner interface {
+	placement.Strategy
+	Rebaseline() error
+}
+
+// PlanRebaseline applies a complete redistribution to the strategy and
+// returns the resulting plan — the "redistribution of all the blocks" the
+// paper recommends once the Section 4.3 budget is exhausted. The disk count
+// is unchanged; nearly all blocks move. Both endpoints are current logical
+// indices, valid immediately.
+func PlanRebaseline(s Rebaseliner, blocks []placement.BlockRef) (*Plan, error) {
+	before := placement.Snapshot(s, blocks)
+	if err := s.Rebaseline(); err != nil {
+		return nil, err
+	}
+	after := placement.Snapshot(s, blocks)
+	plan := &Plan{NBefore: s.N(), NAfter: s.N(), Blocks: len(blocks)}
+	for i, b := range blocks {
+		if before[i] != after[i] {
+			plan.Moves = append(plan.Moves, Move{Block: b, From: before[i], To: after[i]})
+		}
+	}
+	return plan, nil
+}
+
+// sortInts is a tiny insertion sort; removal groups are small.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}
+
+// BlockIDFunc maps a placement block reference to the disk-layer block ID.
+type BlockIDFunc func(placement.BlockRef) disk.BlockID
+
+// DiskFunc resolves a plan-space logical index to the physical disk at
+// execution time.
+type DiskFunc func(logical int) (*disk.Disk, error)
+
+// Executor carries out a plan move by move, optionally throttled by
+// per-disk I/O budgets so that migration shares each round's bandwidth with
+// stream service.
+type Executor struct {
+	plan      *Plan
+	blockID   BlockIDFunc
+	diskOf    DiskFunc
+	pending   []Move
+	pendingBy map[placement.BlockRef]int // block -> current source disk
+	moved     int
+	rounds    int
+}
+
+// NewExecutor prepares a plan for execution.
+func NewExecutor(plan *Plan, blockID BlockIDFunc, diskOf DiskFunc) (*Executor, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("reorg: nil plan")
+	}
+	if blockID == nil || diskOf == nil {
+		return nil, fmt.Errorf("reorg: executor needs block-ID and disk resolvers")
+	}
+	pending := make([]Move, len(plan.Moves))
+	copy(pending, plan.Moves)
+	pendingBy := make(map[placement.BlockRef]int, len(pending))
+	for _, m := range pending {
+		pendingBy[m.Block] = m.From
+	}
+	return &Executor{plan: plan, blockID: blockID, diskOf: diskOf, pending: pending, pendingBy: pendingBy}, nil
+}
+
+// PendingSource reports the logical disk a block must still be read from
+// because its move has not executed yet. This is what keeps the access
+// function correct while a reorganization is in flight: until the block
+// physically moves, it is served from its pre-operation home.
+func (e *Executor) PendingSource(b placement.BlockRef) (from int, pending bool) {
+	from, pending = e.pendingBy[b]
+	return from, pending
+}
+
+// Done reports whether every move has been executed.
+func (e *Executor) Done() bool { return len(e.pending) == 0 }
+
+// Moved returns the number of moves executed so far.
+func (e *Executor) Moved() int { return e.moved }
+
+// Rounds returns the number of throttled Step calls made so far.
+func (e *Executor) Rounds() int { return e.rounds }
+
+// Remaining returns the number of moves not yet executed.
+func (e *Executor) Remaining() int { return len(e.pending) }
+
+// ExecuteAll runs the whole plan without throttling (an offline
+// reorganization with the server down) and returns the number of blocks
+// moved.
+func (e *Executor) ExecuteAll() (int, error) {
+	n := 0
+	for len(e.pending) > 0 {
+		if err := e.executeOne(e.pending[0]); err != nil {
+			return n, err
+		}
+		e.pending = e.pending[1:]
+		n++
+	}
+	return n, nil
+}
+
+// Step executes moves while per-disk I/O budget remains: each move consumes
+// one read on the source and one write on the destination. budget is
+// indexed by plan-space logical disk; it is decremented in place. Moves
+// whose source or destination budget is exhausted are skipped and stay
+// pending for the next round, so one saturated disk does not stall the whole
+// migration.
+func (e *Executor) Step(budget []int) (moved int, err error) {
+	e.rounds++
+	kept := e.pending[:0]
+	for i, m := range e.pending {
+		if m.From >= len(budget) || m.To >= len(budget) {
+			kept = append(kept, e.pending[i:]...)
+			e.pending = kept
+			return moved, fmt.Errorf("reorg: move endpoints %d→%d outside budget of %d disks", m.From, m.To, len(budget))
+		}
+		if budget[m.From] <= 0 || budget[m.To] <= 0 {
+			kept = append(kept, m)
+			continue
+		}
+		if err := e.executeOne(m); err != nil {
+			kept = append(kept, e.pending[i+1:]...)
+			e.pending = kept
+			return moved, err
+		}
+		budget[m.From]--
+		budget[m.To]--
+		moved++
+	}
+	e.pending = kept
+	return moved, nil
+}
+
+// executeOne performs one move against the physical disks.
+func (e *Executor) executeOne(m Move) error {
+	src, err := e.diskOf(m.From)
+	if err != nil {
+		return fmt.Errorf("reorg: resolving source of %+v: %w", m, err)
+	}
+	dst, err := e.diskOf(m.To)
+	if err != nil {
+		return fmt.Errorf("reorg: resolving destination of %+v: %w", m, err)
+	}
+	id := e.blockID(m.Block)
+	if err := src.Remove(id); err != nil {
+		return fmt.Errorf("reorg: %w", err)
+	}
+	if err := dst.Store(id); err != nil {
+		return fmt.Errorf("reorg: %w", err)
+	}
+	src.RecordMigration()
+	dst.RecordMigration()
+	delete(e.pendingBy, m.Block)
+	e.moved++
+	return nil
+}

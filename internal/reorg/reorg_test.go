@@ -1,0 +1,340 @@
+package reorg
+
+import (
+	"testing"
+
+	"scaddar/internal/disk"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// harness wires a scaddar strategy, a block universe, and a physical array
+// loaded accordingly.
+type harness struct {
+	strat  *placement.Scaddar
+	blocks []placement.BlockRef
+	array  *disk.Array
+}
+
+func newHarness(t *testing.T, n0, nobj, blocksPer int) *harness {
+	t.Helper()
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(n0, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	array, err := disk.NewArray(n0, disk.Cheetah73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{strat: strat, array: array}
+	for o := 0; o < nobj; o++ {
+		for i := 0; i < blocksPer; i++ {
+			b := placement.BlockRef{Seed: uint64(o + 1), Index: uint64(i)}
+			h.blocks = append(h.blocks, b)
+			d, err := array.Disk(strat.Disk(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Store(blockIDOf(b)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return h
+}
+
+// blockIDOf packs a reference for the test harness.
+func blockIDOf(b placement.BlockRef) disk.BlockID {
+	return disk.BlockID(b.Seed<<32 | b.Index)
+}
+
+// verify checks that every block sits on the disk the strategy names.
+func (h *harness) verify(t *testing.T) {
+	t.Helper()
+	for _, b := range h.blocks {
+		d, err := h.array.Disk(h.strat.Disk(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Has(blockIDOf(b)) {
+			t.Fatalf("block %+v not on expected disk %d", b, d.ID())
+		}
+	}
+}
+
+func TestPlanAddAndExecuteAll(t *testing.T) {
+	h := newHarness(t, 6, 10, 200)
+	plan, err := PlanAdd(h.strat, h.blocks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NBefore != 6 || plan.NAfter != 8 || plan.Blocks != len(h.blocks) {
+		t.Fatalf("plan header %+v", plan)
+	}
+	// Movement near z_j = 0.25.
+	if f := plan.MoveFraction(); f < plan.OptimalFraction()-0.04 || f > plan.OptimalFraction()+0.04 {
+		t.Fatalf("move fraction %.3f, want ~%.3f", f, plan.OptimalFraction())
+	}
+	// Every move goes to an added disk.
+	for _, m := range plan.Moves {
+		if m.To < 6 || m.To >= 8 {
+			t.Fatalf("move to old disk: %+v", m)
+		}
+	}
+	if _, err := h.array.Add(2, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := exec.ExecuteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(plan.Moves) || !exec.Done() || exec.Remaining() != 0 {
+		t.Fatalf("executed %d of %d", n, len(plan.Moves))
+	}
+	h.verify(t)
+}
+
+func TestPlanRemoveAndExecuteAll(t *testing.T) {
+	h := newHarness(t, 8, 10, 200)
+	// Count blocks on doomed logical disks 2 and 5 before the plan.
+	doomed := 0
+	for _, b := range h.blocks {
+		d := h.strat.Disk(b)
+		if d == 2 || d == 5 {
+			doomed++
+		}
+	}
+	plan, err := PlanRemove(h.strat, h.blocks, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NBefore != 8 || plan.NAfter != 6 {
+		t.Fatalf("plan header %+v", plan)
+	}
+	if len(plan.Moves) != doomed {
+		t.Fatalf("plan moves %d blocks, want exactly the %d on doomed disks", len(plan.Moves), doomed)
+	}
+	for _, m := range plan.Moves {
+		if m.From != 2 && m.From != 5 {
+			t.Fatalf("move from surviving disk: %+v", m)
+		}
+		if m.To == 2 || m.To == 5 || m.To < 0 || m.To >= 8 {
+			t.Fatalf("move to invalid destination: %+v", m)
+		}
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.ExecuteAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Doomed disks must be empty; then detach them.
+	for _, logical := range []int{2, 5} {
+		d, _ := h.array.Disk(logical)
+		if d.Len() != 0 {
+			t.Fatalf("doomed disk %d still holds %d blocks", logical, d.Len())
+		}
+	}
+	if _, err := h.array.Remove(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	h.verify(t)
+}
+
+func TestThrottledStep(t *testing.T) {
+	h := newHarness(t, 4, 10, 200)
+	plan, err := PlanAdd(h.strat, h.blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.array.Add(1, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for !exec.Done() {
+		budget := make([]int, 5)
+		for i := range budget {
+			budget[i] = 20
+		}
+		moved, err := exec.Step(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The destination (disk 4) caps throughput at 20 moves/round.
+		if moved > 20 {
+			t.Fatalf("round moved %d, budget allows 20", moved)
+		}
+		rounds++
+		if rounds > 10000 {
+			t.Fatal("throttled migration did not converge")
+		}
+	}
+	if exec.Rounds() != rounds {
+		t.Fatalf("Rounds() = %d, want %d", exec.Rounds(), rounds)
+	}
+	wantRounds := (len(plan.Moves) + 19) / 20
+	if rounds != wantRounds {
+		t.Fatalf("took %d rounds, want %d for %d moves at 20/round", rounds, wantRounds, len(plan.Moves))
+	}
+	h.verify(t)
+}
+
+func TestStepSkipsExhaustedDisks(t *testing.T) {
+	h := newHarness(t, 4, 10, 100)
+	plan, err := PlanAdd(h.strat, h.blocks, 2) // destinations 4 and 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.array.Add(2, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give budget only to disk 5 (and sources): moves to 4 must wait, moves
+	// to 5 must proceed.
+	budget := []int{1000, 1000, 1000, 1000, 0, 1000}
+	moved, err := exec.Step(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to5 := 0
+	for _, m := range plan.Moves {
+		if m.To == 5 {
+			to5++
+		}
+	}
+	if moved != to5 {
+		t.Fatalf("moved %d, want all %d moves destined to disk 5", moved, to5)
+	}
+	if exec.Remaining() != len(plan.Moves)-to5 {
+		t.Fatalf("remaining %d, want %d", exec.Remaining(), len(plan.Moves)-to5)
+	}
+}
+
+func TestPendingSource(t *testing.T) {
+	h := newHarness(t, 4, 5, 100)
+	plan, err := PlanAdd(h.strat, h.blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Fatal("plan has no moves")
+	}
+	if _, err := h.array.Add(1, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := plan.Moves[0]
+	if from, pending := exec.PendingSource(m0.Block); !pending || from != m0.From {
+		t.Fatalf("PendingSource = %d %v, want %d true", from, pending, m0.From)
+	}
+	// A block with no move is not pending.
+	var still placement.BlockRef
+	found := false
+	moveSet := make(map[placement.BlockRef]bool)
+	for _, m := range plan.Moves {
+		moveSet[m.Block] = true
+	}
+	for _, b := range h.blocks {
+		if !moveSet[b] {
+			still, found = b, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no staying block found")
+	}
+	if _, pending := exec.PendingSource(still); pending {
+		t.Fatal("staying block reported pending")
+	}
+	if _, err := exec.ExecuteAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, pending := exec.PendingSource(m0.Block); pending {
+		t.Fatal("executed move still reported pending")
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	if _, err := NewExecutor(nil, blockIDOf, nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	plan := &Plan{}
+	if _, err := NewExecutor(plan, nil, func(int) (*disk.Disk, error) { return nil, nil }); err == nil {
+		t.Error("nil blockID accepted")
+	}
+	if _, err := NewExecutor(plan, blockIDOf, nil); err == nil {
+		t.Error("nil diskOf accepted")
+	}
+}
+
+func TestStepBudgetTooShort(t *testing.T) {
+	h := newHarness(t, 4, 2, 50)
+	plan, err := PlanAdd(h.strat, h.blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.array.Add(1, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Step([]int{5, 5}); err == nil {
+		t.Fatal("short budget accepted")
+	}
+	// The executor must still be able to finish afterwards.
+	if _, err := exec.ExecuteAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Done() {
+		t.Fatal("executor not done after recovery")
+	}
+	h.verify(t)
+}
+
+func TestMoveFractionEmptyPlan(t *testing.T) {
+	p := &Plan{NBefore: 4, NAfter: 5}
+	if p.MoveFraction() != 0 {
+		t.Fatal("empty plan has nonzero move fraction")
+	}
+	if p.OptimalFraction() != 0.2 {
+		t.Fatalf("optimal fraction = %g", p.OptimalFraction())
+	}
+}
+
+// TestExecuteAllTwice ensures idempotence of completion.
+func TestExecuteAllTwice(t *testing.T) {
+	h := newHarness(t, 4, 2, 50)
+	plan, err := PlanAdd(h.strat, h.blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.array.Add(1, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, _ := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if _, err := exec.ExecuteAll(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := exec.ExecuteAll()
+	if err != nil || n != 0 {
+		t.Fatalf("second ExecuteAll = %d, %v", n, err)
+	}
+}

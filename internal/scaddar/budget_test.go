@@ -1,0 +1,253 @@
+package scaddar
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"scaddar/internal/prng"
+)
+
+// TestRuleOfThumbPaperExample reproduces the Section 4.3 worked example:
+// "if we have an average of sixteen disks, desire ε ≈ 1%, and are using a
+// 64-bit random number generator ... a total of 13 disk addition/removal
+// operations can be supported."
+func TestRuleOfThumbPaperExample(t *testing.T) {
+	if got := RuleOfThumb(64, 0.01, 16); got != 13 {
+		t.Fatalf("RuleOfThumb(64, 1%%, 16) = %d, want 13", got)
+	}
+}
+
+// TestRuleOfThumbSection5Setting reproduces the Section 5 simulation
+// setting: "we find k ≈ 8 where ε ≈ 5%, N̄ = 8 and b = 32".
+func TestRuleOfThumbSection5Setting(t *testing.T) {
+	if got := RuleOfThumb(32, 0.05, 8); got != 8 {
+		t.Fatalf("RuleOfThumb(32, 5%%, 8) = %d, want 8", got)
+	}
+}
+
+func TestRuleOfThumbDegenerate(t *testing.T) {
+	if got := RuleOfThumb(0, 0.01, 16); got != 0 {
+		t.Errorf("zero bits: %d", got)
+	}
+	if got := RuleOfThumb(64, 0, 16); got != 0 {
+		t.Errorf("zero eps: %d", got)
+	}
+	if got := RuleOfThumb(64, 0.01, 1); got != 0 {
+		t.Errorf("one disk: %d", got)
+	}
+	// Tiny budget: 8 bits with 16 disks cannot guarantee 1%.
+	if got := RuleOfThumb(8, 0.01, 16); got != 0 {
+		t.Errorf("8-bit budget: %d", got)
+	}
+}
+
+func TestNewBudgetValidation(t *testing.T) {
+	if _, err := NewBudget(0, 4); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := NewBudget(65, 4); err == nil {
+		t.Error("65 bits accepted")
+	}
+	if _, err := NewBudget(32, 0); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestMustNewBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewBudget(0, 4) did not panic")
+		}
+	}()
+	MustNewBudget(0, 4)
+}
+
+func TestBudgetRecordAndMu(t *testing.T) {
+	b := MustNewBudget(32, 4)
+	if b.Mu().Int64() != 4 {
+		t.Fatalf("initial mu = %v, want 4", b.Mu())
+	}
+	if err := b.Record(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Record(6); err != nil {
+		t.Fatal(err)
+	}
+	if b.Mu().Int64() != 4*5*6 {
+		t.Fatalf("mu = %v, want 120", b.Mu())
+	}
+	if b.Ops() != 2 {
+		t.Fatalf("ops = %d, want 2", b.Ops())
+	}
+	if err := b.Record(0); err == nil {
+		t.Error("record of zero disks accepted")
+	}
+	// Mu must return a copy.
+	b.Mu().SetInt64(999)
+	if b.Mu().Int64() != 120 {
+		t.Fatal("Mu leaked internal state")
+	}
+}
+
+func TestBudgetTolerance(t *testing.T) {
+	// b=16: R0 = 65535. eps=0.05: bound = 65535*0.05/1.05 ~ 3120.7.
+	b := MustNewBudget(16, 8)
+	if !b.WithinTolerance(0.05) {
+		t.Fatal("mu=8 should be within tolerance")
+	}
+	b.Record(9)  // 72
+	b.Record(10) // 720
+	if !b.WithinTolerance(0.05) {
+		t.Fatal("mu=720 should be within tolerance")
+	}
+	if !b.NextWithinTolerance(4, 0.05) { // 2880 <= 3120
+		t.Fatal("mu=2880 should be within tolerance")
+	}
+	if b.NextWithinTolerance(5, 0.05) { // 3600 > 3120
+		t.Fatal("mu=3600 should exceed tolerance")
+	}
+	b.Record(5)
+	if b.WithinTolerance(0.05) {
+		t.Fatal("recorded beyond tolerance but still reported within")
+	}
+	if b.WithinTolerance(0) || b.WithinTolerance(-1) {
+		t.Fatal("non-positive tolerance accepted")
+	}
+}
+
+func TestBudgetGuaranteedUnfairness(t *testing.T) {
+	b := MustNewBudget(16, 8)
+	// R0/mu = 65535/8 ~ 8191.9 -> f ~ 1/8190.9.
+	f := b.GuaranteedUnfairness()
+	if f <= 0 || f > 1.0/8000 {
+		t.Fatalf("f = %g, want ~1/8191", f)
+	}
+	// Exhaust the range: mu >= R0 -> +Inf.
+	for i := 0; i < 6; i++ {
+		b.Record(8)
+	}
+	// mu = 8^7 = 2097152 > 65535.
+	if f := b.GuaranteedUnfairness(); !math.IsInf(f, 1) {
+		t.Fatalf("exhausted budget f = %g, want +Inf", f)
+	}
+}
+
+func TestBudgetRangeAfter(t *testing.T) {
+	b := MustNewBudget(16, 8)
+	if got := b.RangeAfter(); got.Cmp(big.NewInt(8191)) != 0 {
+		t.Fatalf("RangeAfter = %v, want 8191", got)
+	}
+	b.Record(10)
+	if got := b.RangeAfter(); got.Cmp(big.NewInt(819)) != 0 {
+		t.Fatalf("RangeAfter = %v, want 819", got)
+	}
+}
+
+func TestBudgetReset(t *testing.T) {
+	b := MustNewBudget(16, 8)
+	b.Record(9)
+	b.Record(10)
+	if err := b.Reset(12); err != nil {
+		t.Fatal(err)
+	}
+	if b.Ops() != 0 || b.Mu().Int64() != 12 {
+		t.Fatalf("after reset: ops=%d mu=%v", b.Ops(), b.Mu())
+	}
+	if err := b.Reset(0); err == nil {
+		t.Error("reset with zero disks accepted")
+	}
+}
+
+// TestMaxOpsExactMatchesRuleOfThumb checks that for a constant-size array
+// the exact Lemma 4.3 simulation and the rule of thumb agree to within one
+// operation (the rule of thumb is an approximation via the geometric mean).
+func TestMaxOpsExactMatchesRuleOfThumb(t *testing.T) {
+	cases := []struct {
+		bits uint
+		n    int
+		eps  float64
+	}{
+		{64, 16, 0.01},
+		{32, 8, 0.05},
+		{48, 10, 0.02},
+		{32, 4, 0.01},
+	}
+	for _, c := range cases {
+		exact, err := MaxOpsExact(c.bits, c.n, c.eps, func(int) int { return c.n }, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thumb := RuleOfThumb(c.bits, c.eps, float64(c.n))
+		if exact < thumb-1 || exact > thumb+1 {
+			t.Errorf("b=%d n=%d eps=%g: exact %d vs rule-of-thumb %d", c.bits, c.n, c.eps, exact, thumb)
+		}
+	}
+}
+
+func TestMaxOpsExactErrors(t *testing.T) {
+	if _, err := MaxOpsExact(0, 4, 0.05, func(int) int { return 4 }, 10); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := MaxOpsExact(32, 4, 0.05, func(int) int { return 0 }, 10); err == nil {
+		t.Error("zero-disk trajectory accepted")
+	}
+}
+
+func TestBudgetFor(t *testing.T) {
+	h := MustNewHistory(8)
+	h.Add(1) // 9
+	h.Add(1) // 10
+	b, err := BudgetFor(prng.NewPCG32(1), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bits() != 32 {
+		t.Fatalf("bits = %d, want 32", b.Bits())
+	}
+	if b.Mu().Int64() != 8*9*10 {
+		t.Fatalf("mu = %v, want 720", b.Mu())
+	}
+}
+
+// TestBudgetPredictsEmpiricalUnfairness checks the bound is sound: the
+// empirical unfairness of a SCADDAR placement never exceeds the analytical
+// guarantee while the budget is within tolerance. We use a small width so
+// the bound is within measurable reach.
+func TestBudgetPredictsEmpiricalUnfairness(t *testing.T) {
+	const (
+		bits   = 24
+		n0     = 4
+		blocks = 1 << 18
+		eps    = 0.30
+	)
+	h := MustNewHistory(n0)
+	b := MustNewBudget(bits, n0)
+	src := prng.Truncate(prng.NewSplitMix64(77), bits).(prng.Indexed)
+	for op := 0; op < 4; op++ {
+		if !b.NextWithinTolerance(h.N()+1, eps) {
+			break
+		}
+		h.Add(1)
+		b.Record(h.N())
+		counts := make([]int, h.N())
+		for i := 0; i < blocks; i++ {
+			counts[h.Locate(src.At(uint64(i)))]++
+		}
+		// The analytical bound is on expected loads; empirical counts add
+		// sampling noise of about 1/sqrt(blocks/N) ≈ 1.3%, far below eps.
+		min, max := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		got := float64(max)/float64(min) - 1
+		if got > eps+0.05 {
+			t.Fatalf("after %d ops empirical unfairness %.4f exceeds tolerance %.2f", h.Ops(), got, eps)
+		}
+	}
+}

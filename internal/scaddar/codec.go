@@ -1,0 +1,177 @@
+package scaddar
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file gives History durable encodings. The paper's point is that
+// SCADDAR needs "only a storage structure for recording scaling operations,
+// which is significantly less than the number of all block locations"; these
+// codecs make that structure concrete: a JSON form for configuration files
+// and debugging, and a compact varint binary form for on-disk metadata.
+
+// historyJSON is the exported wire shape of a History.
+type historyJSON struct {
+	N0  int  `json:"n0"`
+	Ops []Op `json:"ops"`
+}
+
+// MarshalJSON encodes the history as {"n0": ..., "ops": [...]}.
+func (h *History) MarshalJSON() ([]byte, error) {
+	return json.Marshal(historyJSON{N0: h.n0, Ops: h.ops})
+}
+
+// UnmarshalJSON decodes and validates a history by replaying its operations,
+// so a corrupt log cannot produce an inconsistent History.
+func (h *History) UnmarshalJSON(data []byte) error {
+	var w historyJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	r, err := replay(w.N0, w.Ops)
+	if err != nil {
+		return err
+	}
+	*h = *r
+	return nil
+}
+
+// replay rebuilds a History from raw operations, re-validating each step.
+func replay(n0 int, ops []Op) (*History, error) {
+	h, err := NewHistory(n0)
+	if err != nil {
+		return nil, err
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpAdd:
+			if op.NBefore != h.N() {
+				return nil, fmt.Errorf("scaddar: op %d: nBefore %d, want %d", i+1, op.NBefore, h.N())
+			}
+			if _, err := h.Add(op.NAfter - op.NBefore); err != nil {
+				return nil, fmt.Errorf("scaddar: op %d: %w", i+1, err)
+			}
+		case OpRemove:
+			if op.NBefore != h.N() {
+				return nil, fmt.Errorf("scaddar: op %d: nBefore %d, want %d", i+1, op.NBefore, h.N())
+			}
+			rec, err := h.Remove(op.Removed...)
+			if err != nil {
+				return nil, fmt.Errorf("scaddar: op %d: %w", i+1, err)
+			}
+			if rec.NAfter != op.NAfter {
+				return nil, fmt.Errorf("scaddar: op %d: nAfter %d, want %d", i+1, op.NAfter, rec.NAfter)
+			}
+		default:
+			return nil, fmt.Errorf("scaddar: op %d: unknown kind %d", i+1, op.Kind)
+		}
+	}
+	return h, nil
+}
+
+// binaryMagic guards the binary history encoding ("SCDR" + version 1).
+var binaryMagic = [4]byte{'S', 'C', 'D', 'R'}
+
+const binaryVersion = 1
+
+// AppendBinary encodes the history into a compact varint form:
+//
+//	magic(4) version(uvarint) n0(uvarint) nops(uvarint)
+//	then per op: kind(uvarint), and for adds count(uvarint), for removes
+//	count(uvarint) followed by delta-encoded removed indices.
+func (h *History) AppendBinary(dst []byte) []byte {
+	dst = append(dst, binaryMagic[:]...)
+	dst = binary.AppendUvarint(dst, binaryVersion)
+	dst = binary.AppendUvarint(dst, uint64(h.n0))
+	dst = binary.AppendUvarint(dst, uint64(len(h.ops)))
+	for _, op := range h.ops {
+		dst = binary.AppendUvarint(dst, uint64(op.Kind))
+		dst = binary.AppendUvarint(dst, uint64(op.Count()))
+		if op.Kind == OpRemove {
+			prev := 0
+			for _, r := range op.Removed {
+				dst = binary.AppendUvarint(dst, uint64(r-prev))
+				prev = r
+			}
+		}
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *History) MarshalBinary() ([]byte, error) {
+	return h.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replaying and
+// re-validating the encoded operations.
+func (h *History) UnmarshalBinary(data []byte) error {
+	rd := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(rd, magic[:]); err != nil {
+		return fmt.Errorf("scaddar: binary history: %w", err)
+	}
+	if magic != binaryMagic {
+		return fmt.Errorf("scaddar: binary history: bad magic %q", magic[:])
+	}
+	version, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("scaddar: binary history: %w", err)
+	}
+	if version != binaryVersion {
+		return fmt.Errorf("scaddar: binary history: unsupported version %d", version)
+	}
+	n0u, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("scaddar: binary history: %w", err)
+	}
+	nops, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("scaddar: binary history: %w", err)
+	}
+	out, err := NewHistory(int(n0u))
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nops; i++ {
+		kindU, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return fmt.Errorf("scaddar: binary history op %d: %w", i+1, err)
+		}
+		count, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return fmt.Errorf("scaddar: binary history op %d: %w", i+1, err)
+		}
+		switch OpKind(kindU) {
+		case OpAdd:
+			if _, err := out.Add(int(count)); err != nil {
+				return fmt.Errorf("scaddar: binary history op %d: %w", i+1, err)
+			}
+		case OpRemove:
+			removed := make([]int, count)
+			prev := 0
+			for k := range removed {
+				delta, err := binary.ReadUvarint(rd)
+				if err != nil {
+					return fmt.Errorf("scaddar: binary history op %d: %w", i+1, err)
+				}
+				prev += int(delta)
+				removed[k] = prev
+			}
+			if _, err := out.Remove(removed...); err != nil {
+				return fmt.Errorf("scaddar: binary history op %d: %w", i+1, err)
+			}
+		default:
+			return fmt.Errorf("scaddar: binary history op %d: unknown kind %d", i+1, kindU)
+		}
+	}
+	if rd.Len() != 0 {
+		return fmt.Errorf("scaddar: binary history: %d trailing bytes", rd.Len())
+	}
+	*h = *out
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package scaddar implements SCADDAR (SCAling Disks for Data Arranged
+// Randomly), the block-remapping technique of Goel, Shahabi, Yao and
+// Zimmermann (USC TR 742, 2001 / ICDE 2002) for reorganizing pseudo-randomly
+// placed continuous-media blocks when disks are added to or removed from a
+// storage array.
+//
+// # Model
+//
+// Every block i of an object m has a b-bit pseudo-random number X(i)_0
+// produced by a seeded generator p_r(s_m); before any scaling the block
+// lives on disk D(i)_0 = X(i)_0 mod N_0. A scaling operation j changes the
+// disk count from N_{j-1} to N_j by adding or removing a disk group. SCADDAR
+// defines, per operation, a REMAP_j function taking X_{j-1} to X_j such that
+// D_j = X_j mod N_j and:
+//
+//   - RO1 (minimal movement): only z_j = (N_j-N_{j-1})/N_j of all blocks
+//     change disks on addition, and exactly the blocks of removed disks on
+//     removal;
+//   - RO2 (randomness): moved blocks land uniformly on the added disks
+//     (addition) or the surviving disks (removal), because each REMAP_j
+//     draws on the fresh randomness q_{j-1} = X_{j-1} div N_{j-1};
+//   - AO1 (cheap access): locating a block after j operations costs a chain
+//     of j integer mod/div steps — no directory.
+//
+// The package exposes the remap chain through History (the ordered log of
+// scaling operations — the only persistent state SCADDAR needs besides
+// per-object seeds), Array (History plus a physical-disk naming layer), a
+// Locator that binds a History to per-object pseudo-random sequences, and
+// Budget, which tracks the shrinking random range and decides — exactly as
+// Section 4.3 prescribes — when the next operation would push the unfairness
+// coefficient past a tolerance ε and a full redistribution is warranted.
+//
+// # Numbering
+//
+// The remap arithmetic works on *logical* disk indices 0..N_j-1; after a
+// removal the survivors are compacted (the paper's new() function). Mapping
+// a logical index to a stable physical disk identity (the paper's final
+// "the 4-th disk is Disk 5" step) is the job of Array.
+package scaddar

@@ -1,0 +1,121 @@
+package scaddar
+
+import (
+	"fmt"
+)
+
+// This file implements capacity planning over future scaling operations:
+// given where an array is today (its history and generator width) and a
+// list of planned operations, Forecast computes each operation's expected
+// block movement (the z_j of Definition 3.4), the cumulative I/O, and the
+// randomness-budget trajectory, flagging the operation after which the
+// paper recommends a complete redistribution. Operators can evaluate a
+// growth plan — and compare batched against incremental variants — before
+// touching a single block.
+
+// PlannedOp is one future scaling operation.
+type PlannedOp struct {
+	// Add is the number of disks to add (exclusive with Remove).
+	Add int
+	// Remove is the number of disks to remove.
+	Remove int
+}
+
+// ForecastStep is the prediction for one planned operation.
+type ForecastStep struct {
+	// Op is 1-based among the planned operations.
+	Op int
+	// NBefore and NAfter are the disk counts around the operation.
+	NBefore, NAfter int
+	// MoveFraction is z_j, the expected fraction of all blocks moved.
+	MoveFraction float64
+	// CumulativeMoves is the expected total per-block move count so far
+	// (a block can move more than once across operations).
+	CumulativeMoves float64
+	// WithinTolerance reports whether the Lemma 4.3 precondition still
+	// holds after this operation.
+	WithinTolerance bool
+	// GuaranteedUnfairness is the analytical bound after this operation.
+	GuaranteedUnfairness float64
+}
+
+// Forecast is the full plan evaluation.
+type Forecast struct {
+	Steps []ForecastStep
+	// RedistributeAfter is the 1-based index of the last operation the
+	// budget supports; operations beyond it need a complete redistribution
+	// first. Zero means even the first operation breaks the budget;
+	// len(Steps) means the whole plan fits.
+	RedistributeAfter int
+}
+
+// ForecastPlan evaluates planned operations against the current state. The
+// history may be freshly created (a new array) or carry past operations;
+// bits is the generator width and eps the unfairness tolerance.
+func ForecastPlan(hist *History, bits uint, eps float64, plan []PlannedOp) (*Forecast, error) {
+	if hist == nil {
+		return nil, fmt.Errorf("scaddar: forecast needs a history")
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("scaddar: forecast tolerance %g outside (0,1)", eps)
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("scaddar: empty plan")
+	}
+	budget, err := NewBudget(bits, hist.N0())
+	if err != nil {
+		return nil, err
+	}
+	for j := 1; j <= hist.Ops(); j++ {
+		if err := budget.Record(hist.NAt(j)); err != nil {
+			return nil, err
+		}
+	}
+
+	f := &Forecast{}
+	n := hist.N()
+	cumulative := 0.0
+	supported := true
+	for i, op := range plan {
+		if (op.Add > 0) == (op.Remove > 0) {
+			return nil, fmt.Errorf("scaddar: plan op %d must add or remove, not both/neither", i+1)
+		}
+		var nAfter int
+		if op.Add > 0 {
+			nAfter = n + op.Add
+		} else {
+			nAfter = n - op.Remove
+			if nAfter < 1 {
+				return nil, fmt.Errorf("scaddar: plan op %d removes %d of %d disks", i+1, op.Remove, n)
+			}
+		}
+		var z float64
+		if nAfter > n {
+			z = float64(nAfter-n) / float64(nAfter)
+		} else {
+			z = float64(n-nAfter) / float64(n)
+		}
+		cumulative += z
+		if err := budget.Record(nAfter); err != nil {
+			return nil, err
+		}
+		within := budget.WithinTolerance(eps)
+		if within && supported {
+			f.RedistributeAfter = i + 1
+		}
+		if !within {
+			supported = false
+		}
+		f.Steps = append(f.Steps, ForecastStep{
+			Op:                   i + 1,
+			NBefore:              n,
+			NAfter:               nAfter,
+			MoveFraction:         z,
+			CumulativeMoves:      cumulative,
+			WithinTolerance:      within,
+			GuaranteedUnfairness: budget.GuaranteedUnfairness(),
+		})
+		n = nAfter
+	}
+	return f, nil
+}

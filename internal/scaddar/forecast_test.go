@@ -1,0 +1,123 @@
+package scaddar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForecastValidation(t *testing.T) {
+	h := MustNewHistory(8)
+	if _, err := ForecastPlan(nil, 32, 0.05, []PlannedOp{{Add: 1}}); err == nil {
+		t.Error("nil history accepted")
+	}
+	if _, err := ForecastPlan(h, 32, 0, []PlannedOp{{Add: 1}}); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := ForecastPlan(h, 32, 0.05, nil); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := ForecastPlan(h, 32, 0.05, []PlannedOp{{}}); err == nil {
+		t.Error("no-op plan entry accepted")
+	}
+	if _, err := ForecastPlan(h, 32, 0.05, []PlannedOp{{Add: 1, Remove: 1}}); err == nil {
+		t.Error("add+remove entry accepted")
+	}
+	if _, err := ForecastPlan(h, 32, 0.05, []PlannedOp{{Remove: 8}}); err == nil {
+		t.Error("total removal accepted")
+	}
+}
+
+func TestForecastMoveFractions(t *testing.T) {
+	h := MustNewHistory(8)
+	f, err := ForecastPlan(h, 64, 0.01, []PlannedOp{{Add: 2}, {Remove: 1}, {Add: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Steps) != 3 {
+		t.Fatalf("steps = %d", len(f.Steps))
+	}
+	wantZ := []float64{2.0 / 10, 1.0 / 10, 3.0 / 12}
+	wantN := [][2]int{{8, 10}, {10, 9}, {9, 12}}
+	cum := 0.0
+	for i, s := range f.Steps {
+		if s.NBefore != wantN[i][0] || s.NAfter != wantN[i][1] {
+			t.Errorf("step %d: %d->%d, want %v", i+1, s.NBefore, s.NAfter, wantN[i])
+		}
+		if math.Abs(s.MoveFraction-wantZ[i]) > 1e-12 {
+			t.Errorf("step %d: z = %g, want %g", i+1, s.MoveFraction, wantZ[i])
+		}
+		cum += wantZ[i]
+		if math.Abs(s.CumulativeMoves-cum) > 1e-12 {
+			t.Errorf("step %d: cumulative = %g, want %g", i+1, s.CumulativeMoves, cum)
+		}
+		if !s.WithinTolerance {
+			t.Errorf("step %d: 64-bit budget should hold", i+1)
+		}
+	}
+	if f.RedistributeAfter != 3 {
+		t.Fatalf("RedistributeAfter = %d, want 3 (whole plan fits)", f.RedistributeAfter)
+	}
+}
+
+func TestForecastFlagsBudgetBreak(t *testing.T) {
+	// b=32, eps=5%, start at 4 disks, 10 single adds: the 9th breaks the
+	// budget (the E2 protocol).
+	h := MustNewHistory(4)
+	plan := make([]PlannedOp, 10)
+	for i := range plan {
+		plan[i] = PlannedOp{Add: 1}
+	}
+	f, err := ForecastPlan(h, 32, 0.05, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RedistributeAfter != 8 {
+		t.Fatalf("RedistributeAfter = %d, want 8", f.RedistributeAfter)
+	}
+	if f.Steps[7].WithinTolerance != true || f.Steps[8].WithinTolerance != false {
+		t.Fatalf("tolerance flags wrong around the break: %+v %+v", f.Steps[7], f.Steps[8])
+	}
+}
+
+func TestForecastResumesExistingHistory(t *testing.T) {
+	// A history that already consumed budget leaves less for the plan.
+	h := MustNewHistory(4)
+	for i := 0; i < 6; i++ {
+		h.Add(1)
+	}
+	plan := make([]PlannedOp, 5)
+	for i := range plan {
+		plan[i] = PlannedOp{Add: 1}
+	}
+	f, err := ForecastPlan(h, 32, 0.05, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ops already done; only 2 more fit (8 total supported).
+	if f.RedistributeAfter != 2 {
+		t.Fatalf("RedistributeAfter = %d, want 2", f.RedistributeAfter)
+	}
+}
+
+func TestForecastBatchedBeatsIncremental(t *testing.T) {
+	h := MustNewHistory(8)
+	batched, err := ForecastPlan(h, 32, 0.05, []PlannedOp{{Add: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ForecastPlan(MustNewHistory(8), 32, 0.05,
+		[]PlannedOp{{Add: 1}, {Add: 1}, {Add: 1}, {Add: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTotal := batched.Steps[len(batched.Steps)-1].CumulativeMoves
+	iTotal := inc.Steps[len(inc.Steps)-1].CumulativeMoves
+	if bTotal >= iTotal {
+		t.Fatalf("batched cumulative %g not below incremental %g", bTotal, iTotal)
+	}
+	bBound := batched.Steps[len(batched.Steps)-1].GuaranteedUnfairness
+	iBound := inc.Steps[len(inc.Steps)-1].GuaranteedUnfairness
+	if bBound >= iBound {
+		t.Fatalf("batched bound %g not below incremental %g", bBound, iBound)
+	}
+}

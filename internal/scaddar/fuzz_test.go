@@ -1,0 +1,148 @@
+package scaddar
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzHistoryBinary feeds arbitrary bytes to the binary decoder: it must
+// never panic, and anything it accepts must re-encode to a log that decodes
+// to the same history.
+func FuzzHistoryBinary(f *testing.F) {
+	h := MustNewHistory(6)
+	h.Add(3)
+	h.Remove(1, 4)
+	seedData, _ := h.MarshalBinary()
+	f.Add(seedData)
+	f.Add([]byte{})
+	f.Add([]byte("SCDR"))
+	f.Add([]byte("SCDR\x01\x06\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back History
+		if err := back.UnmarshalBinary(data); err != nil {
+			return // rejected: fine
+		}
+		re, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted history failed to re-encode: %v", err)
+		}
+		var again History
+		if err := again.UnmarshalBinary(re); err != nil {
+			t.Fatalf("re-encoded history rejected: %v", err)
+		}
+		if again.String() != back.String() {
+			t.Fatalf("round trip changed history: %q vs %q", again.String(), back.String())
+		}
+		// An accepted history must be internally consistent.
+		if back.N() < 1 {
+			t.Fatalf("accepted history with %d disks", back.N())
+		}
+		for x0 := uint64(0); x0 < 64; x0++ {
+			if d := back.Locate(x0); d < 0 || d >= back.N() {
+				t.Fatalf("accepted history locates out of range: %d of %d", d, back.N())
+			}
+		}
+	})
+}
+
+// FuzzHistoryJSON does the same for the JSON codec.
+func FuzzHistoryJSON(f *testing.F) {
+	h := MustNewHistory(4)
+	h.Add(2)
+	seedData, _ := json.Marshal(h)
+	f.Add(seedData)
+	f.Add([]byte(`{"n0":4,"ops":[]}`))
+	f.Add([]byte(`{"n0":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back History
+		if err := json.Unmarshal(data, &back); err != nil {
+			return
+		}
+		re, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("accepted history failed to re-encode: %v", err)
+		}
+		var again History
+		if err := json.Unmarshal(re, &again); err != nil {
+			t.Fatalf("re-encoded history rejected: %v (%s)", err, re)
+		}
+		if !bytes.Equal(re, mustJSON(t, &again)) {
+			t.Fatalf("JSON round trip unstable")
+		}
+	})
+}
+
+func mustJSON(t *testing.T, h *History) []byte {
+	t.Helper()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzRemapChain fuzzes the remap arithmetic over a derived operation
+// schedule: the chain must stay deterministic and in range, movers on adds
+// must land on added disks, and stayers on removals must keep their
+// physical disks.
+func FuzzRemapChain(f *testing.F) {
+	f.Add(uint64(28), uint8(6), uint16(0x1234))
+	f.Add(uint64(41), uint8(6), uint16(0xFFFF))
+	f.Add(^uint64(0), uint8(2), uint16(1))
+	f.Fuzz(func(t *testing.T, x0 uint64, n0Raw uint8, schedule uint16) {
+		n0 := int(n0Raw%16) + 1
+		h := MustNewHistory(n0)
+		// Derive up to 8 operations from the schedule bits.
+		for op := 0; op < 8; op++ {
+			bits := (schedule >> (op * 2)) & 3
+			switch {
+			case bits == 0:
+				if _, err := h.Add(1); err != nil {
+					t.Fatal(err)
+				}
+			case bits == 1:
+				if _, err := h.Add(int(bits) + 1); err != nil {
+					t.Fatal(err)
+				}
+			case h.N() > 1:
+				if _, err := h.Remove(int(schedule) % h.N()); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if _, err := h.Add(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		d1 := h.Locate(x0)
+		d2 := h.Locate(x0)
+		if d1 != d2 {
+			t.Fatal("Locate not deterministic")
+		}
+		if d1 < 0 || d1 >= h.N() {
+			t.Fatalf("disk %d outside [0,%d)", d1, h.N())
+		}
+		// Per-step invariants along the trace.
+		trace := h.Trace(x0)
+		for j := 1; j <= h.Ops(); j++ {
+			op := h.Op(j)
+			before := int(trace[j-1] % uint64(op.NBefore))
+			after := int(trace[j] % uint64(op.NAfter))
+			switch op.Kind {
+			case OpAdd:
+				if after != before && after < op.NBefore {
+					t.Fatalf("op %d: mover landed on old disk %d", j, after)
+				}
+			case OpRemove:
+				nw, gone := survivorIndex(before, op.Removed)
+				if gone {
+					continue // mover: any survivor is legal
+				}
+				if after != nw {
+					t.Fatalf("op %d: stayer moved from %d to %d (want %d)", j, before, after, nw)
+				}
+			}
+		}
+	})
+}

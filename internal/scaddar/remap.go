@@ -1,0 +1,69 @@
+package scaddar
+
+// This file holds the pure REMAP arithmetic of the paper's Section 4.2.
+// Everything operates on logical disk indices 0..N-1; the functions are
+// deliberately free of any History state so they can be property-tested in
+// isolation.
+
+// remapAdd applies Eq. 5 of the paper: REMAP_j for an addition operation
+// that grows the array from nBefore to nAfter disks. It returns the new
+// random number xj and whether the block moved (onto one of the added
+// disks).
+//
+// With q = x div nBefore, r = x mod nBefore and t = q mod nAfter:
+//
+//	t <  nBefore: block stays on r;   X_j = (q - t) + r
+//	t >= nBefore: block moves to t;   X_j = q
+//
+// In both cases X_j mod nAfter is the block's disk and X_j div nAfter is a
+// fresh random value for future operations.
+func remapAdd(x uint64, nBefore, nAfter int) (xj uint64, moved bool) {
+	nb := uint64(nBefore)
+	na := uint64(nAfter)
+	q := x / nb
+	r := x % nb
+	t := q % na
+	if t < nb {
+		return q - t + r, false
+	}
+	return q, true
+}
+
+// remapRemove applies Eq. 3 of the paper: REMAP_j for a removal operation.
+// removed lists the removed logical indices in the pre-operation numbering;
+// it must be sorted ascending and duplicate-free (History validates this).
+// nAfter = nBefore - len(removed).
+//
+// With q = x div nBefore, r = x mod nBefore:
+//
+//	r not removed: block stays;  X_j = q*nAfter + new(r)
+//	r removed:     block moves;  X_j = q, so D_j = q mod nAfter is uniform
+//	               over the survivors.
+func remapRemove(x uint64, nBefore, nAfter int, removed []int) (xj uint64, moved bool) {
+	nb := uint64(nBefore)
+	q := x / nb
+	r := int(x % nb)
+	nr, gone := survivorIndex(r, removed)
+	if gone {
+		return q, true
+	}
+	return q*uint64(nAfter) + uint64(nr), false
+}
+
+// survivorIndex implements the paper's new() function: the index of
+// pre-removal disk r in the compacted post-removal numbering. gone reports
+// that r itself was removed. removed must be sorted ascending.
+func survivorIndex(r int, removed []int) (newIndex int, gone bool) {
+	below := 0
+	for _, s := range removed {
+		if s == r {
+			return 0, true
+		}
+		if s < r {
+			below++
+		} else {
+			break
+		}
+	}
+	return r - below, false
+}

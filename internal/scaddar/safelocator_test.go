@@ -1,0 +1,175 @@
+package scaddar
+
+import (
+	"sync"
+	"testing"
+
+	"scaddar/internal/prng"
+)
+
+func TestSafeLocatorValidation(t *testing.T) {
+	h := MustNewHistory(4)
+	if _, err := NewSafeLocator(nil, splitMixFactory); err == nil {
+		t.Error("nil history accepted")
+	}
+	if _, err := NewSafeLocator(h, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestSafeLocatorMatchesLocator(t *testing.T) {
+	h := MustNewHistory(6)
+	h.Add(2)
+	h.Remove(1, 5)
+	plain, err := NewLocator(h, splitMixFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe, err := NewSafeLocator(h, splitMixFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		for i := uint64(0); i < 200; i++ {
+			a, err := plain.Disk(seed, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := safe.Disk(seed, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("seed %d block %d: plain %d, safe %d", seed, i, a, b)
+			}
+			if da, _ := plain.DiskAt(seed, i, 1); da >= h.NAt(1) {
+				t.Fatal("DiskAt out of range")
+			}
+		}
+	}
+	if safe.History() != h {
+		t.Fatal("history accessor broken")
+	}
+}
+
+// TestSafeLocatorConcurrent hammers the locator from many goroutines; run
+// with -race to verify the synchronization. Both the pure-At fast path
+// (SplitMix64) and the mutex-guarded path (PCG32 via SyncCached) are
+// exercised.
+func TestSafeLocatorConcurrent(t *testing.T) {
+	factories := map[string]SourceFactory{
+		"splitmix64": func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) },
+		"pcg32":      func(seed uint64) prng.Source { return prng.NewPCG32(seed) },
+		"trunc32":    func(seed uint64) prng.Source { return prng.Truncate(prng.NewSplitMix64(seed), 32) },
+	}
+	for name, factory := range factories {
+		t.Run(name, func(t *testing.T) {
+			h := MustNewHistory(8)
+			h.Add(2)
+			h.Remove(3)
+			safe, err := NewSafeLocator(h, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference answers computed single-threaded.
+			ref, err := NewLocator(h.Clone(), factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				goroutines = 8
+				perG       = 500
+			)
+			want := make([]int, perG)
+			for i := range want {
+				d, err := ref.Disk(uint64(i%4+1), uint64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = d
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						// Interleave access orders per goroutine.
+						idx := (i*7 + g*13) % perG
+						d, err := safe.Disk(uint64(idx%4+1), uint64(idx))
+						if err != nil {
+							errs <- err
+							return
+						}
+						if d != want[idx] {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestSafeLocatorWidthChangeRejected(t *testing.T) {
+	h := MustNewHistory(4)
+	calls := 0
+	factory := func(seed uint64) prng.Source {
+		calls++
+		if calls > 1 {
+			return prng.NewPCG32(seed)
+		}
+		return prng.NewSplitMix64(seed)
+	}
+	safe, err := NewSafeLocator(h, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := safe.X0(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := safe.X0(2, 0); err == nil {
+		t.Fatal("width change accepted")
+	}
+}
+
+func TestSyncCachedMatchesCached(t *testing.T) {
+	a := prng.NewCached(prng.NewPCG32(9))
+	b := prng.NewSyncCached(prng.NewPCG32(9))
+	for _, i := range []uint64{10, 0, 5, 10, 3} {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("SyncCached.At(%d) diverges", i)
+		}
+	}
+	if a.Bits() != b.Bits() || a.Seed() != b.Seed() {
+		t.Fatal("metadata diverges")
+	}
+	v := b.Next()
+	b.Reset()
+	first := b.At(uint64(0))
+	_ = v
+	_ = first
+}
+
+func TestEnsureConcurrentIndexedFastPaths(t *testing.T) {
+	sm := prng.NewSplitMix64(1)
+	if prng.EnsureConcurrentIndexed(sm) != prng.Indexed(sm) {
+		t.Error("SplitMix64 was wrapped unnecessarily")
+	}
+	tr := prng.Truncate(prng.NewSplitMix64(1), 32)
+	if _, wrapped := prng.EnsureConcurrentIndexed(tr).(*prng.SyncCached); wrapped {
+		t.Error("truncated SplitMix64 was wrapped unnecessarily")
+	}
+	if _, wrapped := prng.EnsureConcurrentIndexed(prng.NewPCG32(1)).(*prng.SyncCached); !wrapped {
+		t.Error("sequential source not wrapped")
+	}
+}

@@ -1,0 +1,265 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scaddar/internal/disk"
+	"scaddar/internal/prng"
+)
+
+const testBlock = 256 << 10
+
+func testModel(t *testing.T) *SeekModel {
+	t.Helper()
+	m, err := Calibrate(disk.Cheetah73, testBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLBAFor(t *testing.T) {
+	if _, err := LBAFor(1, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	const capacity = 100000
+	seen := make(map[int64]int)
+	for b := disk.BlockID(0); b < 20000; b++ {
+		lba, err := LBAFor(b, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lba < 0 || lba >= capacity {
+			t.Fatalf("LBA %d out of range", lba)
+		}
+		seen[lba]++
+	}
+	// Deterministic.
+	a, _ := LBAFor(42, capacity)
+	b, _ := LBAFor(42, capacity)
+	if a != b {
+		t.Fatal("LBAFor not deterministic")
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(disk.Profile{}, testBlock); err == nil {
+		t.Error("zero-seek profile accepted")
+	}
+	tiny := disk.Cheetah73
+	tiny.CapacityBytes = 100
+	if _, err := Calibrate(tiny, testBlock); err == nil {
+		t.Error("sub-block capacity accepted")
+	}
+}
+
+// TestCalibrateMeanSeek checks the calibration contract: the expected seek
+// over uniformly random pairs reproduces the profile's average seek.
+func TestCalibrateMeanSeek(t *testing.T) {
+	m := testModel(t)
+	src := prng.NewSplitMix64(11)
+	var total time.Duration
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		a := int64(src.Next() % uint64(m.Span))
+		b := int64(src.Next() % uint64(m.Span))
+		total += m.Time(a - b)
+	}
+	mean := total / samples
+	want := disk.Cheetah73.AvgSeek
+	if mean < want*95/100 || mean > want*105/100 {
+		t.Fatalf("mean calibrated seek %v, want ~%v", mean, want)
+	}
+}
+
+func TestSeekModelShape(t *testing.T) {
+	m := testModel(t)
+	if m.Time(0) != 0 {
+		t.Error("zero-distance seek not free")
+	}
+	if m.Time(-5) != m.Time(5) {
+		t.Error("seek not symmetric")
+	}
+	if m.Time(1) < m.Min {
+		t.Error("short seek below single-track time")
+	}
+	if m.Time(m.Span) != m.Max {
+		t.Errorf("full stroke = %v, want Max %v", m.Time(m.Span), m.Max)
+	}
+	if m.Time(m.Span*2) != m.Max {
+		t.Error("beyond-span seek not clamped")
+	}
+	if m.Time(m.Span/4) >= m.Time(m.Span/2) {
+		t.Error("seek time not increasing")
+	}
+}
+
+func TestOrderFCFS(t *testing.T) {
+	reqs := []Request{{1, 500}, {2, 100}, {3, 900}}
+	got, err := Order(FCFS, reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatal("FCFS reordered requests")
+		}
+	}
+}
+
+func TestOrderSCAN(t *testing.T) {
+	reqs := []Request{{1, 500}, {2, 100}, {3, 900}, {4, 300}}
+	got, err := Order(SCAN, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{500, 900, 300, 100} // up from 400, then down
+	for i, w := range want {
+		if got[i].LBA != w {
+			t.Fatalf("SCAN order = %v, want LBAs %v", got, want)
+		}
+	}
+	// Input must not be mutated.
+	if reqs[0].LBA != 500 || reqs[1].LBA != 100 {
+		t.Fatal("Order mutated its input")
+	}
+}
+
+func TestOrderCSCAN(t *testing.T) {
+	reqs := []Request{{1, 500}, {2, 100}, {3, 900}, {4, 300}}
+	got, err := Order(CSCAN, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{500, 900, 100, 300} // up from 400, wrap, up again
+	for i, w := range want {
+		if got[i].LBA != w {
+			t.Fatalf("CSCAN order = %v, want LBAs %v", got, want)
+		}
+	}
+}
+
+func TestOrderUnknownPolicy(t *testing.T) {
+	if _, err := Order(Policy(9), nil, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FCFS.String() != "fcfs" || SCAN.String() != "scan" || CSCAN.String() != "cscan" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy has empty name")
+	}
+}
+
+// TestSCANBeatsFCFS is the classic scheduling result: for the same random
+// request set, the SCAN sweep spends far less time seeking than FCFS.
+func TestSCANBeatsFCFS(t *testing.T) {
+	m := testModel(t)
+	src := prng.NewSplitMix64(3)
+	var fcfsTotal, scanTotal time.Duration
+	for trial := 0; trial < 50; trial++ {
+		reqs := make([]Request, 64)
+		for i := range reqs {
+			reqs[i] = Request{Block: disk.BlockID(i), LBA: int64(src.Next() % uint64(m.Span))}
+		}
+		head := int64(src.Next() % uint64(m.Span))
+		f, _ := Order(FCFS, reqs, head)
+		s, _ := Order(SCAN, reqs, head)
+		fcfsTotal += ServiceTime(m, disk.Cheetah73, testBlock, f, head, FCFS).SeekTotal
+		scanTotal += ServiceTime(m, disk.Cheetah73, testBlock, s, head, SCAN).SeekTotal
+	}
+	// With the sqrt seek curve and 64 requests per sweep, SCAN's adjacent
+	// gaps cost ~Min + 0.125·(Max−Min) each, roughly half the FCFS average
+	// seek.
+	if scanTotal*9 > fcfsTotal*5 {
+		t.Fatalf("SCAN seeks %v not well below FCFS %v", scanTotal, fcfsTotal)
+	}
+}
+
+func TestServiceTimeComposition(t *testing.T) {
+	m := testModel(t)
+	reqs := []Request{{1, 1000}, {2, 2000}}
+	cost := ServiceTime(m, disk.Cheetah73, testBlock, reqs, 1000, SCAN)
+	rot := disk.Cheetah73.RotationalLatency()
+	transfer := time.Duration(float64(testBlock) / float64(disk.Cheetah73.TransferBytesPerSec) * float64(time.Second))
+	want := m.Time(0) + m.Time(1000) + 2*(rot+transfer)
+	if cost.Total != want {
+		t.Fatalf("total %v, want %v", cost.Total, want)
+	}
+	if cost.Head != 2000 {
+		t.Fatalf("final head %d, want 2000", cost.Head)
+	}
+	if cost.SeekTotal != m.Time(1000) {
+		t.Fatalf("seek total %v, want %v", cost.SeekTotal, m.Time(1000))
+	}
+}
+
+// TestRoundBudgetSCANAboveFixedModel: the workload-aware SCAN budget must
+// exceed the fixed average-seek estimate (the fixed model is conservative),
+// and FCFS must sit at or below SCAN.
+func TestRoundBudgetSCANAboveFixedModel(t *testing.T) {
+	m := testModel(t)
+	fixed := disk.Cheetah73.BlocksPerRound(time.Second, testBlock)
+	scan, err := RoundBudget(m, disk.Cheetah73, testBlock, time.Second, SCAN, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := RoundBudget(m, disk.Cheetah73, testBlock, time.Second, FCFS, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan <= fixed {
+		t.Fatalf("SCAN budget %d not above fixed model %d", scan, fixed)
+	}
+	if fcfs > scan {
+		t.Fatalf("FCFS budget %d above SCAN %d", fcfs, scan)
+	}
+}
+
+func TestRoundBudgetValidation(t *testing.T) {
+	m := testModel(t)
+	if _, err := RoundBudget(m, disk.Cheetah73, testBlock, time.Second, SCAN, 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	// A round too short for anything yields budget 0.
+	got, err := RoundBudget(m, disk.Cheetah73, testBlock, time.Microsecond, SCAN, 5, 1)
+	if err != nil || got != 0 {
+		t.Fatalf("starved round budget = %d, %v", got, err)
+	}
+}
+
+// TestQuickSCANVisitsAll property-tests that every policy serves every
+// request exactly once.
+func TestQuickSCANVisitsAll(t *testing.T) {
+	f := func(lbasRaw []uint16, headRaw uint16) bool {
+		if len(lbasRaw) == 0 {
+			return true
+		}
+		reqs := make([]Request, len(lbasRaw))
+		for i, l := range lbasRaw {
+			reqs[i] = Request{Block: disk.BlockID(i), LBA: int64(l)}
+		}
+		for _, policy := range []Policy{FCFS, SCAN, CSCAN} {
+			out, err := Order(policy, reqs, int64(headRaw))
+			if err != nil || len(out) != len(reqs) {
+				return false
+			}
+			seen := make(map[disk.BlockID]bool)
+			for _, r := range out {
+				if seen[r.Block] {
+					return false
+				}
+				seen[r.Block] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d, want 8", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	if !almost(s.StdPop, 2, 1e-12) {
+		t.Errorf("StdPop = %g, want 2", s.StdPop)
+	}
+	if !almost(s.Std, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std = %g, want %g", s.Std, math.Sqrt(32.0/7.0))
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min, s.Max)
+	}
+	if s.Sum != 40 {
+		t.Errorf("Sum = %g, want 40", s.Sum)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.StdPop != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if got := CoV([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("constant CoV = %g, want 0", got)
+	}
+	// mean 5, population std 2 -> CoV 0.4
+	if got := CoV([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, 0.4, 1e-12) {
+		t.Errorf("CoV = %g, want 0.4", got)
+	}
+	if got := CoV(nil); got != 0 {
+		t.Errorf("empty CoV = %g, want 0", got)
+	}
+	if got := CoV([]float64{-1, 1}); !math.IsInf(got, 1) {
+		t.Errorf("zero-mean CoV = %g, want +Inf", got)
+	}
+	if got := CoV([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero CoV = %g, want 0", got)
+	}
+}
+
+func TestCoVInts(t *testing.T) {
+	if got, want := CoVInts([]int{2, 4, 4, 4, 5, 5, 7, 9}), 0.4; !almost(got, want, 1e-12) {
+		t.Errorf("CoVInts = %g, want %g", got, want)
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	if _, err := Unfairness(nil); err == nil {
+		t.Error("empty unfairness did not error")
+	}
+	u, err := Unfairness([]float64{10, 10, 10})
+	if err != nil || u != 0 {
+		t.Errorf("uniform unfairness = %g, %v", u, err)
+	}
+	u, err = Unfairness([]float64{10, 12})
+	if err != nil || !almost(u, 0.2, 1e-12) {
+		t.Errorf("unfairness = %g, want 0.2", u)
+	}
+	u, err = Unfairness([]float64{0, 5})
+	if err != nil || !math.IsInf(u, 1) {
+		t.Errorf("zero-min unfairness = %g, want +Inf", u)
+	}
+}
+
+func TestUnfairnessInts(t *testing.T) {
+	u, err := UnfairnessInts([]int{100, 110})
+	if err != nil || !almost(u, 0.1, 1e-12) {
+		t.Errorf("UnfairnessInts = %g, want 0.1", u)
+	}
+}
+
+// TestChiSquareSurvivalTabulated checks against standard chi-square table
+// values: the 5% critical point for several degrees of freedom.
+func TestChiSquareSurvivalTabulated(t *testing.T) {
+	cases := []struct {
+		dof  float64
+		x    float64
+		want float64
+	}{
+		{1, 3.841, 0.05},
+		{2, 5.991, 0.05},
+		{5, 11.070, 0.05},
+		{10, 18.307, 0.05},
+		{30, 43.773, 0.05},
+		{1, 6.635, 0.01},
+		{10, 23.209, 0.01},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.x, c.dof)
+		if !almost(got, c.want, 5e-4) {
+			t.Errorf("ChiSquareSurvival(%g, dof=%g) = %g, want ~%g", c.x, c.dof, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalEdges(t *testing.T) {
+	if got := ChiSquareSurvival(0, 5); got != 1 {
+		t.Errorf("survival at 0 = %g, want 1", got)
+	}
+	if got := ChiSquareSurvival(-3, 5); got != 1 {
+		t.Errorf("survival at -3 = %g, want 1", got)
+	}
+	if got := ChiSquareSurvival(1e6, 5); got > 1e-10 {
+		t.Errorf("survival at 1e6 = %g, want ~0", got)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfectly uniform counts: statistic 0, p-value 1.
+	stat, dof, p, err := ChiSquareUniform([]int{100, 100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 3 || p != 1 {
+		t.Errorf("uniform: stat=%g dof=%d p=%g", stat, dof, p)
+	}
+	// Extremely skewed counts: tiny p-value.
+	_, _, p, err = ChiSquareUniform([]int{1000, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-10 {
+		t.Errorf("skewed p = %g, want ~0", p)
+	}
+}
+
+func TestChiSquareUniformErrors(t *testing.T) {
+	if _, _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single category accepted")
+	}
+	if _, _, _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, _, err := ChiSquareUniform([]int{3, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d, want 2", h.Over)
+	}
+	want := []int{2, 1, 0, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("lo == hi accepted")
+	}
+	if _, err := NewHistogram(9, 2, 3); err == nil {
+		t.Error("lo > hi accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	q, err := Quantile(xs, 0)
+	if err != nil || q != 1 {
+		t.Errorf("q0 = %g, want 1", q)
+	}
+	q, err = Quantile(xs, 1)
+	if err != nil || q != 9 {
+		t.Errorf("q1 = %g, want 9", q)
+	}
+	q, err = Quantile(xs, 0.5)
+	if err != nil || !almost(q, 3.5, 1e-12) {
+		t.Errorf("median = %g, want 3.5", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 || xs[7] != 6 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile accepted")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("level > 1 accepted")
+	}
+	if q, err := Quantile([]float64{7}, 0.3); err != nil || q != 7 {
+		t.Errorf("single-sample quantile = %g, %v", q, err)
+	}
+}
+
+// TestQuickCoVScaleInvariant property-tests that CoV is invariant under
+// positive scaling of the sample.
+func TestQuickCoVScaleInvariant(t *testing.T) {
+	f := func(raw []uint8, scaleRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		scale := float64(scaleRaw%100) + 1
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1 // keep the mean positive
+			ys[i] = xs[i] * scale
+		}
+		return almost(CoV(xs), CoV(ys), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnfairnessNonNegative property-tests that unfairness of positive
+// loads is finite and non-negative.
+func TestQuickUnfairnessNonNegative(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1
+		}
+		u, err := Unfairness(xs)
+		return err == nil && u >= 0 && !math.IsInf(u, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package trace
+
+import "testing"
+
+// FuzzTraceBinary feeds arbitrary bytes to the trace decoder: it must never
+// panic, and anything it accepts must round-trip stably.
+func FuzzTraceBinary(f *testing.F) {
+	tr, err := GenerateSession(DefaultSession())
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, _ := tr.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("SCTR"))
+	f.Add([]byte("SCTR\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back Trace
+		if err := back.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		var again Trace
+		if err := again.UnmarshalBinary(re); err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if len(again.Events) != len(back.Events) {
+			t.Fatal("round trip changed event count")
+		}
+		for i := range back.Events {
+			if again.Events[i] != back.Events[i] {
+				t.Fatalf("round trip changed event %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/workload"
+)
+
+// newLoadedServer builds a server matching the DefaultSession library.
+func newLoadedServer(t *testing.T, cfg SessionConfig) *cm.Server {
+	t.Helper()
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(6, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cm.NewServer(cm.DefaultConfig(), strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := workload.Library(workload.LibraryConfig{
+		Objects: cfg.Objects, MinBlocks: cfg.BlocksPer, MaxBlocks: cfg.BlocksPer,
+		BlockBytes: srv.Config().BlockBytes, BitrateBitsPerSec: 4 << 20, SeedBase: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv
+}
+
+func TestGenerateSessionValidation(t *testing.T) {
+	bad := DefaultSession()
+	bad.Objects = 0
+	if _, err := GenerateSession(bad); err == nil {
+		t.Error("zero objects accepted")
+	}
+	bad = DefaultSession()
+	bad.Rounds = 0
+	if _, err := GenerateSession(bad); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultSession()
+	a, err := GenerateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// TestReplayDeterministic is the core guarantee: applying the same trace to
+// identically built servers yields identical metrics.
+func TestReplayDeterministic(t *testing.T) {
+	cfg := DefaultSession()
+	tr, err := GenerateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Apply(newLoadedServer(t, cfg), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Apply(newLoadedServer(t, cfg), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics != r2.Metrics {
+		t.Fatalf("metrics differ:\n%+v\n%+v", r1.Metrics, r2.Metrics)
+	}
+	if r1.Streams != cfg.Streams {
+		t.Fatalf("admitted %d streams, want %d", r1.Streams, cfg.Streams)
+	}
+	if r1.Metrics.BlocksServed == 0 {
+		t.Fatal("replay served nothing")
+	}
+	if r1.Metrics.BlocksMigrated == 0 {
+		t.Fatal("replay migrated nothing despite the scale-up")
+	}
+	if r1.Metrics.Hiccups != 0 {
+		t.Fatalf("replay hiccuped %d times", r1.Metrics.Hiccups)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr, err := GenerateSession(DefaultSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~3 bytes per event: the format stays compact.
+	if len(data) > len(tr.Events)*4+16 {
+		t.Fatalf("encoding is %d bytes for %d events", len(data), len(tr.Events))
+	}
+	var back Trace
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatal("lengths differ")
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	tr, _ := GenerateSession(DefaultSession())
+	good, _ := tr.MarshalBinary()
+	var back Trace
+	if err := back.UnmarshalBinary(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if err := back.UnmarshalBinary([]byte("XXXX\x01\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := back.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncation accepted")
+	}
+	trailing := append(append([]byte{}, good...), 0)
+	if err := back.UnmarshalBinary(trailing); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Corrupt an event kind byte.
+	bad := append([]byte{}, good...)
+	bad[7] = 0xFF
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr, _ := GenerateSession(DefaultSession())
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatal("JSON round trip lost events")
+	}
+}
+
+func TestApplyStreamIndexTranslation(t *testing.T) {
+	cfg := DefaultSession()
+	cfg.Streams = 2
+	cfg.Rounds = 1
+	cfg.ScaleUpAt = 0
+	cfg.VCRJumpPerMille = 0
+	cfg.VCRStopPerMille = 0
+	srv := newLoadedServer(t, cfg)
+	tr := &Trace{Events: []Event{
+		{Kind: KindAdmit, A: 0, B: 10},
+		{Kind: KindAdmit, A: 1, B: 20},
+		{Kind: KindSeek, A: 1, B: 300}, // second admission
+		{Kind: KindTick},
+		{Kind: KindStop, A: 0},
+		{Kind: KindTick},
+	}}
+	res, err := Apply(srv, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.Stream(res.StreamIDs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Position != 302 {
+		t.Fatalf("second stream at %d, want 302 (seek 300 + 2 ticks)", st.Position)
+	}
+	first, err := srv.Stream(res.StreamIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != cm.StreamStopped {
+		t.Fatal("first stream not stopped")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	if _, err := Apply(nil, &Trace{}); err == nil {
+		t.Error("nil server accepted")
+	}
+	cfg := DefaultSession()
+	srv := newLoadedServer(t, cfg)
+	if _, err := Apply(srv, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	// Seek of an unknown trace-stream index fails cleanly.
+	if _, err := Apply(srv, &Trace{Events: []Event{{Kind: KindSeek, A: 5}}}); err == nil {
+		t.Error("out-of-range stream index accepted")
+	}
+	if _, err := Apply(srv, &Trace{Events: []Event{{Kind: Kind(99)}}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindTick; k <= KindRedistribute; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind has empty name")
+	}
+}

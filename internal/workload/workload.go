@@ -1,0 +1,228 @@
+// Package workload generates the synthetic continuous-media workloads that
+// drive the evaluation: object libraries (sizes and bitrates), Zipf-skewed
+// object popularity, Poisson stream arrivals, and VCR-style seek behaviour.
+// All generators are seeded and reproducible, built on internal/prng rather
+// than math/rand so that experiment outputs are stable across Go releases.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"scaddar/internal/prng"
+)
+
+// Object describes one continuous-media object in the server's library.
+type Object struct {
+	// ID is the object's index in the library.
+	ID int
+	// Seed is the pseudo-random placement seed s_m.
+	Seed uint64
+	// Blocks is the number of fixed-size blocks the object occupies.
+	Blocks int
+	// BlockBytes is the block size.
+	BlockBytes int64
+	// BitrateBitsPerSec is the display rate; one block must be delivered
+	// every BlockBytes*8/Bitrate seconds.
+	BitrateBitsPerSec int64
+}
+
+// Duration returns the object's playback duration.
+func (o Object) Duration() time.Duration {
+	if o.BitrateBitsPerSec <= 0 {
+		return 0
+	}
+	bits := float64(o.Blocks) * float64(o.BlockBytes) * 8
+	return time.Duration(bits / float64(o.BitrateBitsPerSec) * float64(time.Second))
+}
+
+// LibraryConfig controls synthetic library generation.
+type LibraryConfig struct {
+	// Objects is the number of objects to generate.
+	Objects int
+	// MinBlocks and MaxBlocks bound the per-object block counts; sizes are
+	// drawn uniformly in the range.
+	MinBlocks, MaxBlocks int
+	// BlockBytes is the fixed block size shared by all objects.
+	BlockBytes int64
+	// BitrateBitsPerSec is the display rate shared by all objects (MPEG-2
+	// video of the paper's era is ~4 Mb/s).
+	BitrateBitsPerSec int64
+	// SeedBase offsets the per-object placement seeds so distinct libraries
+	// do not share block sequences.
+	SeedBase uint64
+}
+
+// DefaultLibraryConfig matches the Section 5 experiment scale: 20 objects of
+// a thousand-odd blocks each, 256 KiB blocks, 4 Mb/s MPEG-2 streams.
+func DefaultLibraryConfig() LibraryConfig {
+	return LibraryConfig{
+		Objects:           20,
+		MinBlocks:         800,
+		MaxBlocks:         1200,
+		BlockBytes:        256 << 10,
+		BitrateBitsPerSec: 4 << 20,
+		SeedBase:          0x5cadda2,
+	}
+}
+
+// Library generates a reproducible object library.
+func Library(cfg LibraryConfig) ([]Object, error) {
+	if cfg.Objects < 1 {
+		return nil, fmt.Errorf("workload: library needs at least 1 object, got %d", cfg.Objects)
+	}
+	if cfg.MinBlocks < 1 || cfg.MaxBlocks < cfg.MinBlocks {
+		return nil, fmt.Errorf("workload: invalid block range [%d,%d]", cfg.MinBlocks, cfg.MaxBlocks)
+	}
+	if cfg.BlockBytes < 1 {
+		return nil, fmt.Errorf("workload: invalid block size %d", cfg.BlockBytes)
+	}
+	src := prng.NewSplitMix64(cfg.SeedBase)
+	objs := make([]Object, cfg.Objects)
+	span := uint64(cfg.MaxBlocks - cfg.MinBlocks + 1)
+	for i := range objs {
+		objs[i] = Object{
+			ID:                i,
+			Seed:              cfg.SeedBase + uint64(i)*0x10001 + 1,
+			Blocks:            cfg.MinBlocks + int(src.Next()%span),
+			BlockBytes:        cfg.BlockBytes,
+			BitrateBitsPerSec: cfg.BitrateBitsPerSec,
+		}
+	}
+	return objs, nil
+}
+
+// Zipf draws integers in [0, n) with P(i) proportional to 1/(i+1)^s — the
+// standard popularity skew of video-on-demand catalogs (s ≈ 0.729 in the
+// classic VOD measurement literature). It precomputes the CDF and samples
+// by binary search, so Draw is O(log n).
+type Zipf struct {
+	src prng.Source
+	cdf []float64
+}
+
+// NewZipf creates a Zipf sampler over n items with exponent s >= 0 (s = 0
+// is uniform).
+func NewZipf(src prng.Source, n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf needs at least 1 item, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("workload: invalid zipf exponent %g", s)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("workload: zipf needs a random source")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{src: src, cdf: cdf}, nil
+}
+
+// Draw returns the next sample.
+func (z *Zipf) Draw() int {
+	u := z.uniform01()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// uniform01 converts one source output to a float in [0, 1).
+func (z *Zipf) uniform01() float64 {
+	bits := z.src.Bits()
+	v := z.src.Next()
+	return float64(v) / (float64(prng.MaxValue(bits)) + 1)
+}
+
+// Poisson generates exponentially distributed inter-arrival times with the
+// given mean rate (arrivals per second) — the standard stream-arrival model
+// for CM servers.
+type Poisson struct {
+	src  prng.Source
+	rate float64
+}
+
+// NewPoisson creates an arrival process with rate > 0 arrivals per second.
+func NewPoisson(src prng.Source, rate float64) (*Poisson, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("workload: invalid arrival rate %g", rate)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("workload: poisson needs a random source")
+	}
+	return &Poisson{src: src, rate: rate}, nil
+}
+
+// NextInterval returns the next exponentially distributed inter-arrival
+// time.
+func (p *Poisson) NextInterval() time.Duration {
+	u := float64(p.src.Next())/(float64(prng.MaxValue(p.src.Bits()))+1) + 1e-18
+	secs := -math.Log(u) / p.rate
+	return time.Duration(secs * float64(time.Second))
+}
+
+// VCRAction is one viewer interaction.
+type VCRAction int
+
+// Viewer interactions.
+const (
+	// VCRPlay continues sequential playback.
+	VCRPlay VCRAction = iota
+	// VCRJump seeks to a random position (fast-forward/rewind landing).
+	VCRJump
+	// VCRStop terminates the stream.
+	VCRStop
+)
+
+// VCR generates VCR-style interaction sequences: at each block boundary the
+// viewer continues, jumps to a random position, or stops. Random placement's
+// support for such unpredictable access is one of the RIO advantages the
+// paper cites for adopting it.
+type VCR struct {
+	src          prng.Source
+	jumpPerMille uint64
+	stopPerMille uint64
+}
+
+// NewVCR creates an interaction generator with the given per-block jump and
+// stop probabilities, each expressed per mille (0..1000).
+func NewVCR(src prng.Source, jumpPerMille, stopPerMille int) (*VCR, error) {
+	if src == nil {
+		return nil, fmt.Errorf("workload: vcr needs a random source")
+	}
+	if jumpPerMille < 0 || stopPerMille < 0 || jumpPerMille+stopPerMille > 1000 {
+		return nil, fmt.Errorf("workload: invalid vcr probabilities %d+%d per mille", jumpPerMille, stopPerMille)
+	}
+	return &VCR{src: src, jumpPerMille: uint64(jumpPerMille), stopPerMille: uint64(stopPerMille)}, nil
+}
+
+// Next returns the viewer's action at a block boundary and, for VCRJump,
+// the new position in [0, blocks).
+func (v *VCR) Next(blocks int) (VCRAction, int) {
+	roll := v.src.Next() % 1000
+	switch {
+	case roll < v.jumpPerMille:
+		if blocks <= 0 {
+			return VCRJump, 0
+		}
+		return VCRJump, int(v.src.Next() % uint64(blocks))
+	case roll < v.jumpPerMille+v.stopPerMille:
+		return VCRStop, 0
+	default:
+		return VCRPlay, 0
+	}
+}

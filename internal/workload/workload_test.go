@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"scaddar/internal/prng"
+)
+
+func TestObjectDuration(t *testing.T) {
+	o := Object{Blocks: 100, BlockBytes: 256 << 10, BitrateBitsPerSec: 4 << 20}
+	// 100 * 256KiB * 8 bits / 4Mib/s = 50 s.
+	if got := o.Duration(); got != 50*time.Second {
+		t.Errorf("duration = %v, want 50s", got)
+	}
+	if got := (Object{Blocks: 1, BlockBytes: 1}).Duration(); got != 0 {
+		t.Errorf("zero-bitrate duration = %v, want 0", got)
+	}
+}
+
+func TestLibraryValidation(t *testing.T) {
+	cfg := DefaultLibraryConfig()
+	cfg.Objects = 0
+	if _, err := Library(cfg); err == nil {
+		t.Error("empty library accepted")
+	}
+	cfg = DefaultLibraryConfig()
+	cfg.MinBlocks = 10
+	cfg.MaxBlocks = 5
+	if _, err := Library(cfg); err == nil {
+		t.Error("inverted block range accepted")
+	}
+	cfg = DefaultLibraryConfig()
+	cfg.BlockBytes = 0
+	if _, err := Library(cfg); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestLibraryReproducibleAndInRange(t *testing.T) {
+	cfg := DefaultLibraryConfig()
+	a, err := Library(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Library(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Objects {
+		t.Fatalf("library size %d, want %d", len(a), cfg.Objects)
+	}
+	seeds := make(map[uint64]bool)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("library not reproducible at object %d", i)
+		}
+		if a[i].Blocks < cfg.MinBlocks || a[i].Blocks > cfg.MaxBlocks {
+			t.Fatalf("object %d has %d blocks, outside [%d,%d]", i, a[i].Blocks, cfg.MinBlocks, cfg.MaxBlocks)
+		}
+		if seeds[a[i].Seed] {
+			t.Fatalf("duplicate seed %d", a[i].Seed)
+		}
+		seeds[a[i].Seed] = true
+		if a[i].ID != i {
+			t.Fatalf("object %d has ID %d", i, a[i].ID)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	src := prng.NewSplitMix64(1)
+	if _, err := NewZipf(src, 0, 1); err == nil {
+		t.Error("zero items accepted")
+	}
+	if _, err := NewZipf(src, 10, -1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if _, err := NewZipf(src, 10, math.NaN()); err == nil {
+		t.Error("NaN exponent accepted")
+	}
+	if _, err := NewZipf(nil, 10, 1); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(prng.NewSplitMix64(7), 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	// With s=1 over 100 items, P(0) = 1/H(100) ≈ 0.1928.
+	p0 := float64(counts[0]) / draws
+	if p0 < 0.17 || p0 < float64(counts[50])/draws {
+		t.Errorf("P(0) = %.4f; zipf skew missing (counts[0]=%d counts[50]=%d)", p0, counts[0], counts[50])
+	}
+	// Monotone on average: first item much more popular than the 10th.
+	if counts[0] < counts[9]*3 {
+		t.Errorf("counts[0]=%d not ≫ counts[9]=%d", counts[0], counts[9])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(prng.NewSplitMix64(7), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		if c < draws/10*85/100 || c > draws/10*115/100 {
+			t.Errorf("s=0 item %d count %d deviates from uniform %d", i, c, draws/10)
+		}
+	}
+}
+
+func TestZipfWith32BitSource(t *testing.T) {
+	z, err := NewZipf(prng.NewPCG32(7), 5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if d := z.Draw(); d < 0 || d >= 5 {
+			t.Fatalf("draw %d out of range", d)
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(prng.NewSplitMix64(1), 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPoisson(prng.NewSplitMix64(1), math.Inf(1)); err == nil {
+		t.Error("infinite rate accepted")
+	}
+	if _, err := NewPoisson(nil, 1); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestPoissonMeanInterval(t *testing.T) {
+	p, err := NewPoisson(prng.NewSplitMix64(11), 2.0) // mean interval 0.5 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		iv := p.NextInterval()
+		if iv < 0 {
+			t.Fatalf("negative interval %v", iv)
+		}
+		total += iv
+	}
+	mean := total / n
+	if mean < 480*time.Millisecond || mean > 520*time.Millisecond {
+		t.Errorf("mean interval = %v, want ~500ms", mean)
+	}
+}
+
+func TestVCRValidation(t *testing.T) {
+	if _, err := NewVCR(nil, 10, 10); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := NewVCR(prng.NewSplitMix64(1), -1, 0); err == nil {
+		t.Error("negative jump accepted")
+	}
+	if _, err := NewVCR(prng.NewSplitMix64(1), 600, 600); err == nil {
+		t.Error("probabilities over 1000 accepted")
+	}
+}
+
+func TestVCRDistribution(t *testing.T) {
+	v, err := NewVCR(prng.NewSplitMix64(3), 100, 50) // 10% jump, 5% stop
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plays, jumps, stops int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		action, pos := v.Next(500)
+		switch action {
+		case VCRPlay:
+			plays++
+		case VCRJump:
+			jumps++
+			if pos < 0 || pos >= 500 {
+				t.Fatalf("jump position %d out of range", pos)
+			}
+		case VCRStop:
+			stops++
+		}
+	}
+	if jumps < n*8/100 || jumps > n*12/100 {
+		t.Errorf("jumps = %d, want ~%d", jumps, n/10)
+	}
+	if stops < n*4/100 || stops > n*6/100 {
+		t.Errorf("stops = %d, want ~%d", stops, n/20)
+	}
+	if plays < n*80/100 {
+		t.Errorf("plays = %d, want ~%d", plays, n*85/100)
+	}
+}
+
+func TestVCRZeroBlocks(t *testing.T) {
+	v, err := NewVCR(prng.NewSplitMix64(3), 1000, 0) // always jump
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action, pos := v.Next(0); action != VCRJump || pos != 0 {
+		t.Fatalf("zero-block jump = %v %d", action, pos)
+	}
+}

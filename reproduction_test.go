@@ -1,0 +1,200 @@
+package scaddar_test
+
+// TestPaperReproduction is the repository's single headline gate: it runs
+// every experiment (at reduced scale where the default would be slow) and
+// asserts the claim each one reproduces. If this test passes, the paper's
+// evaluation holds on this build.
+
+import (
+	"testing"
+
+	"scaddar/internal/experiments"
+)
+
+func TestPaperReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction sweep skipped in -short mode")
+	}
+
+	t.Run("E1_Figure1_naive_skew", func(t *testing.T) {
+		r, err := experiments.RunE1(experiments.DefaultE1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.IgnoredDisks["naive"]) == 0 {
+			t.Error("naive scheme did not skew")
+		}
+		if len(r.IgnoredDisks["scaddar"]) != 0 {
+			t.Error("scaddar skewed")
+		}
+	})
+
+	t.Run("E2_Section5_eight_operations", func(t *testing.T) {
+		r, err := experiments.RunE2(experiments.DefaultE2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.BudgetExhaustedAt != 9 {
+			t.Errorf("budget exhausted at %d, paper supports exactly 8 ops", r.BudgetExhaustedAt)
+		}
+		final := r.Points[len(r.Points)-1]
+		if final.CoV["scaddar"] < 2*final.CoV["reshuffle"] {
+			t.Error("past-budget degradation not visible")
+		}
+		if final.CoV["scaddar+redist"] > 0.1 {
+			t.Error("the recommended lifecycle did not preserve balance")
+		}
+	})
+
+	t.Run("E3_RO1_minimal_movement", func(t *testing.T) {
+		r, err := experiments.RunE3(experiments.DefaultE3())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Strategy == "scaddar" {
+				if row.Fraction < row.Optimal-0.03 || row.Fraction > row.Optimal+0.03 {
+					t.Errorf("%s: scaddar %.3f vs z_j %.3f", row.Op, row.Fraction, row.Optimal)
+				}
+			}
+			if row.Strategy == "roundrobin" && row.Fraction < 2*row.Optimal {
+				t.Errorf("%s: round-robin moved only %.3f", row.Op, row.Fraction)
+			}
+		}
+	})
+
+	t.Run("E4_Section43_worked_examples", func(t *testing.T) {
+		r, err := experiments.RunE4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Bits == 64 && row.Eps == 0.01 && row.AvgDisks == 16 && row.RuleOfThumb != 13 {
+				t.Errorf("(64,1%%,16) = %d, paper says 13", row.RuleOfThumb)
+			}
+			if row.Bits == 32 && row.Eps == 0.05 && row.AvgDisks == 8 && row.RuleOfThumb != 8 {
+				t.Errorf("(32,5%%,8) = %d, paper says 8", row.RuleOfThumb)
+			}
+		}
+	})
+
+	t.Run("E5_AO1_cheap_access", func(t *testing.T) {
+		cfg := experiments.DefaultE5()
+		cfg.Lookups = 20000
+		r, err := experiments.RunE5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := r.Rows[len(r.Rows)-1]
+		if last.ScaddarNs > 5000 {
+			t.Errorf("j=%d lookup costs %.0f ns", last.Ops, last.ScaddarNs)
+		}
+	})
+
+	t.Run("E6_bound_sound", func(t *testing.T) {
+		cfg := experiments.DefaultE6()
+		cfg.Blocks = 1 << 17
+		r, err := experiments.RunE6(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(r.Rows); i++ {
+			if r.Rows[i].Bound < r.Rows[i-1].Bound {
+				t.Error("bound not monotone")
+			}
+		}
+	})
+
+	t.Run("E7_online_no_deadline_misses", func(t *testing.T) {
+		cfg := experiments.DefaultE7()
+		cfg.Objects, cfg.BlocksPer = 10, 300
+		r, err := experiments.RunE7(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Hiccups != 0 {
+				t.Errorf("load %.2f: %d hiccups", row.LoadFraction, row.Hiccups)
+			}
+		}
+	})
+
+	t.Run("E8_fault_tolerance_zero_loss", func(t *testing.T) {
+		r, err := experiments.RunE8(experiments.DefaultE8())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if len(row.Failed) > 5 && row.Failed[:5] == "disk " && row.Lost != 0 {
+				t.Errorf("%s %s lost %d", row.Scheme, row.Failed, row.Lost)
+			}
+		}
+		if r.ParityOverhead >= r.MirrorOverhead {
+			t.Error("parity saved no storage")
+		}
+	})
+
+	t.Run("E9_metadata_advantage", func(t *testing.T) {
+		r, err := experiments.RunE9(experiments.DefaultE9())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows[2].Ratio < 1000 {
+			t.Errorf("paper-scale metadata ratio %.0f", r.Rows[2].Ratio)
+		}
+	})
+
+	t.Run("E10_fixed_model_conservative", func(t *testing.T) {
+		cfg := experiments.DefaultE10()
+		cfg.Trials = 10
+		r, err := experiments.RunE10(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Policy == "scan" && row.Budget <= r.FixedModel {
+				t.Errorf("SCAN budget %d not above fixed %d", row.Budget, r.FixedModel)
+			}
+		}
+	})
+
+	t.Run("E11_logical_mapping_wins", func(t *testing.T) {
+		cfg := experiments.DefaultE11()
+		cfg.Rounds = 10
+		r, err := experiments.RunE11(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows[1].AdmittedStreams <= r.Rows[0].AdmittedStreams {
+			t.Error("logical mapping admitted no more streams")
+		}
+	})
+
+	t.Run("E12_generator_assumption", func(t *testing.T) {
+		r, err := experiments.RunE12(experiments.DefaultE12())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Generator == "splitmix64" && (row.ChiP0 < 0.01 || row.ChiP0 > 0.999) {
+				t.Errorf("splitmix64 p = %g", row.ChiP0)
+			}
+			if row.Generator == "lcg64" && row.ChiP0 < 0.999 {
+				t.Errorf("lcg64 lattice signature missing: p = %g", row.ChiP0)
+			}
+		}
+	})
+
+	t.Run("E13_cache_composes", func(t *testing.T) {
+		cfg := experiments.DefaultE13()
+		cfg.Rounds = 80
+		r, err := experiments.RunE13(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		if last.HitRate <= first.HitRate || last.DiskReads >= first.DiskReads {
+			t.Error("cache sweep shows no benefit")
+		}
+	})
+}

@@ -1,0 +1,325 @@
+// Package scaddar is a complete Go implementation of SCADDAR — "SCAling
+// Disks for Data Arranged Randomly" (Goel, Shahabi, Yao, Zimmermann; USC TR
+// 742 / ICDE 2002) — together with the continuous-media-server substrate the
+// paper assumes and every baseline it compares against.
+//
+// SCADDAR places the blocks of continuous-media objects pseudo-randomly over
+// a disk array and, when disks are added or removed, remaps block locations
+// with a chain of cheap mod/div REMAP functions so that (RO1) only the
+// minimum number of blocks move, (RO2) placement stays uniformly random and
+// the load balanced, and (AO1) any block's location is computable online
+// from its object's seed and the operation log alone — no directory.
+//
+// # Quick start
+//
+//	hist, _ := scaddar.NewHistory(8)            // 8 disks initially
+//	loc, _ := scaddar.NewLocator(hist, func(seed uint64) scaddar.Source {
+//		return scaddar.NewSplitMix64(seed)
+//	})
+//	disk, _ := loc.Disk(objectSeed, blockIndex)  // before scaling
+//	hist.Add(2)                                  // grow to 10 disks
+//	disk, _ = loc.Disk(objectSeed, blockIndex)   // after scaling: O(j) math
+//
+// For a full online server — admission control, round-based retrieval,
+// throttled reorganization — see NewServer and the examples/ directory. The
+// internal packages remain importable inside this module; this package
+// re-exports the surface a downstream user needs.
+package scaddar
+
+import (
+	"scaddar/internal/cm"
+	"scaddar/internal/disk"
+	"scaddar/internal/hetero"
+	"scaddar/internal/mirror"
+	"scaddar/internal/parity"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/reorg"
+	"scaddar/internal/scaddar"
+	"scaddar/internal/stats"
+	"scaddar/internal/trace"
+	"scaddar/internal/workload"
+)
+
+// ---- Core algorithm (internal/scaddar) ----
+
+// History is the ordered log of scaling operations — SCADDAR's only
+// persistent state besides per-object seeds.
+type History = scaddar.History
+
+// Op is one recorded scaling operation.
+type Op = scaddar.Op
+
+// OpKind distinguishes additions from removals.
+type OpKind = scaddar.OpKind
+
+// Scaling operation kinds.
+const (
+	OpAdd    = scaddar.OpAdd
+	OpRemove = scaddar.OpRemove
+)
+
+// DiskArray couples a History with stable physical disk identities.
+type DiskArray = scaddar.Array
+
+// DiskID is a stable physical disk identity.
+type DiskID = scaddar.DiskID
+
+// Budget tracks the shrinking random range (Section 4.3 analysis).
+type Budget = scaddar.Budget
+
+// Locator is the complete access function AF(): seed + block index + log →
+// disk.
+type Locator = scaddar.Locator
+
+// SourceFactory builds the per-object generator p_r(s_m).
+type SourceFactory = scaddar.SourceFactory
+
+// NewHistory creates a History for an array of n0 disks.
+func NewHistory(n0 int) (*History, error) { return scaddar.NewHistory(n0) }
+
+// MustNewHistory is NewHistory for statically valid arguments; it panics on
+// error.
+func MustNewHistory(n0 int) *History { return scaddar.MustNewHistory(n0) }
+
+// NewDiskArray creates an Array of n0 disks with physical IDs 0..n0-1.
+func NewDiskArray(n0 int) (*DiskArray, error) { return scaddar.NewArray(n0) }
+
+// NewBudget creates a randomness budget for a b-bit generator and n0 disks.
+func NewBudget(bits uint, n0 int) (*Budget, error) { return scaddar.NewBudget(bits, n0) }
+
+// NewLocator binds a History to per-object pseudo-random sequences.
+func NewLocator(hist *History, factory SourceFactory) (*Locator, error) {
+	return scaddar.NewLocator(hist, factory)
+}
+
+// SafeLocator is a Locator whose lookups are safe for concurrent use (the
+// access pattern of parallel stream handlers); scaling operations must
+// still be serialized externally.
+type SafeLocator = scaddar.SafeLocator
+
+// NewSafeLocator creates a concurrency-safe locator over the given history.
+func NewSafeLocator(hist *History, factory SourceFactory) (*SafeLocator, error) {
+	return scaddar.NewSafeLocator(hist, factory)
+}
+
+// RuleOfThumb estimates the number of supportable scaling operations for a
+// b-bit generator, an average array size, and unfairness tolerance eps
+// (Section 4.3: k+1 <= (b - log2(1/eps)) / log2 N̄).
+func RuleOfThumb(bits uint, eps float64, avgDisks float64) int {
+	return scaddar.RuleOfThumb(bits, eps, avgDisks)
+}
+
+// MaxOpsExact simulates the exact Lemma 4.3 precondition for a disk-count
+// trajectory.
+func MaxOpsExact(bits uint, n0 int, eps float64, disksAfterOp func(j int) int, maxOps int) (int, error) {
+	return scaddar.MaxOpsExact(bits, n0, eps, disksAfterOp, maxOps)
+}
+
+// PlannedOp is one future scaling operation for ForecastPlan.
+type PlannedOp = scaddar.PlannedOp
+
+// Forecast is a capacity-planning evaluation of future operations.
+type Forecast = scaddar.Forecast
+
+// ForecastPlan predicts per-operation movement (z_j), cumulative I/O, and
+// the randomness-budget trajectory for a planned operation sequence,
+// flagging where a complete redistribution becomes necessary.
+func ForecastPlan(hist *History, bits uint, eps float64, plan []PlannedOp) (*Forecast, error) {
+	return scaddar.ForecastPlan(hist, bits, eps, plan)
+}
+
+// ---- Pseudo-random generators (internal/prng) ----
+
+// Source is a deterministic b-bit pseudo-random stream.
+type Source = prng.Source
+
+// Indexed is a Source with O(1) access to its i-th value.
+type Indexed = prng.Indexed
+
+// NewSplitMix64 returns the default counter-based 64-bit generator.
+func NewSplitMix64(seed uint64) *prng.SplitMix64 { return prng.NewSplitMix64(seed) }
+
+// NewPCG32 returns a sequential 32-bit generator (the paper's b=32 setting).
+func NewPCG32(seed uint64) *prng.PCG32 { return prng.NewPCG32(seed) }
+
+// NewXorshift64Star returns a sequential 64-bit generator.
+func NewXorshift64Star(seed uint64) *prng.Xorshift64Star { return prng.NewXorshift64Star(seed) }
+
+// Truncate adapts a Source to a b-bit output width.
+func Truncate(src Source, bits uint) Source { return prng.Truncate(src, bits) }
+
+// ---- Placement strategies (internal/placement) ----
+
+// BlockRef identifies a block by object seed and index.
+type BlockRef = placement.BlockRef
+
+// Strategy is a pluggable block-placement scheme.
+type Strategy = placement.Strategy
+
+// X0Func supplies a block's original random number.
+type X0Func = placement.X0Func
+
+// NewX0Func memoizes per-object sequences over a generator factory.
+func NewX0Func(factory func(seed uint64) Source) X0Func { return placement.NewX0Func(factory) }
+
+// NewScaddarStrategy creates the paper's placement scheme.
+func NewScaddarStrategy(n0 int, x0 X0Func) (*placement.Scaddar, error) {
+	return placement.NewScaddar(n0, x0)
+}
+
+// NewNaiveStrategy creates the Section 4.1 baseline (skews after 2 ops).
+func NewNaiveStrategy(n0 int, x0 X0Func) (*placement.Naive, error) {
+	return placement.NewNaive(n0, x0)
+}
+
+// NewReshuffleStrategy creates the complete-redistribution baseline.
+func NewReshuffleStrategy(n0 int, x0 X0Func) (*placement.Reshuffle, error) {
+	return placement.NewReshuffle(n0, x0)
+}
+
+// NewRoundRobinStrategy creates the constrained striping baseline.
+func NewRoundRobinStrategy(n0 int) (*placement.RoundRobin, error) {
+	return placement.NewRoundRobin(n0)
+}
+
+// NewDirectoryStrategy creates the Appendix A directory baseline.
+func NewDirectoryStrategy(n0 int, src Source) (*placement.Directory, error) {
+	return placement.NewDirectory(n0, src)
+}
+
+// NewConsistentStrategy creates a consistent-hashing comparator.
+func NewConsistentStrategy(n0, vnodes int) (*placement.Consistent, error) {
+	return placement.NewConsistent(n0, vnodes)
+}
+
+// NewJumpStrategy creates a jump-consistent-hashing comparator (grow and
+// tail-shrink only — arbitrary disk retirement needs SCADDAR's removal
+// REMAP).
+func NewJumpStrategy(n0 int, x0 X0Func) (*placement.Jump, error) {
+	return placement.NewJump(n0, x0)
+}
+
+// ---- Continuous-media server (internal/cm, internal/disk, internal/reorg) ----
+
+// Server is the online continuous-media server simulator.
+type Server = cm.Server
+
+// ServerConfig fixes round length, disk profile, block size, and admission
+// target.
+type ServerConfig = cm.Config
+
+// Stream is one playback session.
+type Stream = cm.Stream
+
+// ServerMetrics aggregates server activity.
+type ServerMetrics = cm.Metrics
+
+// DiskProfile describes a disk model.
+type DiskProfile = disk.Profile
+
+// Disk profiles of the paper's hardware era plus a modern comparator.
+var (
+	ProfileCheetah73    = disk.Cheetah73
+	ProfileBarracuda180 = disk.Barracuda180
+	ProfileModern       = disk.Modern
+)
+
+// Plan is an executable block-movement plan for one scaling operation.
+type Plan = reorg.Plan
+
+// DefaultServerConfig returns a paper-era server configuration.
+func DefaultServerConfig() ServerConfig { return cm.DefaultConfig() }
+
+// NewServer creates a continuous-media server over a placement strategy.
+func NewServer(cfg ServerConfig, strat Strategy) (*Server, error) { return cm.NewServer(cfg, strat) }
+
+// ---- Workloads (internal/workload) ----
+
+// Object describes one continuous-media object.
+type Object = workload.Object
+
+// LibraryConfig controls synthetic library generation.
+type LibraryConfig = workload.LibraryConfig
+
+// DefaultLibraryConfig matches the paper's Section 5 experiment scale.
+func DefaultLibraryConfig() LibraryConfig { return workload.DefaultLibraryConfig() }
+
+// Library generates a reproducible object library.
+func Library(cfg LibraryConfig) ([]Object, error) { return workload.Library(cfg) }
+
+// NewZipf creates a Zipf popularity sampler.
+func NewZipf(src Source, n int, s float64) (*workload.Zipf, error) {
+	return workload.NewZipf(src, n, s)
+}
+
+// NewPoisson creates a Poisson arrival process.
+func NewPoisson(src Source, rate float64) (*workload.Poisson, error) {
+	return workload.NewPoisson(src, rate)
+}
+
+// ---- Extensions (internal/mirror, internal/hetero) ----
+
+// Mirrored derives primary and offset-mirror locations (Section 6).
+type Mirrored = mirror.Mirrored
+
+// NewMirrored wraps a strategy with offset mirroring; a nil offset uses the
+// paper's f(N) = N/2 example.
+func NewMirrored(strat Strategy, offset mirror.OffsetFunc) (*Mirrored, error) {
+	return mirror.New(strat, offset)
+}
+
+// Parity derives hybrid parity/mirror protection layouts (the Section 6
+// future-work idea: parity where member disks are distinct, offset mirrors
+// for colliding groups — single-disk failures never lose data, at 1+1/g to
+// 2x storage).
+type Parity = parity.Parity
+
+// NewParity wraps a strategy with hybrid parity groups of size g.
+func NewParity(strat Strategy, g int) (*Parity, error) { return parity.New(strat, g) }
+
+// HeteroMapping maps homogeneous logical disks onto heterogeneous physical
+// disks (Section 6).
+type HeteroMapping = hetero.Mapping
+
+// HeteroPhysical describes one heterogeneous physical disk.
+type HeteroPhysical = hetero.Physical
+
+// NewHeteroMapping builds a resource-proportional logical→physical mapping.
+func NewHeteroMapping(physicals []HeteroPhysical) (*HeteroMapping, error) {
+	return hetero.NewMapping(physicals)
+}
+
+// ---- Session traces (internal/trace) ----
+
+// Trace is a replayable server session (admissions, viewer actions,
+// scaling operations, round ticks).
+type Trace = trace.Trace
+
+// TraceEvent is one step of a session.
+type TraceEvent = trace.Event
+
+// TraceResult summarizes a replay.
+type TraceResult = trace.Result
+
+// SessionConfig parameterizes synthetic session generation.
+type SessionConfig = trace.SessionConfig
+
+// DefaultSession is a moderate Zipf session with a mid-run scale-out.
+func DefaultSession() SessionConfig { return trace.DefaultSession() }
+
+// GenerateSession builds a reproducible synthetic session trace.
+func GenerateSession(cfg SessionConfig) (*Trace, error) { return trace.GenerateSession(cfg) }
+
+// ApplyTrace replays a trace against a freshly loaded server.
+func ApplyTrace(srv *Server, tr *Trace) (*TraceResult, error) { return trace.Apply(srv, tr) }
+
+// ---- Metrics (internal/stats) ----
+
+// CoV returns the coefficient of variation of a load vector — the paper's
+// Section 5 load-balance metric.
+func CoV(loads []int) float64 { return stats.CoVInts(loads) }
+
+// Unfairness returns (max/min - 1) of a load vector — the Section 4.3
+// metric.
+func Unfairness(loads []int) (float64, error) { return stats.UnfairnessInts(loads) }

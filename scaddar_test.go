@@ -1,0 +1,234 @@
+package scaddar_test
+
+// End-to-end tests of the public facade: everything a downstream user would
+// touch, exercised through the root package only.
+
+import (
+	"testing"
+
+	"scaddar"
+)
+
+func TestFacadeHistoryAndLocator(t *testing.T) {
+	hist, err := scaddar.NewHistory(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := scaddar.NewLocator(hist, func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, 100)
+	for i := range before {
+		d, err := loc.Disk(42, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = d
+	}
+	if _, err := hist.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range before {
+		d, err := loc.Disk(42, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != before[i] {
+			moved++
+			if d < 8 {
+				t.Fatalf("block %d moved to old disk %d", i, d)
+			}
+		}
+	}
+	if moved == 0 || moved > 40 {
+		t.Fatalf("moved %d of 100 blocks, want ~20", moved)
+	}
+}
+
+func TestFacadeBudgetAndRuleOfThumb(t *testing.T) {
+	if got := scaddar.RuleOfThumb(64, 0.01, 16); got != 13 {
+		t.Fatalf("RuleOfThumb = %d, want 13", got)
+	}
+	b, err := scaddar.NewBudget(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.WithinTolerance(0.05) {
+		t.Fatal("fresh budget out of tolerance")
+	}
+	exact, err := scaddar.MaxOpsExact(32, 8, 0.05, func(int) int { return 8 }, 100)
+	if err != nil || exact != 8 {
+		t.Fatalf("MaxOpsExact = %d, %v", exact, err)
+	}
+}
+
+func TestFacadeDiskArray(t *testing.T) {
+	a, err := scaddar.NewDiskArray(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Remove(scaddar.DiskID(4)); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's worked example through the public API.
+	if got := a.Locate(28); got != scaddar.DiskID(5) {
+		t.Fatalf("Locate(28) = %d, want physical disk 5", got)
+	}
+}
+
+func TestFacadeStrategies(t *testing.T) {
+	x0 := scaddar.NewX0Func(func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	strategies := []scaddar.Strategy{}
+	if s, err := scaddar.NewScaddarStrategy(8, x0); err == nil {
+		strategies = append(strategies, s)
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := scaddar.NewNaiveStrategy(8, x0); err == nil {
+		strategies = append(strategies, s)
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := scaddar.NewReshuffleStrategy(8, x0); err == nil {
+		strategies = append(strategies, s)
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := scaddar.NewRoundRobinStrategy(8); err == nil {
+		strategies = append(strategies, s)
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := scaddar.NewDirectoryStrategy(8, scaddar.NewSplitMix64(3)); err == nil {
+		strategies = append(strategies, s)
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := scaddar.NewConsistentStrategy(8, 64); err == nil {
+		strategies = append(strategies, s)
+	} else {
+		t.Fatal(err)
+	}
+	for _, s := range strategies {
+		if err := s.AddDisks(1); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		d := s.Disk(scaddar.BlockRef{Seed: 9, Index: 3})
+		if d < 0 || d >= s.N() {
+			t.Fatalf("%s: disk %d out of range", s.Name(), d)
+		}
+	}
+}
+
+func TestFacadeServerLifecycle(t *testing.T) {
+	x0 := scaddar.NewX0Func(func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	strat, err := scaddar.NewScaddarStrategy(6, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := scaddar.NewServer(scaddar.DefaultServerConfig(), strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scaddar.DefaultLibraryConfig()
+	cfg.Objects = 5
+	cfg.MinBlocks, cfg.MaxBlocks = 200, 200
+	lib, err := scaddar.Library(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := srv.StartStream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ScaleUp(2); err != nil {
+		t.Fatal(err)
+	}
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	for st.State == 0 { // StreamPlaying
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Metrics().Hiccups != 0 {
+		t.Fatalf("hiccups: %d", srv.Metrics().Hiccups)
+	}
+	if err := srv.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if cov := scaddar.CoV(srv.Array().Loads()); cov > 0.15 {
+		t.Fatalf("CoV %.4f", cov)
+	}
+	if _, err := scaddar.Unfairness(srv.Array().Loads()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMirrorAndHetero(t *testing.T) {
+	x0 := scaddar.NewX0Func(func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	strat, err := scaddar.NewScaddarStrategy(6, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := scaddar.NewMirrored(strat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, mir, err := m.Locate(scaddar.BlockRef{Seed: 1, Index: 2})
+	if err != nil || p == mir {
+		t.Fatalf("mirror locate: %d %d %v", p, mir, err)
+	}
+
+	mapping, err := scaddar.NewHeteroMapping([]scaddar.HeteroPhysical{
+		{ID: 0, Profile: scaddar.ProfileCheetah73},
+		{ID: 1, Profile: scaddar.ProfileCheetah73},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapping.Logicals() != 2 {
+		t.Fatalf("logicals = %d", mapping.Logicals())
+	}
+}
+
+func TestFacadeWorkload(t *testing.T) {
+	z, err := scaddar.NewZipf(scaddar.NewPCG32(1), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := z.Draw(); d < 0 || d >= 10 {
+		t.Fatalf("zipf draw %d", d)
+	}
+	p, err := scaddar.NewPoisson(scaddar.NewXorshift64Star(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := p.NextInterval(); iv < 0 {
+		t.Fatalf("interval %v", iv)
+	}
+	if src := scaddar.Truncate(scaddar.NewSplitMix64(1), 32); src.Bits() != 32 {
+		t.Fatal("truncate width")
+	}
+}
