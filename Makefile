@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test verify fuzz clean
+
+# Tier-1 gate: everything must build and the full suite must pass.
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Tier-1+ gate: vet plus the full suite under the race detector. Run this
+# before merging anything that touches the server, the rebuild executor, or
+# the fault injector — the concurrency-sensitive layers.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Short fuzz pass over the History codecs (seed corpora under
+# internal/scaddar/testdata/fuzz/).
+fuzz:
+	$(GO) test ./internal/scaddar/ -fuzz FuzzCodec -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,11 +1,14 @@
-// Faulttolerance: the Section 6 mirroring extension in action.
+// Faulttolerance: a live failure drill against the online server.
 //
-// Every block gets a mirror copy at offset f(N) = N/2 from its primary —
-// computable from the operation log like the primary itself, so fault
-// tolerance costs no directory either. We drill every single-disk failure
-// (zero loss, reads fail over), show the load-smoothing read policy, and
-// demonstrate that the guarantee survives scaling operations because the
-// offset recomputes against the current disk count.
+// The Section 6 mirroring extension places every block's mirror copy at
+// offset f(N) = N/2 from its primary — computable from the operation log
+// like the primary itself, so fault tolerance costs no directory either.
+// This example drills the scheme under live load: a fault injector fails a
+// whole disk while streams are playing, reads fail over to the mirrors
+// in-round (charged against real per-disk round budgets), a replacement
+// disk arrives five rounds later, and an online rebuild re-materializes the
+// lost blocks from leftover bandwidth only. With mirroring, no read is ever
+// unrecoverable; the same drill without redundancy shows what is at stake.
 //
 // Run with: go run ./examples/faulttolerance
 package main
@@ -17,89 +20,115 @@ import (
 	"scaddar"
 )
 
-func main() {
+const (
+	disks      = 6
+	objects    = 8
+	blocksPer  = 400
+	streams    = 180
+	failRound  = 5
+	fixRound   = 10
+	drillSpan  = 120
+	failedDisk = 2
+)
+
+// newLoadedServer builds a server with the given redundancy, a small
+// library, and active streams staggered through each object.
+func newLoadedServer(red scaddar.Redundancy) (*scaddar.Server, error) {
 	x0 := scaddar.NewX0Func(func(seed uint64) scaddar.Source {
 		return scaddar.NewSplitMix64(seed)
 	})
-	strat, err := scaddar.NewScaddarStrategy(6, x0)
+	strat, err := scaddar.NewScaddarStrategy(disks, x0)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	mirrored, err := scaddar.NewMirrored(strat, nil) // nil -> the paper's f(N)=N/2
+	cfg := scaddar.DefaultServerConfig()
+	cfg.Redundancy = red
+	srv, err := scaddar.NewServer(cfg, strat)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-
-	// A universe of 10 objects x 500 blocks.
-	var blocks []scaddar.BlockRef
-	for o := 0; o < 10; o++ {
-		for i := 0; i < 500; i++ {
-			blocks = append(blocks, scaddar.BlockRef{Seed: uint64(o + 1), Index: uint64(i)})
+	for o := 0; o < objects; o++ {
+		obj := scaddar.Object{
+			ID: o, Seed: uint64(o)*1000 + 7, Blocks: blocksPer,
+			BlockBytes: cfg.BlockBytes, BitrateBitsPerSec: 4 << 20,
+		}
+		if err := srv.AddObject(obj); err != nil {
+			return nil, err
 		}
 	}
-
-	fmt.Printf("placement: %d blocks mirrored at offset f(N)=N/2 on %d disks (%.0fx storage)\n",
-		len(blocks), mirrored.N(), mirrored.StorageOverhead())
-	b := blocks[0]
-	p, m, err := mirrored.Locate(b)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("example: block {seed %d, index %d} -> primary disk %d, mirror disk %d\n\n",
-		b.Seed, b.Index, p, m)
-
-	// Drill every single-disk failure.
-	fmt.Println("single-disk failure drills:")
-	for d := 0; d < mirrored.N(); d++ {
-		rep, err := mirrored.Survive(blocks, map[int]bool{d: true})
+	for i := 0; i < streams; i++ {
+		st, err := srv.StartStream(i % objects)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		fmt.Printf("  disk %d down: %d/%d readable, %d reads degraded to the mirror, %d lost\n",
-			d, rep.Readable, rep.Blocks, rep.DegradedReads, rep.Lost)
+		if err := srv.SeekStream(st.ID, (i*37)%blocksPer); err != nil {
+			return nil, err
+		}
 	}
+	return srv, nil
+}
 
-	// Load-smoothing reads: with a hot primary, reads fail over.
-	depths := make([]int, mirrored.N())
-	depths[p] = 12 // primary busy
-	from, err := mirrored.ReadFrom(b, depths)
+// drill runs the failure schedule against a server and returns its metrics.
+func drill(red scaddar.Redundancy) (scaddar.ServerMetrics, error) {
+	srv, err := newLoadedServer(red)
+	if err != nil {
+		return scaddar.ServerMetrics{}, err
+	}
+	inj := scaddar.NewFaultInjector(1).FailAt(failRound, failedDisk).RepairAt(fixRound, failedDisk)
+	if err := srv.InstallFaults(inj); err != nil {
+		return scaddar.ServerMetrics{}, err
+	}
+	wasDegraded := false
+	for r := 1; r <= drillSpan; r++ {
+		if err := srv.Tick(); err != nil {
+			return scaddar.ServerMetrics{}, err
+		}
+		switch {
+		case r == failRound:
+			h, err := srv.DiskHealth(failedDisk)
+			if err != nil {
+				return scaddar.ServerMetrics{}, err
+			}
+			fmt.Printf("  round %3d: disk %d is %s; serving degraded, %d blocks permanently lost\n",
+				r, failedDisk, h, srv.LostBlocks())
+		case r == fixRound:
+			fmt.Printf("  round %3d: replacement online, %d rebuild items queued behind stream service\n",
+				r, srv.RebuildRemaining())
+		case wasDegraded && !srv.Degraded():
+			fmt.Printf("  round %3d: rebuild complete, array healthy\n", r)
+		}
+		wasDegraded = srv.Degraded()
+	}
+	if err := srv.VerifyIntegrity(); err != nil {
+		return scaddar.ServerMetrics{}, err
+	}
+	return srv.Metrics(), nil
+}
+
+func main() {
+	fmt.Printf("live drill: %d disks, %d streams; disk %d fails at round %d, replacement at round %d\n\n",
+		disks, streams, failedDisk, failRound, fixRound)
+
+	fmt.Printf("with offset mirroring (f(N)=N/2, 2x storage, no directory):\n")
+	m, err := drill(scaddar.RedundancyMirror)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nread policy: primary disk %d has queue depth 12 -> serve from disk %d\n", p, from)
+	fmt.Printf("  served %d blocks; %d reads degraded to the mirror, %d unrecoverable, %d hiccups\n",
+		m.BlocksServed, m.DegradedReads, m.UnrecoverableReads, m.Hiccups)
+	fmt.Printf("  rebuilt %d primary copies in %d rounds using %d spare I/Os\n\n",
+		m.BlocksRebuilt, m.RoundsToRepair, m.RebuildIOs)
+	if m.UnrecoverableReads != 0 {
+		log.Fatalf("mirroring lost %d reads", m.UnrecoverableReads)
+	}
 
-	// The guarantee survives scaling: add a disk group, remove a disk, and
-	// re-drill. The offset recomputes against the new N automatically.
-	if err := strat.AddDisks(2); err != nil {
-		log.Fatal(err)
-	}
-	if err := strat.RemoveDisks(1); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nafter scaling to %d disks:\n", mirrored.N())
-	worstDegraded := 0
-	for d := 0; d < mirrored.N(); d++ {
-		rep, err := mirrored.Survive(blocks, map[int]bool{d: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if rep.Lost != 0 {
-			log.Fatalf("disk %d failure lost %d blocks", d, rep.Lost)
-		}
-		if rep.DegradedReads > worstDegraded {
-			worstDegraded = rep.DegradedReads
-		}
-	}
-	fmt.Printf("  every single-disk failure still loses 0 blocks (worst case %d degraded reads)\n",
-		worstDegraded)
-
-	// The limit of mirroring: losing an offset pair loses blocks. This is
-	// what the paper's planned parity extension would address.
-	partner := (0 + (mirrored.N()+1)/2) % mirrored.N()
-	rep, err := mirrored.Survive(blocks, map[int]bool{0: true, partner: true})
+	fmt.Printf("same drill without redundancy:\n")
+	bare, err := drill(scaddar.RedundancyNone)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  limit: losing offset partners 0 and %d loses %d blocks (%.1f%%)\n",
-		partner, rep.Lost, 100*float64(rep.Lost)/float64(rep.Blocks))
+	fmt.Printf("  served %d blocks; %d reads unrecoverable — the failed disk's data is simply gone\n",
+		bare.BlocksServed, bare.UnrecoverableReads)
+	fmt.Printf("\nmirroring turned %d lost reads into %d degraded (mirror-served) reads at 2x storage.\n",
+		bare.UnrecoverableReads, m.DegradedReads)
 }

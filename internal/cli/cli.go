@@ -41,6 +41,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdPlan(args[1:], stdout)
 	case "simulate":
 		err = cmdSimulate(args[1:], stdout)
+	case "drill":
+		err = cmdDrill(args[1:], stdout)
 	case "trace":
 		err = cmdTrace(args[1:], stdout)
 	case "forecast":
@@ -69,6 +71,7 @@ commands:
   balance   simulate load balance across scaling operations
   plan      size the reorganization plan of one scaling operation
   simulate  run an online server scenario (streams + scaling) and report
+  drill     run a failure drill (disk failure, degraded serving, rebuild)
   trace     generate | replay | show deterministic session traces
   forecast  predict movement and budget for a planned operation sequence`)
 }
@@ -340,5 +343,127 @@ func cmdSimulate(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "rounds %d  served %d  hiccups %d  migrated %d  overruns %d\n",
 		m.Rounds, m.BlocksServed, m.Hiccups, m.BlocksMigrated, m.RoundOverruns)
 	fmt.Fprintf(w, "final: %d disks, CoV %.4f\n", srv.N(), stats.CoVInts(srv.Array().Loads()))
+	return srv.VerifyIntegrity()
+}
+
+func cmdDrill(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("drill", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n0 := fs.Int("n0", 8, "initial disk count")
+	objects := fs.Int("objects", 12, "number of objects")
+	blocks := fs.Int("blocks", 600, "blocks per object")
+	load := fs.Float64("load", 0.6, "stream load as a fraction of capacity")
+	redundancy := fs.String("redundancy", "mirror", "protection scheme: none | mirror | parity")
+	failAt := fs.Int("fail-at", 10, "round at which the disk fails")
+	failDisk := fs.Int("disk", 0, "logical index of the disk to fail")
+	repairAfter := fs.Int("repair-after", 5, "rounds between failure and replacement arrival")
+	errRate := fs.Float64("error-rate", 0, "transient per-read error probability in [0,1)")
+	rounds := fs.Int("rounds", 200, "rounds to simulate")
+	seed := fs.Uint64("seed", 1, "fault-injector seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *load <= 0 || *load > 1 {
+		return fmt.Errorf("load %g outside (0,1]", *load)
+	}
+	if *failAt < 1 || *repairAfter < 1 || *rounds < *failAt {
+		return fmt.Errorf("need 1 <= fail-at <= rounds and repair-after >= 1")
+	}
+	var red cm.Redundancy
+	switch *redundancy {
+	case "none":
+		red = cm.RedundancyNone
+	case "mirror":
+		red = cm.RedundancyMirror
+	case "parity":
+		red = cm.RedundancyParity
+	default:
+		return fmt.Errorf("redundancy %q: want none, mirror, or parity", *redundancy)
+	}
+
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(*n0, x0)
+	if err != nil {
+		return err
+	}
+	cfg := cm.DefaultConfig()
+	cfg.Redundancy = red
+	srv, err := cm.NewServer(cfg, strat)
+	if err != nil {
+		return err
+	}
+	lib, err := workload.Library(workload.LibraryConfig{
+		Objects: *objects, MinBlocks: *blocks, MaxBlocks: *blocks,
+		BlockBytes: cfg.BlockBytes, BitrateBitsPerSec: 4 << 20, SeedBase: 42,
+	})
+	if err != nil {
+		return err
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			return err
+		}
+	}
+	zipf, err := workload.NewZipf(prng.NewSplitMix64(1), *objects, 0.729)
+	if err != nil {
+		return err
+	}
+	pos := prng.NewSplitMix64(2)
+	target := int(*load * float64(srv.N()) * float64(cfg.Profile.BlocksPerRound(cfg.Round, cfg.BlockBytes)))
+	for i := 0; i < target; i++ {
+		o := zipf.Draw()
+		st, err := srv.StartStream(o)
+		if err != nil {
+			return err
+		}
+		if err := srv.SeekStream(st.ID, int(pos.Next()%uint64(lib[o].Blocks))); err != nil {
+			return err
+		}
+	}
+
+	repairAt := *failAt + *repairAfter
+	inj := cm.NewInjector(*seed).FailAt(*failAt, *failDisk).RepairAt(repairAt, *failDisk)
+	if *errRate > 0 {
+		if inj, err = inj.WithTransientErrorRate(*errRate); err != nil {
+			return err
+		}
+	}
+	if err := srv.InstallFaults(inj); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "drill: %d disks, %d blocks, %d streams, %s redundancy\n",
+		srv.N(), srv.TotalBlocks(), srv.ActiveStreams(), red)
+	fmt.Fprintf(w, "schedule: disk %d fails at round %d, replacement arrives at round %d\n",
+		*failDisk, *failAt, repairAt)
+
+	wasDegraded := false
+	for r := 1; r <= *rounds; r++ {
+		if err := srv.Tick(); err != nil {
+			return err
+		}
+		if r == *failAt {
+			fmt.Fprintf(w, "round %d: disk %d FAILED; serving degraded\n", r, *failDisk)
+		}
+		if r == repairAt {
+			fmt.Fprintf(w, "round %d: replacement online; rebuilding %d items from spare bandwidth\n",
+				r, srv.RebuildRemaining())
+		}
+		if wasDegraded && !srv.Degraded() {
+			fmt.Fprintf(w, "round %d: rebuild complete; array healthy again\n", r)
+		}
+		wasDegraded = srv.Degraded()
+	}
+	m := srv.Metrics()
+	fmt.Fprintf(w, "rounds %d  served %d  hiccups %d  degraded reads %d  unrecoverable %d\n",
+		m.Rounds, m.BlocksServed, m.Hiccups, m.DegradedReads, m.UnrecoverableReads)
+	fmt.Fprintf(w, "failover reads %d  transient errors %d  blocks rebuilt %d  rebuild I/Os %d\n",
+		m.FailoverReads, m.TransientReadErrors, m.BlocksRebuilt, m.RebuildIOs)
+	if m.RebuildsCompleted > 0 {
+		fmt.Fprintf(w, "rebuilds completed %d  rounds to repair %d\n",
+			m.RebuildsCompleted, m.RoundsToRepair)
+	} else if srv.Degraded() {
+		fmt.Fprintf(w, "still degraded: %d rebuild items pending, %d blocks lost\n",
+			srv.RebuildRemaining(), srv.LostBlocks())
+	}
 	return srv.VerifyIntegrity()
 }

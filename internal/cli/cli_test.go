@@ -140,3 +140,50 @@ func TestFlagErrorsPropagate(t *testing.T) {
 		t.Fatal("flag parse error not propagated")
 	}
 }
+
+func TestDrillMirrorScenario(t *testing.T) {
+	out, errOut, code := run("drill",
+		"-n0", "6", "-objects", "6", "-blocks", "200",
+		"-load", "0.5", "-redundancy", "mirror",
+		"-fail-at", "5", "-disk", "2", "-repair-after", "4", "-rounds", "80")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{
+		"mirror redundancy",
+		"round 5: disk 2 FAILED",
+		"round 9: replacement online",
+		"rebuild complete",
+		"unrecoverable 0",
+		"rebuilds completed 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("drill output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDrillNoneLosesData(t *testing.T) {
+	out, errOut, code := run("drill",
+		"-n0", "4", "-objects", "4", "-blocks", "150",
+		"-load", "0.4", "-redundancy", "none",
+		"-fail-at", "3", "-disk", "1", "-repair-after", "2", "-rounds", "30")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "blocks lost") && strings.Contains(out, "unrecoverable 0") {
+		t.Fatalf("unprotected drill reported no losses:\n%s", out)
+	}
+}
+
+func TestDrillValidation(t *testing.T) {
+	if _, _, code := run("drill", "-redundancy", "raid6"); code == 0 {
+		t.Fatal("unknown redundancy accepted")
+	}
+	if _, _, code := run("drill", "-load", "0"); code == 0 {
+		t.Fatal("zero load accepted")
+	}
+	if _, _, code := run("drill", "-fail-at", "0"); code == 0 {
+		t.Fatal("fail-at 0 accepted")
+	}
+}

@@ -1,0 +1,450 @@
+package cm
+
+// This file implements the live fault-tolerance loop the paper's Section 6
+// sketches but never operationalizes: disks fail and are repaired *while
+// streams play*, reads on failed disks fail over to redundant copies inside
+// the same round (paying the real bandwidth cost — a parity reconstruction
+// touches every surviving disk of the group), and a seeded injector drives
+// deterministic failure/repair/transient-error schedules from Tick so
+// availability claims become observable under traffic.
+//
+// The redundancy model matches the paper's directory-free stance: the
+// physical inventories track primary copies only, and redundant copies
+// (offset mirrors, parity blocks) are *computable* from the placement — so
+// serving or rebuilding from them is modeled as bandwidth charged against
+// the disks that hold them, gated on those disks' health. A redundant copy
+// on a disk that failed is gone until the disk's rebuild re-materializes it.
+
+import (
+	"fmt"
+	"sort"
+
+	"scaddar/internal/disk"
+	"scaddar/internal/parity"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// Redundancy selects the live fault-tolerance scheme the server maintains.
+type Redundancy int
+
+// Redundancy schemes.
+const (
+	// RedundancyNone stores single copies: a disk failure loses its blocks
+	// permanently and reads of them are unrecoverable.
+	RedundancyNone Redundancy = iota
+	// RedundancyMirror keeps the Section 6 offset mirror of every block:
+	// reads fail over to the mirror disk at one extra read.
+	RedundancyMirror
+	// RedundancyParity keeps the hybrid parity/mirror layout: reads of a
+	// lost block reconstruct from every surviving group member plus the
+	// parity block (or from the offset mirror for collided groups).
+	RedundancyParity
+)
+
+// String names the redundancy scheme.
+func (r Redundancy) String() string {
+	switch r {
+	case RedundancyNone:
+		return "none"
+	case RedundancyMirror:
+		return "mirror"
+	case RedundancyParity:
+		return "parity"
+	default:
+		return fmt.Sprintf("redundancy(%d)", int(r))
+	}
+}
+
+// faultEvent is one scheduled whole-disk event.
+type faultEvent struct {
+	round   int
+	logical int
+	repair  bool
+}
+
+// Injector is a deterministic, seeded fault schedule: whole-disk failures,
+// repair arrivals, and an optional transient per-read error rate. Rounds are
+// 1-based (the first Tick is round 1); events fire at the start of their
+// round, before streams are served. Disk references are logical indices
+// evaluated at fire time.
+type Injector struct {
+	events  []faultEvent
+	errRate float64
+	rng     *prng.SplitMix64
+}
+
+// NewInjector creates an injector whose transient-error rolls derive from
+// the given seed.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{rng: prng.NewSplitMix64(seed)}
+}
+
+// FailAt schedules a whole-disk failure of the given logical disk at the
+// start of the given round. It returns the injector for chaining.
+func (in *Injector) FailAt(round, logical int) *Injector {
+	in.events = append(in.events, faultEvent{round: round, logical: logical})
+	return in
+}
+
+// RepairAt schedules the arrival of a replacement for the failed disk at
+// the given logical index: the disk transitions to Rebuilding and the
+// server starts re-materializing its blocks from redundancy.
+func (in *Injector) RepairAt(round, logical int) *Injector {
+	in.events = append(in.events, faultEvent{round: round, logical: logical, repair: true})
+	return in
+}
+
+// WithTransientErrorRate sets the probability in [0, 1) that any single
+// direct read attempt fails transiently (media error, command timeout). The
+// failed attempt still consumes the disk's bandwidth; the read then fails
+// over to redundancy or retries next round.
+func (in *Injector) WithTransientErrorRate(p float64) (*Injector, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("cm: transient error rate %g outside [0,1)", p)
+	}
+	in.errRate = p
+	return in, nil
+}
+
+// eventsAt returns the events scheduled for a round in insertion order.
+func (in *Injector) eventsAt(round int) []faultEvent {
+	var out []faultEvent
+	for _, ev := range in.events {
+		if ev.round == round {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// transientError rolls one per-read transient fault.
+func (in *Injector) transientError() bool {
+	if in.errRate <= 0 {
+		return false
+	}
+	const denom = 1 << 53
+	return float64(in.rng.Next()>>11)/denom < in.errRate
+}
+
+// InstallFaults attaches a fault injector; its schedule is driven by
+// subsequent Tick calls.
+func (s *Server) InstallFaults(in *Injector) error {
+	if in == nil {
+		return fmt.Errorf("cm: nil fault injector")
+	}
+	if s.faults != nil {
+		return fmt.Errorf("cm: a fault injector is already installed")
+	}
+	s.faults = in
+	return nil
+}
+
+// fireFaults fires the injector events scheduled for the current round.
+func (s *Server) fireFaults() error {
+	if s.faults == nil {
+		return nil
+	}
+	for _, ev := range s.faults.eventsAt(s.metrics.Rounds) {
+		var err error
+		if ev.repair {
+			err = s.RepairDisk(ev.logical)
+		} else {
+			err = s.FailDisk(ev.logical)
+		}
+		if err != nil {
+			return fmt.Errorf("cm: fault event at round %d: %w", s.metrics.Rounds, err)
+		}
+	}
+	return nil
+}
+
+// toPhysical translates a strategy-space logical index to the index the
+// physical array uses right now (they differ only while a scale-down drain
+// is in flight).
+func (s *Server) toPhysical(strategyIdx int) int {
+	if s.removalPreOf != nil {
+		return s.removalPreOf[strategyIdx]
+	}
+	return strategyIdx
+}
+
+// Degraded reports whether the server is in degraded mode: some disk is
+// failed or rebuilding, or blocks still await re-materialization.
+func (s *Server) Degraded() bool {
+	return s.array.Degraded() || s.RebuildRemaining() > 0 || len(s.lost) > 0
+}
+
+// DiskHealth returns the health of the disk at a logical index.
+func (s *Server) DiskHealth(logical int) (disk.Health, error) {
+	d, err := s.array.Disk(logical)
+	if err != nil {
+		return 0, err
+	}
+	return d.Health(), nil
+}
+
+// LostBlocks returns the number of blocks recorded as permanently lost
+// (only possible with RedundancyNone).
+func (s *Server) LostBlocks() int { return len(s.lost) }
+
+// FailDisk fails the disk at a logical index right now: its contents are
+// wiped, pending migration moves sourced there are converted into rebuild
+// work at their destinations (recoverable via redundancy) or recorded lost,
+// and — without redundancy — every block homed there becomes unrecoverable.
+func (s *Server) FailDisk(logical int) error {
+	d, err := s.array.Disk(logical)
+	if err != nil {
+		return err
+	}
+	if _, err := d.Fail(); err != nil {
+		return err
+	}
+	s.metrics.DiskFailures++
+	// A failed disk mid-migration strands the moves it sources: the block
+	// data is gone locally, so each such block is re-materialized at its
+	// destination from redundancy instead — rebuild and reorganization then
+	// drain side by side from the same spare-bandwidth pool.
+	if s.migration != nil {
+		for _, m := range s.migration.ExtractBySource(logical) {
+			bid := s.blockIDOf(m.Block)
+			if s.cfg.Redundancy == RedundancyNone {
+				s.lost[bid] = true
+				continue
+			}
+			s.ensureRebuilder().add(rebuildItem{
+				key:    rebuildKey{kind: rebuildPrimary, ref: m.Block},
+				bid:    bid,
+				target: m.To,
+			})
+		}
+	}
+	if s.cfg.Redundancy == RedundancyNone {
+		s.forEachBlock(func(object int, ref placement.BlockRef) {
+			if s.locate(ref) == logical {
+				s.lost[blockID(object, ref.Index)] = true
+			}
+		})
+	}
+	return nil
+}
+
+// RepairDisk installs an empty replacement for the failed disk at a logical
+// index. With redundancy configured, the disk enters Rebuilding and the
+// server enqueues every block homed there — primary copies plus the virtual
+// mirror/parity copies it carried — to be re-materialized from surviving
+// redundancy using leftover round bandwidth. Without redundancy there is
+// nothing to restore: the replacement enters service empty and previously
+// lost blocks stay lost.
+func (s *Server) RepairDisk(logical int) error {
+	d, err := s.array.Disk(logical)
+	if err != nil {
+		return err
+	}
+	if err := d.StartRebuild(); err != nil {
+		return err
+	}
+	s.metrics.DiskRepairs++
+	if s.cfg.Redundancy == RedundancyNone {
+		return d.FinishRebuild()
+	}
+	rb := s.ensureRebuilder()
+	rb.started[logical] = s.metrics.Rounds
+	s.forEachBlock(func(object int, ref placement.BlockRef) {
+		bid := blockID(object, ref.Index)
+		if s.lost[bid] {
+			return
+		}
+		if s.locate(ref) == logical {
+			rb.add(rebuildItem{key: rebuildKey{kind: rebuildPrimary, ref: ref}, bid: bid, target: logical})
+		}
+		if s.cfg.Redundancy == RedundancyMirror {
+			if midx, err := s.mirrored.Mirror(ref); err == nil && s.toPhysical(midx) == logical {
+				rb.add(rebuildItem{key: rebuildKey{kind: rebuildMirrorCopy, ref: ref}, bid: bid, target: logical})
+			}
+		}
+	})
+	if s.cfg.Redundancy == RedundancyParity {
+		s.forEachParityGroup(func(object int, seed uint64, group uint64, nblocks int, layout *parity.Layout) {
+			if layout.Mirrored {
+				// Collided group: each member has an offset mirror instead.
+				start := group * uint64(s.par.GroupSize())
+				for i, md := range layout.MemberDisks {
+					ref := placement.BlockRef{Seed: seed, Index: start + uint64(i)}
+					if s.lost[blockID(object, ref.Index)] {
+						continue
+					}
+					if s.toPhysical(s.par.FallbackMirror(md)) == logical {
+						rb.add(rebuildItem{
+							key:    rebuildKey{kind: rebuildMirrorCopy, ref: ref},
+							bid:    blockID(object, ref.Index),
+							target: logical,
+						})
+					}
+				}
+				return
+			}
+			if s.toPhysical(layout.ParityDisk) == logical {
+				rb.add(rebuildItem{
+					key:    rebuildKey{kind: rebuildParityBlock, ref: placement.BlockRef{Seed: seed, Index: group}},
+					target: logical,
+				})
+			}
+		})
+	}
+	return nil
+}
+
+// forEachBlock visits every catalogued block plus the written prefix of
+// in-progress ingests, in deterministic (object ID, index) order.
+func (s *Server) forEachBlock(fn func(object int, ref placement.BlockRef)) {
+	ids := make([]int, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		obj := s.objects[id]
+		for i := 0; i < obj.Blocks; i++ {
+			fn(id, placement.BlockRef{Seed: obj.Seed, Index: uint64(i)})
+		}
+	}
+	for _, in := range s.ingests {
+		if in.Done {
+			continue // completed ingests are in the catalog
+		}
+		for i := 0; i < in.Written; i++ {
+			fn(in.Object.ID, placement.BlockRef{Seed: in.Object.Seed, Index: uint64(i)})
+		}
+	}
+}
+
+// forEachParityGroup visits every parity group of every catalogued object in
+// deterministic order. In-progress ingests are skipped: their groups are
+// incomplete until recording finishes.
+func (s *Server) forEachParityGroup(fn func(object int, seed uint64, group uint64, nblocks int, layout *parity.Layout)) {
+	ids := make([]int, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	g := uint64(s.par.GroupSize())
+	for _, id := range ids {
+		obj := s.objects[id]
+		groups := (uint64(obj.Blocks) + g - 1) / g
+		for k := uint64(0); k < groups; k++ {
+			layout, err := s.par.Place(obj.Seed, k, obj.Blocks)
+			if err != nil {
+				continue // degenerate arrays are caught at read time
+			}
+			fn(id, obj.Seed, k, obj.Blocks, layout)
+		}
+	}
+}
+
+// redundantCopyAvailable reports whether the virtual redundant copy
+// identified by key, homed on physical logical index p, is readable: its
+// disk is healthy, or rebuilding and the copy has already been restored.
+func (s *Server) redundantCopyAvailable(key rebuildKey, p int) bool {
+	d, err := s.array.Disk(p)
+	if err != nil {
+		return false
+	}
+	switch d.Health() {
+	case disk.Healthy:
+		return true
+	case disk.Rebuilding:
+		return !s.rebuildPending(key)
+	default:
+		return false
+	}
+}
+
+// memberReadable reports whether a parity-group member block is physically
+// readable right now (for use as a reconstruction source), and from which
+// physical logical index.
+func (s *Server) memberReadable(object int, ref placement.BlockRef) (int, bool) {
+	bid := blockID(object, ref.Index)
+	if s.lost[bid] {
+		return 0, false
+	}
+	p := s.locate(ref)
+	d, err := s.array.Disk(p)
+	if err != nil || d.Health() == disk.Failed || !d.Has(bid) {
+		return 0, false
+	}
+	return p, true
+}
+
+// failoverSources resolves the disks a degraded read (or a primary-copy
+// rebuild) of the block must touch: the mirror disk, or every surviving
+// group member plus the parity disk. ok is false when the redundant copies
+// are themselves unavailable — the read is unrecoverable until a rebuild
+// restores them (or forever, if the data is gone on every path).
+func (s *Server) failoverSources(ref placement.BlockRef) (sources []int, ok bool, err error) {
+	switch s.cfg.Redundancy {
+	case RedundancyMirror:
+		midx, err := s.mirrored.Mirror(ref)
+		if err != nil {
+			return nil, false, err
+		}
+		p := s.toPhysical(midx)
+		if !s.redundantCopyAvailable(rebuildKey{kind: rebuildMirrorCopy, ref: ref}, p) {
+			return nil, false, nil
+		}
+		return []int{p}, true, nil
+	case RedundancyParity:
+		object, okObj := s.seedOf[ref.Seed]
+		if !okObj {
+			return nil, false, fmt.Errorf("cm: failover for unknown seed %d", ref.Seed)
+		}
+		nblocks := s.objectBlocks(object)
+		group := s.par.Group(ref.Index)
+		layout, err := s.par.Place(ref.Seed, group, nblocks)
+		if err != nil {
+			return nil, false, err
+		}
+		if layout.Mirrored {
+			p := s.toPhysical(s.par.FallbackMirror(s.strat.Disk(ref)))
+			if !s.redundantCopyAvailable(rebuildKey{kind: rebuildMirrorCopy, ref: ref}, p) {
+				return nil, false, nil
+			}
+			return []int{p}, true, nil
+		}
+		start := group * uint64(s.par.GroupSize())
+		for i := range layout.MemberDisks {
+			idx := start + uint64(i)
+			if idx == ref.Index {
+				continue // the lost block itself
+			}
+			mref := placement.BlockRef{Seed: ref.Seed, Index: idx}
+			p, readable := s.memberReadable(object, mref)
+			if !readable {
+				return nil, false, nil
+			}
+			sources = append(sources, p)
+		}
+		pp := s.toPhysical(layout.ParityDisk)
+		pkey := rebuildKey{kind: rebuildParityBlock, ref: placement.BlockRef{Seed: ref.Seed, Index: group}}
+		if !s.redundantCopyAvailable(pkey, pp) {
+			return nil, false, nil
+		}
+		return append(sources, pp), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// objectBlocks returns the declared block count of an object, consulting
+// in-progress ingests as well as the catalog.
+func (s *Server) objectBlocks(object int) int {
+	if obj, ok := s.objects[object]; ok {
+		return obj.Blocks
+	}
+	for _, in := range s.ingests {
+		if in.Object.ID == object {
+			return in.Object.Blocks
+		}
+	}
+	return 0
+}

@@ -1,0 +1,398 @@
+package cm
+
+import (
+	"strings"
+	"testing"
+
+	"scaddar/internal/disk"
+)
+
+// newFaultServer builds a server with the given redundancy over n0 disks.
+func newFaultServer(t *testing.T, n0 int, red Redundancy) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Redundancy = red
+	srv, err := NewServer(cfg, newStrategy(t, n0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// startStreams admits count streams round-robin over the loaded objects.
+func startStreams(t *testing.T, srv *Server, objs int, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		if _, err := srv.StartStream(i % objs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMirrorFailureDrill is the headline deterministic drill: a whole-disk
+// failure under active streams is absorbed entirely by mirror failover
+// (zero unrecoverable reads), the replacement rebuilds from leftover round
+// bandwidth, and the metrics report the repair.
+func TestMirrorFailureDrill(t *testing.T) {
+	srv := newFaultServer(t, 6, RedundancyMirror)
+	loadObjects(t, srv, 8, 400)
+	startStreams(t, srv, 8, 40)
+
+	inj := NewInjector(1).FailAt(5, 2).RepairAt(12, 2)
+	if err := srv.InstallFaults(inj); err != nil {
+		t.Fatal(err)
+	}
+
+	failedAt5 := false
+	rebuiltAt := 0
+	for r := 1; r <= 200; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		h, err := srv.DiskHealth(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == 5 && h == disk.Failed {
+			failedAt5 = true
+		}
+		if r >= 12 && h == disk.Healthy && rebuiltAt == 0 {
+			rebuiltAt = r
+		}
+		if err := srv.VerifyIntegrity(); err != nil {
+			t.Fatalf("round %d: integrity: %v", r, err)
+		}
+	}
+	if !failedAt5 {
+		t.Error("disk 2 not failed at round 5")
+	}
+	if rebuiltAt == 0 {
+		t.Fatalf("rebuild never completed; %d items remaining", srv.RebuildRemaining())
+	}
+	m := srv.Metrics()
+	if m.UnrecoverableReads != 0 {
+		t.Errorf("mirroring lost %d reads; want 0", m.UnrecoverableReads)
+	}
+	if m.DegradedReads == 0 {
+		t.Error("no degraded reads recorded under a failed disk")
+	}
+	if m.FailoverReads != m.DegradedReads {
+		t.Errorf("mirror failover bandwidth %d != degraded reads %d (one source read each)",
+			m.FailoverReads, m.DegradedReads)
+	}
+	if m.DiskFailures != 1 || m.DiskRepairs != 1 || m.RebuildsCompleted != 1 {
+		t.Errorf("failure/repair/rebuild counts = %d/%d/%d; want 1/1/1",
+			m.DiskFailures, m.DiskRepairs, m.RebuildsCompleted)
+	}
+	if m.RoundsToRepair != rebuiltAt-12+1 {
+		t.Errorf("RoundsToRepair = %d; completion at round %d after repair at 12 implies %d",
+			m.RoundsToRepair, rebuiltAt, rebuiltAt-12+1)
+	}
+	if m.BlocksRebuilt == 0 {
+		t.Error("no primary copies rebuilt")
+	}
+	if srv.Degraded() {
+		t.Error("server still degraded after rebuild completion")
+	}
+	// The drill is deterministic: a re-run reproduces the exact metrics.
+	srv2 := newFaultServer(t, 6, RedundancyMirror)
+	loadObjects(t, srv2, 8, 400)
+	startStreams(t, srv2, 8, 40)
+	inj2 := NewInjector(1).FailAt(5, 2).RepairAt(12, 2)
+	if err := srv2.InstallFaults(inj2); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 200; r++ {
+		if err := srv2.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv2.Metrics() != m {
+		t.Errorf("drill not deterministic:\n first %+v\nsecond %+v", m, srv2.Metrics())
+	}
+}
+
+// TestFailureDuringScaleUp lands a whole-disk failure while a ScaleUp
+// migration is still draining: moves sourced at the failed disk convert to
+// rebuild work at their destinations, rebuild and reorganization share the
+// spare-bandwidth pool, and both drain with zero lost blocks.
+func TestFailureDuringScaleUp(t *testing.T) {
+	srv := newFaultServer(t, 6, RedundancyMirror)
+	loadObjects(t, srv, 8, 400)
+	startStreams(t, srv, 8, 30)
+
+	plan, err := srv.ScaleUp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Fatal("scale-up plan moved nothing")
+	}
+	// One round of migration, then the failure lands mid-drain.
+	if err := srv.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Reorganizing() {
+		t.Fatal("migration drained in one round; pick a bigger universe")
+	}
+	if err := srv.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.RebuildRemaining() == 0 {
+		t.Fatal("no pending moves were converted to rebuild work")
+	}
+	// Further scaling is refused while the drain and rebuild are pending.
+	if _, err := srv.ScaleUp(1); err == nil {
+		t.Error("ScaleUp accepted mid-drain in degraded mode")
+	}
+	if err := srv.RepairDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 300 && (srv.Reorganizing() || srv.RebuildRemaining() > 0); r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Reorganizing() {
+		t.Fatalf("migration stuck with %d moves", srv.MigrationRemaining())
+	}
+	if srv.RebuildRemaining() > 0 {
+		t.Fatalf("rebuild stuck with %d items", srv.RebuildRemaining())
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	if m.UnrecoverableReads != 0 {
+		t.Errorf("%d unrecoverable reads; want 0", m.UnrecoverableReads)
+	}
+	if srv.LostBlocks() != 0 {
+		t.Errorf("%d blocks lost; want 0", srv.LostBlocks())
+	}
+	// Every block is physically where placement expects it again.
+	if err := srv.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Degraded() {
+		t.Error("server still degraded after drains")
+	}
+	for o := 0; o < 8; o++ {
+		for i := 0; i < 400; i++ {
+			if _, err := srv.Lookup(o, i); err != nil {
+				t.Fatalf("block %d/%d unreachable after recovery: %v", o, i, err)
+			}
+		}
+	}
+}
+
+// TestParityFailureDrill drills the hybrid parity scheme live: degraded
+// reads reconstruct from every surviving group member plus the parity disk,
+// so the failover bandwidth bill exceeds one read per degraded read.
+func TestParityFailureDrill(t *testing.T) {
+	srv := newFaultServer(t, 8, RedundancyParity)
+	loadObjects(t, srv, 6, 400)
+	startStreams(t, srv, 6, 24)
+
+	inj := NewInjector(7).FailAt(4, 3).RepairAt(10, 3)
+	if err := srv.InstallFaults(inj); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 400; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if err := srv.VerifyIntegrity(); err != nil {
+			t.Fatalf("round %d: integrity: %v", r, err)
+		}
+	}
+	m := srv.Metrics()
+	if m.UnrecoverableReads != 0 {
+		t.Errorf("parity lost %d reads; want 0", m.UnrecoverableReads)
+	}
+	if m.DegradedReads == 0 {
+		t.Error("no degraded reads recorded")
+	}
+	if m.FailoverReads <= m.DegradedReads {
+		t.Errorf("parity failover bandwidth %d should exceed degraded reads %d",
+			m.FailoverReads, m.DegradedReads)
+	}
+	if m.RebuildsCompleted != 1 {
+		t.Errorf("rebuilds completed = %d; want 1 (remaining %d)", m.RebuildsCompleted, srv.RebuildRemaining())
+	}
+}
+
+// TestNoRedundancyLosesBlocks confirms the contrast case: without
+// redundancy a failed disk's blocks are permanently lost, reads of them are
+// unrecoverable, and a replacement comes back empty.
+func TestNoRedundancyLosesBlocks(t *testing.T) {
+	srv := newFaultServer(t, 4, RedundancyNone)
+	loadObjects(t, srv, 4, 200)
+	startStreams(t, srv, 4, 12)
+
+	if err := srv.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.LostBlocks() == 0 {
+		t.Fatal("no blocks recorded lost")
+	}
+	for r := 0; r < 250; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if err := srv.VerifyIntegrity(); err != nil {
+			t.Fatalf("round %d: integrity: %v", r, err)
+		}
+	}
+	m := srv.Metrics()
+	if m.UnrecoverableReads == 0 {
+		t.Error("no unrecoverable reads despite lost blocks under traffic")
+	}
+	if m.DegradedReads != 0 {
+		t.Errorf("%d degraded reads without redundancy", m.DegradedReads)
+	}
+	// Repair restores service but not data.
+	if err := srv.RepairDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	h, err := srv.DiskHealth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != disk.Healthy {
+		t.Errorf("repaired disk health %s; want healthy (nothing to rebuild)", h)
+	}
+	if srv.LostBlocks() == 0 {
+		t.Error("lost blocks forgotten after repair")
+	}
+}
+
+// TestTransientReadErrors injects a per-read error rate on a healthy array:
+// with mirroring every transient fault fails over within the round, so
+// streams see no unrecoverable reads and almost no hiccups.
+func TestTransientReadErrors(t *testing.T) {
+	srv := newFaultServer(t, 6, RedundancyMirror)
+	loadObjects(t, srv, 6, 300)
+	startStreams(t, srv, 6, 24)
+
+	inj, err := NewInjector(99).WithTransientErrorRate(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallFaults(inj); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 100; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	m := srv.Metrics()
+	if m.TransientReadErrors == 0 {
+		t.Fatal("no transient errors at a 5% rate over thousands of reads")
+	}
+	if m.DegradedReads == 0 {
+		t.Error("transient errors never failed over to the mirror")
+	}
+	if m.UnrecoverableReads != 0 {
+		t.Errorf("%d unrecoverable reads from transient faults", m.UnrecoverableReads)
+	}
+}
+
+// TestInjectorValidation covers injector and installation error paths.
+func TestInjectorValidation(t *testing.T) {
+	if _, err := NewInjector(1).WithTransientErrorRate(-0.1); err == nil {
+		t.Error("negative error rate accepted")
+	}
+	if _, err := NewInjector(1).WithTransientErrorRate(1.0); err == nil {
+		t.Error("error rate 1.0 accepted")
+	}
+	srv := newFaultServer(t, 4, RedundancyNone)
+	if err := srv.InstallFaults(nil); err == nil {
+		t.Error("nil injector accepted")
+	}
+	if err := srv.InstallFaults(NewInjector(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallFaults(NewInjector(2)); err == nil {
+		t.Error("second injector accepted")
+	}
+}
+
+// TestHealthTransitionErrors covers invalid fail/repair sequencing at the
+// server surface.
+func TestHealthTransitionErrors(t *testing.T) {
+	srv := newFaultServer(t, 4, RedundancyMirror)
+	loadObjects(t, srv, 2, 100)
+	if err := srv.RepairDisk(0); err == nil {
+		t.Error("repair of a healthy disk accepted")
+	}
+	if err := srv.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.FailDisk(0); err == nil {
+		t.Error("double failure accepted")
+	}
+	if err := srv.FailDisk(99); err == nil {
+		t.Error("failure of an absent disk accepted")
+	}
+	// Degraded mode refuses catalog changes and scaling.
+	if err := srv.AddObject(testObject(50, 10)); err == nil {
+		t.Error("AddObject accepted in degraded mode")
+	}
+	if err := srv.RemoveObject(0); err == nil {
+		t.Error("RemoveObject accepted in degraded mode")
+	}
+	if _, err := srv.ScaleUp(1); err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Errorf("ScaleUp in degraded mode: %v; want degraded refusal", err)
+	}
+	if _, err := srv.ScaleDown(1); err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Errorf("ScaleDown in degraded mode: %v; want degraded refusal", err)
+	}
+}
+
+// TestDegradedReadsShareRoundBudget drives a failed disk whose mirror
+// partner saturates: degraded reads that overflow the partner's round
+// budget hiccup instead of overcommitting the disk.
+func TestDegradedReadsShareRoundBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Redundancy = RedundancyMirror
+	cfg.Utilization = 1.0 // admit to the theoretical limit
+	srv, err := NewServer(cfg, newStrategy(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadObjects(t, srv, 6, 300)
+	// Saturate: every disk's full round budget is subscribed.
+	cap := srv.capacityStreams()
+	startStreams(t, srv, 6, cap)
+	if err := srv.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 30; r++ {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	if m.Hiccups == 0 {
+		t.Error("a saturated degraded array produced no hiccups")
+	}
+	if m.UnrecoverableReads != 0 {
+		t.Errorf("%d unrecoverable reads; mirroring should cover all", m.UnrecoverableReads)
+	}
+	// The per-disk read tallies never exceeded capacity.
+	caps, err := srv.capacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < srv.N(); i++ {
+		d, err := srv.Array().Disk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads, _, _ := d.RoundLoad()
+		if reads > caps[i] {
+			t.Errorf("disk %d served %d reads in a round of capacity %d", i, reads, caps[i])
+		}
+	}
+}

@@ -39,6 +39,9 @@ func (s *Server) StartIngest(obj workload.Object, rate int) (*Ingest, error) {
 	if s.Reorganizing() || len(s.pendingRemoval) > 0 {
 		return nil, fmt.Errorf("cm: cannot ingest during a reorganization")
 	}
+	if s.Degraded() {
+		return nil, fmt.Errorf("cm: cannot start an ingest while the array is degraded")
+	}
 	if rate < 1 {
 		return nil, fmt.Errorf("cm: ingest rate %d blocks/round", rate)
 	}

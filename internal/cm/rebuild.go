@@ -1,0 +1,223 @@
+package cm
+
+// The online rebuild executor: modeled on reorg.Executor, it re-materializes
+// a replaced disk's blocks from surviving redundancy using each round's
+// leftover bandwidth, sharing the spare pool deterministically with any
+// in-flight reorganization (rebuild runs first — restoring redundancy beats
+// rebalancing — then migration gets what remains). Each item charges one
+// read on every source disk and one write on the target; items whose
+// sources or target are out of budget this round stay pending, so rebuild
+// never steals bandwidth from stream service.
+
+import (
+	"fmt"
+
+	"scaddar/internal/disk"
+	"scaddar/internal/placement"
+)
+
+// rebuildKind distinguishes what a rebuild item restores.
+type rebuildKind int
+
+const (
+	// rebuildPrimary re-materializes a block's primary copy (physically
+	// stored) on the target disk, reading from its redundancy.
+	rebuildPrimary rebuildKind = iota
+	// rebuildMirrorCopy restores a virtual offset-mirror copy homed on the
+	// target disk by reading the block's primary copy. Bandwidth only.
+	rebuildMirrorCopy
+	// rebuildParityBlock recomputes a virtual parity block homed on the
+	// target disk by reading every member of its group. Bandwidth only;
+	// ref.Index holds the group number, not a block index.
+	rebuildParityBlock
+)
+
+// rebuildKey identifies one pending re-materialization.
+type rebuildKey struct {
+	kind rebuildKind
+	ref  placement.BlockRef
+}
+
+// rebuildItem is one unit of rebuild work.
+type rebuildItem struct {
+	key    rebuildKey
+	bid    disk.BlockID // physical block ID; unused for rebuildParityBlock
+	target int          // logical index in physical-array space
+}
+
+// rebuilder tracks pending rebuild work and per-disk repair timing.
+type rebuilder struct {
+	items   []rebuildItem
+	pending map[rebuildKey]bool
+	started map[int]int // target logical index -> round its repair began
+}
+
+// ensureRebuilder returns the server's rebuilder, creating it on first use.
+func (s *Server) ensureRebuilder() *rebuilder {
+	if s.rebuild == nil {
+		s.rebuild = &rebuilder{
+			pending: make(map[rebuildKey]bool),
+			started: make(map[int]int),
+		}
+	}
+	return s.rebuild
+}
+
+// add enqueues an item unless an identical re-materialization is already
+// pending.
+func (rb *rebuilder) add(it rebuildItem) {
+	if rb.pending[it.key] {
+		return
+	}
+	rb.pending[it.key] = true
+	rb.items = append(rb.items, it)
+}
+
+// rebuildPending reports whether the given re-materialization is queued.
+func (s *Server) rebuildPending(key rebuildKey) bool {
+	return s.rebuild != nil && s.rebuild.pending[key]
+}
+
+// RebuildRemaining reports pending rebuild items (primary copies plus
+// virtual redundant copies).
+func (s *Server) RebuildRemaining() int {
+	if s.rebuild == nil {
+		return 0
+	}
+	return len(s.rebuild.items)
+}
+
+// rebuildSources resolves the physical disks an item must read this round.
+// ok is false when a source is unavailable right now (failed, or its copy
+// not yet restored); the item stays pending and retries after the blocking
+// rebuild or repair completes.
+func (s *Server) rebuildSources(it rebuildItem) (sources []int, ok bool, err error) {
+	switch it.key.kind {
+	case rebuildPrimary:
+		return s.failoverSources(it.key.ref)
+	case rebuildMirrorCopy:
+		object, okObj := s.seedOf[it.key.ref.Seed]
+		if !okObj {
+			return nil, false, fmt.Errorf("cm: rebuild for unknown seed %d", it.key.ref.Seed)
+		}
+		p, readable := s.memberReadable(object, it.key.ref)
+		if !readable {
+			return nil, false, nil
+		}
+		return []int{p}, true, nil
+	case rebuildParityBlock:
+		object, okObj := s.seedOf[it.key.ref.Seed]
+		if !okObj {
+			return nil, false, fmt.Errorf("cm: rebuild for unknown seed %d", it.key.ref.Seed)
+		}
+		nblocks := s.objectBlocks(object)
+		group := it.key.ref.Index
+		start := group * uint64(s.par.GroupSize())
+		for idx := start; idx < start+uint64(s.par.GroupSize()) && idx < uint64(nblocks); idx++ {
+			mref := placement.BlockRef{Seed: it.key.ref.Seed, Index: idx}
+			p, readable := s.memberReadable(object, mref)
+			if !readable {
+				return nil, false, nil
+			}
+			sources = append(sources, p)
+		}
+		return sources, true, nil
+	default:
+		return nil, false, fmt.Errorf("cm: unknown rebuild kind %d", it.key.kind)
+	}
+}
+
+// stepRebuild spends leftover round bandwidth on pending rebuild items,
+// decrementing spare in place, then transitions any Rebuilding disk whose
+// work has drained back to Healthy.
+func (s *Server) stepRebuild(spare []int) error {
+	rb := s.rebuild
+	if rb == nil || len(rb.items) == 0 {
+		return nil
+	}
+	kept := rb.items[:0]
+	for _, it := range rb.items {
+		target, err := s.array.Disk(it.target)
+		if err != nil {
+			return err
+		}
+		if target.Health() == disk.Failed || spare[it.target] <= 0 {
+			kept = append(kept, it)
+			continue
+		}
+		sources, ok, err := s.rebuildSources(it)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			kept = append(kept, it) // source unavailable: retry after repairs
+			continue
+		}
+		if !chargeable(spare, it.target, sources) {
+			kept = append(kept, it) // out of budget this round
+			continue
+		}
+		spare[it.target]--
+		for _, src := range sources {
+			spare[src]--
+			d, err := s.array.Disk(src)
+			if err != nil {
+				return err
+			}
+			d.RecordFailoverRead()
+		}
+		s.metrics.RebuildIOs += len(sources) + 1
+		if it.key.kind == rebuildPrimary {
+			if err := target.Store(it.bid); err != nil {
+				return fmt.Errorf("cm: rebuild: %w", err)
+			}
+			target.RecordMigration()
+			s.metrics.BlocksRebuilt++
+		}
+		delete(rb.pending, it.key)
+	}
+	for i := len(kept); i < len(rb.items); i++ {
+		rb.items[i] = rebuildItem{}
+	}
+	rb.items = kept
+
+	// A Rebuilding disk with no work left is repaired.
+	remaining := make(map[int]int)
+	for _, it := range rb.items {
+		remaining[it.target]++
+	}
+	for i := 0; i < s.array.N(); i++ {
+		d, err := s.array.Disk(i)
+		if err != nil {
+			return err
+		}
+		if d.Health() != disk.Rebuilding || remaining[i] > 0 {
+			continue
+		}
+		if err := d.FinishRebuild(); err != nil {
+			return err
+		}
+		s.metrics.RebuildsCompleted++
+		if start, ok := rb.started[i]; ok {
+			s.metrics.RoundsToRepair += s.metrics.Rounds - start + 1
+			delete(rb.started, i)
+		}
+	}
+	return nil
+}
+
+// chargeable reports whether the round budget can cover one write on target
+// plus one read on every source (sources may repeat a disk).
+func chargeable(spare []int, target int, sources []int) bool {
+	need := make(map[int]int, len(sources)+1)
+	need[target]++
+	for _, src := range sources {
+		need[src]++
+	}
+	for d, n := range need {
+		if d < 0 || d >= len(spare) || spare[d] < n {
+			return false
+		}
+	}
+	return true
+}

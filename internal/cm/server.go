@@ -19,6 +19,8 @@ import (
 
 	"scaddar/internal/cache"
 	"scaddar/internal/disk"
+	"scaddar/internal/mirror"
+	"scaddar/internal/parity"
 	"scaddar/internal/placement"
 	"scaddar/internal/reorg"
 	"scaddar/internal/scaddar"
@@ -64,6 +66,17 @@ type Config struct {
 	// exceeds the round length in Metrics.RoundOverruns. It validates the
 	// fixed per-round block budget from inside the live simulation.
 	MeasureRounds bool
+	// Redundancy selects the live fault-tolerance scheme: none, Section 6
+	// offset mirroring, or hybrid parity groups. It determines whether reads
+	// on a failed disk can fail over and whether a replaced disk can be
+	// rebuilt.
+	Redundancy Redundancy
+	// ParityGroup is the parity group size g for RedundancyParity; 0 means
+	// the default of 4.
+	ParityGroup int
+	// MirrorOffset overrides the mirror offset function for
+	// RedundancyMirror; nil means the paper's f(N) = N/2.
+	MirrorOffset mirror.OffsetFunc
 }
 
 // DefaultConfig returns a server configuration matching the paper's era:
@@ -129,6 +142,34 @@ type Metrics struct {
 	BlocksIngested int
 	// CacheHits counts stream reads served from the block buffer.
 	CacheHits int
+	// DiskFailures counts whole-disk failures injected or invoked.
+	DiskFailures int
+	// DiskRepairs counts replacement arrivals (rebuild starts).
+	DiskRepairs int
+	// DegradedReads counts stream reads served via mirror failover or
+	// parity reconstruction instead of the block's home disk.
+	DegradedReads int
+	// UnrecoverableReads counts stream reads of blocks no redundancy could
+	// serve; the stream skips the block after the attempt.
+	UnrecoverableReads int
+	// TransientReadErrors counts per-read transient faults injected on
+	// otherwise healthy reads.
+	TransientReadErrors int
+	// FailoverReads counts the source-disk reads consumed serving degraded
+	// reads — the failover bandwidth bill (a parity reconstruction charges
+	// one read per surviving member plus the parity disk).
+	FailoverReads int
+	// BlocksRebuilt counts primary copies re-materialized onto replaced
+	// disks (or onto migration destinations after a mid-reorg failure).
+	BlocksRebuilt int
+	// RebuildIOs counts every disk I/O (source reads + target writes) the
+	// rebuild executor spent.
+	RebuildIOs int
+	// RebuildsCompleted counts disks whose rebuild drained fully.
+	RebuildsCompleted int
+	// RoundsToRepair accumulates, over completed rebuilds, the rounds from
+	// repair arrival to rebuild completion.
+	RoundsToRepair int
 }
 
 // Server is the continuous-media server simulator.
@@ -161,6 +202,16 @@ type Server struct {
 	ingests []*Ingest
 	// blockCache is the optional LRU block buffer.
 	blockCache *cache.LRU
+	// faults is the installed fault injector, if any.
+	faults *Injector
+	// mirrored resolves redundant copy locations for RedundancyMirror.
+	mirrored *mirror.Mirrored
+	// par resolves redundant copy locations for RedundancyParity.
+	par *parity.Parity
+	// rebuild is the online rebuild executor (created on first fault work).
+	rebuild *rebuilder
+	// lost records blocks that are permanently unrecoverable.
+	lost map[disk.BlockID]bool
 }
 
 // NewServer creates a server over a fresh homogeneous array sized to the
@@ -210,6 +261,27 @@ func NewServer(cfg Config, strat placement.Strategy) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var mirrored *mirror.Mirrored
+	var par *parity.Parity
+	switch cfg.Redundancy {
+	case RedundancyNone:
+	case RedundancyMirror:
+		mirrored, err = mirror.New(strat, cfg.MirrorOffset)
+		if err != nil {
+			return nil, err
+		}
+	case RedundancyParity:
+		g := cfg.ParityGroup
+		if g == 0 {
+			g = 4
+		}
+		par, err = parity.New(strat, g)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cm: unknown redundancy scheme %d", cfg.Redundancy)
+	}
 	return &Server{
 		cfg:        cfg,
 		strat:      strat,
@@ -221,6 +293,9 @@ func NewServer(cfg Config, strat placement.Strategy) (*Server, error) {
 		seek:       seek,
 		heads:      make(map[int]int64),
 		blockCache: blockCache,
+		mirrored:   mirrored,
+		par:        par,
+		lost:       make(map[disk.BlockID]bool),
 	}, nil
 }
 
@@ -266,6 +341,9 @@ func (s *Server) AddObject(obj workload.Object) error {
 	if s.Reorganizing() {
 		return fmt.Errorf("cm: cannot add objects during reorganization")
 	}
+	if s.Degraded() {
+		return fmt.Errorf("cm: cannot add objects while the array is degraded")
+	}
 	if _, dup := s.objects[obj.ID]; dup {
 		return fmt.Errorf("cm: duplicate object ID %d", obj.ID)
 	}
@@ -306,6 +384,9 @@ func (s *Server) AddObject(obj workload.Object) error {
 func (s *Server) RemoveObject(id int) error {
 	if s.Reorganizing() {
 		return fmt.Errorf("cm: cannot remove objects during reorganization")
+	}
+	if s.Degraded() {
+		return fmt.Errorf("cm: cannot remove objects while the array is degraded")
 	}
 	obj, ok := s.objects[id]
 	if !ok {
@@ -388,16 +469,30 @@ func (s *Server) Lookup(object int, index int) (*disk.Disk, error) {
 	if index < 0 || index >= obj.Blocks {
 		return nil, fmt.Errorf("cm: object %d has no block %d", object, index)
 	}
-	logical := s.locate(placement.BlockRef{Seed: obj.Seed, Index: uint64(index)})
+	ref := placement.BlockRef{Seed: obj.Seed, Index: uint64(index)}
+	logical := s.locate(ref)
 	d, err := s.array.Disk(logical)
 	if err != nil {
 		return nil, err
 	}
 	if !d.Has(blockID(object, uint64(index))) {
+		if s.blockDegraded(ref, blockID(object, uint64(index)), d) {
+			return nil, fmt.Errorf("cm: block %d/%d is degraded: disk %d is %s and the copy is not yet rebuilt",
+				object, index, d.ID(), d.Health())
+		}
 		return nil, fmt.Errorf("cm: block %d/%d not on disk %d where placement expects it",
 			object, index, d.ID())
 	}
 	return d, nil
+}
+
+// blockDegraded reports whether a block's absence from its home disk is an
+// expected degraded-mode condition (failure, pending rebuild, permanent
+// loss) rather than an integrity violation.
+func (s *Server) blockDegraded(ref placement.BlockRef, bid disk.BlockID, d *disk.Disk) bool {
+	return s.lost[bid] ||
+		s.rebuildPending(rebuildKey{kind: rebuildPrimary, ref: ref}) ||
+		d.Health() != disk.Healthy
 }
 
 // diskCapacityPerRound is the block budget of one round for the server's
@@ -511,17 +606,146 @@ func (s *Server) Stream(id int) (*Stream, error) {
 	return st, nil
 }
 
-// Tick advances one scheduling round: every playing stream requests its next
-// block from the disk the placement strategy names; disks serve up to their
-// per-round capacity and excess requests hiccup (the stream stalls one
-// round). Leftover per-disk capacity is then granted to any in-progress
-// reorganization.
+// readOutcome is the result of one stream read attempt.
+type readOutcome int
+
+const (
+	// readServed: the block was delivered (directly or via failover).
+	readServed readOutcome = iota
+	// readHiccup: the block exists but could not be served this round
+	// (budget exhausted, or a transient error with no failover path); the
+	// stream stalls and retries.
+	readHiccup
+	// readLost: no copy of the block is available; the stream skips it.
+	readLost
+)
+
+// serveRead attempts one block read against the current array state: the
+// home disk when it is healthy (or rebuilding and already restored), with a
+// seeded transient-error roll; otherwise failover to the mirror copy or
+// parity reconstruction, charging one read on every source disk. used is
+// decremented-into per-disk round accounting shared with ingest and the
+// spare pool.
+func (s *Server) serveRead(st *Stream, ref placement.BlockRef, bid disk.BlockID,
+	used, caps []int, roundReqs map[int][]schedule.Request) (readOutcome, error) {
+	if s.lost[bid] {
+		return readLost, nil
+	}
+	logical := s.locate(ref)
+	d, err := s.array.Disk(logical)
+	if err != nil {
+		return 0, err
+	}
+	present := d.Health() != disk.Failed && d.Has(bid)
+	if !present {
+		// Absent blocks are legal only in degraded mode: the home disk
+		// failed, or the block awaits re-materialization.
+		if d.Health() == disk.Healthy && !s.rebuildPending(rebuildKey{kind: rebuildPrimary, ref: ref}) {
+			return 0, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
+				st.ID, st.Object, st.Position, d.ID())
+		}
+		return s.failover(ref, bid, used, caps, false)
+	}
+	if s.faults != nil && s.faults.transientError() {
+		s.metrics.TransientReadErrors++
+		// The failed attempt still occupied the disk for a service slot.
+		if used[logical] < caps[logical] {
+			used[logical]++
+			d.RecordFailoverRead()
+		}
+		return s.failover(ref, bid, used, caps, true)
+	}
+	if used[logical] >= caps[logical] {
+		return readHiccup, nil
+	}
+	if !d.Read(bid) {
+		return 0, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
+			st.ID, st.Object, st.Position, d.ID())
+	}
+	s.blockCache.Put(bid)
+	if roundReqs != nil {
+		lba, err := schedule.LBAFor(bid, int64(s.cfg.Profile.CapacityBlocks(s.cfg.BlockBytes)))
+		if err != nil {
+			return 0, err
+		}
+		roundReqs[d.ID()] = append(roundReqs[d.ID()], schedule.Request{Block: bid, LBA: lba})
+	}
+	used[logical]++
+	return readServed, nil
+}
+
+// failover serves a read from redundant copies. dataIntact marks transient
+// failures of a still-present block: those never report readLost — the data
+// survives, so a blocked failover just retries next round.
+func (s *Server) failover(ref placement.BlockRef, bid disk.BlockID,
+	used, caps []int, dataIntact bool) (readOutcome, error) {
+	if s.cfg.Redundancy == RedundancyNone {
+		if dataIntact {
+			return readHiccup, nil
+		}
+		return readLost, nil
+	}
+	sources, ok, err := s.failoverSources(ref)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		if dataIntact {
+			return readHiccup, nil
+		}
+		return readLost, nil
+	}
+	// All-or-nothing budget: a parity reconstruction needs every source in
+	// the same round. Degraded reads that overflow a round hiccup and retry.
+	need := make(map[int]int, len(sources))
+	for _, src := range sources {
+		need[src]++
+	}
+	for src, n := range need {
+		if used[src]+n > caps[src] {
+			return readHiccup, nil
+		}
+	}
+	for _, src := range sources {
+		used[src]++
+		d, err := s.array.Disk(src)
+		if err != nil {
+			return 0, err
+		}
+		d.RecordFailoverRead()
+	}
+	s.metrics.DegradedReads++
+	s.metrics.FailoverReads += len(sources)
+	s.blockCache.Put(bid)
+	return readServed, nil
+}
+
+// Tick advances one scheduling round: scheduled fault events fire first;
+// then every playing stream requests its next block from the disk the
+// placement strategy names — failing over to redundancy when that disk is
+// down — disks serve up to their per-round capacity and excess requests
+// hiccup (the stream stalls one round). Leftover per-disk capacity then
+// goes first to any in-progress rebuild (restoring redundancy outranks
+// rebalancing) and then to any in-progress reorganization.
 func (s *Server) Tick() error {
 	s.metrics.Rounds++
+	if err := s.fireFaults(); err != nil {
+		return err
+	}
 	s.array.ResetRounds()
 	caps, err := s.capacities()
 	if err != nil {
 		return err
+	}
+	// Failed disks serve nothing this round.
+	for i := range caps {
+		d, err := s.array.Disk(i)
+		if err != nil {
+			return err
+		}
+		if d.Health() == disk.Failed {
+			caps[i] = 0
+		}
 	}
 	used := make([]int, s.N())
 
@@ -542,47 +766,29 @@ func (s *Server) Tick() error {
 		}
 		obj := s.objects[st.Object]
 		bid := blockID(st.Object, uint64(st.Position))
-		// A block-buffer hit serves the stream without touching a disk.
+		// A block-buffer hit serves the stream without touching a disk (the
+		// buffer is RAM: it survives disk failures).
 		if s.blockCache.Get(bid) {
 			s.metrics.CacheHits++
-			st.Served++
-			s.metrics.BlocksServed++
-			st.Position++
-			if st.Position >= obj.Blocks {
-				st.State = StreamDone
-				s.metrics.StreamsCompleted++
-			}
+			s.advanceStream(st, obj.Blocks, true)
 			continue
 		}
-		logical := s.locate(placement.BlockRef{Seed: obj.Seed, Index: uint64(st.Position)})
-		d, err := s.array.Disk(logical)
+		ref := placement.BlockRef{Seed: obj.Seed, Index: uint64(st.Position)}
+		outcome, err := s.serveRead(st, ref, bid, used, caps, roundReqs)
 		if err != nil {
 			return err
 		}
-		if used[logical] >= caps[logical] {
+		switch outcome {
+		case readServed:
+			s.advanceStream(st, obj.Blocks, true)
+		case readHiccup:
 			st.Hiccups++
 			s.metrics.Hiccups++
-			continue // stalled this round; retry next round
-		}
-		if !d.Read(bid) {
-			return fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
-				st.ID, st.Object, st.Position, d.ID())
-		}
-		s.blockCache.Put(bid)
-		if roundReqs != nil {
-			lba, err := schedule.LBAFor(bid, int64(s.cfg.Profile.CapacityBlocks(s.cfg.BlockBytes)))
-			if err != nil {
-				return err
-			}
-			roundReqs[d.ID()] = append(roundReqs[d.ID()], schedule.Request{Block: bid, LBA: lba})
-		}
-		used[logical]++
-		st.Served++
-		s.metrics.BlocksServed++
-		st.Position++
-		if st.Position >= obj.Blocks {
-			st.State = StreamDone
-			s.metrics.StreamsCompleted++
+		case readLost:
+			// No copy survives: the viewer sees a glitch and playback
+			// skips the block rather than stalling forever.
+			s.metrics.UnrecoverableReads++
+			s.advanceStream(st, obj.Blocks, false)
 		}
 	}
 
@@ -608,7 +814,9 @@ func (s *Server) Tick() error {
 		s.heads[id] = cost.Head
 	}
 
-	if s.Reorganizing() {
+	// Spend leftover bandwidth: rebuild first, then reorganization.
+	needSpare := s.RebuildRemaining() > 0 || s.Reorganizing()
+	if needSpare {
 		spare := make([]int, s.N())
 		for i := range spare {
 			spare[i] = caps[i] - used[i]
@@ -616,13 +824,32 @@ func (s *Server) Tick() error {
 				spare[i] = 0
 			}
 		}
-		moved, err := s.migration.Step(spare)
-		if err != nil {
+		if err := s.stepRebuild(spare); err != nil {
 			return err
 		}
-		s.metrics.BlocksMigrated += moved
+		if s.Reorganizing() {
+			moved, err := s.migration.Step(spare)
+			if err != nil {
+				return err
+			}
+			s.metrics.BlocksMigrated += moved
+		}
 	}
 	return nil
+}
+
+// advanceStream moves a stream past its current block, counting it as
+// served (delivered) or skipped (unrecoverable).
+func (s *Server) advanceStream(st *Stream, blocks int, delivered bool) {
+	if delivered {
+		st.Served++
+		s.metrics.BlocksServed++
+	}
+	st.Position++
+	if st.Position >= blocks {
+		st.State = StreamDone
+		s.metrics.StreamsCompleted++
+	}
 }
 
 // ScaleUp attaches count new disks and starts the minimal reorganization
@@ -635,6 +862,9 @@ func (s *Server) ScaleUp(count int) (*reorg.Plan, error) {
 	}
 	if s.Reorganizing() {
 		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+	}
+	if s.Degraded() {
+		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
 	}
 	if len(s.pendingRemoval) > 0 {
 		return nil, fmt.Errorf("cm: a scale-down awaits completion")
@@ -674,6 +904,9 @@ func (s *Server) ScaleUpProfile(count int, profile disk.Profile) (*reorg.Plan, e
 	if s.Reorganizing() {
 		return nil, fmt.Errorf("cm: a reorganization is already in progress")
 	}
+	if s.Degraded() {
+		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
+	}
 	if len(s.pendingRemoval) > 0 {
 		return nil, fmt.Errorf("cm: a scale-down awaits completion")
 	}
@@ -712,6 +945,9 @@ func (s *Server) ScaleDown(indices ...int) (*reorg.Plan, error) {
 	}
 	if s.Reorganizing() {
 		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+	}
+	if s.Degraded() {
+		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
 	}
 	if len(s.pendingRemoval) > 0 {
 		return nil, fmt.Errorf("cm: a scale-down awaits completion")
@@ -770,6 +1006,9 @@ func (s *Server) FullRedistribute() (*reorg.Plan, error) {
 	if s.Reorganizing() {
 		return nil, fmt.Errorf("cm: a reorganization is already in progress")
 	}
+	if s.Degraded() {
+		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
+	}
 	if len(s.pendingRemoval) > 0 {
 		return nil, fmt.Errorf("cm: a scale-down awaits completion")
 	}
@@ -802,6 +1041,10 @@ func (s *Server) CompleteScaleDown() error {
 	}
 	if s.Reorganizing() {
 		return fmt.Errorf("cm: scale-down migration still has %d moves pending", s.migration.Remaining())
+	}
+	if s.RebuildRemaining() > 0 {
+		// Detaching disks renumbers logical indices the rebuild items hold.
+		return fmt.Errorf("cm: %d rebuild items still pending", s.RebuildRemaining())
 	}
 	for _, logical := range s.pendingRemoval {
 		d, err := s.array.Disk(logical)
@@ -848,36 +1091,40 @@ func (s *Server) MigrationRemaining() int {
 
 // ProblemStreams — streams currently mid-hiccup — is not tracked separately;
 // use Stream.Hiccups. VerifyIntegrity checks the global invariant instead:
-// every loaded block is on exactly the disk the strategy names.
+// every loaded block is on exactly the disk the strategy names, except for
+// blocks whose absence is an accounted degraded-mode condition (home disk
+// failed, rebuild pending, or recorded permanently lost).
 func (s *Server) VerifyIntegrity() error {
-	total := 0
-	for _, obj := range s.objects {
-		for i := 0; i < obj.Blocks; i++ {
-			if _, err := s.Lookup(obj.ID, i); err != nil {
-				return err
-			}
-			total++
+	total, missing := 0, 0
+	var verr error
+	s.forEachBlock(func(object int, ref placement.BlockRef) {
+		if verr != nil {
+			return
 		}
+		total++
+		bid := blockID(object, ref.Index)
+		logical := s.locate(ref)
+		d, err := s.array.Disk(logical)
+		if err != nil {
+			verr = err
+			return
+		}
+		if d.Has(bid) {
+			return
+		}
+		if s.blockDegraded(ref, bid, d) {
+			missing++
+			return
+		}
+		verr = fmt.Errorf("cm: block %d/%d not on disk %d where placement expects it",
+			object, ref.Index, d.ID())
+	})
+	if verr != nil {
+		return verr
 	}
-	// Partially ingested objects account for their written prefix.
-	for _, in := range s.ingests {
-		if in.Done {
-			continue
-		}
-		for i := 0; i < in.Written; i++ {
-			logical := s.strat.Disk(placement.BlockRef{Seed: in.Object.Seed, Index: uint64(i)})
-			d, err := s.array.Disk(logical)
-			if err != nil {
-				return err
-			}
-			if !d.Has(blockID(in.Object.ID, uint64(i))) {
-				return fmt.Errorf("cm: ingested block %d/%d missing from disk %d", in.Object.ID, i, d.ID())
-			}
-			total++
-		}
-	}
-	if got := s.array.TotalBlocks(); got != total {
-		return fmt.Errorf("cm: array holds %d blocks, catalog expects %d", got, total)
+	if got, want := s.array.TotalBlocks(), total-missing; got != want {
+		return fmt.Errorf("cm: array holds %d blocks, catalog expects %d (%d degraded-missing)",
+			got, want, missing)
 	}
 	return nil
 }

@@ -13,9 +13,63 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
+
+// Typed errors for array surgery and health transitions, so callers can
+// distinguish operational conditions (a disk mid-rebuild, a degenerate
+// removal) from programming errors with errors.Is.
+var (
+	// ErrAddNone is returned when an Add names a non-positive disk count.
+	ErrAddNone = errors.New("disk: add of fewer than 1 disk")
+	// ErrRemoveNone is returned when a Remove names no disks.
+	ErrRemoveNone = errors.New("disk: removal of empty disk group")
+	// ErrRemoveAll is returned when a Remove would leave an empty array.
+	ErrRemoveAll = errors.New("disk: removal would leave no disks")
+	// ErrDiskRebuilding is returned when a Remove names a disk whose rebuild
+	// is still in progress — pulling it would discard the blocks already
+	// re-materialized and restart the repair from nothing.
+	ErrDiskRebuilding = errors.New("disk: disk is mid-rebuild")
+	// ErrDiskFailed is returned when a block is stored on a failed disk.
+	ErrDiskFailed = errors.New("disk: disk has failed")
+	// ErrBadHealthTransition is returned for invalid health state changes
+	// (failing a failed disk, rebuilding a healthy one, ...).
+	ErrBadHealthTransition = errors.New("disk: invalid health transition")
+)
+
+// Health is a disk's position in the failure/repair lifecycle:
+// Healthy → Failed (fault) → Rebuilding (replacement arrived) → Healthy
+// (re-materialization complete).
+type Health int
+
+// Health states.
+const (
+	// Healthy disks serve reads and writes normally.
+	Healthy Health = iota
+	// Failed disks lost their contents and serve nothing; reads targeting
+	// them must fail over to redundant copies.
+	Failed
+	// Rebuilding disks are empty replacements being re-filled from
+	// redundancy; they absorb writes and serve reads for blocks already
+	// restored.
+	Rebuilding
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Failed:
+		return "failed"
+	case Rebuilding:
+		return "rebuilding"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
 
 // BlockID identifies a stored block. The continuous-media layer composes it
 // from (object, index); this package treats it as opaque.
@@ -108,6 +162,7 @@ type Disk struct {
 	id      int
 	profile Profile
 	blocks  map[BlockID]struct{}
+	health  Health
 
 	// Round accounting, reset by ResetRound.
 	reads    int
@@ -129,6 +184,41 @@ func (d *Disk) Profile() Profile { return d.profile }
 // Len returns the number of blocks stored.
 func (d *Disk) Len() int { return len(d.blocks) }
 
+// Health returns the disk's current health state.
+func (d *Disk) Health() Health { return d.health }
+
+// Fail transitions the disk to Failed and wipes its contents — a whole-disk
+// fault loses the data. It returns the IDs of the blocks that were lost so
+// the recovery layer can plan their re-materialization.
+func (d *Disk) Fail() ([]BlockID, error) {
+	if d.health == Failed {
+		return nil, fmt.Errorf("%w: disk %d is already failed", ErrBadHealthTransition, d.id)
+	}
+	lost := d.Blocks()
+	d.blocks = make(map[BlockID]struct{})
+	d.health = Failed
+	return lost, nil
+}
+
+// StartRebuild transitions a Failed disk to Rebuilding: the replacement
+// hardware arrived empty and re-materialization may begin.
+func (d *Disk) StartRebuild() error {
+	if d.health != Failed {
+		return fmt.Errorf("%w: disk %d is %s, not failed", ErrBadHealthTransition, d.id, d.health)
+	}
+	d.health = Rebuilding
+	return nil
+}
+
+// FinishRebuild transitions a Rebuilding disk back to Healthy.
+func (d *Disk) FinishRebuild() error {
+	if d.health != Rebuilding {
+		return fmt.Errorf("%w: disk %d is %s, not rebuilding", ErrBadHealthTransition, d.id, d.health)
+	}
+	d.health = Healthy
+	return nil
+}
+
 // Has reports whether the block is stored on this disk.
 func (d *Disk) Has(b BlockID) bool {
 	_, ok := d.blocks[b]
@@ -138,6 +228,9 @@ func (d *Disk) Has(b BlockID) bool {
 // Store places a block on the disk. Storing a block twice is an error — it
 // would mask accounting bugs in the reorganization engine.
 func (d *Disk) Store(b BlockID) error {
+	if d.health == Failed {
+		return fmt.Errorf("%w: disk %d cannot store block %d", ErrDiskFailed, d.id, b)
+	}
 	if _, ok := d.blocks[b]; ok {
 		return fmt.Errorf("disk %d: block %d already stored", d.id, b)
 	}
@@ -168,6 +261,11 @@ func (d *Disk) Read(b BlockID) bool {
 // RecordMigration accounts one migration I/O (read from a source or write
 // to a target during reorganization).
 func (d *Disk) RecordMigration() { d.migrated++ }
+
+// RecordFailoverRead accounts a read served on this disk on behalf of a
+// block homed elsewhere — a mirror read or a parity-reconstruction source
+// read. It counts against the same per-round read tally as direct reads.
+func (d *Disk) RecordFailoverRead() { d.reads++ }
 
 // RoundLoad reports the I/Os recorded since the last ResetRound: stream
 // reads, block writes, and migration I/Os.
@@ -225,7 +323,7 @@ func (a *Array) Disk(logical int) (*Disk, error) {
 // arise by adding groups with different profiles.
 func (a *Array) Add(count int, profile Profile) ([]*Disk, error) {
 	if count < 1 {
-		return nil, fmt.Errorf("disk: add of %d disks", count)
+		return nil, fmt.Errorf("%w: got %d", ErrAddNone, count)
 	}
 	added := make([]*Disk, count)
 	for i := range added {
@@ -242,10 +340,10 @@ func (a *Array) Add(count int, profile Profile) ([]*Disk, error) {
 // engine can drain them. Survivors are compacted in order.
 func (a *Array) Remove(indices ...int) ([]*Disk, error) {
 	if len(indices) == 0 {
-		return nil, fmt.Errorf("disk: removal of empty disk group")
+		return nil, ErrRemoveNone
 	}
 	if len(indices) >= len(a.disks) {
-		return nil, fmt.Errorf("disk: removing %d of %d disks leaves none", len(indices), len(a.disks))
+		return nil, fmt.Errorf("%w: removing %d of %d disks", ErrRemoveAll, len(indices), len(a.disks))
 	}
 	gone := make(map[int]bool, len(indices))
 	for _, i := range indices {
@@ -254,6 +352,9 @@ func (a *Array) Remove(indices ...int) ([]*Disk, error) {
 		}
 		if gone[i] {
 			return nil, fmt.Errorf("disk: duplicate removal index %d", i)
+		}
+		if a.disks[i].Health() == Rebuilding {
+			return nil, fmt.Errorf("%w: disk %d (logical %d)", ErrDiskRebuilding, a.disks[i].ID(), i)
 		}
 		gone[i] = true
 	}
@@ -268,6 +369,17 @@ func (a *Array) Remove(indices ...int) ([]*Disk, error) {
 	}
 	a.disks = survivors
 	return removed, nil
+}
+
+// Degraded reports whether any disk is not Healthy — the array is serving
+// in degraded mode and reads may need redundant copies.
+func (a *Array) Degraded() bool {
+	for _, d := range a.disks {
+		if d.Health() != Healthy {
+			return true
+		}
+	}
+	return false
 }
 
 // TotalBlocks returns the number of blocks across all disks.

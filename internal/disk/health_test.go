@@ -1,0 +1,196 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHealthLifecycle(t *testing.T) {
+	d := New(0, Cheetah73)
+	if d.Health() != Healthy {
+		t.Fatalf("new disk health = %s, want healthy", d.Health())
+	}
+	for _, b := range []BlockID{1, 2, 3} {
+		if err := d.Store(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lost, err := d.Fail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 3 || d.Len() != 0 {
+		t.Fatalf("Fail lost %d blocks and kept %d; want 3 lost, 0 kept", len(lost), d.Len())
+	}
+	if d.Health() != Failed {
+		t.Fatalf("health after Fail = %s", d.Health())
+	}
+	if err := d.StartRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Health() != Rebuilding {
+		t.Fatalf("health after StartRebuild = %s", d.Health())
+	}
+	// A rebuilding disk absorbs restored blocks.
+	if err := d.Store(1); err != nil {
+		t.Fatalf("store on rebuilding disk: %v", err)
+	}
+	if err := d.FinishRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Health() != Healthy {
+		t.Fatalf("health after FinishRebuild = %s", d.Health())
+	}
+}
+
+func TestHealthTransitionErrorsTyped(t *testing.T) {
+	d := New(0, Cheetah73)
+	if _, err := d.Fail(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Fail(); !errors.Is(err, ErrBadHealthTransition) {
+		t.Errorf("double Fail: %v; want ErrBadHealthTransition", err)
+	}
+	if err := d.FinishRebuild(); !errors.Is(err, ErrBadHealthTransition) {
+		t.Errorf("FinishRebuild on failed disk: %v; want ErrBadHealthTransition", err)
+	}
+	if err := d.Store(9); !errors.Is(err, ErrDiskFailed) {
+		t.Errorf("Store on failed disk: %v; want ErrDiskFailed", err)
+	}
+	if d.Read(9) {
+		t.Error("Read on failed, wiped disk reported the block present")
+	}
+	h := New(1, Cheetah73)
+	if err := h.StartRebuild(); !errors.Is(err, ErrBadHealthTransition) {
+		t.Errorf("StartRebuild on healthy disk: %v; want ErrBadHealthTransition", err)
+	}
+	if err := h.FinishRebuild(); !errors.Is(err, ErrBadHealthTransition) {
+		t.Errorf("FinishRebuild on healthy disk: %v; want ErrBadHealthTransition", err)
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	cases := map[Health]string{Healthy: "healthy", Failed: "failed", Rebuilding: "rebuilding", Health(9): "health(9)"}
+	for h, want := range cases {
+		if h.String() != want {
+			t.Errorf("Health(%d).String() = %q, want %q", int(h), h.String(), want)
+		}
+	}
+}
+
+func TestArrayAddZeroDisks(t *testing.T) {
+	a, err := NewArray(2, Cheetah73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Add(0, Cheetah73); !errors.Is(err, ErrAddNone) {
+		t.Errorf("Add(0): %v; want ErrAddNone", err)
+	}
+	if _, err := a.Add(-3, Cheetah73); !errors.Is(err, ErrAddNone) {
+		t.Errorf("Add(-3): %v; want ErrAddNone", err)
+	}
+	if a.N() != 2 {
+		t.Errorf("rejected Add changed the array to %d disks", a.N())
+	}
+}
+
+func TestArrayRemoveNoneAndAll(t *testing.T) {
+	a, err := NewArray(3, Cheetah73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Remove(); !errors.Is(err, ErrRemoveNone) {
+		t.Errorf("Remove(): %v; want ErrRemoveNone", err)
+	}
+	if _, err := a.Remove(0, 1, 2); !errors.Is(err, ErrRemoveAll) {
+		t.Errorf("Remove(all): %v; want ErrRemoveAll", err)
+	}
+	// Naming more indices than disks is also a remove-all, even with junk
+	// indices in the list — the count check comes first.
+	if _, err := a.Remove(0, 1, 2, 99); !errors.Is(err, ErrRemoveAll) {
+		t.Errorf("Remove(>N): %v; want ErrRemoveAll", err)
+	}
+	if a.N() != 3 {
+		t.Errorf("rejected Remove changed the array to %d disks", a.N())
+	}
+}
+
+func TestArrayRemoveMidRebuild(t *testing.T) {
+	a, err := NewArray(3, Cheetah73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.Disk(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Fail(); err != nil {
+		t.Fatal(err)
+	}
+	// A failed disk can be removed (pull the dead hardware)...
+	if err := d.StartRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// ...but once its replacement is rebuilding, removal is refused: it
+	// would discard the blocks already re-materialized.
+	if _, err := a.Remove(1); !errors.Is(err, ErrDiskRebuilding) {
+		t.Errorf("Remove(rebuilding): %v; want ErrDiskRebuilding", err)
+	}
+	if a.N() != 3 {
+		t.Errorf("rejected Remove changed the array to %d disks", a.N())
+	}
+	if err := d.FinishRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Remove(1); err != nil {
+		t.Errorf("Remove after rebuild completed: %v", err)
+	}
+	if a.N() != 2 {
+		t.Errorf("array has %d disks after removal, want 2", a.N())
+	}
+}
+
+func TestArrayDegraded(t *testing.T) {
+	a, err := NewArray(2, Cheetah73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Degraded() {
+		t.Fatal("fresh array reports degraded")
+	}
+	d, err := a.Disk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Fail(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded() {
+		t.Error("array with a failed disk not degraded")
+	}
+	if err := d.StartRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded() {
+		t.Error("array with a rebuilding disk not degraded")
+	}
+	if err := d.FinishRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Degraded() {
+		t.Error("fully healthy array still degraded")
+	}
+}
+
+func TestRecordFailoverRead(t *testing.T) {
+	d := New(0, Cheetah73)
+	if err := d.Store(5); err != nil {
+		t.Fatal(err)
+	}
+	d.Read(5)
+	d.RecordFailoverRead()
+	reads, _, _ := d.RoundLoad()
+	if reads != 2 {
+		t.Errorf("reads = %d after one direct and one failover read; want 2", reads)
+	}
+}

@@ -132,6 +132,12 @@ func (p *Parity) mirrorDisk(d int) int {
 	return (d + mirror.HalfOffset(n)%n) % n
 }
 
+// FallbackMirror returns the offset-mirror disk protecting a member that
+// lives on disk d when its group took the mirror fallback path. The live
+// server's failover uses it to find the redundant copy of a block in a
+// collided group.
+func (p *Parity) FallbackMirror(d int) int { return p.mirrorDisk(d) }
+
 // Recoverable reports whether block index of the object is readable when
 // the given disks have failed: directly, via its group's parity, or via its
 // mirror on the fallback path.

@@ -255,6 +255,32 @@ func (e *Executor) Step(budget []int) (moved int, err error) {
 	return moved, nil
 }
 
+// ExtractBySource removes and returns every pending move whose source is
+// the given logical disk. It exists for fault handling: when a disk fails
+// mid-migration its outstanding moves can no longer be executed from the
+// (wiped) source, so the recovery layer extracts them and re-materializes
+// each block at its destination from redundant copies instead. Extracted
+// blocks stop being reported by PendingSource — their authoritative
+// location is the move's destination from now on.
+func (e *Executor) ExtractBySource(from int) []Move {
+	var out []Move
+	kept := e.pending[:0]
+	for _, m := range e.pending {
+		if m.From == from {
+			out = append(out, m)
+			delete(e.pendingBy, m.Block)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	// Zero the tail so extracted moves are not retained by the backing array.
+	for i := len(kept); i < len(e.pending); i++ {
+		e.pending[i] = Move{}
+	}
+	e.pending = kept
+	return out
+}
+
 // executeOne performs one move against the physical disks.
 func (e *Executor) executeOne(m Move) error {
 	src, err := e.diskOf(m.From)

@@ -338,3 +338,104 @@ func TestExecuteAllTwice(t *testing.T) {
 		t.Fatalf("second ExecuteAll = %d, %v", n, err)
 	}
 }
+
+func TestExtractBySource(t *testing.T) {
+	h := newHarness(t, 6, 10, 200)
+	plan, err := PlanAdd(h.strat, h.blocks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.array.Add(2, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain part of the plan so the extraction runs against a mid-flight
+	// executor, like a failure landing during a reorganization.
+	budget := make([]int, h.array.N())
+	for i := range budget {
+		budget[i] = 5
+	}
+	if _, err := exec.Step(budget); err != nil {
+		t.Fatal(err)
+	}
+	wantFrom2 := 0
+	for _, m := range plan.Moves {
+		if from, pending := exec.PendingSource(m.Block); pending && from == 2 {
+			wantFrom2++
+		}
+	}
+	before := exec.Remaining()
+
+	extracted := exec.ExtractBySource(2)
+	if len(extracted) != wantFrom2 {
+		t.Fatalf("extracted %d moves from disk 2, PendingSource said %d", len(extracted), wantFrom2)
+	}
+	for _, m := range extracted {
+		if m.From != 2 {
+			t.Fatalf("extracted move from disk %d: %+v", m.From, m)
+		}
+	}
+	if exec.Remaining() != before-len(extracted) {
+		t.Fatalf("Remaining = %d after extracting %d of %d", exec.Remaining(), len(extracted), before)
+	}
+	for _, m := range extracted {
+		if _, pending := exec.PendingSource(m.Block); pending {
+			t.Fatalf("extracted move still pending: %+v", m)
+		}
+	}
+	// Idempotent: a second extraction finds nothing.
+	if again := exec.ExtractBySource(2); len(again) != 0 {
+		t.Fatalf("second extraction returned %d moves", len(again))
+	}
+	// The rest of the plan still drains normally.
+	if _, err := exec.ExecuteAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Done() {
+		t.Fatalf("executor not done; %d remaining", exec.Remaining())
+	}
+	// Extracted moves are exactly the unfinished work: applying them by hand
+	// restores full placement-conformance.
+	for _, m := range extracted {
+		src, err := h.array.Disk(m.From)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := h.array.Disk(m.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Remove(blockIDOf(m.Block)); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Store(blockIDOf(m.Block)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.verify(t)
+}
+
+func TestExtractBySourceNoMatches(t *testing.T) {
+	h := newHarness(t, 4, 4, 100)
+	plan, err := PlanAdd(h.strat, h.blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.array.Add(1, disk.Cheetah73); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(plan, blockIDOf, h.array.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The added disk (index 4) sources no moves in an add plan.
+	if got := exec.ExtractBySource(4); len(got) != 0 {
+		t.Fatalf("extraction from a pure-target disk returned %d moves", len(got))
+	}
+	if exec.Remaining() != len(plan.Moves) {
+		t.Fatalf("no-op extraction changed Remaining to %d", exec.Remaining())
+	}
+}

@@ -152,6 +152,13 @@ func (h *History) UnmarshalBinary(data []byte) error {
 				return fmt.Errorf("scaddar: binary history op %d: %w", i+1, err)
 			}
 		case OpRemove:
+			// Each removed index costs at least one delta byte, so a count
+			// beyond the remaining input is corrupt; checking first keeps a
+			// short forged header from forcing a huge allocation.
+			if count > uint64(rd.Len()) {
+				return fmt.Errorf("scaddar: binary history op %d: %d removals but %d bytes left",
+					i+1, count, rd.Len())
+			}
 			removed := make([]int, count)
 			prev := 0
 			for k := range removed {

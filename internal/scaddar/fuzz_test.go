@@ -146,3 +146,67 @@ func FuzzRemapChain(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCodec cross-checks the two History codecs against each other: any log
+// the binary decoder accepts must survive a binary → JSON → binary round
+// trip bit-for-bit, and any log the JSON decoder accepts must survive the
+// trip the other way around. A divergence means the codecs disagree on what
+// a history is — exactly the corruption AO1's directory-free lookup cannot
+// tolerate. Seed inputs live in testdata/fuzz/FuzzCodec.
+func FuzzCodec(f *testing.F) {
+	h := MustNewHistory(6)
+	h.Add(3)
+	h.Remove(1, 4)
+	binSeed, _ := h.MarshalBinary()
+	jsonSeed, _ := json.Marshal(h)
+	f.Add(binSeed)
+	f.Add(jsonSeed)
+	f.Add([]byte(`{"n0":4,"ops":[]}`))
+	f.Add([]byte("SCDR\x01\x06\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fromBin History
+		if err := fromBin.UnmarshalBinary(data); err == nil {
+			viaJSON, err := json.Marshal(&fromBin)
+			if err != nil {
+				t.Fatalf("binary-accepted history failed JSON encode: %v", err)
+			}
+			var back History
+			if err := json.Unmarshal(viaJSON, &back); err != nil {
+				t.Fatalf("JSON decode of binary-accepted history: %v (%s)", err, viaJSON)
+			}
+			reBin, err := back.MarshalBinary()
+			if err != nil {
+				t.Fatalf("binary re-encode after JSON trip: %v", err)
+			}
+			canonical, _ := fromBin.MarshalBinary()
+			if !bytes.Equal(reBin, canonical) {
+				t.Fatalf("binary → JSON → binary diverged:\n  %x\n  %x", canonical, reBin)
+			}
+			// Both codecs must agree on lookups, not just encodings.
+			for x0 := uint64(0); x0 < 32; x0++ {
+				if fromBin.Locate(x0) != back.Locate(x0) {
+					t.Fatalf("codecs disagree on Locate(%d): %d vs %d",
+						x0, fromBin.Locate(x0), back.Locate(x0))
+				}
+			}
+		}
+		var fromJSON History
+		if err := json.Unmarshal(data, &fromJSON); err == nil {
+			viaBin, err := fromJSON.MarshalBinary()
+			if err != nil {
+				t.Fatalf("JSON-accepted history failed binary encode: %v", err)
+			}
+			var back History
+			if err := back.UnmarshalBinary(viaBin); err != nil {
+				t.Fatalf("binary decode of JSON-accepted history: %v", err)
+			}
+			reJSON, err := json.Marshal(&back)
+			if err != nil {
+				t.Fatalf("JSON re-encode after binary trip: %v", err)
+			}
+			if !bytes.Equal(reJSON, mustJSON(t, &fromJSON)) {
+				t.Fatalf("JSON → binary → JSON diverged:\n  %s\n  %s", mustJSON(t, &fromJSON), reJSON)
+			}
+		}
+	})
+}

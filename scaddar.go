@@ -234,6 +234,39 @@ func DefaultServerConfig() ServerConfig { return cm.DefaultConfig() }
 // NewServer creates a continuous-media server over a placement strategy.
 func NewServer(cfg ServerConfig, strat Strategy) (*Server, error) { return cm.NewServer(cfg, strat) }
 
+// ---- Fault tolerance (internal/cm fault injection, internal/disk health) ----
+
+// Redundancy selects the server's block-protection scheme.
+type Redundancy = cm.Redundancy
+
+// Redundancy schemes: none (failures lose data), Section 6 offset
+// mirroring, or hybrid parity groups.
+const (
+	RedundancyNone   = cm.RedundancyNone
+	RedundancyMirror = cm.RedundancyMirror
+	RedundancyParity = cm.RedundancyParity
+)
+
+// DiskHealth is a disk's position in the failure lifecycle.
+type DiskHealth = disk.Health
+
+// Disk health states: serving normally, failed (contents gone), or
+// rebuilding onto a replacement.
+const (
+	DiskHealthy    = disk.Healthy
+	DiskFailed     = disk.Failed
+	DiskRebuilding = disk.Rebuilding
+)
+
+// FaultInjector schedules deterministic disk failures, repairs, and
+// transient per-read error rates against a running server.
+type FaultInjector = cm.Injector
+
+// NewFaultInjector creates a seeded fault injector; chain FailAt, RepairAt,
+// and WithTransientErrorRate to build a drill schedule, then install it
+// with Server.InstallFaults.
+func NewFaultInjector(seed uint64) *FaultInjector { return cm.NewInjector(seed) }
+
 // ---- Workloads (internal/workload) ----
 
 // Object describes one continuous-media object.
