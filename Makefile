@@ -9,12 +9,15 @@ build:
 test: build
 	$(GO) test ./...
 
-# Tier-1+ gate: vet plus the full suite under the race detector. Run this
-# before merging anything that touches the server, the rebuild executor, or
-# the fault injector — the concurrency-sensitive layers.
+# Tier-1+ gate: vet plus the full suite under the race detector, then the
+# gateway example end to end (live HTTP scaling + failure drill + drain;
+# it exits non-zero if any concurrent read fails). Run this before merging
+# anything that touches the server, the rebuild executor, the fault
+# injector, or the gateway — the concurrency-sensitive layers.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) run ./examples/gateway -duration 200ms
 
 # Short fuzz pass over the History codecs (seed corpora under
 # internal/scaddar/testdata/fuzz/).

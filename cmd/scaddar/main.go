@@ -1,7 +1,7 @@
 // Command scaddar is a command-line front end to the SCADDAR library:
 // locate blocks through a scaling history, check the randomness budget,
-// simulate load balance, size reorganization plans, and run full online
-// server scenarios.
+// simulate load balance, size reorganization plans, run full online server
+// scenarios, and serve the whole thing as a live HTTP service.
 //
 // Usage:
 //
@@ -10,6 +10,8 @@
 //	scaddar balance  -n0 4 -adds 8 -objects 20 -blocks 1000 -bits 32
 //	scaddar plan     -n0 8 -objects 20 -blocks 1000 [-add 2 | -remove 1+3]
 //	scaddar simulate -n0 8 -load 0.6 -add-at 20 -add 2 -rounds 100
+//	scaddar serve    -addr 127.0.0.1:8080 -n0 8 -round 100ms
+//	scaddar loadgen  -addr http://127.0.0.1:8080 -clients 8 -scale-at 3s
 //
 // The -ops grammar is a comma-separated list of "add:K" (add K disks) and
 // "remove:I+J+..." (remove logical disks I, J, ...).

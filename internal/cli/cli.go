@@ -47,6 +47,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTrace(args[1:], stdout)
 	case "forecast":
 		err = cmdForecast(args[1:], stdout)
+	case "serve":
+		err = cmdServe(args[1:], stdout)
+	case "loadgen":
+		err = cmdLoadgen(args[1:], stdout)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -73,7 +77,9 @@ commands:
   simulate  run an online server scenario (streams + scaling) and report
   drill     run a failure drill (disk failure, degraded serving, rebuild)
   trace     generate | replay | show deterministic session traces
-  forecast  predict movement and budget for a planned operation sequence`)
+  forecast  predict movement and budget for a planned operation sequence
+  serve     run the concurrent HTTP gateway over a live server
+  loadgen   generate concurrent load against a running gateway and report`)
 }
 
 // ParseOps applies an operation list like "add:2,remove:1+3" to a history.

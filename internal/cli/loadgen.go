@@ -1,0 +1,301 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"scaddar/internal/prng"
+	"scaddar/internal/workload"
+)
+
+// loadgenOptions configures the load generator; a plain struct so tests can
+// call runLoadgen directly.
+type loadgenOptions struct {
+	addr     string
+	clients  int
+	duration time.Duration
+	zipf     float64
+	seed     uint64
+	scaleAt  time.Duration
+	add      int
+	perSess  int
+}
+
+func cmdLoadgen(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var opts loadgenOptions
+	fs.StringVar(&opts.addr, "addr", "http://127.0.0.1:8080", "gateway base URL")
+	fs.IntVar(&opts.clients, "clients", 8, "concurrent client goroutines")
+	fs.DurationVar(&opts.duration, "duration", 10*time.Second, "how long to generate load")
+	fs.Float64Var(&opts.zipf, "zipf", 0.729, "Zipf skew θ for object popularity")
+	fs.Uint64Var(&opts.seed, "seed", 1, "client PRNG seed base")
+	fs.DurationVar(&opts.scaleAt, "scale-at", 0, "when to request a scale-up over HTTP (0 = never)")
+	fs.IntVar(&opts.add, "add", 2, "disks to add at -scale-at")
+	fs.IntVar(&opts.perSess, "per-session", 32, "block lookups per session before closing it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return runLoadgen(opts, w)
+}
+
+// sample is one timed request outcome.
+type sample struct {
+	at   time.Duration // offset from run start
+	lat  time.Duration
+	code int
+}
+
+// lgClient is the per-goroutine worker state.
+type lgClient struct {
+	http    *http.Client
+	base    string
+	zipf    *workload.Zipf
+	rng     prng.Source
+	objects []lgObject
+	perSess int
+	samples []sample
+	opened  int
+	reject  int
+	start   time.Time
+}
+
+type lgObject struct {
+	ID     int `json:"id"`
+	Blocks int `json:"blocks"`
+}
+
+// runLoadgen drives concurrent sessions against a running gateway and
+// reports throughput and latency percentiles, split by the reorganization
+// window when a scale-up was requested mid-run.
+func runLoadgen(opts loadgenOptions, w io.Writer) error {
+	if opts.clients < 1 {
+		return fmt.Errorf("clients %d", opts.clients)
+	}
+	if opts.duration <= 0 {
+		return fmt.Errorf("duration %s", opts.duration)
+	}
+	if opts.perSess < 1 {
+		opts.perSess = 32
+	}
+	base := opts.addr
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	// Discover the library from the gateway itself.
+	resp, err := hc.Get(base + "/v1/objects")
+	if err != nil {
+		return fmt.Errorf("objects: %w", err)
+	}
+	var objects []lgObject
+	err = json.NewDecoder(resp.Body).Decode(&objects)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("objects: %w", err)
+	}
+	if len(objects) == 0 {
+		return fmt.Errorf("gateway has no objects loaded")
+	}
+
+	fmt.Fprintf(w, "loadgen: %d clients against %s for %s (%d objects, Zipf θ=%g)\n",
+		opts.clients, base, opts.duration, len(objects), opts.zipf)
+
+	start := time.Now()
+	deadline := start.Add(opts.duration)
+	clients := make([]*lgClient, opts.clients)
+	var wg sync.WaitGroup
+	for i := range clients {
+		z, err := workload.NewZipf(prng.NewSplitMix64(opts.seed+uint64(i)*2654435761), len(objects), opts.zipf)
+		if err != nil {
+			return err
+		}
+		c := &lgClient{
+			http: hc, base: base, zipf: z,
+			rng:     prng.NewSplitMix64(opts.seed*31 + uint64(i)),
+			objects: objects, perSess: opts.perSess, start: start,
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.run(deadline)
+		}()
+	}
+
+	// Mid-run scale-up over HTTP, with the reorganization window measured
+	// by polling /v1/metrics.
+	var reorgStart, reorgEnd time.Duration
+	if opts.scaleAt > 0 && opts.scaleAt < opts.duration {
+		time.Sleep(opts.scaleAt)
+		body, _ := json.Marshal(map[string]int{"add": opts.add})
+		reorgStart = time.Since(start)
+		resp, err := hc.Post(base+"/v1/scale", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("scale: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			fmt.Fprintf(w, "loadgen: scale-up rejected with status %d\n", resp.StatusCode)
+			reorgStart = 0
+		} else {
+			fmt.Fprintf(w, "loadgen: scale-up +%d accepted at t=%s\n", opts.add, reorgStart.Round(time.Millisecond))
+			for time.Now().Before(deadline.Add(30 * time.Second)) {
+				st, err := fetchMetrics(hc, base)
+				if err == nil && !st.Reorganizing {
+					reorgEnd = time.Since(start)
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			fmt.Fprintf(w, "loadgen: reorganization drained in %s\n", (reorgEnd - reorgStart).Round(time.Millisecond))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge per-client tallies.
+	var all []sample
+	var opened, rejected int
+	codes := map[int]int{}
+	for _, c := range clients {
+		all = append(all, c.samples...)
+		opened += c.opened
+		rejected += c.reject
+		for _, s := range c.samples {
+			codes[s.code]++
+		}
+	}
+	fmt.Fprintf(w, "requests %d in %s (%.1f req/s)  sessions opened %d  rejected %d\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds(), opened, rejected)
+	keys := make([]int, 0, len(codes))
+	for k := range codes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(w, "status:")
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %d x %d", k, codes[k])
+	}
+	fmt.Fprintln(w)
+
+	report := func(label string, keep func(sample) bool) {
+		var lats []time.Duration
+		for _, s := range all {
+			if s.code == http.StatusOK && keep(s) {
+				lats = append(lats, s.lat)
+			}
+		}
+		if len(lats) == 0 {
+			return
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Fprintf(w, "%-22s n=%-7d p50 %-9s p95 %-9s p99 %s\n", label, len(lats),
+			percentile(lats, 0.50).Round(10*time.Microsecond),
+			percentile(lats, 0.95).Round(10*time.Microsecond),
+			percentile(lats, 0.99).Round(10*time.Microsecond))
+	}
+	report("read latency overall:", func(sample) bool { return true })
+	if reorgEnd > reorgStart {
+		report("  before reorg:", func(s sample) bool { return s.at < reorgStart })
+		report("  during reorg:", func(s sample) bool { return s.at >= reorgStart && s.at < reorgEnd })
+		report("  after reorg:", func(s sample) bool { return s.at >= reorgEnd })
+	}
+	return nil
+}
+
+// run is one client loop: open a session on a Zipf-popular object, walk its
+// blocks with timed lookups, close, repeat until the deadline.
+func (c *lgClient) run(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		obj := c.objects[c.zipf.Draw()]
+		sess, retryAfter, ok := c.openSession(obj.ID)
+		if !ok {
+			c.reject++
+			time.Sleep(retryAfter)
+			continue
+		}
+		c.opened++
+		pos := int(c.rng.Next() % uint64(obj.Blocks))
+		for i := 0; i < c.perSess && time.Now().Before(deadline); i++ {
+			idx := (pos + i) % obj.Blocks
+			t0 := time.Now()
+			resp, err := c.http.Get(fmt.Sprintf("%s/v1/objects/%d/blocks/%d", c.base, obj.ID, idx))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			c.samples = append(c.samples, sample{
+				at:   t0.Sub(c.start),
+				lat:  time.Since(t0),
+				code: resp.StatusCode,
+			})
+		}
+		req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/sessions/%d", c.base, sess), nil)
+		if resp, err := c.http.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+}
+
+// openSession opens one streaming session; on 503 it reports the server's
+// Retry-After hint so the caller can back off.
+func (c *lgClient) openSession(object int) (id int, retryAfter time.Duration, ok bool) {
+	body, _ := json.Marshal(map[string]int{"object": object})
+	resp, err := c.http.Post(c.base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, time.Second, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		io.Copy(io.Discard, resp.Body)
+		retry := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				retry = time.Duration(n) * time.Second
+			}
+		}
+		return 0, retry, false
+	}
+	var out struct {
+		Session int `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, time.Second, false
+	}
+	return out.Session, 0, true
+}
+
+// lgMetrics is the slice of /v1/metrics the load generator cares about.
+type lgMetrics struct {
+	Disks        int  `json:"disks"`
+	Reorganizing bool `json:"reorganizing"`
+}
+
+func fetchMetrics(hc *http.Client, base string) (lgMetrics, error) {
+	var m lgMetrics
+	resp, err := hc.Get(base + "/v1/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// percentile reads the p-th percentile from an ascending-sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,181 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/gateway"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/workload"
+)
+
+// serveOptions configures the serve subcommand; it is a plain struct so
+// tests can drive serveGateway without a flag set or signals.
+type serveOptions struct {
+	addr        string
+	n0          int
+	objects     int
+	blocks      int
+	round       time.Duration
+	redundancy  string
+	utilization float64
+	mailbox     int
+	timeout     time.Duration
+	drain       time.Duration
+}
+
+func cmdServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var opts serveOptions
+	fs.StringVar(&opts.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&opts.n0, "n0", 8, "initial disk count")
+	fs.IntVar(&opts.objects, "objects", 12, "number of objects")
+	fs.IntVar(&opts.blocks, "blocks", 600, "blocks per object")
+	fs.DurationVar(&opts.round, "round", 100*time.Millisecond, "wall-clock round period")
+	fs.StringVar(&opts.redundancy, "redundancy", "none", "protection scheme: none | mirror | parity")
+	fs.Float64Var(&opts.utilization, "utilization", 0.8, "admission-control utilization target in (0,1]")
+	fs.IntVar(&opts.mailbox, "mailbox", 64, "control-plane mailbox depth")
+	fs.DurationVar(&opts.timeout, "timeout", 5*time.Second, "per-request deadline")
+	fs.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful drain budget on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// SIGINT/SIGTERM begin the graceful drain; a second signal aborts.
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		close(stop)
+	}()
+	return serveGateway(opts, w, nil, stop)
+}
+
+// parseRedundancy maps the flag spelling to the cm scheme.
+func parseRedundancy(name string) (cm.Redundancy, error) {
+	switch name {
+	case "none":
+		return cm.RedundancyNone, nil
+	case "mirror":
+		return cm.RedundancyMirror, nil
+	case "parity":
+		return cm.RedundancyParity, nil
+	default:
+		return 0, fmt.Errorf("redundancy %q: want none, mirror, or parity", name)
+	}
+}
+
+// buildLoadedServer assembles a SCADDAR-placed server with a synthetic
+// library loaded — the common prologue of serve, simulate, and drill.
+func buildLoadedServer(n0, objects, blocks int, mutate func(*cm.Config)) (*cm.Server, []workload.Object, error) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(n0, x0)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := cm.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := cm.NewServer(cfg, strat)
+	if err != nil {
+		return nil, nil, err
+	}
+	lib, err := workload.Library(workload.LibraryConfig{
+		Objects: objects, MinBlocks: blocks, MaxBlocks: blocks,
+		BlockBytes: cfg.BlockBytes, BitrateBitsPerSec: 4 << 20, SeedBase: 42,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			return nil, nil, err
+		}
+	}
+	return srv, lib, nil
+}
+
+// serveGateway builds the server, wraps it in a gateway, and serves HTTP
+// until stop closes; then it drains sessions gracefully and exits. If ready
+// is non-nil it receives the bound address once listening (used by tests
+// and by -addr with port 0).
+func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop <-chan struct{}) error {
+	red, err := parseRedundancy(opts.redundancy)
+	if err != nil {
+		return err
+	}
+	srv, _, err := buildLoadedServer(opts.n0, opts.objects, opts.blocks, func(c *cm.Config) {
+		c.Redundancy = red
+		if opts.utilization > 0 {
+			c.Utilization = opts.utilization
+		}
+	})
+	if err != nil {
+		return err
+	}
+	g, err := gateway.New(srv, gateway.Config{
+		Factory:        func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) },
+		Round:          opts.round,
+		MailboxDepth:   opts.mailbox,
+		RequestTimeout: opts.timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serve: %d disks, %d objects x %d blocks, %s redundancy, round %s\n",
+		opts.n0, opts.objects, opts.blocks, opts.redundancy, opts.round)
+	fmt.Fprintf(w, "serve: listening on http://%s (Ctrl-C to drain and exit)\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: g.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-stop:
+	}
+
+	// Graceful exit: drain sessions first (new ones are refused with 503
+	// while existing ones play out), then stop accepting connections.
+	fmt.Fprintf(w, "serve: draining (budget %s)...\n", opts.drain)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drain)
+	defer cancel()
+	drainErr := g.Shutdown(ctx)
+	if err := hs.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	st := g.Status()
+	fmt.Fprintf(w, "serve: done after %d rounds; %d sessions served, %d rejected, %d lookups\n",
+		st.Rounds, st.Gateway.SessionsOpened, st.Gateway.SessionsRejected, st.Gateway.Reads)
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeAndLoadgen is the end-to-end demo in miniature: boot the gateway
+// on an ephemeral port, run the load generator against it with a mid-run
+// scale-up over HTTP, and check that the run reports percentile latency and
+// a drained reorganization, then that the server drains cleanly.
+func TestServeAndLoadgen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end serve test skipped in -short mode")
+	}
+	opts := serveOptions{
+		addr:        "127.0.0.1:0",
+		n0:          6,
+		objects:     8,
+		blocks:      200,
+		round:       2 * time.Millisecond,
+		redundancy:  "mirror",
+		utilization: 0.8,
+		mailbox:     64,
+		timeout:     5 * time.Second,
+		drain:       30 * time.Second,
+	}
+	addrCh := make(chan string, 1)
+	stop := make(chan struct{})
+	serveDone := make(chan error, 1)
+	var serveOut strings.Builder
+	go func() {
+		serveDone <- serveGateway(opts, &serveOut, func(a string) { addrCh <- a }, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-serveDone:
+		t.Fatalf("serve exited early: %v\n%s", err, serveOut.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+
+	var lgOut strings.Builder
+	err := runLoadgen(loadgenOptions{
+		addr:     "http://" + addr,
+		clients:  4,
+		duration: 400 * time.Millisecond,
+		zipf:     0.729,
+		seed:     7,
+		scaleAt:  100 * time.Millisecond,
+		add:      2,
+		perSess:  16,
+	}, &lgOut)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, lgOut.String())
+	}
+	out := lgOut.String()
+	for _, want := range []string{
+		"scale-up +2 accepted",
+		"reorganization drained in",
+		"read latency overall:",
+		"during reorg:",
+		"p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("loadgen output missing %q:\n%s", want, out)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve: %v\n%s", err, serveOut.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not drain")
+	}
+	sout := serveOut.String()
+	if !strings.Contains(sout, "listening on http://") || !strings.Contains(sout, "serve: done after") {
+		t.Errorf("serve output unexpected:\n%s", sout)
+	}
+}
+
+// TestServeBadFlags covers the option validation paths without booting.
+func TestServeBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := serveGateway(serveOptions{redundancy: "raid6"}, &out, nil, nil); err == nil {
+		t.Error("bad redundancy accepted")
+	}
+	if err := runLoadgen(loadgenOptions{clients: 0}, &out); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if err := runLoadgen(loadgenOptions{clients: 1, duration: 0}, &out); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := runLoadgen(loadgenOptions{clients: 1, duration: time.Second, addr: "http://127.0.0.1:1"}, &out); err == nil {
+		t.Error("unreachable gateway accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package cm
+
+import "errors"
+
+// Typed errors for the server's request surface, so a network front end can
+// map operational conditions to protocol outcomes (404 for a bad name, 503
+// for admission pressure, 409 for a conflicting control operation) instead
+// of parsing message strings. Every error below is wrapped with %w at its
+// raise sites; match with errors.Is.
+var (
+	// ErrUnknownObject is returned when a request names an object that is
+	// not loaded.
+	ErrUnknownObject = errors.New("cm: unknown object")
+	// ErrBlockOutOfRange is returned when a request names a block index
+	// outside the object's extent (including seek positions).
+	ErrBlockOutOfRange = errors.New("cm: block index out of range")
+	// ErrUnknownStream is returned when a request names a stream ID that
+	// was never issued.
+	ErrUnknownStream = errors.New("cm: unknown stream")
+	// ErrAdmissionRejected is returned when StartStream refuses a session
+	// because the array is at its admission limit — the caller should back
+	// off and retry, not treat it as a failure.
+	ErrAdmissionRejected = errors.New("cm: admission control rejected stream")
+	// ErrBusy is returned when a control operation conflicts with
+	// in-progress work: a reorganization or ingest in flight, a scale-down
+	// awaiting completion, or a degraded array.
+	ErrBusy = errors.New("cm: conflicting operation in progress")
+	// ErrDegradedRead is returned by Lookup when the block's home disk is
+	// down (or its copy not yet rebuilt): the block is temporarily
+	// unreadable at its placed location, not misplaced.
+	ErrDegradedRead = errors.New("cm: block degraded")
+)

@@ -104,6 +104,20 @@ const (
 	StreamStopped
 )
 
+// String names the stream state.
+func (s StreamState) String() string {
+	switch s {
+	case StreamPlaying:
+		return "playing"
+	case StreamDone:
+		return "done"
+	case StreamStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
 // Stream is one active playback session.
 type Stream struct {
 	// ID is the server-assigned stream identity.
@@ -339,10 +353,10 @@ func (s *Server) blockIDOf(b placement.BlockRef) disk.BlockID {
 // the server block size.
 func (s *Server) AddObject(obj workload.Object) error {
 	if s.Reorganizing() {
-		return fmt.Errorf("cm: cannot add objects during reorganization")
+		return fmt.Errorf("%w: cannot add objects during reorganization", ErrBusy)
 	}
 	if s.Degraded() {
-		return fmt.Errorf("cm: cannot add objects while the array is degraded")
+		return fmt.Errorf("%w: cannot add objects while the array is degraded", ErrBusy)
 	}
 	if _, dup := s.objects[obj.ID]; dup {
 		return fmt.Errorf("cm: duplicate object ID %d", obj.ID)
@@ -383,14 +397,14 @@ func (s *Server) AddObject(obj workload.Object) error {
 // RemoveObject deletes an object and its blocks.
 func (s *Server) RemoveObject(id int) error {
 	if s.Reorganizing() {
-		return fmt.Errorf("cm: cannot remove objects during reorganization")
+		return fmt.Errorf("%w: cannot remove objects during reorganization", ErrBusy)
 	}
 	if s.Degraded() {
-		return fmt.Errorf("cm: cannot remove objects while the array is degraded")
+		return fmt.Errorf("%w: cannot remove objects while the array is degraded", ErrBusy)
 	}
 	obj, ok := s.objects[id]
 	if !ok {
-		return fmt.Errorf("cm: unknown object %d", id)
+		return fmt.Errorf("%w: object %d", ErrUnknownObject, id)
 	}
 	for _, st := range s.streams {
 		if st.Object == id && st.State == StreamPlaying {
@@ -417,7 +431,7 @@ func (s *Server) RemoveObject(id int) error {
 func (s *Server) Object(id int) (workload.Object, error) {
 	obj, ok := s.objects[id]
 	if !ok {
-		return workload.Object{}, fmt.Errorf("cm: unknown object %d", id)
+		return workload.Object{}, fmt.Errorf("%w: object %d", ErrUnknownObject, id)
 	}
 	return obj, nil
 }
@@ -464,10 +478,10 @@ func (s *Server) locate(b placement.BlockRef) int {
 func (s *Server) Lookup(object int, index int) (*disk.Disk, error) {
 	obj, ok := s.objects[object]
 	if !ok {
-		return nil, fmt.Errorf("cm: unknown object %d", object)
+		return nil, fmt.Errorf("%w: object %d", ErrUnknownObject, object)
 	}
 	if index < 0 || index >= obj.Blocks {
-		return nil, fmt.Errorf("cm: object %d has no block %d", object, index)
+		return nil, fmt.Errorf("%w: object %d has no block %d", ErrBlockOutOfRange, object, index)
 	}
 	ref := placement.BlockRef{Seed: obj.Seed, Index: uint64(index)}
 	logical := s.locate(ref)
@@ -477,8 +491,8 @@ func (s *Server) Lookup(object int, index int) (*disk.Disk, error) {
 	}
 	if !d.Has(blockID(object, uint64(index))) {
 		if s.blockDegraded(ref, blockID(object, uint64(index)), d) {
-			return nil, fmt.Errorf("cm: block %d/%d is degraded: disk %d is %s and the copy is not yet rebuilt",
-				object, index, d.ID(), d.Health())
+			return nil, fmt.Errorf("%w: block %d/%d: disk %d is %s and the copy is not yet rebuilt",
+				ErrDegradedRead, object, index, d.ID(), d.Health())
 		}
 		return nil, fmt.Errorf("cm: block %d/%d not on disk %d where placement expects it",
 			object, index, d.ID())
@@ -558,12 +572,12 @@ func (s *Server) ActiveStreams() int {
 // the server is at its admission limit.
 func (s *Server) StartStream(object int) (*Stream, error) {
 	if _, ok := s.objects[object]; !ok {
-		return nil, fmt.Errorf("cm: unknown object %d", object)
+		return nil, fmt.Errorf("%w: object %d", ErrUnknownObject, object)
 	}
 	if s.ActiveStreams() >= s.capacityStreams() {
 		s.metrics.StreamsRejected++
-		return nil, fmt.Errorf("cm: admission control rejected stream for object %d (%d active, capacity %d)",
-			object, s.ActiveStreams(), s.capacityStreams())
+		return nil, fmt.Errorf("%w: object %d (%d active, capacity %d)",
+			ErrAdmissionRejected, object, s.ActiveStreams(), s.capacityStreams())
 	}
 	st := &Stream{ID: s.nextSID, Object: object}
 	s.nextSID++
@@ -575,7 +589,7 @@ func (s *Server) StartStream(object int) (*Stream, error) {
 func (s *Server) StopStream(id int) error {
 	st, ok := s.streams[id]
 	if !ok {
-		return fmt.Errorf("cm: unknown stream %d", id)
+		return fmt.Errorf("%w: stream %d", ErrUnknownStream, id)
 	}
 	if st.State == StreamPlaying {
 		st.State = StreamStopped
@@ -587,11 +601,11 @@ func (s *Server) StopStream(id int) error {
 func (s *Server) SeekStream(id, position int) error {
 	st, ok := s.streams[id]
 	if !ok {
-		return fmt.Errorf("cm: unknown stream %d", id)
+		return fmt.Errorf("%w: stream %d", ErrUnknownStream, id)
 	}
 	obj := s.objects[st.Object]
 	if position < 0 || position >= obj.Blocks {
-		return fmt.Errorf("cm: seek position %d outside object %d", position, st.Object)
+		return fmt.Errorf("%w: seek position %d outside object %d", ErrBlockOutOfRange, position, st.Object)
 	}
 	st.Position = position
 	return nil
@@ -601,7 +615,7 @@ func (s *Server) SeekStream(id, position int) error {
 func (s *Server) Stream(id int) (*Stream, error) {
 	st, ok := s.streams[id]
 	if !ok {
-		return nil, fmt.Errorf("cm: unknown stream %d", id)
+		return nil, fmt.Errorf("%w: stream %d", ErrUnknownStream, id)
 	}
 	return st, nil
 }
@@ -858,16 +872,16 @@ func (s *Server) advanceStream(st *Stream, blocks int, delivered bool) {
 // blocks already moved. The returned plan describes the migration.
 func (s *Server) ScaleUp(count int) (*reorg.Plan, error) {
 	if s.Ingesting() {
-		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+		return nil, fmt.Errorf("%w: cannot scale while a recording is in progress", ErrBusy)
 	}
 	if s.Reorganizing() {
-		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+		return nil, fmt.Errorf("%w: a reorganization is already in progress", ErrBusy)
 	}
 	if s.Degraded() {
-		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
+		return nil, fmt.Errorf("%w: cannot scale while the array is degraded", ErrBusy)
 	}
 	if len(s.pendingRemoval) > 0 {
-		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+		return nil, fmt.Errorf("%w: a scale-down awaits completion", ErrBusy)
 	}
 	blocks := s.allBlocks()
 	plan, err := reorg.PlanAdd(s.strat, blocks, count)
@@ -899,16 +913,16 @@ func (s *Server) ScaleUp(count int) (*reorg.Plan, error) {
 // is exploited (experiment E11 quantifies the difference).
 func (s *Server) ScaleUpProfile(count int, profile disk.Profile) (*reorg.Plan, error) {
 	if s.Ingesting() {
-		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+		return nil, fmt.Errorf("%w: cannot scale while a recording is in progress", ErrBusy)
 	}
 	if s.Reorganizing() {
-		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+		return nil, fmt.Errorf("%w: a reorganization is already in progress", ErrBusy)
 	}
 	if s.Degraded() {
-		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
+		return nil, fmt.Errorf("%w: cannot scale while the array is degraded", ErrBusy)
 	}
 	if len(s.pendingRemoval) > 0 {
-		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+		return nil, fmt.Errorf("%w: a scale-down awaits completion", ErrBusy)
 	}
 	if profile.BlocksPerRound(s.cfg.Round, s.cfg.BlockBytes) < 1 {
 		return nil, fmt.Errorf("cm: disk %s cannot serve a single %d-byte block per %v round",
@@ -941,16 +955,16 @@ func (s *Server) ScaleUpProfile(count int, profile disk.Profile) (*reorg.Plan, e
 // doomed disks until their blocks have moved.
 func (s *Server) ScaleDown(indices ...int) (*reorg.Plan, error) {
 	if s.Ingesting() {
-		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+		return nil, fmt.Errorf("%w: cannot scale while a recording is in progress", ErrBusy)
 	}
 	if s.Reorganizing() {
-		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+		return nil, fmt.Errorf("%w: a reorganization is already in progress", ErrBusy)
 	}
 	if s.Degraded() {
-		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
+		return nil, fmt.Errorf("%w: cannot scale while the array is degraded", ErrBusy)
 	}
 	if len(s.pendingRemoval) > 0 {
-		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+		return nil, fmt.Errorf("%w: a scale-down awaits completion", ErrBusy)
 	}
 	blocks := s.allBlocks()
 	plan, err := reorg.PlanRemove(s.strat, blocks, indices...)
@@ -1001,16 +1015,16 @@ func (s *Server) Budget() *scaddar.Budget { return s.budget }
 // The placement strategy must support rebaselining (SCADDAR does).
 func (s *Server) FullRedistribute() (*reorg.Plan, error) {
 	if s.Ingesting() {
-		return nil, fmt.Errorf("cm: cannot scale while a recording is in progress")
+		return nil, fmt.Errorf("%w: cannot scale while a recording is in progress", ErrBusy)
 	}
 	if s.Reorganizing() {
-		return nil, fmt.Errorf("cm: a reorganization is already in progress")
+		return nil, fmt.Errorf("%w: a reorganization is already in progress", ErrBusy)
 	}
 	if s.Degraded() {
-		return nil, fmt.Errorf("cm: cannot scale while the array is degraded")
+		return nil, fmt.Errorf("%w: cannot scale while the array is degraded", ErrBusy)
 	}
 	if len(s.pendingRemoval) > 0 {
-		return nil, fmt.Errorf("cm: a scale-down awaits completion")
+		return nil, fmt.Errorf("%w: a scale-down awaits completion", ErrBusy)
 	}
 	rb, ok := s.strat.(reorg.Rebaseliner)
 	if !ok {

@@ -1,0 +1,256 @@
+package cm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+func testFactory(seed uint64) prng.Source { return prng.NewSplitMix64(seed) }
+
+// buildSnap builds a snapshot or fails the test.
+func buildSnap(t *testing.T, srv *Server) *LocatorSnapshot {
+	t.Helper()
+	sn, err := srv.BuildSnapshot(testFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sn
+}
+
+// assertSnapshotAgrees checks that, for every loaded block, the snapshot's
+// Locate names the same physical disk Server.Lookup serves the block from.
+func assertSnapshotAgrees(t *testing.T, srv *Server, sn *LocatorSnapshot, objects, blocks int) {
+	t.Helper()
+	for o := 0; o < objects; o++ {
+		for i := 0; i < blocks; i++ {
+			want, err := srv.Lookup(o, i)
+			if err != nil {
+				t.Fatalf("Lookup(%d,%d): %v", o, i, err)
+			}
+			logical, err := sn.Locate(o, i)
+			if err != nil {
+				t.Fatalf("snapshot Locate(%d,%d): %v", o, i, err)
+			}
+			got, err := srv.Array().Disk(logical)
+			if err != nil {
+				t.Fatalf("resolving snapshot disk %d: %v", logical, err)
+			}
+			if got.ID() != want.ID() {
+				t.Fatalf("block %d/%d: snapshot says disk %v, server serves from %v",
+					o, i, got.ID(), want.ID())
+			}
+		}
+	}
+}
+
+func TestSnapshotAgreesWithLookupDuringScaleUp(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 6, 300)
+	assertSnapshotAgrees(t, srv, buildSnap(t, srv), 6, 300)
+
+	if _, err := srv.ScaleUp(2); err != nil {
+		t.Fatal(err)
+	}
+	// Re-snapshot after every round of the drain: the pending set shrinks
+	// each Tick and the snapshot must track it.
+	for srv.Reorganizing() {
+		assertSnapshotAgrees(t, srv, buildSnap(t, srv), 6, 300)
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotAgrees(t, srv, buildSnap(t, srv), 6, 300)
+}
+
+func TestSnapshotAgreesWithLookupDuringScaleDown(t *testing.T) {
+	srv := newServer(t, 6)
+	loadObjects(t, srv, 6, 300)
+	if _, err := srv.ScaleDown(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	for srv.Reorganizing() {
+		assertSnapshotAgrees(t, srv, buildSnap(t, srv), 6, 300)
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drained but not yet detached: the pre-removal translation still
+	// applies.
+	assertSnapshotAgrees(t, srv, buildSnap(t, srv), 6, 300)
+	if err := srv.CompleteScaleDown(); err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotAgrees(t, srv, buildSnap(t, srv), 6, 300)
+}
+
+func TestSnapshotAgreesAfterFullRedistribute(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 4, 200)
+	if _, err := srv.FullRedistribute(); err != nil {
+		t.Fatal(err)
+	}
+	for srv.Reorganizing() {
+		assertSnapshotAgrees(t, srv, buildSnap(t, srv), 4, 200)
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch is now 1: the snapshot's locator must reproduce the
+	// epoch-mixed placement.
+	assertSnapshotAgrees(t, srv, buildSnap(t, srv), 4, 200)
+}
+
+func TestSnapshotTypedErrors(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 2, 50)
+	sn := buildSnap(t, srv)
+	if _, err := sn.Locate(99, 0); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("unknown object error = %v, want ErrUnknownObject", err)
+	}
+	if _, err := sn.Locate(0, 50); !errors.Is(err, ErrBlockOutOfRange) {
+		t.Errorf("out-of-range error = %v, want ErrBlockOutOfRange", err)
+	}
+	if _, err := sn.Locate(0, -1); !errors.Is(err, ErrBlockOutOfRange) {
+		t.Errorf("negative index error = %v, want ErrBlockOutOfRange", err)
+	}
+}
+
+func TestServerTypedErrors(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 2, 50)
+	if _, err := srv.Lookup(99, 0); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("Lookup unknown object = %v, want ErrUnknownObject", err)
+	}
+	if _, err := srv.Lookup(0, 50); !errors.Is(err, ErrBlockOutOfRange) {
+		t.Errorf("Lookup out of range = %v, want ErrBlockOutOfRange", err)
+	}
+	if _, err := srv.StartStream(99); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("StartStream unknown object = %v, want ErrUnknownObject", err)
+	}
+	if err := srv.SeekStream(12345, 0); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("SeekStream unknown stream = %v, want ErrUnknownStream", err)
+	}
+	st, err := srv.StartStream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SeekStream(st.ID, 50); !errors.Is(err, ErrBlockOutOfRange) {
+		t.Errorf("SeekStream out of range = %v, want ErrBlockOutOfRange", err)
+	}
+	// Exhaust admission and check the rejection is typed.
+	var admitErr error
+	for i := 0; i < 10000; i++ {
+		if _, admitErr = srv.StartStream(0); admitErr != nil {
+			break
+		}
+	}
+	if !errors.Is(admitErr, ErrAdmissionRejected) {
+		t.Errorf("admission rejection = %v, want ErrAdmissionRejected", admitErr)
+	}
+	if _, err := srv.ScaleUp(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ScaleUp(1); !errors.Is(err, ErrBusy) {
+		t.Errorf("double scale-up = %v, want ErrBusy", err)
+	}
+}
+
+func TestSnapshotConcurrentLookups(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 4, 200)
+	sn := buildSnap(t, srv)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for o := 0; o < 4; o++ {
+				for i := 0; i < 200; i++ {
+					if _, err := sn.Locate(o, (i+g)%200); err != nil {
+						t.Errorf("Locate: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBuildSnapshotNeedsConcurrentStrategy(t *testing.T) {
+	strat, err := placement.NewRoundRobin(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(DefaultConfig(), strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.BuildSnapshot(testFactory); err == nil {
+		t.Error("round-robin strategy produced a snapshot")
+	}
+	srv2 := newServer(t, 4)
+	if _, err := srv2.BuildSnapshot(nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+// BenchmarkLookup compares the owner-goroutine Lookup path with the
+// concurrent snapshot path the gateway uses (single-threaded and parallel).
+func BenchmarkLookup(b *testing.B) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(8, x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(DefaultConfig(), strat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const objects, blocks = 8, 500
+	for i := 0; i < objects; i++ {
+		if err := srv.AddObject(testObject(i, blocks)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sn, err := srv.BuildSnapshot(testFactory)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("server", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Lookup(i%objects, (i*7)%blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sn.Locate(i%objects, (i*7)%blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := sn.Locate(i%objects, (i*7)%blocks); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}

@@ -1,0 +1,388 @@
+// Package gateway turns the round-based cm.Server simulator into a live
+// concurrent network service. The server itself is single-owner: one
+// goroutine may call Tick and the control surface. The gateway supplies
+// that owner — a wall-clock round driver running Tick on a real ticker —
+// and serializes every control operation (open/seek/close session, scaling,
+// failure drills) into it through a bounded command mailbox: a channel of
+// closures with per-command reply channels.
+//
+// The read path does not pay for that serialization. Block-location
+// lookups (GET /v1/objects/{id}/blocks/{idx}) run concurrently in the HTTP
+// handlers against an immutable cm.LocatorSnapshot — backed by
+// scaddar.SafeLocator, the paper's O(j) directory-free access function —
+// republished through an atomic pointer after every placement-changing
+// event and after each round while a migration drains. This is the
+// architectural payoff of SCADDAR's AO1 property: because lookup needs no
+// directory and no lock, the hot path scales with cores while scaling
+// operations proceed underneath it.
+//
+// Overload surfaces at the edge, never as round overcommitment: admission
+// rejections and a full mailbox both return 503 with Retry-After, requests
+// carry per-request deadlines, and shutdown drains gracefully — new
+// sessions are refused while active ones play out, bounded by the caller's
+// context.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/scaddar"
+)
+
+// Typed gateway errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrOverloaded is returned when the command mailbox is full — the
+	// control plane is backlogged and the client should retry later.
+	ErrOverloaded = fmt.Errorf("gateway: command mailbox full")
+	// ErrDraining is returned for work refused because the gateway is
+	// shutting down.
+	ErrDraining = fmt.Errorf("gateway: draining")
+)
+
+// Config tunes the gateway around a server.
+type Config struct {
+	// Factory builds the per-object generators for locator snapshots; it
+	// must match the generator family of the server strategy's X0Func.
+	// Required.
+	Factory scaddar.SourceFactory
+	// Round is the wall-clock round period driven by the ticker. Zero
+	// means the server's configured (simulated) round length.
+	Round time.Duration
+	// MailboxDepth bounds the command backlog; commands beyond it are
+	// rejected with ErrOverloaded. Zero means 64.
+	MailboxDepth int
+	// RequestTimeout is the per-request deadline applied by Handler.
+	// Zero means 5s.
+	RequestTimeout time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// command is one serialized control operation: a closure executed by the
+// owner goroutine with its result sent back on a buffered reply channel.
+type command struct {
+	fn      func(*cm.Server) (any, error)
+	mutates bool
+	reply   chan cmdResult
+}
+
+type cmdResult struct {
+	v   any
+	err error
+}
+
+// Counters are the gateway-level activity counters, all updated with
+// atomics from the request handlers.
+type Counters struct {
+	// Reads counts block-location lookups served from the snapshot.
+	Reads int64 `json:"reads"`
+	// ReadErrors counts lookups that failed (bad object or index).
+	ReadErrors int64 `json:"readErrors"`
+	// Overloads counts requests rejected because the mailbox was full.
+	Overloads int64 `json:"overloads"`
+	// SessionsOpened counts successful session admissions.
+	SessionsOpened int64 `json:"sessionsOpened"`
+	// SessionsRejected counts admission-control rejections.
+	SessionsRejected int64 `json:"sessionsRejected"`
+	// TickErrors counts rounds whose Tick returned an error.
+	TickErrors int64 `json:"tickErrors"`
+}
+
+// Status is the owner-published view of the server, extended with gateway
+// counters at serve time. It is the payload of /v1/metrics.
+type Status struct {
+	// Rounds is the number of rounds ticked.
+	Rounds int `json:"rounds"`
+	// Disks is the current logical disk count.
+	Disks int `json:"disks"`
+	// Objects is the number of loaded objects.
+	Objects int `json:"objects"`
+	// ActiveStreams is the number of playing sessions.
+	ActiveStreams int `json:"activeStreams"`
+	// Reorganizing reports an in-flight migration.
+	Reorganizing bool `json:"reorganizing"`
+	// MigrationRemaining is the number of pending migration moves.
+	MigrationRemaining int `json:"migrationRemaining"`
+	// Degraded reports a failed or rebuilding disk.
+	Degraded bool `json:"degraded"`
+	// RebuildRemaining is the number of pending rebuild items.
+	RebuildRemaining int `json:"rebuildRemaining"`
+	// Draining reports graceful shutdown in progress.
+	Draining bool `json:"draining"`
+	// Server is the simulator's own metrics struct.
+	Server cm.Metrics `json:"server"`
+	// Gateway is the gateway-level counter set.
+	Gateway Counters `json:"gateway"`
+}
+
+// Gateway is the concurrent HTTP front end over one cm.Server.
+type Gateway struct {
+	cfg   Config
+	srv   *cm.Server
+	round time.Duration
+	mux   *http.ServeMux
+	cmds  chan command
+
+	// snap and status are the owner-published read-path views.
+	snap   atomic.Pointer[cm.LocatorSnapshot]
+	status atomic.Pointer[Status]
+
+	draining atomic.Bool
+	stop     chan struct{} // closed by Shutdown/Close to end the owner loop
+	closed   chan struct{} // closed by the owner loop on exit
+	stopOnce sync.Once
+
+	reads            atomic.Int64
+	readErrors       atomic.Int64
+	overloads        atomic.Int64
+	sessionsOpened   atomic.Int64
+	sessionsRejected atomic.Int64
+	tickErrors       atomic.Int64
+
+	// inFlight tracks a started scaling operation until it is finished and
+	// cleared; owner-goroutine only.
+	inFlight bool
+}
+
+// New wraps a server in a gateway and starts the round driver. The gateway
+// takes ownership of the server: no other goroutine may touch it except
+// through Exec. Objects should be loaded before New is called (or via Exec
+// afterwards).
+func New(srv *cm.Server, cfg Config) (*Gateway, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("gateway: nil server")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("gateway: config needs a source factory")
+	}
+	if cfg.Round == 0 {
+		cfg.Round = srv.Config().Round
+	}
+	if cfg.Round <= 0 {
+		return nil, fmt.Errorf("gateway: round %v must be positive", cfg.Round)
+	}
+	if cfg.MailboxDepth == 0 {
+		cfg.MailboxDepth = 64
+	}
+	if cfg.MailboxDepth < 1 {
+		return nil, fmt.Errorf("gateway: mailbox depth %d must be positive", cfg.MailboxDepth)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		srv:    srv,
+		round:  cfg.Round,
+		cmds:   make(chan command, cfg.MailboxDepth),
+		stop:   make(chan struct{}),
+		closed: make(chan struct{}),
+	}
+	// Fail fast if the strategy cannot produce concurrent locators.
+	if err := g.publishSnapshot(); err != nil {
+		return nil, err
+	}
+	g.publishStatus()
+	g.routes()
+	go g.run()
+	return g, nil
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// run is the owner goroutine: the only code that touches g.srv. It
+// advances rounds on the wall-clock ticker and executes mailbox commands
+// between them.
+func (g *Gateway) run() {
+	defer close(g.closed)
+	ticker := time.NewTicker(g.round)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.tick()
+		case c := <-g.cmds:
+			g.execute(c)
+		}
+	}
+}
+
+// tick advances one round and keeps the published views fresh.
+func (g *Gateway) tick() {
+	if err := g.srv.Tick(); err != nil {
+		g.tickErrors.Add(1)
+		g.logf("gateway: tick: %v", err)
+	}
+	// Clear a drained migration: a completed scale-up immediately, a
+	// drained scale-down once its rebuild backlog (if any) is empty too —
+	// until then FinishReorganization refuses and we retry next round.
+	if g.inFlight && !g.srv.Reorganizing() {
+		if err := g.srv.FinishReorganization(); err == nil {
+			g.inFlight = false
+			g.republish()
+			g.logf("gateway: reorganization complete, %d disks", g.srv.N())
+		}
+	}
+	if g.inFlight || g.srv.Degraded() {
+		g.republish()
+	}
+	g.publishStatus()
+}
+
+// execute runs one mailbox command in the owner goroutine.
+func (g *Gateway) execute(c command) {
+	v, err := c.fn(g.srv)
+	if err == nil && c.mutates {
+		g.republish()
+	}
+	g.publishStatus()
+	c.reply <- cmdResult{v: v, err: err}
+}
+
+// republish rebuilds the locator snapshot, keeping the old one on error.
+func (g *Gateway) republish() {
+	if err := g.publishSnapshot(); err != nil {
+		g.logf("gateway: snapshot: %v", err)
+	}
+}
+
+func (g *Gateway) publishSnapshot() error {
+	sn, err := g.srv.BuildSnapshot(g.cfg.Factory)
+	if err != nil {
+		return err
+	}
+	g.snap.Store(sn)
+	return nil
+}
+
+func (g *Gateway) publishStatus() {
+	m := g.srv.Metrics()
+	st := &Status{
+		Rounds:             m.Rounds,
+		Disks:              g.srv.N(),
+		Objects:            g.srv.Objects(),
+		ActiveStreams:      g.srv.ActiveStreams(),
+		Reorganizing:       g.srv.Reorganizing(),
+		MigrationRemaining: g.srv.MigrationRemaining(),
+		Degraded:           g.srv.Degraded(),
+		RebuildRemaining:   g.srv.RebuildRemaining(),
+		Server:             m,
+	}
+	g.status.Store(st)
+}
+
+// Snapshot returns the current read-path locator snapshot.
+func (g *Gateway) Snapshot() *cm.LocatorSnapshot { return g.snap.Load() }
+
+// Status returns the current published status, with live gateway counters
+// and the draining flag filled in.
+func (g *Gateway) Status() Status {
+	st := *g.status.Load()
+	st.Draining = g.draining.Load()
+	st.Gateway = Counters{
+		Reads:            g.reads.Load(),
+		ReadErrors:       g.readErrors.Load(),
+		Overloads:        g.overloads.Load(),
+		SessionsOpened:   g.sessionsOpened.Load(),
+		SessionsRejected: g.sessionsRejected.Load(),
+		TickErrors:       g.tickErrors.Load(),
+	}
+	return st
+}
+
+// exec submits a command to the owner goroutine and waits for its reply,
+// the context deadline, or gateway shutdown. A full mailbox returns
+// ErrOverloaded immediately — backpressure at the edge instead of an
+// unbounded queue.
+func (g *Gateway) exec(ctx context.Context, mutates bool, fn func(*cm.Server) (any, error)) (any, error) {
+	c := command{fn: fn, mutates: mutates, reply: make(chan cmdResult, 1)}
+	select {
+	case <-g.closed:
+		return nil, ErrDraining
+	default:
+	}
+	select {
+	case g.cmds <- c:
+	default:
+		g.overloads.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case r := <-c.reply:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-g.closed:
+		return nil, ErrDraining
+	}
+}
+
+// Exec runs fn serialized with the round driver — the only sanctioned way
+// to touch the underlying server from outside. It is treated as mutating:
+// the read-path snapshot is republished after it succeeds.
+func (g *Gateway) Exec(ctx context.Context, fn func(*cm.Server) (any, error)) (any, error) {
+	return g.exec(ctx, true, fn)
+}
+
+// Rounds returns the number of rounds ticked so far.
+func (g *Gateway) Rounds() int { return g.status.Load().Rounds }
+
+// Draining reports whether graceful shutdown has begun.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Shutdown drains the gateway gracefully: new sessions are refused
+// immediately, rounds keep ticking until every active session has finished
+// and any migration has drained (or ctx expires), then the round driver
+// stops. It returns ctx.Err() if the deadline cut the drain short.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.draining.Store(true)
+	defer g.halt()
+	for {
+		v, err := g.exec(ctx, false, func(s *cm.Server) (any, error) {
+			return s.ActiveStreams() + s.MigrationRemaining(), nil
+		})
+		if err != nil {
+			if err == ErrOverloaded {
+				// Backlogged control plane: wait a round and re-ask.
+				select {
+				case <-time.After(g.round):
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return err
+		}
+		if v.(int) == 0 {
+			return nil
+		}
+		select {
+		case <-time.After(g.round):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close stops the round driver immediately without draining sessions.
+func (g *Gateway) Close() {
+	g.draining.Store(true)
+	g.halt()
+}
+
+func (g *Gateway) halt() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.closed
+}

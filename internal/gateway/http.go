@@ -1,0 +1,404 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/disk"
+	"scaddar/internal/reorg"
+)
+
+// maxBodyBytes bounds control-request bodies; every legitimate body here is
+// a few dozen bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// routes installs the v1 API on the gateway's mux.
+func (g *Gateway) routes() {
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /v1/objects", g.handleObjects)
+	g.mux.HandleFunc("GET /v1/objects/{id}/blocks/{idx}", g.handleRead)
+	g.mux.HandleFunc("POST /v1/sessions", g.handleOpenSession)
+	g.mux.HandleFunc("GET /v1/sessions/{id}", g.handleGetSession)
+	g.mux.HandleFunc("POST /v1/sessions/{id}/seek", g.handleSeek)
+	g.mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleCloseSession)
+	g.mux.HandleFunc("POST /v1/scale", g.handleScale)
+	g.mux.HandleFunc("POST /v1/disks/{id}/fail", g.handleDiskFail)
+	g.mux.HandleFunc("POST /v1/disks/{id}/repair", g.handleDiskRepair)
+}
+
+// Handler returns the gateway's HTTP handler with the per-request deadline
+// applied.
+func (g *Gateway) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+		defer cancel()
+		g.mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds is the Retry-After hint: one round, at least a second.
+func (g *Gateway) retryAfterSeconds() string {
+	s := int(math.Ceil(g.round.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+// writeError maps typed server/gateway errors to protocol outcomes: bad
+// names are 404, pressure is 503 with Retry-After, control conflicts are
+// 409, deadlines are 504, everything else is a 500.
+func (g *Gateway) writeError(w http.ResponseWriter, err error) {
+	var status int
+	switch {
+	case errors.Is(err, cm.ErrUnknownObject),
+		errors.Is(err, cm.ErrUnknownStream),
+		errors.Is(err, cm.ErrBlockOutOfRange):
+		status = http.StatusNotFound
+	case errors.Is(err, cm.ErrAdmissionRejected),
+		errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", g.retryAfterSeconds())
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, cm.ErrBusy),
+		errors.Is(err, disk.ErrBadHealthTransition),
+		errors.Is(err, disk.ErrDiskRebuilding):
+		status = http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	default:
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// pathInt parses an integer path segment.
+func pathInt(r *http.Request, name string) (int, error) {
+	v, err := strconv.Atoi(r.PathValue(name))
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, r.PathValue(name))
+	}
+	return v, nil
+}
+
+// decodeBody decodes a bounded JSON request body into v. An empty body is
+// allowed and leaves v untouched.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := g.Status()
+	body := map[string]any{
+		"status":       "ok",
+		"rounds":       st.Rounds,
+		"disks":        st.Disks,
+		"degraded":     st.Degraded,
+		"reorganizing": st.Reorganizing,
+	}
+	code := http.StatusOK
+	if st.Draining {
+		body["status"] = "draining"
+		w.Header().Set("Retry-After", g.retryAfterSeconds())
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Status())
+}
+
+func (g *Gateway) handleObjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.snap.Load().Objects())
+}
+
+// readResponse is the payload of the hot-path lookup endpoint.
+type readResponse struct {
+	Object       int  `json:"object"`
+	Block        int  `json:"block"`
+	Disk         int  `json:"disk"`
+	Healthy      bool `json:"healthy"`
+	Reorganizing bool `json:"reorganizing"`
+}
+
+// handleRead is the concurrent read path: no mailbox, no locks — one
+// atomic pointer load and a SafeLocator lookup.
+func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	idx, err := pathInt(r, "idx")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	sn := g.snap.Load()
+	d, err := sn.Locate(id, idx)
+	if err != nil {
+		g.readErrors.Add(1)
+		g.writeError(w, err)
+		return
+	}
+	g.reads.Add(1)
+	writeJSON(w, http.StatusOK, readResponse{
+		Object:       id,
+		Block:        idx,
+		Disk:         d,
+		Healthy:      sn.Healthy(d),
+		Reorganizing: sn.Reorganizing(),
+	})
+}
+
+// sessionResponse describes one session.
+type sessionResponse struct {
+	Session  int    `json:"session"`
+	Object   int    `json:"object"`
+	Position int    `json:"position"`
+	State    string `json:"state"`
+	Served   int    `json:"served"`
+	Hiccups  int    `json:"hiccups"`
+	Blocks   int    `json:"blocks"`
+}
+
+func sessionBody(st *cm.Stream, blocks int) sessionResponse {
+	return sessionResponse{
+		Session:  st.ID,
+		Object:   st.Object,
+		Position: st.Position,
+		State:    st.State.String(),
+		Served:   st.Served,
+		Hiccups:  st.Hiccups,
+		Blocks:   blocks,
+	}
+}
+
+func (g *Gateway) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		g.sessionsRejected.Add(1)
+		g.writeError(w, ErrDraining)
+		return
+	}
+	var req struct {
+		Object   int  `json:"object"`
+		Position *int `json:"position"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	v, err := g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
+		st, err := s.StartStream(req.Object)
+		if err != nil {
+			return nil, err
+		}
+		if req.Position != nil {
+			if err := s.SeekStream(st.ID, *req.Position); err != nil {
+				_ = s.StopStream(st.ID)
+				return nil, err
+			}
+		}
+		obj, err := s.Object(st.Object)
+		if err != nil {
+			return nil, err
+		}
+		return sessionBody(st, obj.Blocks), nil
+	})
+	if err != nil {
+		g.sessionsRejected.Add(1)
+		g.writeError(w, err)
+		return
+	}
+	g.sessionsOpened.Add(1)
+	writeJSON(w, http.StatusCreated, v)
+}
+
+func (g *Gateway) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	v, err := g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
+		st, err := s.Stream(id)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := s.Object(st.Object)
+		if err != nil {
+			return nil, err
+		}
+		return sessionBody(st, obj.Blocks), nil
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (g *Gateway) handleSeek(w http.ResponseWriter, r *http.Request) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var req struct {
+		Position int `json:"position"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	v, err := g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
+		if err := s.SeekStream(id, req.Position); err != nil {
+			return nil, err
+		}
+		st, err := s.Stream(id)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := s.Object(st.Object)
+		if err != nil {
+			return nil, err
+		}
+		return sessionBody(st, obj.Blocks), nil
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (g *Gateway) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	_, err = g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
+		return nil, s.StopStream(id)
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// scaleResponse summarizes an accepted scaling operation.
+type scaleResponse struct {
+	Op           string  `json:"op"`
+	NBefore      int     `json:"nBefore"`
+	NAfter       int     `json:"nAfter"`
+	Moves        int     `json:"moves"`
+	MoveFraction float64 `json:"moveFraction"`
+}
+
+func (g *Gateway) handleScale(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Add          int   `json:"add"`
+		Remove       []int `json:"remove"`
+		Redistribute bool  `json:"redistribute"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	modes := 0
+	if req.Add > 0 {
+		modes++
+	}
+	if len(req.Remove) > 0 {
+		modes++
+	}
+	if req.Redistribute {
+		modes++
+	}
+	if modes != 1 {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": `specify exactly one of "add", "remove", or "redistribute"`})
+		return
+	}
+	v, err := g.exec(r.Context(), true, func(s *cm.Server) (any, error) {
+		var (
+			plan *reorg.Plan
+			op   string
+			err  error
+		)
+		switch {
+		case req.Add > 0:
+			op = "add"
+			plan, err = s.ScaleUp(req.Add)
+		case len(req.Remove) > 0:
+			op = "remove"
+			plan, err = s.ScaleDown(req.Remove...)
+		default:
+			op = "redistribute"
+			plan, err = s.FullRedistribute()
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.inFlight = true
+		return scaleResponse{
+			Op:           op,
+			NBefore:      plan.NBefore,
+			NAfter:       plan.NAfter,
+			Moves:        len(plan.Moves),
+			MoveFraction: plan.MoveFraction(),
+		}, nil
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (g *Gateway) handleDiskFail(w http.ResponseWriter, r *http.Request) {
+	g.handleDiskOp(w, r, "failed", (*cm.Server).FailDisk)
+}
+
+func (g *Gateway) handleDiskRepair(w http.ResponseWriter, r *http.Request) {
+	g.handleDiskOp(w, r, "repairing", (*cm.Server).RepairDisk)
+}
+
+func (g *Gateway) handleDiskOp(w http.ResponseWriter, r *http.Request, verb string, op func(*cm.Server, int) error) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	_, err = g.exec(r.Context(), true, func(s *cm.Server) (any, error) {
+		return nil, op(s, id)
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"disk": id, "state": verb})
+}

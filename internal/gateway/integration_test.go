@@ -1,0 +1,235 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scaddar/internal/cm"
+)
+
+// TestGatewayUnderLoad is the -race integration test from the issue: hammer
+// the gateway over real HTTP with concurrent sessions and block lookups
+// while a scale-up, a disk-failure drill, and a scale-down all run mid-load.
+// The invariants: the read path never answers 5xx (503 is the only allowed
+// service answer, and only on the control plane), admission rejects instead
+// of overcommitting, and at the end no block has been lost.
+func TestGatewayUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	g := newTestGateway(t, 8, 12, 150,
+		func(c *cm.Config) { c.Redundancy = cm.RedundancyMirror },
+		func(c *Config) { c.MailboxDepth = 256 })
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	capStreams := int(0.8 * float64(cm.DefaultConfig().Profile.BlocksPerRound(
+		cm.DefaultConfig().Round, cm.DefaultConfig().BlockBytes)) * 8)
+
+	post := func(path string, body string) (*http.Response, error) {
+		req, err := http.NewRequest("POST", ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		return client.Do(req)
+	}
+
+	var (
+		stop      atomic.Bool
+		badStatus atomic.Int64 // unexpected statuses observed by workers
+		opened    atomic.Int64
+		lookups   atomic.Int64
+		rejected  atomic.Int64
+		firstBad  atomic.Value // string describing the first violation
+	)
+	fail := func(format string, args ...any) {
+		badStatus.Add(1)
+		firstBad.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for !stop.Load() {
+				// Concurrent block lookups: must only ever be 200/404.
+				for i := 0; i < 10; i++ {
+					obj, idx := rng.Intn(14), rng.Intn(170) // deliberately strays out of range
+					resp, err := client.Get(fmt.Sprintf("%s/v1/objects/%d/blocks/%d", ts.URL, obj, idx))
+					if err != nil {
+						fail("read transport error: %v", err)
+						return
+					}
+					resp.Body.Close()
+					lookups.Add(1)
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+						fail("read %d/%d -> %d", obj, idx, resp.StatusCode)
+					}
+				}
+				// Session lifecycle on the control plane: 503 is legitimate
+				// backpressure, anything else unexpected is a bug.
+				resp, err := post("/v1/sessions", fmt.Sprintf(`{"object": %d}`, rng.Intn(12)))
+				if err != nil {
+					fail("open transport error: %v", err)
+					return
+				}
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					if resp.Header.Get("Retry-After") == "" {
+						fail("503 without Retry-After")
+					}
+					resp.Body.Close()
+					rejected.Add(1)
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode != http.StatusCreated {
+					fail("open -> %d", resp.StatusCode)
+					resp.Body.Close()
+					continue
+				}
+				var sess struct {
+					Session int `json:"session"`
+					Blocks  int `json:"blocks"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+					fail("open decode: %v", err)
+					resp.Body.Close()
+					continue
+				}
+				resp.Body.Close()
+				opened.Add(1)
+
+				if rng.Intn(2) == 0 {
+					resp, err := post(fmt.Sprintf("/v1/sessions/%d/seek", sess.Session),
+						fmt.Sprintf(`{"position": %d}`, rng.Intn(sess.Blocks)))
+					if err == nil {
+						// Seek may race stream completion: 404 is fine then.
+						if resp.StatusCode != http.StatusOK &&
+							resp.StatusCode != http.StatusNotFound &&
+							resp.StatusCode != http.StatusServiceUnavailable {
+							fail("seek -> %d", resp.StatusCode)
+						}
+						resp.Body.Close()
+					}
+				}
+				time.Sleep(time.Duration(rng.Intn(4)) * time.Millisecond)
+
+				req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/sessions/%d", ts.URL, sess.Session), nil)
+				if resp, err := client.Do(req); err == nil {
+					if resp.StatusCode != http.StatusNoContent &&
+						resp.StatusCode != http.StatusNotFound &&
+						resp.StatusCode != http.StatusServiceUnavailable {
+						fail("close -> %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+
+	waitMetrics := func(what string, cond func(Status) bool) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond(g.Status()) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		stop.Store(true)
+		wg.Wait()
+		t.Fatalf("timed out waiting for %s; status %+v", what, g.Status())
+	}
+	mustAccept := func(resp *http.Response, err error, what string) {
+		t.Helper()
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("%s: %v", what, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("%s -> %d", what, resp.StatusCode)
+		}
+	}
+
+	// Let the workers build up load, then run the maintenance sequence.
+	time.Sleep(30 * time.Millisecond)
+
+	resp, err := post("/v1/scale", `{"add": 2}`)
+	mustAccept(resp, err, "scale-up")
+	waitMetrics("scale-up drain", func(st Status) bool {
+		return !st.Reorganizing && st.Disks == 10
+	})
+
+	resp, err = post("/v1/disks/3/fail", "")
+	mustAccept(resp, err, "fail disk")
+	time.Sleep(20 * time.Millisecond)
+	resp, err = post("/v1/disks/3/repair", "")
+	mustAccept(resp, err, "repair disk")
+	waitMetrics("rebuild", func(st Status) bool { return !st.Degraded })
+
+	resp, err = post("/v1/scale", `{"remove": [1, 8]}`)
+	mustAccept(resp, err, "scale-down")
+	waitMetrics("scale-down drain", func(st Status) bool {
+		return !st.Reorganizing && st.Disks == 8
+	})
+
+	// Keep hammering the settled array a while before stopping, so the
+	// post-reorganization read path sees real traffic too.
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if n := badStatus.Load(); n != 0 {
+		t.Fatalf("%d protocol violations; first: %v", n, firstBad.Load())
+	}
+	if opened.Load() == 0 || lookups.Load() == 0 {
+		t.Fatalf("load generator idle: %d sessions, %d lookups", opened.Load(), lookups.Load())
+	}
+
+	// No overcommitment ever: admitted streams stay within capacity.
+	st := g.Status()
+	if st.ActiveStreams > capStreams {
+		t.Errorf("overcommitted: %d active streams > capacity %d", st.ActiveStreams, capStreams)
+	}
+	if st.Server.UnrecoverableReads != 0 {
+		t.Errorf("unrecoverable reads under mirror redundancy: %d", st.Server.UnrecoverableReads)
+	}
+
+	// Final invariant: every block of every object is still where the
+	// placement says, nothing lost through two reorganizations and a drill.
+	if _, err := g.Exec(context.Background(), func(s *cm.Server) (any, error) {
+		if err := s.VerifyIntegrity(); err != nil {
+			return nil, err
+		}
+		if lost := s.LostBlocks(); lost != 0 {
+			return nil, fmt.Errorf("%d blocks lost", lost)
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatalf("post-load verification: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	t.Logf("load summary: %d sessions opened, %d rejected (503), %d lookups, %d rounds",
+		opened.Load(), rejected.Load(), lookups.Load(), g.Status().Rounds)
+}

@@ -1,0 +1,132 @@
+package placement
+
+import (
+	"sync"
+	"testing"
+
+	"scaddar/internal/prng"
+)
+
+// TestConcurrentLocatorAgreesWithDisk checks that a ConcurrentLocator
+// snapshot reproduces Disk() for every block, stays pinned to its clone
+// when the strategy scales afterwards, and survives Rebaseline epochs.
+func TestConcurrentLocatorAgreesWithDisk(t *testing.T) {
+	factory := func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) }
+	strat, err := NewScaddar(4, NewX0Func(factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		loc, err := strat.ConcurrentLocator(factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(1); seed <= 5; seed++ {
+			for i := uint64(0); i < 200; i++ {
+				want := strat.Disk(BlockRef{Seed: seed, Index: i})
+				got, err := loc.Disk(seed, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s: block %d/%d: locator says %d, strategy says %d",
+						label, seed, i, got, want)
+				}
+			}
+		}
+	}
+	check("initial")
+	if err := strat.AddDisks(3); err != nil {
+		t.Fatal(err)
+	}
+	check("after add")
+	if err := strat.RemoveDisks(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	check("after remove")
+
+	// A snapshot taken now must not see the next operation.
+	loc, err := strat.ConcurrentLocator(factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := make(map[uint64]int)
+	for i := uint64(0); i < 100; i++ {
+		d, err := loc.Disk(1, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frozen[i] = d
+	}
+	if err := strat.AddDisks(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		d, err := loc.Disk(1, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != frozen[i] {
+			t.Fatalf("snapshot moved with the strategy: block 1/%d %d -> %d", i, frozen[i], d)
+		}
+	}
+	check("after second add")
+
+	if err := strat.Rebaseline(); err != nil {
+		t.Fatal(err)
+	}
+	check("after rebaseline")
+	if err := strat.AddDisks(1); err != nil {
+		t.Fatal(err)
+	}
+	check("epoch 1 after add")
+}
+
+// TestConcurrentLocatorParallel hammers one snapshot from many goroutines;
+// run under -race this is the lock-freedom check.
+func TestConcurrentLocatorParallel(t *testing.T) {
+	factory := func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) }
+	strat, err := NewScaddar(6, NewX0Func(factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = strat.Disk(BlockRef{Seed: 9, Index: uint64(i)})
+	}
+	loc, err := strat.ConcurrentLocator(factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				idx := (i + g*61) % 500
+				got, err := loc.Disk(9, uint64(idx))
+				if err != nil {
+					t.Errorf("Disk: %v", err)
+					return
+				}
+				if got != want[idx] {
+					t.Errorf("block 9/%d: got disk %d, want %d", idx, got, want[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentLocatorNilFactory(t *testing.T) {
+	strat, err := NewScaddar(4, NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strat.ConcurrentLocator(nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}

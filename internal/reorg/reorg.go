@@ -196,6 +196,18 @@ func (e *Executor) PendingSource(b placement.BlockRef) (from int, pending bool) 
 	return from, pending
 }
 
+// PendingSources returns a copy of the pending-move source map: every block
+// whose move has not executed yet, keyed to the logical disk it must still
+// be read from. Concurrent read paths snapshot this once per round to serve
+// lookups without touching the (single-owner) executor.
+func (e *Executor) PendingSources() map[placement.BlockRef]int {
+	out := make(map[placement.BlockRef]int, len(e.pendingBy))
+	for b, from := range e.pendingBy {
+		out[b] = from
+	}
+	return out
+}
+
 // Done reports whether every move has been executed.
 func (e *Executor) Done() bool { return len(e.pending) == 0 }
 

@@ -29,6 +29,7 @@ package scaddar
 import (
 	"scaddar/internal/cm"
 	"scaddar/internal/disk"
+	"scaddar/internal/gateway"
 	"scaddar/internal/hetero"
 	"scaddar/internal/mirror"
 	"scaddar/internal/parity"
@@ -233,6 +234,28 @@ func DefaultServerConfig() ServerConfig { return cm.DefaultConfig() }
 
 // NewServer creates a continuous-media server over a placement strategy.
 func NewServer(cfg ServerConfig, strat Strategy) (*Server, error) { return cm.NewServer(cfg, strat) }
+
+// ---- Network gateway (internal/gateway) ----
+
+// Gateway is the concurrent HTTP front end over one server: a wall-clock
+// round driver owns the server, control operations serialize through a
+// bounded command mailbox, and block lookups run lock-free against an
+// atomically republished locator snapshot.
+type Gateway = gateway.Gateway
+
+// GatewayConfig tunes the gateway around a server.
+type GatewayConfig = gateway.Config
+
+// GatewayStatus is the owner-published metrics view (the /v1/metrics body).
+type GatewayStatus = gateway.Status
+
+// LocatorSnapshot is an immutable, concurrency-safe view of the server's
+// block placement, including in-flight migration state.
+type LocatorSnapshot = cm.LocatorSnapshot
+
+// NewGateway wraps a server (objects already loaded) in a gateway and
+// starts its round driver. The gateway takes ownership of the server.
+func NewGateway(srv *Server, cfg GatewayConfig) (*Gateway, error) { return gateway.New(srv, cfg) }
 
 // ---- Fault tolerance (internal/cm fault injection, internal/disk health) ----
 
