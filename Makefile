@@ -11,18 +11,22 @@ test: build
 
 # Tier-1+ gate: vet plus the full suite under the race detector, then the
 # gateway example end to end (live HTTP scaling + failure drill + drain;
-# it exits non-zero if any concurrent read fails). Run this before merging
-# anything that touches the server, the rebuild executor, the fault
-# injector, or the gateway — the concurrency-sensitive layers.
+# it exits non-zero if any concurrent read fails) and the crash-recovery
+# example (journal bootstrap, torn-write crash mid-migration, recovery with
+# every block location verified). Run this before merging anything that
+# touches the server, the rebuild executor, the fault injector, the
+# gateway, or the store — the concurrency- and durability-sensitive layers.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) run ./examples/gateway -duration 200ms
+	$(GO) run ./examples/recovery
 
-# Short fuzz pass over the History codecs (seed corpora under
-# internal/scaddar/testdata/fuzz/).
+# Short fuzz passes over the History codecs (seed corpora under
+# internal/scaddar/testdata/fuzz/) and the write-ahead-journal reader.
 fuzz:
 	$(GO) test ./internal/scaddar/ -fuzz FuzzCodec -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzJournal -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

@@ -16,22 +16,25 @@ import (
 	"scaddar/internal/gateway"
 	"scaddar/internal/placement"
 	"scaddar/internal/prng"
+	"scaddar/internal/store"
 	"scaddar/internal/workload"
 )
 
 // serveOptions configures the serve subcommand; it is a plain struct so
 // tests can drive serveGateway without a flag set or signals.
 type serveOptions struct {
-	addr        string
-	n0          int
-	objects     int
-	blocks      int
-	round       time.Duration
-	redundancy  string
-	utilization float64
-	mailbox     int
-	timeout     time.Duration
-	drain       time.Duration
+	addr            string
+	n0              int
+	objects         int
+	blocks          int
+	round           time.Duration
+	redundancy      string
+	utilization     float64
+	mailbox         int
+	timeout         time.Duration
+	drain           time.Duration
+	dataDir         string
+	checkpointEvery int
 }
 
 func cmdServe(args []string, w io.Writer) error {
@@ -48,6 +51,8 @@ func cmdServe(args []string, w io.Writer) error {
 	fs.IntVar(&opts.mailbox, "mailbox", 64, "control-plane mailbox depth")
 	fs.DurationVar(&opts.timeout, "timeout", 5*time.Second, "per-request deadline")
 	fs.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful drain budget on shutdown")
+	fs.StringVar(&opts.dataDir, "data-dir", "", "durable state directory (journal + checkpoints); empty = memory-only")
+	fs.IntVar(&opts.checkpointEvery, "checkpoint-every", 1024, "journal events between automatic checkpoints")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,11 +83,17 @@ func parseRedundancy(name string) (cm.Redundancy, error) {
 	}
 }
 
+// defaultX0 is the access function every durable-state command must agree
+// on: X0 chains are regenerated from object seeds on recovery, so the same
+// generator family has to be used when the journal is replayed.
+func defaultX0() placement.X0Func {
+	return placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+}
+
 // buildLoadedServer assembles a SCADDAR-placed server with a synthetic
 // library loaded — the common prologue of serve, simulate, and drill.
 func buildLoadedServer(n0, objects, blocks int, mutate func(*cm.Config)) (*cm.Server, []workload.Object, error) {
-	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
-	strat, err := placement.NewScaddar(n0, x0)
+	strat, err := placement.NewScaddar(n0, defaultX0())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,20 +129,59 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	if err != nil {
 		return err
 	}
-	srv, _, err := buildLoadedServer(opts.n0, opts.objects, opts.blocks, func(c *cm.Config) {
-		c.Redundancy = red
-		if opts.utilization > 0 {
-			c.Utilization = opts.utilization
+
+	// With -data-dir the server's state lives in a durable store: an
+	// existing journal is recovered (the library flags are ignored — the
+	// journal is the authority), a fresh directory is bootstrapped from
+	// the synthetic library and journals everything from then on.
+	var st *store.Store
+	var srv *cm.Server
+	if opts.dataDir != "" {
+		st, err = store.Open(store.Config{Dir: opts.dataDir})
+		if err != nil {
+			return err
 		}
-	})
-	if err != nil {
-		return err
+		defer st.Close()
 	}
+	if st != nil && st.HasState() {
+		var info *store.RecoveryInfo
+		srv, info, err = st.Recover(defaultX0())
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", opts.dataDir, err)
+		}
+		fmt.Fprintf(w, "serve: recovered %s: checkpoint LSN %d, %d events replayed (library flags ignored)\n",
+			opts.dataDir, info.CheckpointLSN, info.ReplayedEvents)
+		if info.TornTail {
+			fmt.Fprintf(w, "serve: journal tail truncated: %s (%d bytes dropped)\n",
+				info.TornReason, info.TruncatedBytes)
+		}
+	} else {
+		srv, _, err = buildLoadedServer(opts.n0, opts.objects, opts.blocks, func(c *cm.Config) {
+			c.Redundancy = red
+			if opts.utilization > 0 {
+				c.Utilization = opts.utilization
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			if err := st.Bootstrap(srv); err != nil {
+				return fmt.Errorf("bootstrap %s: %w", opts.dataDir, err)
+			}
+			fmt.Fprintf(w, "serve: bootstrapped %s at LSN %d\n", opts.dataDir, st.LSN())
+		}
+	}
+	// Snapshot the banner facts before the gateway's owner goroutine takes
+	// over the server.
+	disks, objects, blocks := srv.N(), srv.Objects(), srv.TotalBlocks()
 	g, err := gateway.New(srv, gateway.Config{
-		Factory:        func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) },
-		Round:          opts.round,
-		MailboxDepth:   opts.mailbox,
-		RequestTimeout: opts.timeout,
+		Factory:         func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) },
+		Round:           opts.round,
+		MailboxDepth:    opts.mailbox,
+		RequestTimeout:  opts.timeout,
+		Store:           st,
+		CheckpointEvery: opts.checkpointEvery,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
@@ -145,8 +195,8 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serve: %d disks, %d objects x %d blocks, %s redundancy, round %s\n",
-		opts.n0, opts.objects, opts.blocks, opts.redundancy, opts.round)
+	fmt.Fprintf(w, "serve: %d disks, %d objects, %d blocks, round %s\n",
+		disks, objects, blocks, opts.round)
 	fmt.Fprintf(w, "serve: listening on http://%s (Ctrl-C to drain and exit)\n", ln.Addr())
 	if ready != nil {
 		ready(ln.Addr().String())
@@ -171,9 +221,9 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	if err := hs.Shutdown(ctx); err != nil && drainErr == nil {
 		drainErr = err
 	}
-	st := g.Status()
+	gs := g.Status()
 	fmt.Fprintf(w, "serve: done after %d rounds; %d sessions served, %d rejected, %d lookups\n",
-		st.Rounds, st.Gateway.SessionsOpened, st.Gateway.SessionsRejected, st.Gateway.Reads)
+		gs.Rounds, gs.Gateway.SessionsOpened, gs.Gateway.SessionsRejected, gs.Gateway.Reads)
 	if drainErr != nil {
 		return fmt.Errorf("drain: %w", drainErr)
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"scaddar/internal/cm"
+	"scaddar/internal/fsio"
 	"scaddar/internal/placement"
 	"scaddar/internal/prng"
 	"scaddar/internal/trace"
@@ -62,7 +63,9 @@ func cmdTraceGenerate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	// Atomic write: a crash mid-generate must not leave a torn trace file
+	// behind under the final name.
+	if err := fsio.WriteFileAtomic(*out, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s: %d events, %d bytes\n", *out, len(tr.Events), len(data))

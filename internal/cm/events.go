@@ -1,0 +1,147 @@
+package cm
+
+// This file defines the server's durable event stream: every state-changing
+// transition emits one Event to an optional sink after the mutation has been
+// applied. The stream is what internal/store journals — together with a
+// metadata checkpoint it is sufficient to rebuild the server's control-plane
+// state after a crash (replay helpers live in replay.go). Read-path activity
+// (stream service, hiccups, cache hits) is deliberately not evented: it is
+// reconstructible from nothing and journaling it would put the data path in
+// the durability hot loop.
+
+import (
+	"fmt"
+
+	"scaddar/internal/disk"
+	"scaddar/internal/workload"
+)
+
+// EventKind enumerates the durable control-plane events a Server emits.
+type EventKind int
+
+// Event kinds. Values are part of the journal's on-disk format: append new
+// kinds at the end, never renumber.
+const (
+	// EventObjectAdded: an object's blocks were loaded (Object).
+	EventObjectAdded EventKind = iota + 1
+	// EventObjectRemoved: an object and its blocks were deleted (ObjectID).
+	EventObjectRemoved
+	// EventIngestCommitted: a recording session finished and its object
+	// entered the catalog (Object).
+	EventIngestCommitted
+	// EventScaleUpStarted: disks were attached and a rebalancing migration
+	// began (Count, and Profile when a non-baseline generation was added).
+	EventScaleUpStarted
+	// EventScaleDownStarted: a drain of the given logical disks began
+	// (Disks).
+	EventScaleDownStarted
+	// EventRedistributeStarted: a complete redistribution (rebaseline)
+	// began.
+	EventRedistributeStarted
+	// EventBlocksMigrated: the listed pending moves executed (Moves).
+	EventBlocksMigrated
+	// EventReorgCompleted: the in-flight reorganization finished and was
+	// cleared (for a scale-down, the drained disks were detached).
+	EventReorgCompleted
+	// EventDiskFailed: the disk at a logical index failed (Disk, and Lost
+	// when the failure made blocks permanently unrecoverable).
+	EventDiskFailed
+	// EventDiskRepaired: a replacement arrived at a logical index (Disk).
+	EventDiskRepaired
+	// EventBlocksRebuilt: the listed rebuild items completed (Rebuilt).
+	EventBlocksRebuilt
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventObjectAdded:
+		return "object-added"
+	case EventObjectRemoved:
+		return "object-removed"
+	case EventIngestCommitted:
+		return "ingest-committed"
+	case EventScaleUpStarted:
+		return "scale-up-started"
+	case EventScaleDownStarted:
+		return "scale-down-started"
+	case EventRedistributeStarted:
+		return "redistribute-started"
+	case EventBlocksMigrated:
+		return "blocks-migrated"
+	case EventReorgCompleted:
+		return "reorg-completed"
+	case EventDiskFailed:
+		return "disk-failed"
+	case EventDiskRepaired:
+		return "disk-repaired"
+	case EventBlocksRebuilt:
+		return "blocks-rebuilt"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// BlockPos identifies one block by catalog coordinates. Events use it
+// instead of placement references because seeds are already durable in the
+// catalog and plan ordering is not deterministic across restarts.
+type BlockPos struct {
+	Object int
+	Index  uint64
+}
+
+// RebuildPos identifies one rebuild item by catalog coordinates; Kind is the
+// rebuild kind (primary copy, mirror copy, parity block). For parity blocks
+// Index holds the group number.
+type RebuildPos struct {
+	Kind   int
+	Object int
+	Index  uint64
+}
+
+// Event is one durable control-plane transition. Exactly the fields the
+// Kind documents are meaningful; the rest are zero.
+type Event struct {
+	Kind     EventKind
+	Object   workload.Object
+	ObjectID int
+	Disk     int
+	Count    int
+	Profile  *disk.Profile
+	Disks    []int
+	Moves    []BlockPos
+	Rebuilt  []RebuildPos
+	Lost     []BlockPos
+}
+
+// EventSink receives events synchronously, on the goroutine that mutated the
+// server, after the mutation succeeded. A sink must not call back into the
+// server.
+type EventSink func(Event)
+
+// SetEventSink installs (or, with nil, removes) the event sink. Events are
+// emitted after their mutation has been applied, so a sink that journals
+// them loses at most the transitions since its last flush on a crash — the
+// group-commit window, never committed state.
+func (s *Server) SetEventSink(sink EventSink) { s.events = sink }
+
+// emit delivers an event to the sink, if any.
+func (s *Server) emit(ev Event) {
+	if s.events != nil {
+		s.events(ev)
+	}
+}
+
+// seedOfObject resolves an object ID to its placement seed, consulting
+// in-progress ingests as well as the catalog.
+func (s *Server) seedOfObject(object int) (uint64, bool) {
+	if obj, ok := s.objects[object]; ok {
+		return obj.Seed, true
+	}
+	for _, in := range s.ingests {
+		if in.Object.ID == object {
+			return in.Object.Seed, true
+		}
+	}
+	return 0, false
+}

@@ -193,6 +193,14 @@ func (s *Server) LostBlocks() int { return len(s.lost) }
 // work at their destinations (recoverable via redundancy) or recorded lost,
 // and — without redundancy — every block homed there becomes unrecoverable.
 func (s *Server) FailDisk(logical int) error {
+	return s.failDisk(logical, false)
+}
+
+// failDisk applies a disk failure. In replay mode the lost-block bookkeeping
+// and event emission are skipped: the journaled event carries the
+// authoritative lost list (the survivor may have seen in-flight recordings
+// this process cannot enumerate) and ReplayDiskFailed applies it.
+func (s *Server) failDisk(logical int, replay bool) error {
 	d, err := s.array.Disk(logical)
 	if err != nil {
 		return err
@@ -201,6 +209,7 @@ func (s *Server) FailDisk(logical int) error {
 		return err
 	}
 	s.metrics.DiskFailures++
+	var lost []BlockPos
 	// A failed disk mid-migration strands the moves it sources: the block
 	// data is gone locally, so each such block is re-materialized at its
 	// destination from redundancy instead — rebuild and reorganization then
@@ -209,7 +218,10 @@ func (s *Server) FailDisk(logical int) error {
 		for _, m := range s.migration.ExtractBySource(logical) {
 			bid := s.blockIDOf(m.Block)
 			if s.cfg.Redundancy == RedundancyNone {
-				s.lost[bid] = true
+				if !replay {
+					s.lost[bid] = true
+					lost = append(lost, BlockPos{Object: s.seedOf[m.Block.Seed], Index: m.Block.Index})
+				}
 				continue
 			}
 			s.ensureRebuilder().add(rebuildItem{
@@ -219,12 +231,16 @@ func (s *Server) FailDisk(logical int) error {
 			})
 		}
 	}
-	if s.cfg.Redundancy == RedundancyNone {
+	if !replay && s.cfg.Redundancy == RedundancyNone {
 		s.forEachBlock(func(object int, ref placement.BlockRef) {
 			if s.locate(ref) == logical {
 				s.lost[blockID(object, ref.Index)] = true
+				lost = append(lost, BlockPos{Object: object, Index: ref.Index})
 			}
 		})
+	}
+	if !replay {
+		s.emit(Event{Kind: EventDiskFailed, Disk: logical, Lost: lost})
 	}
 	return nil
 }
@@ -246,7 +262,11 @@ func (s *Server) RepairDisk(logical int) error {
 	}
 	s.metrics.DiskRepairs++
 	if s.cfg.Redundancy == RedundancyNone {
-		return d.FinishRebuild()
+		if err := d.FinishRebuild(); err != nil {
+			return err
+		}
+		s.emit(Event{Kind: EventDiskRepaired, Disk: logical})
+		return nil
 	}
 	rb := s.ensureRebuilder()
 	rb.started[logical] = s.metrics.Rounds
@@ -292,6 +312,7 @@ func (s *Server) RepairDisk(logical int) error {
 			}
 		})
 	}
+	s.emit(Event{Kind: EventDiskRepaired, Disk: logical})
 	return nil
 }
 

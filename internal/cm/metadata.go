@@ -1,8 +1,11 @@
 package cm
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"scaddar/internal/placement"
 	"scaddar/internal/scaddar"
@@ -41,7 +44,7 @@ const metadataVersion = 1
 // keeps the boundary clean instead).
 func (s *Server) ExportMetadata() (*Metadata, error) {
 	if s.Reorganizing() || len(s.pendingRemoval) > 0 {
-		return nil, fmt.Errorf("cm: cannot export metadata during a reorganization")
+		return nil, fmt.Errorf("%w: cannot export metadata during a reorganization", ErrBusy)
 	}
 	sc, ok := s.strat.(*placement.Scaddar)
 	if !ok {
@@ -155,4 +158,120 @@ func DecodeMetadata(data []byte) (*Metadata, error) {
 		return nil, err
 	}
 	return &md, nil
+}
+
+// metadataMagic introduces the binary metadata form ("SCADDAR metadata").
+var metadataMagic = [4]byte{'S', 'C', 'M', 'D'}
+
+// EncodeMetadataBinary serializes metadata in the compact binary form the
+// durable store's checkpoints use: the History binary codec wrapped with the
+// epoch, generator width, and varint-packed object catalog.
+func EncodeMetadataBinary(md *Metadata) ([]byte, error) {
+	if md == nil {
+		return nil, fmt.Errorf("cm: nil metadata")
+	}
+	if md.Version != metadataVersion {
+		return nil, fmt.Errorf("cm: metadata version %d, want %d", md.Version, metadataVersion)
+	}
+	if md.History == nil {
+		return nil, fmt.Errorf("cm: metadata has no history")
+	}
+	hist, err := md.History.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	dst := append([]byte(nil), metadataMagic[:]...)
+	dst = binary.AppendUvarint(dst, uint64(md.Version))
+	dst = binary.AppendUvarint(dst, uint64(md.Bits))
+	dst = binary.AppendUvarint(dst, md.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(hist)))
+	dst = append(dst, hist...)
+	dst = binary.AppendUvarint(dst, uint64(len(md.Objects)))
+	for _, obj := range md.Objects {
+		if obj.ID < 0 || obj.Blocks < 0 || obj.BlockBytes < 0 || obj.BitrateBitsPerSec < 0 {
+			return nil, fmt.Errorf("cm: object %d has negative fields", obj.ID)
+		}
+		dst = binary.AppendUvarint(dst, uint64(obj.ID))
+		dst = binary.AppendUvarint(dst, obj.Seed)
+		dst = binary.AppendUvarint(dst, uint64(obj.Blocks))
+		dst = binary.AppendUvarint(dst, uint64(obj.BlockBytes))
+		dst = binary.AppendUvarint(dst, uint64(obj.BitrateBitsPerSec))
+	}
+	return dst, nil
+}
+
+// DecodeMetadataBinary parses the binary metadata form, validating it
+// structurally (the embedded History codec re-validates the operation log by
+// replay).
+func DecodeMetadataBinary(data []byte) (*Metadata, error) {
+	if len(data) < len(metadataMagic) || string(data[:4]) != string(metadataMagic[:]) {
+		return nil, fmt.Errorf("cm: binary metadata lacks magic %q", metadataMagic)
+	}
+	r := bytes.NewReader(data[4:])
+	version, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("cm: binary metadata: %w", err)
+	}
+	if version != metadataVersion {
+		return nil, fmt.Errorf("cm: metadata version %d, want %d", version, metadataVersion)
+	}
+	bits, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("cm: binary metadata: %w", err)
+	}
+	if bits > 64 {
+		return nil, fmt.Errorf("cm: binary metadata declares %d generator bits", bits)
+	}
+	epoch, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("cm: binary metadata: %w", err)
+	}
+	histLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("cm: binary metadata: %w", err)
+	}
+	if histLen > uint64(r.Len()) {
+		return nil, fmt.Errorf("cm: binary metadata declares %d history bytes, %d remain", histLen, r.Len())
+	}
+	hist := make([]byte, histLen)
+	if _, err := io.ReadFull(r, hist); err != nil {
+		return nil, fmt.Errorf("cm: binary metadata: %w", err)
+	}
+	history := &scaddar.History{}
+	if err := history.UnmarshalBinary(hist); err != nil {
+		return nil, fmt.Errorf("cm: binary metadata history: %w", err)
+	}
+	nObjects, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("cm: binary metadata: %w", err)
+	}
+	// Five varints of at least one byte each per object: reject forged
+	// counts before allocating.
+	if nObjects > uint64(r.Len())/5 {
+		return nil, fmt.Errorf("cm: binary metadata declares %d objects in %d bytes", nObjects, r.Len())
+	}
+	md := &Metadata{Version: int(version), History: history, Epoch: epoch, Bits: uint(bits)}
+	for i := uint64(0); i < nObjects; i++ {
+		var fields [5]uint64
+		for k := range fields {
+			fields[k], err = binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("cm: binary metadata object %d: %w", i, err)
+			}
+		}
+		if fields[0] > uint64(1)<<62 || fields[2] > uint64(1)<<62 || fields[3] > uint64(1)<<62 || fields[4] > uint64(1)<<62 {
+			return nil, fmt.Errorf("cm: binary metadata object %d has out-of-range fields", i)
+		}
+		md.Objects = append(md.Objects, workload.Object{
+			ID:                int(fields[0]),
+			Seed:              fields[1],
+			Blocks:            int(fields[2]),
+			BlockBytes:        int64(fields[3]),
+			BitrateBitsPerSec: int64(fields[4]),
+		})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("cm: binary metadata has %d trailing bytes", r.Len())
+	}
+	return md, nil
 }

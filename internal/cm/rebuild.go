@@ -135,6 +135,7 @@ func (s *Server) stepRebuild(spare []int) error {
 	if rb == nil || len(rb.items) == 0 {
 		return nil
 	}
+	var completed []RebuildPos
 	kept := rb.items[:0]
 	for _, it := range rb.items {
 		target, err := s.array.Disk(it.target)
@@ -175,13 +176,32 @@ func (s *Server) stepRebuild(spare []int) error {
 			s.metrics.BlocksRebuilt++
 		}
 		delete(rb.pending, it.key)
+		if object, okObj := s.seedOf[it.key.ref.Seed]; okObj {
+			completed = append(completed, RebuildPos{Kind: int(it.key.kind), Object: object, Index: it.key.ref.Index})
+		}
 	}
 	for i := len(kept); i < len(rb.items); i++ {
 		rb.items[i] = rebuildItem{}
 	}
 	rb.items = kept
+	if err := s.sweepRebuiltDisks(); err != nil {
+		return err
+	}
+	// Emit after the sweep so the journaled event's replay (which also
+	// sweeps) reproduces exactly the state observable at emit time.
+	if len(completed) > 0 {
+		s.emit(Event{Kind: EventBlocksRebuilt, Rebuilt: completed})
+	}
+	return nil
+}
 
-	// A Rebuilding disk with no work left is repaired.
+// sweepRebuiltDisks transitions every Rebuilding disk whose work has drained
+// back to Healthy. Shared by the live rebuild step and journal replay.
+func (s *Server) sweepRebuiltDisks() error {
+	rb := s.rebuild
+	if rb == nil {
+		return nil
+	}
 	remaining := make(map[int]int)
 	for _, it := range rb.items {
 		remaining[it.target]++

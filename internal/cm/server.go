@@ -226,6 +226,8 @@ type Server struct {
 	rebuild *rebuilder
 	// lost records blocks that are permanently unrecoverable.
 	lost map[disk.BlockID]bool
+	// events is the optional durable-event sink (see events.go).
+	events EventSink
 }
 
 // NewServer creates a server over a fresh homogeneous array sized to the
@@ -391,6 +393,7 @@ func (s *Server) AddObject(obj workload.Object) error {
 	}
 	s.objects[obj.ID] = obj
 	s.seedOf[obj.Seed] = obj.ID
+	s.emit(Event{Kind: EventObjectAdded, Object: obj})
 	return nil
 }
 
@@ -424,6 +427,7 @@ func (s *Server) RemoveObject(id int) error {
 	}
 	delete(s.objects, id)
 	delete(s.seedOf, obj.Seed)
+	s.emit(Event{Kind: EventObjectRemoved, ObjectID: id})
 	return nil
 }
 
@@ -847,6 +851,13 @@ func (s *Server) Tick() error {
 				return err
 			}
 			s.metrics.BlocksMigrated += moved
+			if refs := s.migration.TakeMoved(); len(refs) > 0 {
+				poss := make([]BlockPos, 0, len(refs))
+				for _, b := range refs {
+					poss = append(poss, BlockPos{Object: s.seedOf[b.Seed], Index: b.Index})
+				}
+				s.emit(Event{Kind: EventBlocksMigrated, Moves: poss})
+			}
 		}
 	}
 	return nil
@@ -901,6 +912,7 @@ func (s *Server) ScaleUp(count int) (*reorg.Plan, error) {
 			return nil, err
 		}
 	}
+	s.emit(Event{Kind: EventScaleUpStarted, Count: count})
 	return plan, nil
 }
 
@@ -946,6 +958,7 @@ func (s *Server) ScaleUpProfile(count int, profile disk.Profile) (*reorg.Plan, e
 			return nil, err
 		}
 	}
+	s.emit(Event{Kind: EventScaleUpStarted, Count: count, Profile: &profile})
 	return plan, nil
 }
 
@@ -993,6 +1006,7 @@ func (s *Server) ScaleDown(indices ...int) (*reorg.Plan, error) {
 			return nil, err
 		}
 	}
+	s.emit(Event{Kind: EventScaleDownStarted, Disks: append([]int(nil), indices...)})
 	return plan, nil
 }
 
@@ -1044,6 +1058,7 @@ func (s *Server) FullRedistribute() (*reorg.Plan, error) {
 			return nil, err
 		}
 	}
+	s.emit(Event{Kind: EventRedistributeStarted})
 	return plan, nil
 }
 
@@ -1075,6 +1090,7 @@ func (s *Server) CompleteScaleDown() error {
 	s.pendingRemoval = nil
 	s.removalPreOf = nil
 	s.migration = nil
+	s.emit(Event{Kind: EventReorgCompleted})
 	return nil
 }
 
@@ -1092,6 +1108,7 @@ func (s *Server) FinishReorganization() error {
 		return s.CompleteScaleDown()
 	}
 	s.migration = nil
+	s.emit(Event{Kind: EventReorgCompleted})
 	return nil
 }
 

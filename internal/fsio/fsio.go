@@ -1,0 +1,62 @@
+// Package fsio provides filesystem primitives with explicit durability
+// semantics. The durable state store builds its checkpoints on
+// WriteFileAtomic; anything else in the tree that must never leave a
+// half-written file behind (trace exports, config snapshots) should use it
+// too instead of a bare os.WriteFile.
+package fsio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path with all-or-nothing visibility: the
+// bytes go to a temporary file in the same directory, are fsynced, and the
+// file is renamed over path; finally the directory itself is fsynced so the
+// rename survives a crash. Readers either see the complete old file or the
+// complete new one, never a prefix.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		return fmt.Errorf("fsio: writing %s: %w", path, err)
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fsio: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fsio: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so that entry mutations inside it (renames,
+// creates, removes) are durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsio: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}

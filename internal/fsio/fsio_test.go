@@ -1,0 +1,56 @@
+package fsio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFileAtomic(path, []byte("one"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "one" {
+		t.Fatalf("read back %q, want %q", got, "one")
+	}
+	if err := WriteFileAtomic(path, []byte("two"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic replace: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "two" {
+		t.Fatalf("read back %q, want %q", got, "two")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "nope", "state.bin"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}
+
+func TestWriteFileAtomicPerm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := WriteFileAtomic(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o600 {
+		t.Fatalf("mode %v, want 0600", got)
+	}
+}

@@ -25,6 +25,7 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -33,6 +34,7 @@ import (
 
 	"scaddar/internal/cm"
 	"scaddar/internal/scaddar"
+	"scaddar/internal/store"
 )
 
 // Typed gateway errors, mapped to HTTP statuses by the handler layer.
@@ -60,6 +62,16 @@ type Config struct {
 	// RequestTimeout is the per-request deadline applied by Handler.
 	// Zero means 5s.
 	RequestTimeout time.Duration
+	// Store, when non-nil, is the durable state store the server journals
+	// into. The gateway group-commits it once per round (so a crash loses
+	// at most the current round's events), checkpoints it automatically,
+	// and exposes POST /v1/admin/checkpoint. The server must already be
+	// bootstrapped into or recovered from it.
+	Store *store.Store
+	// CheckpointEvery triggers an automatic checkpoint once that many
+	// events accumulate past the last one (attempted at quiescent rounds;
+	// a busy server retries next round). Zero means 1024.
+	CheckpointEvery int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -119,6 +131,8 @@ type Status struct {
 	Server cm.Metrics `json:"server"`
 	// Gateway is the gateway-level counter set.
 	Gateway Counters `json:"gateway"`
+	// Journal is the durable store's status, when one is attached.
+	Journal *store.Status `json:"journal,omitempty"`
 }
 
 // Gateway is the concurrent HTTP front end over one cm.Server.
@@ -175,6 +189,12 @@ func New(srv *cm.Server, cfg Config) (*Gateway, error) {
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1024
+	}
+	if cfg.CheckpointEvery < 1 {
+		return nil, fmt.Errorf("gateway: checkpoint threshold %d must be positive", cfg.CheckpointEvery)
 	}
 	g := &Gateway{
 		cfg:    cfg,
@@ -238,7 +258,34 @@ func (g *Gateway) tick() {
 	if g.inFlight || g.srv.Degraded() {
 		g.republish()
 	}
+	g.syncStore()
 	g.publishStatus()
+}
+
+// syncStore is the journal's group-commit point: every event this round
+// becomes durable here, and once enough events accumulate past the last
+// checkpoint a new one is cut. A mid-reorganization server refuses to
+// checkpoint (cm.ErrBusy); the attempt simply repeats next round.
+func (g *Gateway) syncStore() {
+	st := g.cfg.Store
+	if st == nil {
+		return
+	}
+	if err := st.Sync(); err != nil {
+		g.logf("gateway: journal sync: %v", err)
+		return
+	}
+	if st.EventsSinceCheckpoint() >= uint64(g.cfg.CheckpointEvery) {
+		lsn, err := st.Checkpoint(g.srv)
+		switch {
+		case err == nil:
+			g.logf("gateway: checkpoint at LSN %d", lsn)
+		case errors.Is(err, cm.ErrBusy):
+			// Reorganizing: retry once the drain completes.
+		default:
+			g.logf("gateway: checkpoint: %v", err)
+		}
+	}
 }
 
 // execute runs one mailbox command in the owner goroutine.
@@ -291,6 +338,10 @@ func (g *Gateway) Snapshot() *cm.LocatorSnapshot { return g.snap.Load() }
 func (g *Gateway) Status() Status {
 	st := *g.status.Load()
 	st.Draining = g.draining.Load()
+	if g.cfg.Store != nil {
+		js := g.cfg.Store.Status()
+		st.Journal = &js
+	}
 	st.Gateway = Counters{
 		Reads:            g.reads.Load(),
 		ReadErrors:       g.readErrors.Load(),

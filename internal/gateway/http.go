@@ -33,6 +33,7 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("POST /v1/scale", g.handleScale)
 	g.mux.HandleFunc("POST /v1/disks/{id}/fail", g.handleDiskFail)
 	g.mux.HandleFunc("POST /v1/disks/{id}/repair", g.handleDiskRepair)
+	g.mux.HandleFunc("POST /v1/admin/checkpoint", g.handleCheckpoint)
 }
 
 // Handler returns the gateway's HTTP handler with the per-request deadline
@@ -117,12 +118,45 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"reorganizing": st.Reorganizing,
 	}
 	code := http.StatusOK
+	if st.Journal != nil {
+		// Durability status: journal position plus what the last recovery
+		// found (torn tail, dropped segments/checkpoints).
+		body["journal"] = st.Journal
+		if st.Journal.Err != "" {
+			// The server still serves, but nothing new is durable: surface
+			// it where load balancers look.
+			body["status"] = "journal-failed"
+		}
+	}
 	if st.Draining {
 		body["status"] = "draining"
 		w.Header().Set("Retry-After", g.retryAfterSeconds())
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, body)
+}
+
+// handleCheckpoint forces a checkpoint now — operators call it before
+// planned maintenance to make recovery instant. 501 without a store; 409
+// while a reorganization is draining (cm.ErrBusy).
+func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Store == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			map[string]string{"error": "gateway: no durable store attached (serve --data-dir)"})
+		return
+	}
+	v, err := g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
+		lsn, err := g.cfg.Store.Checkpoint(s)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"lsn": lsn}, nil
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/placement"
+	"scaddar/internal/store"
+)
+
+// TestGatewayDurableStore exercises the gateway's durability wiring end to
+// end: a bootstrapped store journals gateway-driven mutations, the admin
+// checkpoint endpoint cuts a checkpoint, healthz exposes the journal, and a
+// second store recovers the state the gateway produced.
+func TestGatewayDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, 4, 3, 40, nil)
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGateway2(t, srv, st)
+	h := g.Handler()
+
+	// A scaling operation journals through the gateway's owner loop.
+	rec, _ := doJSON(t, h, http.MethodPost, "/v1/scale", map[string]any{"add": 2})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("scale: %d %s", rec.Code, rec.Body.String())
+	}
+	waitStatus(t, g, "migration drain", func(s Status) bool { return !s.Reorganizing && !s.Draining })
+
+	// Forcing a checkpoint succeeds once quiescent.
+	rec, body := doJSON(t, h, http.MethodPost, "/v1/admin/checkpoint", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", rec.Code, rec.Body.String())
+	}
+	if lsn, ok := body["lsn"].(float64); !ok || lsn <= 0 {
+		t.Fatalf("checkpoint returned %v", body)
+	}
+
+	// Healthz exposes the journal position.
+	rec, body = doJSON(t, h, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	journal, ok := body["journal"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no journal section: %v", body)
+	}
+	if journal["lsn"].(float64) <= 0 {
+		t.Fatalf("healthz journal: %v", journal)
+	}
+
+	// The journaled state recovers in a fresh process.
+	g.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv2, _, err := st2.Recover(placement.NewX0Func(testFactory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.N() != 6 {
+		t.Fatalf("recovered %d disks, want 6 (4 + scale-up of 2)", srv2.N())
+	}
+	if srv2.Objects() != 3 {
+		t.Fatalf("recovered %d objects, want 3", srv2.Objects())
+	}
+}
+
+// TestCheckpointWithoutStore maps the admin endpoint to 501 when the
+// gateway runs memory-only.
+func TestCheckpointWithoutStore(t *testing.T) {
+	g := newTestGateway(t, 4, 1, 20, nil, nil)
+	rec, _ := doJSON(t, g.Handler(), http.MethodPost, "/v1/admin/checkpoint", nil)
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("checkpoint without store: %d, want 501", rec.Code)
+	}
+}
+
+// newTestGateway2 wraps an existing (already bootstrapped) server.
+func newTestGateway2(t testing.TB, srv *cm.Server, st *store.Store) *Gateway {
+	t.Helper()
+	g, err := New(srv, Config{Factory: testFactory, Round: 2 * time.Millisecond, Store: st, CheckpointEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}

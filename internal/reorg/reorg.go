@@ -168,6 +168,9 @@ type Executor struct {
 	pendingBy map[placement.BlockRef]int // block -> current source disk
 	moved     int
 	rounds    int
+	// movedLog accumulates the blocks Step executed since the last
+	// TakeMoved call, for durable-event emission.
+	movedLog []placement.BlockRef
 }
 
 // NewExecutor prepares a plan for execution.
@@ -259,12 +262,41 @@ func (e *Executor) Step(budget []int) (moved int, err error) {
 			e.pending = kept
 			return moved, err
 		}
+		e.movedLog = append(e.movedLog, m.Block)
 		budget[m.From]--
 		budget[m.To]--
 		moved++
 	}
 	e.pending = kept
 	return moved, nil
+}
+
+// TakeMoved returns the blocks Step has executed since the last call and
+// clears the log. The caller (the CM server) journals them; replay uses
+// ExecuteBlock to re-apply exactly those moves, because pending order is not
+// deterministic across restarts.
+func (e *Executor) TakeMoved() []placement.BlockRef {
+	out := e.movedLog
+	e.movedLog = nil
+	return out
+}
+
+// ExecuteBlock executes the pending move of one specific block, regardless
+// of its position in the pending order. It exists for journal replay.
+func (e *Executor) ExecuteBlock(b placement.BlockRef) error {
+	if _, ok := e.pendingBy[b]; !ok {
+		return fmt.Errorf("reorg: block %+v has no pending move", b)
+	}
+	for i, m := range e.pending {
+		if m.Block == b {
+			if err := e.executeOne(m); err != nil {
+				return err
+			}
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("reorg: pending move for %+v not indexed", b)
 }
 
 // ExtractBySource removes and returns every pending move whose source is

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"scaddar/internal/cm"
+)
+
+// BenchmarkJournalAppend measures the per-event journaling cost across
+// group-commit batch sizes: syncEvery=1 is the fsync-per-event worst case,
+// larger batches amortize the fsync the way the gateway's once-per-round
+// Sync does.
+func BenchmarkJournalAppend(b *testing.B) {
+	ev := cm.Event{Kind: cm.EventBlocksMigrated, Moves: []cm.BlockPos{
+		{Object: 1, Index: 10}, {Object: 2, Index: 20}, {Object: 3, Index: 30},
+	}}
+	for _, syncEvery := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("syncEvery=%d", syncEvery), func(b *testing.B) {
+			st, err := Open(Config{Dir: b.TempDir(), SyncEvery: syncEvery, SegmentBytes: 64 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Append(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecover measures full crash recovery — open, checkpoint restore,
+// tail replay, integrity verification — as the journal tail grows.
+func BenchmarkRecover(b *testing.B) {
+	for _, events := range []int{50, 500} {
+		b.Run(fmt.Sprintf("tail=%d", events), func(b *testing.B) {
+			dir := b.TempDir()
+			strat := newTestServer(b, testConfig(), 4)
+			st, err := Open(Config{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Bootstrap(strat); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < events; i++ {
+				if err := strat.AddObject(testObject(i, 8)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := Open(Config{Dir: dir, ReadOnly: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := st.Recover(testX0()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

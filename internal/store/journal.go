@@ -1,0 +1,180 @@
+package store
+
+// On-disk journal format. A data directory holds:
+//
+//	wal-<firstLSN:016x>.seg   journal segments
+//	ckpt-<LSN:016x>.ckpt      checkpoints (see checkpoint.go)
+//
+// A segment begins with a 13-byte header — magic "SCWL", a format version
+// byte, and the first LSN it holds (little-endian uint64, cross-checked
+// against the filename so a mislabeled copy of another segment is caught) —
+// followed by length-prefixed records:
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// where the payload is a uvarint LSN followed by the event encoding
+// (event.go). LSNs start at 1 and are contiguous within and across
+// segments. Scanning stops at the first record that is torn (runs past the
+// end of the file) or corrupt (CRC or LSN-continuity violation): everything
+// before it is trusted, everything after it is discarded — the contract
+// crash recovery is built on.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+const (
+	segMagic      = "SCWL"
+	segVersion    = 1
+	segHeaderLen  = 4 + 1 + 8
+	recHeaderLen  = 8
+	maxRecordLen  = 8 << 20 // sanity bound against forged lengths
+	segPrefix     = "wal-"
+	segSuffix     = ".seg"
+	ckptPrefix    = "ckpt-"
+	ckptSuffix    = ".ckpt"
+	lsnNameDigits = 16
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on most CPUs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segmentName returns the filename of the segment starting at firstLSN.
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix)
+}
+
+// checkpointName returns the filename of the checkpoint covering all
+// events through lsn.
+func checkpointName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, lsn, ckptSuffix)
+}
+
+// parseLSNName extracts the LSN from a "<prefix><16 hex digits><suffix>"
+// filename, or reports false.
+func parseLSNName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != lsnNameDigits {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// segmentHeader renders the header for a segment starting at firstLSN.
+func segmentHeader(firstLSN uint64) []byte {
+	hdr := make([]byte, segHeaderLen)
+	copy(hdr, segMagic)
+	hdr[4] = segVersion
+	binary.LittleEndian.PutUint64(hdr[5:], firstLSN)
+	return hdr
+}
+
+// appendRecord frames one event payload as a journal record.
+func appendRecord(dst []byte, lsn uint64, event []byte) []byte {
+	payload := binary.AppendUvarint(nil, lsn)
+	payload = append(payload, event...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// record is one decoded journal record: the event payload is kept raw and
+// decoded at replay time.
+type record struct {
+	lsn   uint64
+	event []byte
+}
+
+// segmentScan is the result of scanning one segment's bytes.
+type segmentScan struct {
+	// firstLSN is the header's declared first LSN.
+	firstLSN uint64
+	// records are the valid records, in LSN order.
+	records []record
+	// validLen is the byte length of the trusted prefix (header plus valid
+	// records); bytes past it must be truncated.
+	validLen int64
+	// truncated reports whether bytes past validLen exist, and why.
+	truncated bool
+	reason    string
+}
+
+// scanSegment parses a segment's bytes, trusting the longest valid prefix.
+// An unusable header is an error (the file is not a segment of this store);
+// anything wrong after the header marks a truncation point instead.
+func scanSegment(data []byte) (*segmentScan, error) {
+	if len(data) < segHeaderLen {
+		return nil, fmt.Errorf("store: segment of %d bytes has no header", len(data))
+	}
+	if string(data[:4]) != segMagic {
+		return nil, fmt.Errorf("store: segment lacks magic %q", segMagic)
+	}
+	if data[4] != segVersion {
+		return nil, fmt.Errorf("store: segment format version %d, want %d", data[4], segVersion)
+	}
+	scan := &segmentScan{
+		firstLSN: binary.LittleEndian.Uint64(data[5:]),
+		validLen: segHeaderLen,
+	}
+	next := scan.firstLSN
+	off := int64(segHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return scan, nil
+		}
+		if len(rest) < recHeaderLen {
+			scan.markTruncated("torn record header")
+			return scan, nil
+		}
+		payloadLen := binary.LittleEndian.Uint32(rest)
+		if payloadLen == 0 || payloadLen > maxRecordLen {
+			scan.markTruncated(fmt.Sprintf("record declares %d payload bytes", payloadLen))
+			return scan, nil
+		}
+		if int64(len(rest)) < recHeaderLen+int64(payloadLen) {
+			scan.markTruncated("torn record payload")
+			return scan, nil
+		}
+		payload := rest[recHeaderLen : recHeaderLen+payloadLen]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rest[4:]) {
+			scan.markTruncated("record CRC mismatch")
+			return scan, nil
+		}
+		lsn, n := binary.Uvarint(payload)
+		if n <= 0 || lsn != next {
+			scan.markTruncated(fmt.Sprintf("record LSN %d breaks continuity (want %d)", lsn, next))
+			return scan, nil
+		}
+		scan.records = append(scan.records, record{lsn: lsn, event: payload[n:]})
+		next++
+		off += recHeaderLen + int64(payloadLen)
+		scan.validLen = off
+	}
+}
+
+// markTruncated records why the trusted prefix ends before the file does.
+func (sc *segmentScan) markTruncated(reason string) {
+	sc.truncated = true
+	sc.reason = reason
+}
+
+// lastLSN returns the LSN of the final valid record, or firstLSN-1 when the
+// segment holds none.
+func (sc *segmentScan) lastLSN() uint64 {
+	if n := len(sc.records); n > 0 {
+		return sc.records[n-1].lsn
+	}
+	return sc.firstLSN - 1
+}

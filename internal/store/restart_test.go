@@ -1,0 +1,90 @@
+package store
+
+import (
+	"testing"
+
+	"scaddar/internal/cm"
+)
+
+// The scale-down drain is the hardest state to recover: the physical array
+// still uses pre-removal numbering while the strategy already speaks
+// post-removal, bridged by the translation table rebuilt from the journal.
+// This test restarts the server mid-drain and proves the recovered server
+// (a) serves every block from the same disk as before the restart, using
+// the pre-removal translation, and (b) finishes the reorganization to a
+// state block-for-block identical to a survivor that never restarted, with
+// zero lost blocks.
+
+// runScaleDown drives one server through scale-down with an optional
+// restart after `restartAfter` ticks (-1 = never), returning the final
+// server.
+func TestScaleDownRestartMidMigration(t *testing.T) {
+	const (
+		n0          = 4
+		objects     = 6
+		blocks      = 80
+		ticksBefore = 2
+	)
+	script := func(t *testing.T, dir string, restart bool) *cm.Server {
+		t.Helper()
+		srv := newTestServer(t, testConfig(), n0)
+		loadObjects(t, srv, objects, blocks)
+		st := openStore(t, dir)
+		if err := st.Bootstrap(srv); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.ScaleDown(1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ticksBefore; i++ {
+			if err := srv.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if srv.MigrationRemaining() == 0 {
+			t.Fatalf("drain finished within %d ticks; enlarge the workload so the restart lands mid-migration", ticksBefore)
+		}
+		if restart {
+			preRestart := captureState(t, srv)
+			remaining := srv.MigrationRemaining()
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st = openStore(t, dir)
+			var info *RecoveryInfo
+			srv, info = recoverServer(t, st)
+			if !srv.Reorganizing() {
+				t.Fatal("recovered server forgot the in-flight scale-down")
+			}
+			if srv.MigrationRemaining() != remaining {
+				t.Fatalf("recovered migration has %d moves pending, want %d", srv.MigrationRemaining(), remaining)
+			}
+			if info.ReplayedEvents == 0 {
+				t.Fatal("recovery replayed no events; the drain progress was lost")
+			}
+			// Mid-drain agreement: every block — moved, pending, or
+			// translated through the pre-removal numbering — is served from
+			// the same disk as before the restart.
+			assertSameState(t, preRestart, captureState(t, srv))
+		}
+		drain(t, srv)
+		if err := srv.VerifyIntegrity(); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	survivor := script(t, t.TempDir(), false)
+	restarted := script(t, t.TempDir(), true)
+
+	if got, want := restarted.N(), n0-1; got != want {
+		t.Fatalf("restarted server has %d disks after scale-down, want %d", got, want)
+	}
+	if got, want := restarted.TotalBlocks(), objects*blocks; got != want {
+		t.Fatalf("restarted server holds %d blocks, want %d — blocks were lost", got, want)
+	}
+	assertSameState(t, captureState(t, survivor), captureState(t, restarted))
+}

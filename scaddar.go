@@ -27,8 +27,11 @@
 package scaddar
 
 import (
+	"os"
+
 	"scaddar/internal/cm"
 	"scaddar/internal/disk"
+	"scaddar/internal/fsio"
 	"scaddar/internal/gateway"
 	"scaddar/internal/hetero"
 	"scaddar/internal/mirror"
@@ -38,6 +41,7 @@ import (
 	"scaddar/internal/reorg"
 	"scaddar/internal/scaddar"
 	"scaddar/internal/stats"
+	"scaddar/internal/store"
 	"scaddar/internal/trace"
 	"scaddar/internal/workload"
 )
@@ -256,6 +260,51 @@ type LocatorSnapshot = cm.LocatorSnapshot
 // NewGateway wraps a server (objects already loaded) in a gateway and
 // starts its round driver. The gateway takes ownership of the server.
 func NewGateway(srv *Server, cfg GatewayConfig) (*Gateway, error) { return gateway.New(srv, cfg) }
+
+// ---- Durable state (internal/store, internal/fsio) ----
+
+// Store is the durable state store: every server mutation is journaled to a
+// CRC-framed write-ahead log, periodic checkpoints serialize the full
+// metadata, and recovery restores the newest checkpoint then replays the
+// journal tail — truncating at the first torn or corrupt record. This is the
+// paper's "storage structure for recording scaling operations" made
+// crash-safe: the journal persists exactly the operation log plus object
+// seeds that SCADDAR needs, never a block directory.
+type Store = store.Store
+
+// StoreConfig locates and tunes a durable state directory.
+type StoreConfig = store.Config
+
+// StoreStatus is a point-in-time view of journal health and position.
+type StoreStatus = store.Status
+
+// RecoveryInfo reports what recovery found: checkpoint LSN, events
+// replayed, and any torn tail or dropped files.
+type RecoveryInfo = store.RecoveryInfo
+
+// ServerEvent is one journaled state-changing server event.
+type ServerEvent = cm.Event
+
+// EventSink receives server events as they are committed.
+type EventSink = cm.EventSink
+
+// Durable-store sentinel errors.
+var (
+	ErrNoCheckpoint = store.ErrNoCheckpoint
+	ErrStoreCorrupt = store.ErrCorrupt
+)
+
+// OpenStore opens (or, unless read-only, creates) a durable state
+// directory. Use Store.Bootstrap for a fresh server and Store.Recover to
+// rebuild one after a restart or crash.
+func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
+
+// WriteFileAtomic writes data to path via a temp file, fsync, rename, and
+// directory fsync, so a crash never leaves a torn file under the final
+// name.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return fsio.WriteFileAtomic(path, data, perm)
+}
 
 // ---- Fault tolerance (internal/cm fault injection, internal/disk health) ----
 
