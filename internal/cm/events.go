@@ -145,3 +145,20 @@ func (s *Server) seedOfObject(object int) (uint64, bool) {
 	}
 	return 0, false
 }
+
+// objectOfSeed is the inverse of seedOfObject: it resolves a placement seed
+// to its object ID, consulting in-progress ingests as well as the catalog.
+// Emit sites must use it (and skip on a miss) rather than indexing seedOf
+// directly — an unchecked miss would journal object 0, which replays as the
+// wrong object's mutation or fails recovery outright.
+func (s *Server) objectOfSeed(seed uint64) (int, bool) {
+	if id, ok := s.seedOf[seed]; ok {
+		return id, true
+	}
+	for _, in := range s.ingests {
+		if in.Object.Seed == seed {
+			return in.Object.ID, true
+		}
+	}
+	return 0, false
+}

@@ -220,7 +220,9 @@ func (s *Server) failDisk(logical int, replay bool) error {
 			if s.cfg.Redundancy == RedundancyNone {
 				if !replay {
 					s.lost[bid] = true
-					lost = append(lost, BlockPos{Object: s.seedOf[m.Block.Seed], Index: m.Block.Index})
+					if object, ok := s.objectOfSeed(m.Block.Seed); ok {
+						lost = append(lost, BlockPos{Object: object, Index: m.Block.Index})
+					}
 				}
 				continue
 			}

@@ -39,12 +39,23 @@ const metadataVersion = 1
 
 // ExportMetadata captures the server's durable state. It requires a SCADDAR
 // placement strategy (the schemes without an operation log have nothing
-// this compact to export) and a quiescent server (no migration in flight —
-// a real system would persist the pending move set too; this simulator
-// keeps the boundary clean instead).
+// this compact to export) and a quiescent, healthy server: no migration in
+// flight, no failed or rebuilding disk, no pending rebuild work, and no
+// lost blocks. Metadata carries none of that state, so restoring it yields
+// an all-healthy array — exporting while any of it exists would produce a
+// checkpoint that contradicts the journaled fail/rebuild events layered on
+// top (a real system would persist the pending sets too; this simulator
+// keeps the boundary clean instead). Callers treat ErrBusy as "retry after
+// the drain"; note that lost blocks under RedundancyNone never drain, so
+// such a server can no longer be checkpointed — the journal, which records
+// the loss, remains the durable record.
 func (s *Server) ExportMetadata() (*Metadata, error) {
 	if s.Reorganizing() || len(s.pendingRemoval) > 0 {
 		return nil, fmt.Errorf("%w: cannot export metadata during a reorganization", ErrBusy)
+	}
+	if s.Degraded() {
+		return nil, fmt.Errorf("%w: cannot export metadata while the array is degraded "+
+			"(failed or rebuilding disk, pending rebuild work, or lost blocks)", ErrBusy)
 	}
 	sc, ok := s.strat.(*placement.Scaddar)
 	if !ok {

@@ -1,6 +1,7 @@
 package cm
 
 import (
+	"errors"
 	"testing"
 
 	"scaddar/internal/placement"
@@ -162,6 +163,58 @@ func TestExportMetadataGuards(t *testing.T) {
 	}
 	if _, err := srv.ExportMetadata(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExportMetadataDegradedGuard locks in the checkpoint-safety contract:
+// metadata carries no disk-health, rebuild-queue, or lost-block state, so a
+// degraded server must refuse to export — a checkpoint cut then would
+// restore an all-healthy array and strand (or silently drop) the journaled
+// fail/rebuild events layered on top.
+func TestExportMetadataDegradedGuard(t *testing.T) {
+	srv := newFaultServer(t, 4, RedundancyMirror)
+	loadObjects(t, srv, 2, 60)
+
+	if err := srv.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ExportMetadata(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("export with a failed disk: %v, want ErrBusy", err)
+	}
+	if err := srv.RepairDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ExportMetadata(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("export mid-rebuild: %v, want ErrBusy", err)
+	}
+	for i := 0; srv.Degraded(); i++ {
+		if i > 10000 {
+			t.Fatalf("rebuild did not drain; %d items remaining", srv.RebuildRemaining())
+		}
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.ExportMetadata(); err != nil {
+		t.Fatalf("export after the rebuild drained: %v", err)
+	}
+
+	// Without redundancy a failure loses blocks permanently: the server can
+	// never be checkpointed again, and the journal (which records the loss)
+	// remains the durable record.
+	lossy := newFaultServer(t, 4, RedundancyNone)
+	loadObjects(t, lossy, 2, 60)
+	if err := lossy.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lossy.RepairDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if lossy.LostBlocks() == 0 {
+		t.Fatal("no blocks recorded lost after an unredundant failure")
+	}
+	if _, err := lossy.ExportMetadata(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("export with lost blocks: %v, want ErrBusy", err)
 	}
 }
 

@@ -854,9 +854,15 @@ func (s *Server) Tick() error {
 			if refs := s.migration.TakeMoved(); len(refs) > 0 {
 				poss := make([]BlockPos, 0, len(refs))
 				for _, b := range refs {
-					poss = append(poss, BlockPos{Object: s.seedOf[b.Seed], Index: b.Index})
+					object, ok := s.objectOfSeed(b.Seed)
+					if !ok {
+						continue // never journal a forged object ID
+					}
+					poss = append(poss, BlockPos{Object: object, Index: b.Index})
 				}
-				s.emit(Event{Kind: EventBlocksMigrated, Moves: poss})
+				if len(poss) > 0 {
+					s.emit(Event{Kind: EventBlocksMigrated, Moves: poss})
+				}
 			}
 		}
 	}

@@ -64,9 +64,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Store, when non-nil, is the durable state store the server journals
 	// into. The gateway group-commits it once per round (so a crash loses
-	// at most the current round's events), checkpoints it automatically,
-	// and exposes POST /v1/admin/checkpoint. The server must already be
-	// bootstrapped into or recovered from it.
+	// at most the current round's data events), syncs it before
+	// acknowledging mutating control operations (scale, fail, repair),
+	// checkpoints it automatically, and exposes POST /v1/admin/checkpoint.
+	// The server must already be bootstrapped into or recovered from it.
 	Store *store.Store
 	// CheckpointEvery triggers an automatic checkpoint once that many
 	// events accumulate past the last one (attempted at quiescent rounds;
@@ -264,8 +265,9 @@ func (g *Gateway) tick() {
 
 // syncStore is the journal's group-commit point: every event this round
 // becomes durable here, and once enough events accumulate past the last
-// checkpoint a new one is cut. A mid-reorganization server refuses to
-// checkpoint (cm.ErrBusy); the attempt simply repeats next round.
+// checkpoint a new one is cut. A mid-reorganization or degraded server
+// refuses to checkpoint (cm.ErrBusy); the attempt simply repeats next
+// round, once the migration and any rebuild backlog have drained.
 func (g *Gateway) syncStore() {
 	st := g.cfg.Store
 	if st == nil {
@@ -288,11 +290,20 @@ func (g *Gateway) syncStore() {
 	}
 }
 
-// execute runs one mailbox command in the owner goroutine.
+// execute runs one mailbox command in the owner goroutine. Mutating
+// commands — explicit operator actions like scale, fail, and repair — are
+// made durable before the reply is sent, so the acknowledgement never
+// outruns the journal; group commit stays for per-round data events only.
+// A failed sync is sticky in the store and surfaces via healthz.
 func (g *Gateway) execute(c command) {
 	v, err := c.fn(g.srv)
 	if err == nil && c.mutates {
 		g.republish()
+		if st := g.cfg.Store; st != nil {
+			if serr := st.Sync(); serr != nil {
+				g.logf("gateway: journal sync after control op: %v", serr)
+			}
+		}
 	}
 	g.publishStatus()
 	c.reply <- cmdResult{v: v, err: err}

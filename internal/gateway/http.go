@@ -138,7 +138,9 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleCheckpoint forces a checkpoint now — operators call it before
 // planned maintenance to make recovery instant. 501 without a store; 409
-// while a reorganization is draining (cm.ErrBusy).
+// while a reorganization is draining or the array is degraded (cm.ErrBusy:
+// a checkpoint taken then would restore an all-healthy array and strand the
+// journaled fail/rebuild events).
 func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if g.cfg.Store == nil {
 		writeJSON(w, http.StatusNotImplemented,

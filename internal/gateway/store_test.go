@@ -78,6 +78,44 @@ func TestGatewayDurableStore(t *testing.T) {
 	}
 }
 
+// TestControlOpsDurableBeforeReply locks in the admin-durability contract:
+// a mutating control operation (here a scale-up) is fsynced into the
+// journal before its HTTP acknowledgement, not deferred to the next round's
+// group commit — a crash right after the 202 must not lose an operation the
+// client was told succeeded. The store's batch threshold is set high and
+// the round period long so the only possible sync is the one the command
+// path itself performs.
+func TestControlOpsDurableBeforeReply(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, 4, 2, 20, nil)
+	st, err := store.Open(store.Config{Dir: dir, SyncEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(srv, Config{Factory: testFactory, Round: time.Hour, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+
+	before := st.Status()
+	rec, _ := doJSON(t, g.Handler(), http.MethodPost, "/v1/scale", map[string]any{"add": 1})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("scale: %d %s", rec.Code, rec.Body.String())
+	}
+	got := st.Status()
+	if got.LSN <= before.LSN {
+		t.Fatalf("scale journaled nothing: LSN %d before, %d after", before.LSN, got.LSN)
+	}
+	if got.DurableLSN != got.LSN {
+		t.Fatalf("acknowledgement outran the journal: durable LSN %d, assigned LSN %d", got.DurableLSN, got.LSN)
+	}
+}
+
 // TestCheckpointWithoutStore maps the admin endpoint to 501 when the
 // gateway runs memory-only.
 func TestCheckpointWithoutStore(t *testing.T) {

@@ -85,7 +85,9 @@ type RecoveryInfo struct {
 	TornTail       bool   `json:"tornTail,omitempty"`
 	TornReason     string `json:"tornReason,omitempty"`
 	TruncatedBytes int64  `json:"truncatedBytes,omitempty"`
-	// DroppedSegments counts segments discarded past the truncation point.
+	// DroppedSegments counts segments discarded outside the trusted chain:
+	// past the truncation point, or stale pre-checkpoint segments
+	// superseded by a newer chain resuming at the checkpoint.
 	DroppedSegments int `json:"droppedSegments,omitempty"`
 	// DroppedCheckpoints counts checkpoint files skipped as invalid.
 	DroppedCheckpoints int `json:"droppedCheckpoints,omitempty"`
@@ -229,9 +231,20 @@ func (s *Store) load() error {
 					filepath.Base(sm.path), scan.firstLSN)
 			}
 			if scan.firstLSN != chainLast+1 {
-				s.dropSegments(segs[i:], fmt.Sprintf("gap: journal ends at LSN %d, next segment starts at %d",
-					chainLast, scan.firstLSN))
-				break
+				if s.haveCkpt && scan.firstLSN == s.ckptLSN+1 && chainLast <= s.ckptLSN {
+					// The checkpoint bridges the gap: everything the old
+					// chain is missing sits at or below the checkpoint, and
+					// this segment resumes exactly past it — the shape left
+					// behind when a prior recovery truncated the journal
+					// below the checkpoint and appends resumed at ckptLSN+1.
+					// The stale pre-checkpoint segments are the redundant
+					// side; discard them, never the newer durable chain.
+					s.discardStaleSegments()
+				} else {
+					s.dropSegments(segs[i:], fmt.Sprintf("gap: journal ends at LSN %d, next segment starts at %d",
+						chainLast, scan.firstLSN))
+					break
+				}
 			}
 		}
 		sm.last = scan.lastLSN()
@@ -252,6 +265,16 @@ func (s *Store) load() error {
 					return fmt.Errorf("store: repairing %s: %w", sm.path, err)
 				}
 			}
+			// Bytes past a tear are suspect, and normally so is every later
+			// segment. But while the trusted chain still sits at or below a
+			// valid checkpoint, a later segment is only accepted if the gap
+			// logic above vouches for it (contiguous, or resuming exactly at
+			// ckptLSN+1 under the checkpoint's cover) — so keep walking
+			// instead of discarding fsync-acknowledged post-checkpoint
+			// records along with the genuinely torn ones.
+			if s.haveCkpt && chainLast <= s.ckptLSN {
+				continue
+			}
 			if i+1 < len(segs) {
 				s.dropSegments(segs[i+1:], "segments past the torn record")
 			}
@@ -270,6 +293,22 @@ func (s *Store) load() error {
 	}
 	s.durableLSN = s.nextLSN - 1
 	return nil
+}
+
+// discardStaleSegments drops the chain accepted so far: every record it
+// holds is at or below the newest checkpoint (the caller checks), so a
+// newer segment resuming at ckptLSN+1 supersedes it entirely. Unlike
+// dropSegments this is a repair with no data loss — the checkpoint covers
+// everything removed — so it does not mark the tail torn.
+func (s *Store) discardStaleSegments() {
+	s.recovery.DroppedSegments += len(s.segments)
+	if !s.cfg.ReadOnly {
+		for _, sm := range s.segments {
+			os.Remove(sm.path)
+		}
+	}
+	s.segments = s.segments[:0]
+	s.tail = s.tail[:0]
 }
 
 // dropSegments discards (and, unless ReadOnly, deletes) segments that fall
@@ -505,8 +544,11 @@ func (s *Store) rotate() error {
 // Checkpoint serializes the server's state, making every journaled event at
 // or below the returned LSN redundant, then rotates the journal and prunes
 // segments and checkpoints nothing can need anymore. It requires a
-// quiescent server: mid-reorganization calls fail with cm.ErrBusy wrapped
-// in the ExportMetadata error, and the caller retries later.
+// quiescent, healthy server: mid-reorganization or degraded-array calls
+// (failed or rebuilding disk, pending rebuild work, lost blocks) fail with
+// cm.ErrBusy wrapped in the ExportMetadata error, and the caller retries
+// later — a checkpoint must never capture an all-healthy array that the
+// journaled fail/rebuild events layered on top would contradict.
 func (s *Store) Checkpoint(srv *cm.Server) (uint64, error) {
 	md, err := srv.ExportMetadata()
 	if err != nil {

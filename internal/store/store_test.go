@@ -483,6 +483,91 @@ func TestDuplicateSegmentSequence(t *testing.T) {
 	})
 }
 
+// TestGapBridgedByCheckpoint is a regression test for durable-record loss
+// across a double crash: a record below the newest checkpoint rots, so the
+// old segment chain truncates there, while a newer segment (created when
+// appends resumed at ckptLSN+1 after an earlier recovery, or by the
+// checkpoint's own rotation) holds fsync-acknowledged post-checkpoint
+// events. The resulting inter-segment gap is covered by the checkpoint;
+// recovery must keep the newer segment and discard the stale pre-checkpoint
+// chain — not delete the newer segment as unreachable.
+func TestGapBridgedByCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st := openStore(t, dir)
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	// LSNs 1..3 land in the first segment, sealed by the checkpoint at 3.
+	loadObjects(t, srv, 3, 10)
+	ckptLSN, err := st.Checkpoint(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckptLSN != 3 {
+		t.Fatalf("checkpoint at LSN %d, want 3", ckptLSN)
+	}
+	// LSN 4 is fsync-acknowledged in the post-checkpoint segment.
+	if err := srv.AddObject(testObject(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, srv)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit rot below the checkpoint: the sealed segment now truncates at
+	// LSN 1, leaving a gap to the post-checkpoint segment.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := recordBounds(t, data)
+	mid := bounds[1]
+	data[mid[0]+recHeaderLen+1] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	srv2, info := recoverServer(t, st2)
+	if info.LSN != 4 {
+		t.Fatalf("recovered to LSN %d, want 4 — the post-checkpoint segment was dropped", info.LSN)
+	}
+	if info.ReplayedEvents != 1 {
+		t.Fatalf("replayed %d events, want 1", info.ReplayedEvents)
+	}
+	if info.DroppedSegments != 1 {
+		t.Fatalf("dropped %d segments, want 1 (the stale pre-checkpoint segment)", info.DroppedSegments)
+	}
+	assertSameState(t, want, captureState(t, srv2))
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Fatal("stale pre-checkpoint segment not removed")
+	}
+	// The bridged store keeps appending.
+	if err := srv2.AddObject(testObject(11, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the repaired directory is stable across another open.
+	st3 := openStore(t, dir)
+	defer st3.Close()
+	srv3, info := recoverServer(t, st3)
+	if info.LSN != 5 || info.DroppedSegments != 0 || info.TornTail {
+		t.Fatalf("second recovery not clean: %+v", info)
+	}
+	if srv3.Objects() != 5 {
+		t.Fatalf("recovered %d objects, want 5", srv3.Objects())
+	}
+}
+
 func TestCheckpointFallback(t *testing.T) {
 	dir := t.TempDir()
 	srv := newTestServer(t, testConfig(), 4)
