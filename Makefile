@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz clean
+.PHONY: build test lint verify benchtables fuzz clean
 
 # Tier-1 gate: everything must build and the full suite must pass.
 build:
@@ -9,18 +9,33 @@ build:
 test: build
 	$(GO) test ./...
 
-# Tier-1+ gate: vet plus the full suite under the race detector, then the
+# Static gates: vet plus the exported-surface documentation check — every
+# exported identifier in the facade and in the concurrency/durability
+# packages (internal/cm, internal/gateway, internal/store, internal/obs)
+# must carry a doc comment stating its contract.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./tools/missingdoc
+
+# Tier-1+ gate: lint plus the full suite under the race detector, then the
 # gateway example end to end (live HTTP scaling + failure drill + drain;
 # it exits non-zero if any concurrent read fails) and the crash-recovery
 # example (journal bootstrap, torn-write crash mid-migration, recovery with
 # every block location verified). Run this before merging anything that
 # touches the server, the rebuild executor, the fault injector, the
 # gateway, or the store — the concurrency- and durability-sensitive layers.
-verify:
-	$(GO) vet ./...
+verify: lint
 	$(GO) test -race ./...
 	$(GO) run ./examples/gateway -duration 200ms
 	$(GO) run ./examples/recovery
+
+# Regenerate the committed experiment-table capture (the source for the
+# tables quoted in README.md and EXPERIMENTS.md), so docs cannot silently
+# drift from the code. Commit the refreshed file with any change that
+# moves a number.
+benchtables:
+	$(GO) run ./cmd/benchtables > benchtables_output.txt
+	@echo "regenerated benchtables_output.txt"
 
 # Short fuzz passes over the History codecs (seed corpora under
 # internal/scaddar/testdata/fuzz/) and the write-ahead-journal reader.

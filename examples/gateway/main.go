@@ -185,6 +185,26 @@ func main() {
 	stop.Store(true)
 	wg.Wait()
 
+	// The observability plane tells the same story back: scrape the
+	// Prometheus endpoint and read the run's shape out of the metrics.
+	resp, err := client.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := scaddar.ParseMetricsText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatalf("parse /v1/metrics: %v", err)
+	}
+	ms := scaddar.NewMetricSet(samples)
+	reads, _ := ms.Value("gateway_reads_total")
+	migrated, _ := ms.Value("cm_blocks_migrated_total")
+	rebuilt, _ := ms.Value("cm_blocks_rebuilt_total")
+	if h, ok := ms.Histogram("gateway_read_seconds", "", ""); ok && h.Count > 0 {
+		fmt.Printf("metrics: %.0f reads served (server-side p99 %.0fµs), %.0f blocks migrated, %.0f rebuilt\n",
+			reads, h.Quantile(0.99)*1e6, migrated, rebuilt)
+	}
+
 	// Graceful drain: active sessions play out, then the driver stops.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

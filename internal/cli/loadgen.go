@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"scaddar/internal/obs"
 	"scaddar/internal/prng"
 	"scaddar/internal/workload"
 )
@@ -27,6 +28,7 @@ type loadgenOptions struct {
 	scaleAt  time.Duration
 	add      int
 	perSess  int
+	dash     time.Duration
 }
 
 func cmdLoadgen(args []string, w io.Writer) error {
@@ -41,6 +43,7 @@ func cmdLoadgen(args []string, w io.Writer) error {
 	fs.DurationVar(&opts.scaleAt, "scale-at", 0, "when to request a scale-up over HTTP (0 = never)")
 	fs.IntVar(&opts.add, "add", 2, "disks to add at -scale-at")
 	fs.IntVar(&opts.perSess, "per-session", 32, "block lookups per session before closing it")
+	fs.DurationVar(&opts.dash, "dash", 0, "scrape /v1/metrics and print a live dashboard line at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,8 +132,44 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 		}()
 	}
 
+	// Live dashboard: scrape the Prometheus endpoint at the requested
+	// interval and print one line per tick with throughput, latency, and
+	// the server's own view of the reorganization.
+	dashDone := make(chan struct{})
+	if opts.dash > 0 {
+		go func() {
+			defer close(dashDone)
+			tick := time.NewTicker(opts.dash)
+			defer tick.Stop()
+			var lastReads float64
+			for now := range tick.C {
+				if !now.Before(deadline) {
+					return
+				}
+				ms, err := scrapeMetrics(hc, base)
+				if err != nil {
+					continue
+				}
+				reads, _ := ms.Value("gateway_reads_total")
+				disks, _ := ms.Value("cm_disks")
+				pending, _ := ms.Value("cm_migration_pending")
+				unf, _ := ms.Value("cm_unfairness")
+				line := fmt.Sprintf("dash t=%-7s %7.0f req/s  disks=%.0f  pending=%.0f  unfairness=%.3f",
+					time.Since(start).Round(100*time.Millisecond),
+					(reads-lastReads)/opts.dash.Seconds(), disks, pending, unf)
+				if h, ok := ms.Histogram("gateway_read_seconds", "", ""); ok && h.Count > 0 {
+					line += fmt.Sprintf("  p95=%s", secondsDuration(h.Quantile(0.95)))
+				}
+				fmt.Fprintln(w, line)
+				lastReads = reads
+			}
+		}()
+	} else {
+		close(dashDone)
+	}
+
 	// Mid-run scale-up over HTTP, with the reorganization window measured
-	// by polling /v1/metrics.
+	// by polling /v1/status.
 	var reorgStart, reorgEnd time.Duration
 	if opts.scaleAt > 0 && opts.scaleAt < opts.duration {
 		time.Sleep(opts.scaleAt)
@@ -148,7 +187,7 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 		} else {
 			fmt.Fprintf(w, "loadgen: scale-up +%d accepted at t=%s\n", opts.add, reorgStart.Round(time.Millisecond))
 			for time.Now().Before(deadline.Add(30 * time.Second)) {
-				st, err := fetchMetrics(hc, base)
+				st, err := fetchStatus(hc, base)
 				if err == nil && !st.Reorganizing {
 					reorgEnd = time.Since(start)
 					break
@@ -159,6 +198,7 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 		}
 	}
 	wg.Wait()
+	<-dashDone
 	elapsed := time.Since(start)
 
 	// Merge per-client tallies.
@@ -186,21 +226,23 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 
+	// Percentiles come from the same fixed-bucket histogram the server
+	// exposes, so client-side and scraped figures are directly comparable.
 	report := func(label string, keep func(sample) bool) {
-		var lats []time.Duration
+		h := obs.MustNewHistogram(obs.LatencyBuckets())
 		for _, s := range all {
 			if s.code == http.StatusOK && keep(s) {
-				lats = append(lats, s.lat)
+				h.ObserveDuration(s.lat)
 			}
 		}
-		if len(lats) == 0 {
+		if h.Count() == 0 {
 			return
 		}
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Fprintf(w, "%-22s n=%-7d p50 %-9s p95 %-9s p99 %s\n", label, len(lats),
-			percentile(lats, 0.50).Round(10*time.Microsecond),
-			percentile(lats, 0.95).Round(10*time.Microsecond),
-			percentile(lats, 0.99).Round(10*time.Microsecond))
+		sn := h.Snapshot()
+		fmt.Fprintf(w, "%-22s n=%-7d p50 %-9s p95 %-9s p99 %s\n", label, sn.Count,
+			secondsDuration(sn.Quantile(0.50)),
+			secondsDuration(sn.Quantile(0.95)),
+			secondsDuration(sn.Quantile(0.99)))
 	}
 	report("read latency overall:", func(sample) bool { return true })
 	if reorgEnd > reorgStart {
@@ -275,15 +317,16 @@ func (c *lgClient) openSession(object int) (id int, retryAfter time.Duration, ok
 	return out.Session, 0, true
 }
 
-// lgMetrics is the slice of /v1/metrics the load generator cares about.
-type lgMetrics struct {
+// lgStatus is the slice of the /v1/status JSON the load generator cares
+// about.
+type lgStatus struct {
 	Disks        int  `json:"disks"`
 	Reorganizing bool `json:"reorganizing"`
 }
 
-func fetchMetrics(hc *http.Client, base string) (lgMetrics, error) {
-	var m lgMetrics
-	resp, err := hc.Get(base + "/v1/metrics")
+func fetchStatus(hc *http.Client, base string) (lgStatus, error) {
+	var m lgStatus
+	resp, err := hc.Get(base + "/v1/status")
 	if err != nil {
 		return m, err
 	}
@@ -291,11 +334,22 @@ func fetchMetrics(hc *http.Client, base string) (lgMetrics, error) {
 	return m, json.NewDecoder(resp.Body).Decode(&m)
 }
 
-// percentile reads the p-th percentile from an ascending-sorted slice.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+// scrapeMetrics fetches and parses the gateway's Prometheus exposition.
+func scrapeMetrics(hc *http.Client, base string) (*obs.MetricSet, error) {
+	resp, err := hc.Get(base + "/v1/metrics")
+	if err != nil {
+		return nil, err
 	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+	defer resp.Body.Close()
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewMetricSet(samples), nil
+}
+
+// secondsDuration renders a float64 seconds value (the unit obs histograms
+// record latency in) as a rounded time.Duration.
+func secondsDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond)
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +36,9 @@ type serveOptions struct {
 	drain           time.Duration
 	dataDir         string
 	checkpointEvery int
+	debugAddr       string
+	bits            uint
+	eps             float64
 }
 
 func cmdServe(args []string, w io.Writer) error {
@@ -53,6 +57,9 @@ func cmdServe(args []string, w io.Writer) error {
 	fs.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful drain budget on shutdown")
 	fs.StringVar(&opts.dataDir, "data-dir", "", "durable state directory (journal + checkpoints); empty = memory-only")
 	fs.IntVar(&opts.checkpointEvery, "checkpoint-every", 1024, "journal events between automatic checkpoints")
+	fs.StringVar(&opts.debugAddr, "debug-addr", "", "debug listen address serving /metrics and /debug/pprof (empty = off)")
+	fs.UintVar(&opts.bits, "bits", 64, "generator width b; below 64 enables Section 4.3 budget tracking")
+	fs.Float64Var(&opts.eps, "eps", 0.05, "unfairness tolerance ε for the randomness budget (used with -bits < 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,11 +98,24 @@ func defaultX0() placement.X0Func {
 }
 
 // buildLoadedServer assembles a SCADDAR-placed server with a synthetic
-// library loaded — the common prologue of serve, simulate, and drill.
-func buildLoadedServer(n0, objects, blocks int, mutate func(*cm.Config)) (*cm.Server, []workload.Object, error) {
-	strat, err := placement.NewScaddar(n0, defaultX0())
+// library loaded — the common prologue of serve, simulate, and drill. bits
+// of 0 or 64 means the full-width generator; anything narrower truncates
+// the X0 family so the Section 4.3 budget arithmetic is meaningful.
+func buildLoadedServer(n0, objects, blocks int, bits uint, mutate func(*cm.Config)) (*cm.Server, []workload.Object, error) {
+	x0 := defaultX0()
+	if bits != 0 && bits < 64 {
+		x0 = placement.NewX0Func(func(seed uint64) prng.Source {
+			return prng.Truncate(prng.NewSplitMix64(seed), bits)
+		})
+	}
+	strat, err := placement.NewScaddar(n0, x0)
 	if err != nil {
 		return nil, nil, err
+	}
+	if bits != 0 && bits < 64 {
+		if err := strat.SetBits(bits); err != nil {
+			return nil, nil, err
+		}
 	}
 	cfg := cm.DefaultConfig()
 	if mutate != nil {
@@ -129,6 +149,15 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	if err != nil {
 		return err
 	}
+	if opts.bits == 0 {
+		opts.bits = 64
+	}
+	if opts.bits > 64 {
+		return fmt.Errorf("bits %d outside [1,64]", opts.bits)
+	}
+	if opts.dataDir != "" && opts.bits != 64 {
+		return fmt.Errorf("-bits %d is incompatible with -data-dir: recovery regenerates X0 chains with the full-width generator family", opts.bits)
+	}
 
 	// With -data-dir the server's state lives in a durable store: an
 	// existing journal is recovered (the library flags are ignored — the
@@ -156,10 +185,14 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 				info.TornReason, info.TruncatedBytes)
 		}
 	} else {
-		srv, _, err = buildLoadedServer(opts.n0, opts.objects, opts.blocks, func(c *cm.Config) {
+		srv, _, err = buildLoadedServer(opts.n0, opts.objects, opts.blocks, opts.bits, func(c *cm.Config) {
 			c.Redundancy = red
 			if opts.utilization > 0 {
 				c.Utilization = opts.utilization
+			}
+			if opts.bits < 64 {
+				c.GeneratorBits = opts.bits
+				c.Tolerance = opts.eps
 			}
 		})
 		if err != nil {
@@ -175,8 +208,12 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	// Snapshot the banner facts before the gateway's owner goroutine takes
 	// over the server.
 	disks, objects, blocks := srv.N(), srv.Objects(), srv.TotalBlocks()
+	factory := func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) }
+	if opts.bits < 64 {
+		factory = func(seed uint64) prng.Source { return prng.Truncate(prng.NewSplitMix64(seed), opts.bits) }
+	}
 	g, err := gateway.New(srv, gateway.Config{
-		Factory:         func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) },
+		Factory:         factory,
 		Round:           opts.round,
 		MailboxDepth:    opts.mailbox,
 		RequestTimeout:  opts.timeout,
@@ -195,6 +232,31 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	if err != nil {
 		return err
 	}
+
+	// The debug listener is deliberately separate from the service address:
+	// pprof and raw metrics should be bindable to localhost while the data
+	// path faces the network.
+	if opts.debugAddr != "" {
+		dln, err := net.Listen("tcp", opts.debugAddr)
+		if err != nil {
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			g.Registry().WritePrometheus(rw)
+		})
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Handler: dmux}
+		go ds.Serve(dln)
+		defer ds.Close()
+		fmt.Fprintf(w, "serve: debug listening on http://%s (/metrics, /debug/pprof)\n", dln.Addr())
+	}
+
 	fmt.Fprintf(w, "serve: %d disks, %d objects, %d blocks, round %s\n",
 		disks, objects, blocks, opts.round)
 	fmt.Fprintf(w, "serve: listening on http://%s (Ctrl-C to drain and exit)\n", ln.Addr())

@@ -86,32 +86,48 @@ func (k EventKind) String() string {
 // instead of placement references because seeds are already durable in the
 // catalog and plan ordering is not deterministic across restarts.
 type BlockPos struct {
+	// Object is the owning object's catalog ID.
 	Object int
-	Index  uint64
+	// Index is the block's index within the object.
+	Index uint64
 }
 
 // RebuildPos identifies one rebuild item by catalog coordinates; Kind is the
 // rebuild kind (primary copy, mirror copy, parity block). For parity blocks
 // Index holds the group number.
 type RebuildPos struct {
-	Kind   int
+	// Kind is the rebuild item kind (primary, mirror, or parity).
+	Kind int
+	// Object is the owning object's catalog ID.
 	Object int
-	Index  uint64
+	// Index is the block index, or the parity group number for parity items.
+	Index uint64
 }
 
 // Event is one durable control-plane transition. Exactly the fields the
 // Kind documents are meaningful; the rest are zero.
 type Event struct {
-	Kind     EventKind
-	Object   workload.Object
+	// Kind says which transition happened and which fields are meaningful.
+	Kind EventKind
+	// Object is the full catalog entry for EventObjectAdded and
+	// EventIngestCommitted.
+	Object workload.Object
+	// ObjectID names the removed object for EventObjectRemoved.
 	ObjectID int
-	Disk     int
-	Count    int
-	Profile  *disk.Profile
-	Disks    []int
-	Moves    []BlockPos
-	Rebuilt  []RebuildPos
-	Lost     []BlockPos
+	// Disk is the failed or repaired disk's logical index.
+	Disk int
+	// Count is the number of disks added by EventScaleUpStarted.
+	Count int
+	// Profile, when non-nil, is the hardware profile of the added disks.
+	Profile *disk.Profile
+	// Disks lists the logical indices removed by EventScaleDownStarted.
+	Disks []int
+	// Moves lists the blocks a migration round committed.
+	Moves []BlockPos
+	// Rebuilt lists the items a rebuild round re-materialized.
+	Rebuilt []RebuildPos
+	// Lost lists the blocks an unprotected disk failure destroyed.
+	Lost []BlockPos
 }
 
 // EventSink receives events synchronously, on the goroutine that mutated the
@@ -125,8 +141,18 @@ type EventSink func(Event)
 // group-commit window, never committed state.
 func (s *Server) SetEventSink(sink EventSink) { s.events = sink }
 
-// emit delivers an event to the sink, if any.
+// emit delivers an event to the sink, if any, after teeing it into the
+// observability layer: the observer's per-kind counter and the trace ring
+// (tagged with the current round) both see every event the journal does.
 func (s *Server) emit(ev Event) {
+	if s.obsv != nil {
+		s.obsv.observeEvent(ev)
+	}
+	if s.trace != nil {
+		sp := EventSpan(ev)
+		sp.Round = int64(s.metrics.Rounds)
+		s.trace.Append(sp)
+	}
 	if s.events != nil {
 		s.events(ev)
 	}

@@ -20,6 +20,7 @@ import (
 	"scaddar/internal/cache"
 	"scaddar/internal/disk"
 	"scaddar/internal/mirror"
+	"scaddar/internal/obs"
 	"scaddar/internal/parity"
 	"scaddar/internal/placement"
 	"scaddar/internal/reorg"
@@ -228,6 +229,10 @@ type Server struct {
 	lost map[disk.BlockID]bool
 	// events is the optional durable-event sink (see events.go).
 	events EventSink
+	// obsv is the optional metrics observer and trace the optional span ring
+	// (see observe.go).
+	obsv  *Observer
+	trace *obs.Ring
 }
 
 // NewServer creates a server over a fresh homogeneous array sized to the
@@ -747,6 +752,7 @@ func (s *Server) failover(ref placement.BlockRef, bid disk.BlockID,
 // rebalancing) and then to any in-progress reorganization.
 func (s *Server) Tick() error {
 	s.metrics.Rounds++
+	prevMigrated, prevRebuildIOs := s.metrics.BlocksMigrated, s.metrics.RebuildIOs
 	if err := s.fireFaults(); err != nil {
 		return err
 	}
@@ -865,6 +871,10 @@ func (s *Server) Tick() error {
 				}
 			}
 		}
+	}
+	if s.obsv != nil {
+		s.obsv.observeRound(s, used,
+			s.metrics.BlocksMigrated-prevMigrated, s.metrics.RebuildIOs-prevRebuildIOs)
 	}
 	return nil
 }

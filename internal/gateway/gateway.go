@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"scaddar/internal/cm"
+	"scaddar/internal/obs"
 	"scaddar/internal/scaddar"
 	"scaddar/internal/store"
 )
@@ -73,6 +74,17 @@ type Config struct {
 	// events accumulate past the last one (attempted at quiescent rounds;
 	// a busy server retries next round). Zero means 1024.
 	CheckpointEvery int
+	// Registry, when non-nil, is the metrics registry the gateway publishes
+	// into (and serves at GET /v1/metrics in Prometheus text format). Nil
+	// means a fresh registry owned by the gateway. Pass a shared one to
+	// expose the same cells on a debug listener or to adopt the registry of
+	// a server this one replaces.
+	Registry *obs.Registry
+	// TraceRing, when non-nil, is the span ring the server's event stream
+	// appends to, served at GET /v1/trace. Nil means a fresh 4096-span ring.
+	// Pass the ring the store replayed into during recovery and the live
+	// trace continues where the retrace ended.
+	TraceRing *obs.Ring
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -108,7 +120,9 @@ type Counters struct {
 }
 
 // Status is the owner-published view of the server, extended with gateway
-// counters at serve time. It is the payload of /v1/metrics.
+// counters at serve time. It is the payload of GET /v1/status (the
+// machine-scrapeable Prometheus form of the same state lives at
+// GET /v1/metrics).
 type Status struct {
 	// Rounds is the number of rounds ticked.
 	Rounds int `json:"rounds"`
@@ -153,12 +167,12 @@ type Gateway struct {
 	closed   chan struct{} // closed by the owner loop on exit
 	stopOnce sync.Once
 
-	reads            atomic.Int64
-	readErrors       atomic.Int64
-	overloads        atomic.Int64
-	sessionsOpened   atomic.Int64
-	sessionsRejected atomic.Int64
-	tickErrors       atomic.Int64
+	// reg/trace/m are the observability layer: the registry served at
+	// /v1/metrics, the span ring served at /v1/trace, and the gateway's own
+	// registry cells (see observe.go).
+	reg   *obs.Registry
+	trace *obs.Ring
+	m     *gwMetrics
 
 	// inFlight tracks a started scaling operation until it is finished and
 	// cleared; owner-goroutine only.
@@ -197,6 +211,14 @@ func New(srv *cm.Server, cfg Config) (*Gateway, error) {
 	if cfg.CheckpointEvery < 1 {
 		return nil, fmt.Errorf("gateway: checkpoint threshold %d must be positive", cfg.CheckpointEvery)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	trace := cfg.TraceRing
+	if trace == nil {
+		trace = obs.NewRing(4096)
+	}
 	g := &Gateway{
 		cfg:    cfg,
 		srv:    srv,
@@ -204,6 +226,19 @@ func New(srv *cm.Server, cfg Config) (*Gateway, error) {
 		cmds:   make(chan command, cfg.MailboxDepth),
 		stop:   make(chan struct{}),
 		closed: make(chan struct{}),
+		reg:    reg,
+		trace:  trace,
+		m:      newGwMetrics(reg),
+	}
+	// Wire the server and store into the shared registry and ring. The
+	// gateway owns the server from here on, so installing the observer now
+	// is safe; registration is idempotent, so adopting a registry another
+	// server already populated reuses its cells.
+	srv.SetObserver(cm.NewObserver(reg))
+	srv.SetTraceRing(trace)
+	if cfg.Store != nil {
+		cfg.Store.Observe(reg)
+		cfg.Store.SetTraceRing(trace)
 	}
 	// Fail fast if the strategy cannot produce concurrent locators.
 	if err := g.publishSnapshot(); err != nil {
@@ -242,8 +277,10 @@ func (g *Gateway) run() {
 
 // tick advances one round and keeps the published views fresh.
 func (g *Gateway) tick() {
+	start := time.Now()
+	defer func() { g.m.tickTime.ObserveDuration(time.Since(start)) }()
 	if err := g.srv.Tick(); err != nil {
-		g.tickErrors.Add(1)
+		g.m.tickErrors.Inc()
 		g.logf("gateway: tick: %v", err)
 	}
 	// Clear a drained migration: a completed scale-up immediately, a
@@ -354,15 +391,24 @@ func (g *Gateway) Status() Status {
 		st.Journal = &js
 	}
 	st.Gateway = Counters{
-		Reads:            g.reads.Load(),
-		ReadErrors:       g.readErrors.Load(),
-		Overloads:        g.overloads.Load(),
-		SessionsOpened:   g.sessionsOpened.Load(),
-		SessionsRejected: g.sessionsRejected.Load(),
-		TickErrors:       g.tickErrors.Load(),
+		Reads:            int64(g.m.reads.Value()),
+		ReadErrors:       int64(g.m.readErrors.Value()),
+		Overloads:        int64(g.m.overloads.Value()),
+		SessionsOpened:   int64(g.m.sessionsOpened.Value()),
+		SessionsRejected: int64(g.m.sessionsRejected.Value()),
+		TickErrors:       int64(g.m.tickErrors.Value()),
 	}
 	return st
 }
+
+// Registry returns the metrics registry the gateway publishes into — the
+// same cells served at GET /v1/metrics. Useful for exposing them on a
+// separate debug listener.
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
+
+// TraceRing returns the span ring the server's event stream appends to —
+// the same spans served at GET /v1/trace.
+func (g *Gateway) TraceRing() *obs.Ring { return g.trace }
 
 // exec submits a command to the owner goroutine and waits for its reply,
 // the context deadline, or gateway shutdown. A full mailbox returns
@@ -378,7 +424,7 @@ func (g *Gateway) exec(ctx context.Context, mutates bool, fn func(*cm.Server) (a
 	select {
 	case g.cmds <- c:
 	default:
-		g.overloads.Add(1)
+		g.m.overloads.Inc()
 		return nil, ErrOverloaded
 	}
 	select {

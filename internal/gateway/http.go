@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"scaddar/internal/cm"
 	"scaddar/internal/disk"
@@ -24,6 +25,8 @@ func (g *Gateway) routes() {
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /v1/status", g.handleStatus)
+	g.mux.HandleFunc("GET /v1/trace", g.handleTrace)
 	g.mux.HandleFunc("GET /v1/objects", g.handleObjects)
 	g.mux.HandleFunc("GET /v1/objects/{id}/blocks/{idx}", g.handleRead)
 	g.mux.HandleFunc("POST /v1/sessions", g.handleOpenSession)
@@ -161,8 +164,29 @@ func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// handleMetrics serves the registry in Prometheus text exposition format:
+// gateway latency histograms, per-disk load gauges, round and migration
+// counters, journal fsync stats — everything the observers publish.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.reg.WritePrometheus(w); err != nil {
+		g.logf("gateway: metrics: %v", err)
+	}
+}
+
+// handleStatus serves the JSON status view (the old /v1/metrics payload):
+// one structured snapshot for dashboards that want state, not samples.
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, g.Status())
+}
+
+// handleTrace dumps the span ring, oldest first — the recent control-plane
+// history: rounds with migrations, scale operations, failures, rebuilds.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total": g.trace.Total(),
+		"spans": g.trace.Dump(),
+	})
 }
 
 func (g *Gateway) handleObjects(w http.ResponseWriter, r *http.Request) {
@@ -179,8 +203,12 @@ type readResponse struct {
 }
 
 // handleRead is the concurrent read path: no mailbox, no locks — one
-// atomic pointer load and a SafeLocator lookup.
+// atomic pointer load and a SafeLocator lookup. Its latency is recorded
+// split by phase (admission = parse+validate, locate = snapshot lookup,
+// service = response delivery); the instrumentation is atomic cells only
+// and adds zero allocations per request.
 func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	id, err := pathInt(r, "id")
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -191,14 +219,16 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	t1 := time.Now()
 	sn := g.snap.Load()
 	d, err := sn.Locate(id, idx)
+	t2 := time.Now()
 	if err != nil {
-		g.readErrors.Add(1)
+		g.m.readErrors.Inc()
 		g.writeError(w, err)
 		return
 	}
-	g.reads.Add(1)
+	g.m.reads.Inc()
 	writeJSON(w, http.StatusOK, readResponse{
 		Object:       id,
 		Block:        idx,
@@ -206,6 +236,8 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
 		Healthy:      sn.Healthy(d),
 		Reorganizing: sn.Reorganizing(),
 	})
+	t3 := time.Now()
+	g.m.observeRead(t1.Sub(t0), t2.Sub(t1), t3.Sub(t2))
 }
 
 // sessionResponse describes one session.
@@ -233,7 +265,7 @@ func sessionBody(st *cm.Stream, blocks int) sessionResponse {
 
 func (g *Gateway) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	if g.draining.Load() {
-		g.sessionsRejected.Add(1)
+		g.m.sessionsRejected.Inc()
 		g.writeError(w, ErrDraining)
 		return
 	}
@@ -263,11 +295,11 @@ func (g *Gateway) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		return sessionBody(st, obj.Blocks), nil
 	})
 	if err != nil {
-		g.sessionsRejected.Add(1)
+		g.m.sessionsRejected.Inc()
 		g.writeError(w, err)
 		return
 	}
-	g.sessionsOpened.Add(1)
+	g.m.sessionsOpened.Inc()
 	writeJSON(w, http.StatusCreated, v)
 }
 

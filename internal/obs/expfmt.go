@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric family in Prometheus text
+// exposition format (version 0.0.4), in registration order, with stable
+// (sorted) label-value order inside each family. It reads cells atomically
+// without pausing writers, so the output is per-cell consistent — the same
+// contract as Snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*entry(nil), r.ordered...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, e := range families {
+		fmt.Fprintf(bw, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(float64(e.counter.Value())))
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(e.gauge.Value()))
+		case kindHistogram:
+			writeHistogram(bw, e.name, "", "", e.hist.Snapshot())
+		case kindCounterVec:
+			keys, cells := e.cvec.snapshot()
+			for i, k := range keys {
+				fmt.Fprintf(bw, "%s{%s=%q} %s\n", e.name, e.cvec.label, k,
+					formatFloat(float64(cells[i].Value())))
+			}
+		case kindGaugeVec:
+			keys, cells := e.gvec.snapshot()
+			for i, k := range keys {
+				fmt.Fprintf(bw, "%s{%s=%q} %s\n", e.name, e.gvec.label, k,
+					formatFloat(cells[i].Value()))
+			}
+		case kindHistogramVec:
+			keys, cells := e.hvec.snapshot()
+			for i, k := range keys {
+				writeHistogram(bw, e.name, e.hvec.label, k, cells[i].Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the _bucket/_sum/_count series for one histogram,
+// with cumulative bucket counts as the format requires. label may be empty
+// for an unlabelled histogram.
+func writeHistogram(w io.Writer, name, label, value string, s HistogramSnapshot) {
+	extra := ""
+	if label != "" {
+		extra = fmt.Sprintf("%s=%q,", label, value)
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extra, le, cum)
+	}
+	series := ""
+	if label != "" {
+		series = fmt.Sprintf("{%s=%q}", label, value)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, series, formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, series, s.Count)
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text per the
+// exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Sample is one parsed series from a Prometheus text page: a metric name,
+// optional labels, and a value. It is the unit loadgen's dashboard consumes
+// after scraping GET /v1/metrics.
+type Sample struct {
+	// Name is the metric name, including any _bucket/_sum/_count suffix for
+	// histogram series.
+	Name string
+	// Labels holds the label pairs, nil when the series is unlabelled.
+	Labels map[string]string
+	// Value is the sample value; bucket "le" bounds stay in Labels.
+	Value float64
+}
+
+// Label returns the value of the named label, or "" if absent.
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseText parses a Prometheus text exposition page into samples in page
+// order, skipping comments and blank lines. It accepts the subset of the
+// format WritePrometheus emits (no timestamps, no exemplars) — enough for
+// loadgen and tests to scrape our own endpoint; it is not a general
+// Prometheus client.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses one sample line: name[{label="value",...}] value.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimLeft(rest[end+1:], " \t")
+	}
+	val := strings.TrimSpace(rest)
+	if val == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parseValue(val)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", val, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `a="x",b="y"` (contents between the braces).
+func parseLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair in %q", body)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimSpace(rest[eq+1:])
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		val, n, err := unquoteLabel(rest)
+		if err != nil {
+			return nil, err
+		}
+		labels[name] = val
+		rest = strings.TrimSpace(rest[n:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, nil
+}
+
+// unquoteLabel consumes a leading double-quoted string (with \\, \", \n
+// escapes) and returns its value and the number of input bytes consumed.
+func unquoteLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in %q", s)
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value in %q", s)
+}
+
+// parseValue parses a sample value, accepting the +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// MetricSet indexes parsed samples for convenient lookup in dashboards and
+// tests.
+type MetricSet struct {
+	samples []Sample
+}
+
+// NewMetricSet wraps parsed samples for lookup.
+func NewMetricSet(samples []Sample) *MetricSet { return &MetricSet{samples: samples} }
+
+// Value returns the first sample with the given name and no le label, and
+// whether one was found.
+func (m *MetricSet) Value(name string) (float64, bool) {
+	for _, s := range m.samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// LabelValue returns the sample with the given name whose label matches,
+// and whether one was found.
+func (m *MetricSet) LabelValue(name, label, value string) (float64, bool) {
+	for _, s := range m.samples {
+		if s.Name == name && s.Labels[label] == value {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram reconstructs a HistogramSnapshot for the named histogram family
+// from its _bucket/_sum/_count series, optionally filtered to one label
+// value (pass "" for both filter arguments to take an unlabelled
+// histogram). The +Inf bucket is required; Max is unavailable from the
+// exposition format, so it is approximated by the largest finite bound with
+// a non-empty bucket (or the last bound when only +Inf holds counts).
+func (m *MetricSet) Histogram(name, label, value string) (HistogramSnapshot, bool) {
+	var bounds []float64
+	var counts []uint64
+	var snap HistogramSnapshot
+	seen := false
+	match := func(s Sample) bool {
+		if label == "" {
+			return true
+		}
+		return s.Labels[label] == value
+	}
+	for _, s := range m.samples {
+		switch s.Name {
+		case name + "_bucket":
+			if !match(s) {
+				continue
+			}
+			le := s.Labels["le"]
+			cum := uint64(s.Value)
+			var prev uint64
+			for _, c := range counts {
+				prev += c
+			}
+			if cum < prev {
+				return snap, false // buckets must be cumulative
+			}
+			if le == "+Inf" {
+				counts = append(counts, cum-prev)
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return snap, false
+				}
+				bounds = append(bounds, b)
+				counts = append(counts, cum-prev)
+			}
+			seen = true
+		case name + "_sum":
+			if match(s) {
+				snap.Sum = s.Value
+			}
+		case name + "_count":
+			if match(s) {
+				snap.Count = uint64(s.Value)
+			}
+		}
+	}
+	if !seen || len(counts) != len(bounds)+1 {
+		return snap, false
+	}
+	snap.Bounds = bounds
+	snap.Counts = counts
+	for i := len(bounds) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			snap.Max = bounds[i]
+			break
+		}
+	}
+	if snap.Max == 0 && counts[len(counts)-1] > 0 && len(bounds) > 0 {
+		snap.Max = bounds[len(bounds)-1]
+	}
+	return snap, true
+}

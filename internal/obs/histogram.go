@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram of non-negative observations —
+// request latencies in seconds, fsync batch sizes, per-round move counts.
+// Bucket bounds are precomputed at construction; Observe is one binary
+// search plus three atomic updates: lock-free, allocation-free, and safe
+// for any number of concurrent writers, so it may sit on the read hot path.
+//
+// Quantiles (p50/p95/p99/max) are estimated from a Snapshot by linear
+// interpolation inside the owning bucket, so their resolution is the bucket
+// width — choose bounds accordingly (ExpBuckets covers decades cheaply).
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, strictly
+	// increasing; observations above the last bound land in the implicit
+	// +Inf bucket.
+	bounds []float64
+	// cells[i] counts observations v with bounds[i-1] < v <= bounds[i];
+	// cells[len(bounds)] is the +Inf bucket.
+	cells []atomic.Uint64
+	count atomic.Uint64
+	sum   atomic.Uint64 // float64 bits, CAS-updated
+	max   atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram creates a histogram with the given finite bucket upper
+// bounds, which must be non-empty and strictly increasing. An implicit +Inf
+// bucket is always appended.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i-1] < bounds[i]) {
+			return nil, fmt.Errorf("obs: histogram bounds not strictly increasing at %g, %g",
+				bounds[i-1], bounds[i])
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, cells: make([]atomic.Uint64, len(b)+1)}, nil
+}
+
+// MustNewHistogram is NewHistogram for statically valid bounds; it panics
+// on error.
+func MustNewHistogram(bounds []float64) *Histogram {
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// ExpBuckets returns n exponentially spaced bounds starting at lo with the
+// given growth factor — the standard shape for latency buckets. lo must be
+// positive, factor above 1, n at least 1.
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	if lo <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%g, %g, %d)", lo, factor, n))
+	}
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets are the default request-latency bounds in seconds: 10µs to
+// ~84s in 28 exponential steps of ×1.8 — fine enough that p99 interpolation
+// stays within ~±40% anywhere in the range.
+func LatencyBuckets() []float64 { return ExpBuckets(10e-6, 1.8, 28) }
+
+// SizeBuckets are the default count/size bounds: 1 to 2^19 in doublings,
+// for batch sizes, per-round move counts, and queue depths.
+func SizeBuckets() []float64 { return ExpBuckets(1, 2, 20) }
+
+// Observe records one observation. Values are clamped below at 0 (negative
+// durations from clock steps land in the first bucket rather than
+// corrupting the cumulative counts).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.cells[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy of the histogram. Cells are read
+// individually (no lock), so a snapshot taken under concurrent writers is
+// per-cell consistent only — fine for monitoring, by design.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction; shared, not copied
+		Counts: make([]uint64, len(h.cells)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Max:    math.Float64frombits(h.max.Load()),
+	}
+	for i := range h.cells {
+		s.Counts[i] = h.cells[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes every cell. Concurrent observations during a reset may land
+// on either side of it.
+func (h *Histogram) Reset() {
+	for i := range h.cells {
+		h.cells[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, the input to
+// quantile estimation, merging, and exposition.
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds (shared with the source
+	// histogram; treat as read-only).
+	Bounds []float64
+	// Counts are the per-bucket counts; the final entry is the +Inf bucket.
+	Counts []uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the running sum of all observed values.
+	Sum float64
+	// Max is the largest value observed.
+	Max float64
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding that rank. Observations in the
+// +Inf bucket report Max. An empty snapshot reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Max // +Inf bucket: best estimate is the observed max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if hi > s.Max {
+			hi = s.Max // never report beyond the observed max
+		}
+		if hi < lo {
+			return lo
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Max
+}
+
+// Mean returns the exact arithmetic mean of the observations (Sum/Count),
+// or 0 for an empty snapshot.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Merge combines two snapshots taken from histograms with identical bucket
+// bounds into one, summing counts — the way per-client histograms roll up
+// into a run total.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with %d and %d bounds",
+			len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with different bounds at %d: %g vs %g",
+				i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Max:    math.Max(s.Max, o.Max),
+	}
+	for i := range out.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+// Package obs is the observability layer of the repository: a stdlib-only,
+// allocation-conscious metrics registry (atomic counters, gauges, and
+// fixed-bucket latency histograms with snapshot/reset semantics), a
+// Prometheus text-exposition writer and parser, and a bounded
+// overwrite-oldest trace ring of typed span events.
+//
+// The paper's claims are statistical — RO2 load balance, the Section 4.3
+// unfairness bound, minimal movement per operation — and this package is
+// what makes them continuously measurable from the serving path instead of
+// only at end of run: the gateway exposes a Registry at GET /v1/metrics,
+// the cm server feeds per-round gauges into it, and the trace Ring records
+// the same control-plane event stream the durable store journals, so a
+// replayed recovery retraces the ring identically.
+//
+// Concurrency: every metric cell is a single atomic word. Observe, Add,
+// Inc, and Set are lock-free, safe for any number of concurrent writers,
+// and allocation-free — they may sit on request hot paths. Snapshots and
+// exposition take no locks over the cells either; a snapshot is therefore
+// only per-cell consistent, which is the standard monitoring trade-off.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric: requests served, blocks
+// migrated, fsyncs issued. All methods are lock-free, allocation-free, and
+// safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the counter. It exists for mirroring an external monotonic
+// total (for example a cm.Metrics field) into the registry; the caller is
+// responsible for monotonicity.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down: queue depth, disks in the
+// array, migration backlog, a live unfairness estimate. Values are float64
+// (stored as bits in one atomic word); all methods are lock-free,
+// allocation-free, and safe for concurrent use.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// SetInt overwrites the gauge with an integer value.
+func (g *Gauge) SetInt(v int) { g.Set(float64(v)) }
+
+// Add adds delta (which may be negative) with a compare-and-swap loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.v.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// metricKind discriminates what a registry entry holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterVec
+	kindGaugeVec
+	kindHistogramVec
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge, kindGaugeVec:
+		return "gauge"
+	case kindHistogram, kindHistogramVec:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// entry is one registered metric family.
+type entry struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cvec    *CounterVec
+	gvec    *GaugeVec
+	hvec    *HistogramVec
+}
+
+// Registry is a typed, name-keyed collection of metric families. Metric
+// construction (NewCounter and friends) takes a mutex and is meant for
+// startup or low-frequency paths; the returned cells are then lock-free for
+// the lifetime of the registry. Registering the same name twice with the
+// same type returns the existing metric (idempotent), so independent
+// subsystems may safely ask for a shared family; re-registering a name with
+// a different type panics — that is always a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*entry
+	ordered []*entry // registration order, the exposition order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+// lookup returns the existing entry for name after checking its kind, or
+// nil if the name is free. Caller holds mu.
+func (r *Registry) lookup(name string, kind metricKind) *entry {
+	e, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, e.kind))
+	}
+	return e
+}
+
+func (r *Registry) add(e *entry) {
+	r.byName[e.name] = e
+	r.ordered = append(r.ordered, e)
+}
+
+// NewCounter registers (or returns the existing) counter with the given
+// name and help text.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindCounter); e != nil {
+		return e.counter
+	}
+	c := &Counter{}
+	r.add(&entry{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// NewGauge registers (or returns the existing) gauge with the given name
+// and help text.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindGauge); e != nil {
+		return e.gauge
+	}
+	g := &Gauge{}
+	r.add(&entry{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// NewHistogram registers (or returns the existing) histogram with the given
+// name, help text, and finite bucket bounds. Invalid bounds panic: bucket
+// layouts are static program structure, not runtime input.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindHistogram); e != nil {
+		return e.hist
+	}
+	h := MustNewHistogram(bounds)
+	r.add(&entry{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// NewCounterVec registers (or returns the existing) counter family keyed by
+// one label.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindCounterVec); e != nil {
+		return e.cvec
+	}
+	v := &CounterVec{label: label, children: make(map[string]*Counter)}
+	r.add(&entry{name: name, help: help, kind: kindCounterVec, cvec: v})
+	return v
+}
+
+// NewGaugeVec registers (or returns the existing) gauge family keyed by one
+// label.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindGaugeVec); e != nil {
+		return e.gvec
+	}
+	v := &GaugeVec{label: label, children: make(map[string]*Gauge)}
+	r.add(&entry{name: name, help: help, kind: kindGaugeVec, gvec: v})
+	return v
+}
+
+// NewHistogramVec registers (or returns the existing) histogram family
+// keyed by one label; every child shares the same bucket bounds.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindHistogramVec); e != nil {
+		return e.hvec
+	}
+	v := &HistogramVec{label: label, bounds: append([]float64(nil), bounds...),
+		children: make(map[string]*Histogram)}
+	r.add(&entry{name: name, help: help, kind: kindHistogramVec, hvec: v})
+	return v
+}
+
+// Reset zeroes every counter, gauge, and histogram cell in the registry and
+// drops all vec children. Meant for test isolation and loadgen warm-up
+// windows, not for the serving path.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.ordered {
+		switch e.kind {
+		case kindCounter:
+			e.counter.Set(0)
+		case kindGauge:
+			e.gauge.Set(0)
+		case kindHistogram:
+			e.hist.Reset()
+		case kindCounterVec:
+			e.cvec.reset()
+		case kindGaugeVec:
+			e.gvec.reset()
+		case kindHistogramVec:
+			e.hvec.reset()
+		}
+	}
+}
+
+// CounterVec is a family of counters distinguished by one label value, e.g.
+// gateway_requests_total{code="200"}. With retrieves children under a
+// short mutex; hot paths should call With once at setup and keep the
+// returned *Counter, which is then lock-free.
+type CounterVec struct {
+	mu       sync.Mutex
+	label    string
+	children map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on first
+// use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Delete removes the child for the given label value, if any. Used when the
+// labelled resource goes away (a disk removed by scale-down).
+func (v *CounterVec) Delete(value string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.children, value)
+}
+
+func (v *CounterVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.children = make(map[string]*Counter)
+}
+
+// snapshot returns label values in sorted order with their counters.
+func (v *CounterVec) snapshot() ([]string, []*Counter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Counter, len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	return keys, out
+}
+
+// GaugeVec is a family of gauges distinguished by one label value, e.g.
+// cm_disk_queue_depth{disk="3"}. Locking behaves as in CounterVec.
+type GaugeVec struct {
+	mu       sync.Mutex
+	label    string
+	children map[string]*Gauge
+}
+
+// With returns the gauge for the given label value, creating it on first
+// use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[value]
+	if !ok {
+		g = &Gauge{}
+		v.children[value] = g
+	}
+	return g
+}
+
+// Delete removes the child for the given label value, if any.
+func (v *GaugeVec) Delete(value string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.children, value)
+}
+
+func (v *GaugeVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.children = make(map[string]*Gauge)
+}
+
+func (v *GaugeVec) snapshot() ([]string, []*Gauge) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Gauge, len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	return keys, out
+}
+
+// HistogramVec is a family of histograms sharing one bucket layout,
+// distinguished by one label value, e.g.
+// gateway_read_phase_seconds{phase="locate"}.
+type HistogramVec struct {
+	mu       sync.Mutex
+	label    string
+	bounds   []float64
+	children map[string]*Histogram
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use. Hot paths must call With once at setup and keep the returned
+// *Histogram — With itself takes a mutex and may allocate.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = MustNewHistogram(v.bounds)
+		v.children[value] = h
+	}
+	return h
+}
+
+// Delete removes the child for the given label value, if any.
+func (v *HistogramVec) Delete(value string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.children, value)
+}
+
+func (v *HistogramVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.children = make(map[string]*Histogram)
+}
+
+func (v *HistogramVec) snapshot() ([]string, []*Histogram) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	return keys, out
+}

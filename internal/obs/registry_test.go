@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "help")
+	b := r.NewCounter("x_total", "other help ignored")
+	if a != b {
+		t.Fatal("same-name counter registration returned a different cell")
+	}
+	g1 := r.NewGauge("g", "h")
+	if g2 := r.NewGauge("g", "h"); g1 != g2 {
+		t.Fatal("same-name gauge registration returned a different cell")
+	}
+	h1 := r.NewHistogram("h_seconds", "h", []float64{1, 2})
+	if h2 := r.NewHistogram("h_seconds", "h", []float64{9}); h1 != h2 {
+		t.Fatal("same-name histogram registration returned a different cell")
+	}
+	v1 := r.NewGaugeVec("v", "h", "disk")
+	if v2 := r.NewGaugeVec("v", "h", "disk"); v1 != v2 {
+		t.Fatal("same-name vec registration returned a different family")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.NewGauge("x", "h")
+}
+
+func TestVecWithAndDelete(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("cm_disk_load", "blocks per disk", "disk")
+	v.With("0").Set(10)
+	v.With("1").Set(20)
+	if got := v.With("0").Value(); got != 10 {
+		t.Fatalf("child 0 = %g", got)
+	}
+	v.Delete("1")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `cm_disk_load{disk="0"} 10`) {
+		t.Fatalf("missing surviving child:\n%s", out)
+	}
+	if strings.Contains(out, `disk="1"`) {
+		t.Fatalf("deleted child still exposed:\n%s", out)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "h")
+	g := r.NewGauge("g", "h")
+	h := r.NewHistogram("h_seconds", "h", []float64{1})
+	v := r.NewCounterVec("v_total", "h", "k")
+	c.Add(5)
+	g.Set(2)
+	h.Observe(0.5)
+	v.With("a").Inc()
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("Reset left cells nonzero")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `v_total{k="a"}`) {
+		t.Fatal("Reset kept vec children")
+	}
+}
+
+// TestExpositionGolden locks down the exposition format byte-for-byte: the
+// loadgen dashboard, EXPERIMENTS scripts, and any external Prometheus
+// scraper all parse this exact shape.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	reads := r.NewCounter("gateway_reads_total", "Block reads served.")
+	reads.Add(1234)
+	depth := r.NewGaugeVec("cm_disk_queue_depth", "Blocks queued per disk this round.", "disk")
+	depth.With("0").SetInt(3)
+	depth.With("10").SetInt(7) // sorts lexicographically: "0" < "10"
+	unfair := r.NewGauge("cm_unfairness", "Live max/mean load ratio minus one.")
+	unfair.Set(0.125)
+	bound := r.NewGauge("cm_unfairness_bound", "Analytic f(R_k,N_k) bound.")
+	bound.Set(math.Inf(1))
+	lat := r.NewHistogram("gateway_read_seconds", "End-to-end read latency.", []float64{0.001, 0.01, 0.1})
+	lat.Observe(0.0005)
+	lat.Observe(0.005)
+	lat.Observe(0.005)
+	lat.Observe(5) // +Inf bucket
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP gateway_reads_total Block reads served.
+# TYPE gateway_reads_total counter
+gateway_reads_total 1234
+# HELP cm_disk_queue_depth Blocks queued per disk this round.
+# TYPE cm_disk_queue_depth gauge
+cm_disk_queue_depth{disk="0"} 3
+cm_disk_queue_depth{disk="10"} 7
+# HELP cm_unfairness Live max/mean load ratio minus one.
+# TYPE cm_unfairness gauge
+cm_unfairness 0.125
+# HELP cm_unfairness_bound Analytic f(R_k,N_k) bound.
+# TYPE cm_unfairness_bound gauge
+cm_unfairness_bound +Inf
+# HELP gateway_read_seconds End-to-end read latency.
+# TYPE gateway_read_seconds histogram
+gateway_read_seconds_bucket{le="0.001"} 1
+gateway_read_seconds_bucket{le="0.01"} 3
+gateway_read_seconds_bucket{le="0.1"} 3
+gateway_read_seconds_bucket{le="+Inf"} 4
+gateway_read_seconds_sum 5.0105
+gateway_read_seconds_count 4
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "h").Add(7)
+	r.NewGauge("b", "h").Set(-2.5)
+	r.NewGauge("inf", "h").Set(math.Inf(1))
+	hv := r.NewHistogramVec("lat_seconds", "h", "phase", []float64{0.01, 0.1})
+	hv.With("locate").Observe(0.005)
+	hv.With("locate").Observe(0.05)
+	hv.With("service").Observe(0.2)
+	gv := r.NewGaugeVec("load", "h", "disk")
+	gv.With("0").Set(4)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText on our own output: %v", err)
+	}
+	m := NewMetricSet(samples)
+	if v, ok := m.Value("a_total"); !ok || v != 7 {
+		t.Fatalf("a_total = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("b"); !ok || v != -2.5 {
+		t.Fatalf("b = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("inf"); !ok || !math.IsInf(v, 1) {
+		t.Fatalf("inf = %v, %v", v, ok)
+	}
+	if v, ok := m.LabelValue("load", "disk", "0"); !ok || v != 4 {
+		t.Fatalf("load{disk=0} = %v, %v", v, ok)
+	}
+	snap, ok := m.Histogram("lat_seconds", "phase", "locate")
+	if !ok {
+		t.Fatal("histogram lat_seconds{phase=locate} not reconstructed")
+	}
+	if snap.Count != 2 || snap.Counts[0] != 1 || snap.Counts[1] != 1 || snap.Counts[2] != 0 {
+		t.Fatalf("reconstructed %+v", snap)
+	}
+	if q := snap.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("reconstructed p50 = %g, want in (0, 0.01]", q)
+	}
+	other, ok := m.Histogram("lat_seconds", "phase", "service")
+	if !ok || other.Count != 1 || other.Counts[2] != 1 {
+		t.Fatalf("service histogram %+v, %v", other, ok)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"name_only",
+		`m{a="x} 1`,
+		`m{a=x} 1`,
+		"m not_a_number",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseText accepted %q", bad)
+		}
+	}
+	// Comments, blanks, and escaped label values are fine.
+	samples, err := ParseText(strings.NewReader(
+		"# HELP x h\n\nx{p=\"a\\\"b\\n\"} 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Label("p") != "a\"b\n" {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.NewCounter("shared_total", "h")
+			v := r.NewGaugeVec("vec", "h", "k")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				v.With("a").Add(1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.NewCounter("shared_total", "h").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}

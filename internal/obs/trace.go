@@ -1,0 +1,122 @@
+package obs
+
+import "sync"
+
+// Span is one typed trace event: a round executed, a scaling operation
+// applied, blocks migrated or rebuilt, a disk failed. Spans come from two
+// producers with one contract — the live cm event stream and the store's
+// recovery replay of the same journaled events — so a recovered server
+// retraces the ring of the run it replays.
+type Span struct {
+	// Seq is the ring-assigned sequence number, monotonically increasing
+	// across the life of the ring (including overwritten spans).
+	Seq uint64
+	// Round is the cm round counter at emit time, or -1 for spans appended
+	// during journal replay, where rounds are not re-executed.
+	Round int64
+	// Kind names the event, e.g. "scale_up", "blocks_migrated", "round".
+	Kind string
+	// Object is the object ID the span concerns, or -1 when not applicable.
+	Object int64
+	// Disk is the disk index the span concerns, or -1 when not applicable.
+	Disk int64
+	// Count is the span's magnitude: blocks moved, blocks rebuilt, disks
+	// added — whatever the Kind measures; 0 when not applicable.
+	Count int64
+	// Aux carries a second dimension when one count is not enough (e.g.
+	// disks removed alongside blocks migrated); 0 when not applicable.
+	Aux int64
+}
+
+// Ring is a bounded, overwrite-oldest buffer of trace spans. Append takes a
+// short mutex (it is called from control-plane paths — round ticks, scaling
+// operations, replay — never from the per-request read path); Dump copies
+// the live window oldest-first. A nil *Ring is valid and ignores appends,
+// so instrumented code never branches on whether tracing is enabled.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Span
+	next uint64 // total spans ever appended; next Seq to assign
+	base uint64 // Seq of the oldest span not discarded by Reset
+}
+
+// NewRing returns a ring holding the most recent capacity spans; capacity
+// is clamped below at 1.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Span, capacity)}
+}
+
+// Append records a span, overwriting the oldest when full, and assigns its
+// Seq. Appending to a nil ring is a no-op.
+func (r *Ring) Append(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = s
+	r.next++
+	r.mu.Unlock()
+}
+
+// live returns the Seq of the oldest retained span and the count of
+// retained spans. Caller holds mu.
+func (r *Ring) live() (start, n uint64) {
+	start = r.base
+	if r.next > uint64(len(r.buf)) && r.next-uint64(len(r.buf)) > start {
+		start = r.next - uint64(len(r.buf))
+	}
+	return start, r.next - start
+}
+
+// Len returns the number of spans currently held (at most the capacity).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, n := r.live()
+	return int(n)
+}
+
+// Total returns the number of spans ever appended, including overwritten
+// and Reset ones.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dump returns a copy of the retained spans, oldest first. A nil ring
+// dumps nil.
+func (r *Ring) Dump() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start, n := r.live()
+	out := make([]Span, 0, n)
+	for seq := start; seq < start+n; seq++ {
+		out = append(out, r.buf[seq%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Reset drops all retained spans but keeps the sequence counter, so Seq
+// stays unique across the ring's life.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.base = r.next
+}

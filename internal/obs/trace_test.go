@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingAppendDump(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Dump() != nil && len(r.Dump()) != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < 3; i++ {
+		r.Append(Span{Kind: "round", Count: int64(i)})
+	}
+	d := r.Dump()
+	if len(d) != 3 {
+		t.Fatalf("len = %d", len(d))
+	}
+	for i, s := range d {
+		if s.Seq != uint64(i) || s.Count != int64(i) {
+			t.Fatalf("span %d = %+v", i, s)
+		}
+	}
+}
+
+func TestRingOverwriteOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Span{Count: int64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	d := r.Dump()
+	for i, s := range d {
+		want := int64(6 + i) // oldest retained is #6
+		if s.Count != want || s.Seq != uint64(want) {
+			t.Fatalf("span %d = %+v, want count/seq %d", i, s, want)
+		}
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Append(Span{Count: int64(i)})
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Dump()) != 0 {
+		t.Fatal("Reset did not empty the ring")
+	}
+	r.Append(Span{Kind: "after"})
+	d := r.Dump()
+	if len(d) != 1 || d[0].Seq != 6 {
+		t.Fatalf("post-Reset dump %+v; Seq must continue from 6", d)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Append(Span{Kind: "ignored"})
+	if r.Len() != 0 || r.Total() != 0 || r.Dump() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	r.Reset()
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Append(Span{Kind: "x"})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			d := r.Dump()
+			for j := 1; j < len(d); j++ {
+				if d[j].Seq != d[j-1].Seq+1 {
+					t.Errorf("dump not sequential: %d then %d", d[j-1].Seq, d[j].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Total() != 4000 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+func TestRingCapacityClamp(t *testing.T) {
+	r := NewRing(0)
+	r.Append(Span{Count: 1})
+	r.Append(Span{Count: 2})
+	d := r.Dump()
+	if len(d) != 1 || d[0].Count != 2 {
+		t.Fatalf("clamped ring dump %+v", d)
+	}
+}

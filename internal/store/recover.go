@@ -38,6 +38,7 @@ func (s *Store) Recover(x0 placement.X0Func) (*cm.Server, *RecoveryInfo, error) 
 		if err := applyEvent(srv, ev); err != nil {
 			return nil, nil, fmt.Errorf("store: replaying %s at LSN %d: %w", ev.Kind, rec.lsn, err)
 		}
+		s.observeReplay(ev)
 	}
 	if err := srv.VerifyIntegrity(); err != nil {
 		return nil, nil, fmt.Errorf("store: recovered server failed verification: %w", err)

@@ -23,9 +23,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"scaddar/internal/cm"
 	"scaddar/internal/fsio"
+	"scaddar/internal/obs"
 )
 
 // Config fixes a store's location and durability batching.
@@ -80,11 +82,12 @@ type RecoveryInfo struct {
 	// LSN is the last event reflected in the recovered state.
 	LSN uint64 `json:"lsn"`
 	// TornTail reports that the journal ended in a torn or corrupt record
-	// and was truncated there; TornReason says why and TruncatedBytes how
-	// much was discarded.
-	TornTail       bool   `json:"tornTail,omitempty"`
-	TornReason     string `json:"tornReason,omitempty"`
-	TruncatedBytes int64  `json:"truncatedBytes,omitempty"`
+	// and was truncated there.
+	TornTail bool `json:"tornTail,omitempty"`
+	// TornReason says why the tail was distrusted.
+	TornReason string `json:"tornReason,omitempty"`
+	// TruncatedBytes is how much the truncation discarded.
+	TruncatedBytes int64 `json:"truncatedBytes,omitempty"`
 	// DroppedSegments counts segments discarded outside the trusted chain:
 	// past the truncation point, or stale pre-checkpoint segments
 	// superseded by a newer chain resuming at the checkpoint.
@@ -95,14 +98,22 @@ type RecoveryInfo struct {
 
 // Status is a point-in-time view of the store for health endpoints.
 type Status struct {
-	Dir                   string        `json:"dir"`
-	LSN                   uint64        `json:"lsn"`
-	DurableLSN            uint64        `json:"durableLsn"`
-	CheckpointLSN         uint64        `json:"checkpointLsn"`
-	Segments              int           `json:"segments"`
-	EventsSinceCheckpoint uint64        `json:"eventsSinceCheckpoint"`
-	Err                   string        `json:"err,omitempty"`
-	Recovery              *RecoveryInfo `json:"recovery,omitempty"`
+	// Dir is the data directory this store has open.
+	Dir string `json:"dir"`
+	// LSN is the last assigned journal sequence number.
+	LSN uint64 `json:"lsn"`
+	// DurableLSN is the last LSN covered by an fsync.
+	DurableLSN uint64 `json:"durableLsn"`
+	// CheckpointLSN is the LSN of the newest checkpoint.
+	CheckpointLSN uint64 `json:"checkpointLsn"`
+	// Segments is the number of journal segments in the trusted chain.
+	Segments int `json:"segments"`
+	// EventsSinceCheckpoint is the crash-replay cost right now.
+	EventsSinceCheckpoint uint64 `json:"eventsSinceCheckpoint"`
+	// Err carries the sticky journal failure, empty when healthy.
+	Err string `json:"err,omitempty"`
+	// Recovery, when the store was recovered, reports what recovery found.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // Store is an open data directory. Methods are safe for concurrent use; the
@@ -131,6 +142,12 @@ type Store struct {
 	err      error // sticky: first append/sync failure kills the journal
 
 	recovery RecoveryInfo
+
+	// metrics and trace are the optional observability hooks (see
+	// observe.go): registry cells published under mu, and the ring Recover
+	// appends replayed-event spans to.
+	metrics *storeMetrics
+	trace   *obs.Ring
 }
 
 // Open opens (or, unless ReadOnly, creates) a data directory, scans its
@@ -422,6 +439,7 @@ func (s *Store) Append(ev cm.Event) (uint64, error) {
 	sm.size = s.activeSize
 	s.nextLSN++
 	s.unsynced++
+	s.observeAppend(len(frame))
 	if s.unsynced >= s.cfg.SyncEvery {
 		if err := s.syncLocked(); err != nil {
 			return 0, s.fail(err)
@@ -456,6 +474,7 @@ func (s *Store) Sync() error {
 }
 
 func (s *Store) syncLocked() error {
+	start := time.Now()
 	if s.w != nil {
 		if err := s.w.Flush(); err != nil {
 			return err
@@ -466,8 +485,10 @@ func (s *Store) syncLocked() error {
 			return err
 		}
 	}
+	batch := s.unsynced
 	s.durableLSN = s.nextLSN - 1
 	s.unsynced = 0
+	s.observeSync(batch, time.Since(start))
 	return nil
 }
 
@@ -588,6 +609,10 @@ func (s *Store) Checkpoint(srv *cm.Server) (uint64, error) {
 		return 0, s.fail(err)
 	}
 	s.prune()
+	if s.metrics != nil {
+		s.metrics.checkpoints.Inc()
+	}
+	s.publishLocked()
 	return lsn, nil
 }
 

@@ -27,6 +27,7 @@
 package scaddar
 
 import (
+	"io"
 	"os"
 
 	"scaddar/internal/cm"
@@ -35,6 +36,7 @@ import (
 	"scaddar/internal/gateway"
 	"scaddar/internal/hetero"
 	"scaddar/internal/mirror"
+	"scaddar/internal/obs"
 	"scaddar/internal/parity"
 	"scaddar/internal/placement"
 	"scaddar/internal/prng"
@@ -250,7 +252,7 @@ type Gateway = gateway.Gateway
 // GatewayConfig tunes the gateway around a server.
 type GatewayConfig = gateway.Config
 
-// GatewayStatus is the owner-published metrics view (the /v1/metrics body).
+// GatewayStatus is the owner-published status view (the /v1/status body).
 type GatewayStatus = gateway.Status
 
 // LocatorSnapshot is an immutable, concurrency-safe view of the server's
@@ -260,6 +262,74 @@ type LocatorSnapshot = cm.LocatorSnapshot
 // NewGateway wraps a server (objects already loaded) in a gateway and
 // starts its round driver. The gateway takes ownership of the server.
 func NewGateway(srv *Server, cfg GatewayConfig) (*Gateway, error) { return gateway.New(srv, cfg) }
+
+// ---- Observability (internal/obs) ----
+
+// MetricsRegistry is a typed registry of lock-free counters, gauges, and
+// fixed-bucket histograms with Prometheus text exposition. Registration is
+// idempotent: asking for an existing name (with the same type) returns the
+// same cell, so a recovered server can adopt the registry of the instance
+// it replaces.
+type MetricsRegistry = obs.Registry
+
+// Counter is a monotonically increasing metric cell. All methods are safe
+// for concurrent use and allocation-free.
+type Counter = obs.Counter
+
+// Gauge is a set-to-current-value metric cell holding a float64.
+type Gauge = obs.Gauge
+
+// Histogram is a fixed-bucket histogram; Observe is lock-free and
+// allocation-free, suitable for request hot paths.
+type Histogram = obs.Histogram
+
+// HistogramSnapshot is a point-in-time copy of a histogram with quantile
+// estimation, merging, and mean.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// TraceRing is a bounded, overwrite-oldest ring of trace spans; attach one
+// to a gateway (GatewayConfig.TraceRing) or a store to record the server's
+// event history.
+type TraceRing = obs.Ring
+
+// TraceSpan is one recorded span: a durable server event with its round,
+// object, disk, and payload size.
+type TraceSpan = obs.Span
+
+// MetricSample is one parsed sample from a Prometheus text exposition.
+type MetricSample = obs.Sample
+
+// MetricSet indexes parsed samples by name and label for assertions and
+// scraping clients, including histogram reconstruction.
+type MetricSet = obs.MetricSet
+
+// NewMetricsRegistry returns an empty metrics registry. Pass it as
+// GatewayConfig.Registry to share one across components or expose it on a
+// debug listener.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceRing returns a trace ring holding the most recent capacity spans.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewMetricSet wraps parsed samples for name/label lookup.
+func NewMetricSet(samples []MetricSample) *MetricSet { return obs.NewMetricSet(samples) }
+
+// ParseMetricsText parses a Prometheus text-format exposition (the
+// /v1/metrics body) into samples.
+func ParseMetricsText(r io.Reader) ([]MetricSample, error) { return obs.ParseText(r) }
+
+// LatencyBuckets returns the exponential bucket bounds (in seconds) the
+// built-in latency histograms use, from 10µs to ~80s.
+func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
+
+// ExpBuckets returns n exponentially spaced histogram bucket bounds
+// starting at lo, each factor times the previous.
+func ExpBuckets(lo, factor float64, n int) []float64 { return obs.ExpBuckets(lo, factor, n) }
+
+// ServerEventSpan converts a journaled server event to the trace span the
+// live event stream and crash-recovery replay both record, so a replayed
+// history retraces identically.
+func ServerEventSpan(ev ServerEvent) TraceSpan { return cm.EventSpan(ev) }
 
 // ---- Durable state (internal/store, internal/fsio) ----
 
