@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify benchtables fuzz clean
+.PHONY: build test lint verify benchtables bench fuzz clean
 
 # Tier-1 gate: everything must build and the full suite must pass.
 build:
@@ -37,10 +37,20 @@ benchtables:
 	$(GO) run ./cmd/benchtables > benchtables_output.txt
 	@echo "regenerated benchtables_output.txt"
 
+# Capture the core benchmark suite as BENCH_5.json (benchmark name →
+# ns/op, allocs/op), the committed perf baseline for the compiled-chain
+# work. Re-run and commit with any change that moves a number.
+bench:
+	$(GO) test -run '^$$' -bench 'Locat|Lookup|Snapshot|PlanAdd|SafeLocator|Strategy|Codec|PRNG|Gateway|Compiled' -benchmem ./... | $(GO) run ./tools/benchjson > BENCH_5.json
+	@echo "regenerated BENCH_5.json"
+
 # Short fuzz passes over the History codecs (seed corpora under
-# internal/scaddar/testdata/fuzz/) and the write-ahead-journal reader.
+# internal/scaddar/testdata/fuzz/), the compiled-chain differential
+# fuzzer (compiled vs interpreted lookups), and the write-ahead-journal
+# reader.
 fuzz:
 	$(GO) test ./internal/scaddar/ -fuzz FuzzCodec -fuzztime 30s
+	$(GO) test ./internal/scaddar/ -fuzz FuzzCompiledChain -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzJournal -fuzztime 30s
 
 clean:

@@ -172,6 +172,7 @@ func BenchmarkSafeLocatorParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		i := uint64(0)
 		for pb.Next() {
@@ -211,6 +212,7 @@ func BenchmarkLocate(b *testing.B) {
 	for _, ops := range []int{0, 1, 4, 16, 64} {
 		h := benchHistory(b, ops)
 		b.Run(benchName("ops", ops), func(b *testing.B) {
+			b.ReportAllocs()
 			x := uint64(0x9e3779b97f4a7c15)
 			sink := 0
 			for i := 0; i < b.N; i++ {
@@ -219,6 +221,28 @@ func BenchmarkLocate(b *testing.B) {
 			if sink == -1 {
 				b.Fatal("impossible")
 			}
+		})
+	}
+}
+
+// BenchmarkLocateBatch measures the compiled chain's bulk sweep at the same
+// history lengths as BenchmarkLocate; ns/op here covers 4096 blocks per
+// iteration (see the ns/block metric).
+func BenchmarkLocateBatch(b *testing.B) {
+	xs := make([]uint64, 4096)
+	src := prng.NewSplitMix64(7)
+	for i := range xs {
+		xs[i] = src.Next()
+	}
+	out := make([]int, len(xs))
+	for _, ops := range []int{0, 1, 4, 16, 64} {
+		chain := benchHistory(b, ops).Compile()
+		b.Run(benchName("ops", ops), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				chain.LocateBatch(xs, out)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(xs)), "ns/block")
 		})
 	}
 }
@@ -238,6 +262,7 @@ func BenchmarkLocatorDisk(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := loc.Disk(42, uint64(i%10000)); err != nil {
@@ -262,6 +287,7 @@ func BenchmarkStrategyDisk(b *testing.B) {
 		s.AddDisks(1)
 		s.RemoveDisks(0)
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			sink := 0
 			for i := 0; i < b.N; i++ {
 				sink += s.Disk(placement.BlockRef{Seed: uint64(i % 64), Index: uint64(i % 4096)})
@@ -277,6 +303,7 @@ func BenchmarkStrategyDisk(b *testing.B) {
 func BenchmarkPlanAdd(b *testing.B) {
 	blocks := experiments.BlockUniverse(20, 1000)
 	x0 := experiments.X0FuncBits(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -294,6 +321,7 @@ func BenchmarkPlanAdd(b *testing.B) {
 // BenchmarkHistoryCodec measures the operation-log binary codec round trip.
 func BenchmarkHistoryCodec(b *testing.B) {
 	h := benchHistory(b, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		data, err := h.MarshalBinary()
@@ -317,6 +345,7 @@ func BenchmarkPRNG(b *testing.B) {
 	}
 	for name, src := range sources {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var sink uint64
 			for i := 0; i < b.N; i++ {
 				sink += src.Next()

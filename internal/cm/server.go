@@ -355,6 +355,17 @@ func (s *Server) blockIDOf(b placement.BlockRef) disk.BlockID {
 	return blockID(obj, b.Index)
 }
 
+// objectLayout resolves the logical disk of every block of an object in one
+// sweep, going through placement.Snapshot so strategies with a bulk path
+// (compiled and parallel for SCADDAR) resolve the whole object at once.
+func objectLayout(strat placement.Strategy, obj workload.Object) []int {
+	blocks := make([]placement.BlockRef, obj.Blocks)
+	for i := range blocks {
+		blocks[i] = placement.BlockRef{Seed: obj.Seed, Index: uint64(i)}
+	}
+	return placement.Snapshot(strat, blocks)
+}
+
 // AddObject loads an object's blocks onto the array according to the
 // placement strategy. Objects must have distinct IDs and seeds and match
 // the server block size.
@@ -386,8 +397,7 @@ func (s *Server) AddObject(obj workload.Object) error {
 	if obj.ID < 0 || obj.ID >= 1<<24 || uint64(obj.Blocks) >= 1<<40 {
 		return fmt.Errorf("cm: object %d outside addressable range", obj.ID)
 	}
-	for i := 0; i < obj.Blocks; i++ {
-		logical := s.strat.Disk(placement.BlockRef{Seed: obj.Seed, Index: uint64(i)})
+	for i, logical := range objectLayout(s.strat, obj) {
 		d, err := s.array.Disk(logical)
 		if err != nil {
 			return err
@@ -419,8 +429,7 @@ func (s *Server) RemoveObject(id int) error {
 			return fmt.Errorf("cm: object %d has active streams", id)
 		}
 	}
-	for i := 0; i < obj.Blocks; i++ {
-		logical := s.strat.Disk(placement.BlockRef{Seed: obj.Seed, Index: uint64(i)})
+	for i, logical := range objectLayout(s.strat, obj) {
 		d, err := s.array.Disk(logical)
 		if err != nil {
 			return err

@@ -5,7 +5,10 @@ import (
 	"sort"
 
 	"scaddar/internal/disk"
+	"scaddar/internal/par"
 	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/reorg"
 	"scaddar/internal/scaddar"
 )
 
@@ -39,24 +42,134 @@ type snapObject struct {
 
 // LocatorSnapshot is an immutable, concurrency-safe view of the block
 // location function at one instant: the object catalog, a SafeLocator over
-// a cloned operation log, the in-flight migration's pending-source map, and
-// the scale-down index translation. All fields are written once at build
-// time; any number of goroutines may call Locate concurrently afterwards.
+// a cloned operation log, the in-flight migration's pending-source index,
+// and the scale-down index translation. All fields are written once at
+// build time; any number of goroutines may call Locate concurrently
+// afterwards.
+//
+// The snapshot holds the SafeLocator's compiled REMAP chain directly, so
+// the steady-state Locate path — pending-index probe, X0 regeneration,
+// multiply-shift remap — interprets no operation log and allocates nothing.
 type LocatorSnapshot struct {
 	n            int
 	reorganizing bool
 	degraded     bool
 	objects      map[int]snapObject
 	loc          *scaddar.SafeLocator
-	// pending maps blocks whose migration move has not executed yet to
+	// chain is loc's compiled chain, resolved once at build time so Locate
+	// skips even the cached-compile version check.
+	chain *scaddar.CompiledChain
+	// pending indexes blocks whose migration move has not executed yet by
 	// their pre-operation source disk (mirrors Executor.PendingSource).
-	pending map[placement.BlockRef]int
+	pending *pendingIndex
 	// preOf translates post-removal logical indices back to the
 	// pre-removal numbering while a scale-down drain is in flight
 	// (mirrors Server.removalPreOf).
 	preOf []int
 	// health is the per-logical-disk health at build time.
 	health []disk.Health
+}
+
+// pendingIndex is an immutable sharded view of an in-flight migration's
+// pending moves. It is built once by BuildSnapshot — in parallel for large
+// move sets — and read lock-free afterwards: shard choice is a pure hash of
+// the block reference, so concurrent readers never contend on a lock or
+// allocate.
+type pendingIndex struct {
+	mask   uint64
+	shards []map[placement.BlockRef]int
+}
+
+// pendingShard hashes a block reference to its shard.
+func pendingShard(b placement.BlockRef, mask uint64) uint64 {
+	return prng.Combine(b.Seed, b.Index) & mask
+}
+
+// buildPendingIndex builds the sharded pending index from the executor's
+// pending-move list. Small lists index serially into a single shard. Large
+// lists fan disjoint ranges of the move list across GOMAXPROCS workers,
+// each accumulating per-shard slices; the per-shard accumulators are then
+// merged in worker order, so the resulting index content is identical to a
+// serial build regardless of core count.
+func buildPendingIndex(moves []reorg.Move) *pendingIndex {
+	return buildPendingIndexN(moves, par.Workers())
+}
+
+// buildPendingIndexN is buildPendingIndex with an explicit worker count, so
+// determinism tests can exercise the fan-out/merge path on any machine.
+func buildPendingIndexN(moves []reorg.Move, workers int) *pendingIndex {
+	if len(moves) == 0 {
+		return nil
+	}
+	if len(moves) < par.MinParallel || workers < 2 {
+		m := make(map[placement.BlockRef]int, len(moves))
+		for _, mv := range moves {
+			m[mv.Block] = mv.From
+		}
+		return &pendingIndex{mask: 0, shards: []map[placement.BlockRef]int{m}}
+	}
+	nshards := 1
+	for nshards < workers {
+		nshards <<= 1
+	}
+	mask := uint64(nshards - 1)
+	// Phase 1: workers partition the move list into contiguous ranges and
+	// bucket their range by shard.
+	locals := make([][][]reorg.Move, workers)
+	par.RangesN(workers, workers, func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			buckets := make([][]reorg.Move, nshards)
+			lo, hi := w*len(moves)/workers, (w+1)*len(moves)/workers
+			for _, mv := range moves[lo:hi] {
+				s := pendingShard(mv.Block, mask)
+				buckets[s] = append(buckets[s], mv)
+			}
+			locals[w] = buckets
+		}
+	})
+	// Phase 2: each shard map is filled from the per-worker accumulators in
+	// worker order (blocks are distinct across moves, so the content is
+	// order-independent anyway; worker order keeps the merge deterministic
+	// by construction).
+	idx := &pendingIndex{mask: mask, shards: make([]map[placement.BlockRef]int, nshards)}
+	par.RangesN(nshards, workers, func(slo, shi int) {
+		for s := slo; s < shi; s++ {
+			total := 0
+			for w := 0; w < workers; w++ {
+				total += len(locals[w][s])
+			}
+			m := make(map[placement.BlockRef]int, total)
+			for w := 0; w < workers; w++ {
+				for _, mv := range locals[w][s] {
+					m[mv.Block] = mv.From
+				}
+			}
+			idx.shards[s] = m
+		}
+	})
+	return idx
+}
+
+// lookup reports the pending-move source disk for a block, if its move has
+// not executed yet. Safe for concurrent callers; never allocates.
+func (p *pendingIndex) lookup(b placement.BlockRef) (from int, pending bool) {
+	if p == nil {
+		return 0, false
+	}
+	from, pending = p.shards[pendingShard(b, p.mask)][b]
+	return from, pending
+}
+
+// size returns the total number of indexed pending moves.
+func (p *pendingIndex) size() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, m := range p.shards {
+		n += len(m)
+	}
+	return n
 }
 
 // BuildSnapshot constructs a LocatorSnapshot of the server's current state.
@@ -85,9 +198,10 @@ func (s *Server) BuildSnapshot(factory scaddar.SourceFactory) (*LocatorSnapshot,
 		degraded:     s.Degraded(),
 		objects:      objs,
 		loc:          loc,
+		chain:        loc.Chain(),
 	}
 	if s.migration != nil {
-		sn.pending = s.migration.PendingSources()
+		sn.pending = buildPendingIndex(s.migration.PendingList())
 		if s.removalPreOf != nil {
 			sn.preOf = append([]int(nil), s.removalPreOf...)
 		}
@@ -137,15 +251,14 @@ func (sn *LocatorSnapshot) Locate(object, index int) (int, error) {
 		return 0, fmt.Errorf("%w: object %d has no block %d", ErrBlockOutOfRange, object, index)
 	}
 	ref := placement.BlockRef{Seed: obj.seed, Index: uint64(index)}
-	if sn.pending != nil {
-		if from, pending := sn.pending[ref]; pending {
-			return from, nil
-		}
+	if from, pending := sn.pending.lookup(ref); pending {
+		return from, nil
 	}
-	d, err := sn.loc.Disk(obj.seed, uint64(index))
+	x0, err := sn.loc.X0(obj.seed, uint64(index))
 	if err != nil {
 		return 0, err
 	}
+	d := sn.chain.Locate(x0)
 	if sn.preOf != nil {
 		return sn.preOf[d], nil
 	}

@@ -1,0 +1,124 @@
+package cm
+
+import (
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/reorg"
+)
+
+// synthMoves builds n distinct pending moves with deterministic contents.
+func synthMoves(n int) []reorg.Move {
+	moves := make([]reorg.Move, n)
+	for i := range moves {
+		moves[i] = reorg.Move{
+			Block: placement.BlockRef{Seed: uint64(i%37 + 1), Index: uint64(i)},
+			From:  i % 11,
+			To:    i % 13,
+		}
+	}
+	return moves
+}
+
+func TestPendingIndexParallelMatchesSerial(t *testing.T) {
+	moves := synthMoves(5000)
+	serial := buildPendingIndexN(moves, 1)
+	if serial.size() != len(moves) {
+		t.Fatalf("serial index holds %d of %d moves", serial.size(), len(moves))
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		idx := buildPendingIndexN(moves, workers)
+		if idx.size() != serial.size() {
+			t.Fatalf("workers=%d: index holds %d moves, serial %d", workers, idx.size(), serial.size())
+		}
+		for _, m := range moves {
+			from, ok := idx.lookup(m.Block)
+			if !ok || from != m.From {
+				t.Fatalf("workers=%d: lookup(%v) = (%d,%v), want (%d,true)",
+					workers, m.Block, from, ok, m.From)
+			}
+		}
+		if _, ok := idx.lookup(placement.BlockRef{Seed: 999999, Index: 0}); ok {
+			t.Fatalf("workers=%d: absent block reported pending", workers)
+		}
+	}
+}
+
+func TestPendingIndexEmpty(t *testing.T) {
+	if idx := buildPendingIndexN(nil, 4); idx != nil {
+		t.Fatal("empty move list built a non-nil index")
+	}
+	var nilIdx *pendingIndex
+	if _, ok := nilIdx.lookup(placement.BlockRef{}); ok {
+		t.Fatal("nil index reported a pending block")
+	}
+	if nilIdx.size() != 0 {
+		t.Fatal("nil index reports nonzero size")
+	}
+}
+
+// TestSnapshotLocateZeroAlloc is the read-path allocation guard: once the
+// per-object sequences exist, LocatorSnapshot.Locate — the gateway's per-
+// request locate step — must not allocate, neither in steady state nor
+// mid-migration with a pending index in place.
+func TestSnapshotLocateZeroAlloc(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 4, 100)
+
+	steady := buildSnap(t, srv)
+	if _, err := srv.ScaleUp(2); err != nil {
+		t.Fatal(err)
+	}
+	migrating := buildSnap(t, srv)
+	if migrating.pending.size() == 0 {
+		t.Fatal("scale-up produced no pending moves; the guard would not cover the pending path")
+	}
+	for name, sn := range map[string]*LocatorSnapshot{"steady": steady, "migrating": migrating} {
+		// Warm the per-seed sequence cache.
+		for o := 0; o < 4; o++ {
+			if _, err := sn.Locate(o, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		if n := testing.AllocsPerRun(200, func() {
+			if _, err := sn.Locate(i%4, (i*7)%100); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}); n != 0 {
+			t.Errorf("%s snapshot Locate allocates %.1f/op", name, n)
+		}
+	}
+}
+
+// BenchmarkBuildSnapshot measures snapshot construction mid-migration — the
+// owner rebuilds one after every drained round, so this bounds how often the
+// gateway can refresh its read view.
+func BenchmarkBuildSnapshot(b *testing.B) {
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(8, x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(DefaultConfig(), strat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := srv.AddObject(testObject(i, 500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := srv.ScaleUp(2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.BuildSnapshot(testFactory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package par provides deterministic data-parallel range fan-out for the
+// bulk block sweeps (plan construction, layout computation, snapshot
+// builds). It deliberately offers only one shape — split [0,n) into
+// contiguous chunks, run one worker per chunk, wait for all — because that
+// shape is what keeps the parallel sweeps byte-identical to their serial
+// forms: every worker writes a disjoint index range (or a private
+// accumulator merged in worker order), so the output never depends on
+// scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MinParallel is the default smallest sweep worth fanning out. Below it the
+// goroutine hand-off costs more than the arithmetic it distributes.
+const MinParallel = 2048
+
+// Workers returns the fan-out width bulk sweeps use: GOMAXPROCS at call
+// time, so the sweeps track the scheduler's actual parallelism.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Ranges splits [0,n) into up to Workers() contiguous chunks and calls
+// fn(lo, hi) for each, concurrently, returning when all chunks are done.
+// Sweeps shorter than MinParallel (and any sweep when Workers() == 1) run
+// inline on the caller's goroutine. fn must confine its writes to the
+// chunk's index range or to per-chunk state; under that contract the result
+// is identical to fn(0, n).
+func Ranges(n int, fn func(lo, hi int)) {
+	if n < MinParallel {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	RangesN(n, Workers(), fn)
+}
+
+// RangesN is Ranges with an explicit worker count, bypassing the
+// MinParallel threshold. It exists for tests that must exercise the
+// multi-worker merge paths regardless of machine width, and for callers
+// that know their per-element cost. Worker counts below 2 (or n below 2)
+// run inline.
+func RangesN(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangesNCoversDisjointly(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {3, 4}, {4, 4}, {5, 4}, {4096, 3}, {4097, 8}, {10, 1},
+	} {
+		hits := make([]int32, tc.n)
+		var calls int32
+		RangesN(tc.n, tc.workers, func(lo, hi int) {
+			atomic.AddInt32(&calls, 1)
+			if lo > hi || lo < 0 || hi > tc.n {
+				t.Errorf("n=%d workers=%d: bad range [%d,%d)", tc.n, tc.workers, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d workers=%d: index %d covered %d times", tc.n, tc.workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRangesSerialBelowThreshold(t *testing.T) {
+	n := MinParallel - 1
+	covered := 0
+	last := 0
+	Ranges(n, func(lo, hi int) {
+		if lo != last {
+			t.Fatalf("serial path split the range: lo=%d after %d", lo, last)
+		}
+		last = hi
+		covered += hi - lo
+	})
+	if covered != n {
+		t.Fatalf("covered %d of %d", covered, n)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -77,19 +77,44 @@ func NewX0Func(factory func(seed uint64) prng.Source) X0Func {
 	}
 }
 
+// BatchStrategy is a Strategy that can resolve many blocks in one call,
+// typically by compiling its lookup function once and fanning the sweep
+// across CPU cores (Scaddar does both). DiskBatch must be equivalent to
+// calling Disk per block: out[i] = Disk(blocks[i]), with out at least as
+// long as blocks. Bulk consumers (Snapshot, the reorg planner) use it
+// automatically when available.
+type BatchStrategy interface {
+	Strategy
+	// DiskBatch resolves blocks[i] into out[i] for every i.
+	DiskBatch(blocks []BlockRef, out []int)
+}
+
 // Snapshot records the disk of every block under a strategy, for measuring
-// movement across a scaling operation.
+// movement across a scaling operation. Strategies that implement
+// BatchStrategy resolve the sweep in bulk (compiled and parallel for
+// SCADDAR); the result is identical to the serial per-block loop.
 func Snapshot(s Strategy, blocks []BlockRef) []int {
 	disks := make([]int, len(blocks))
+	if bs, ok := s.(BatchStrategy); ok {
+		bs.DiskBatch(blocks, disks)
+		return disks
+	}
 	for i, b := range blocks {
 		disks[i] = s.Disk(b)
 	}
 	return disks
 }
 
-// LoadVector counts blocks per logical disk under a strategy.
+// LoadVector counts blocks per logical disk under a strategy, using the
+// bulk path when the strategy provides one.
 func LoadVector(s Strategy, blocks []BlockRef) []int {
 	counts := make([]int, s.N())
+	if bs, ok := s.(BatchStrategy); ok {
+		for _, d := range Snapshot(bs, blocks) {
+			counts[d]++
+		}
+		return counts
+	}
 	for _, b := range blocks {
 		counts[s.Disk(b)]++
 	}

@@ -3,6 +3,7 @@ package placement
 import (
 	"fmt"
 
+	"scaddar/internal/par"
 	"scaddar/internal/prng"
 	"scaddar/internal/scaddar"
 )
@@ -76,6 +77,40 @@ func (s *Scaddar) blockX0(b BlockRef) uint64 {
 
 // Disk locates the block through the REMAP chain.
 func (s *Scaddar) Disk(b BlockRef) int { return s.hist.Locate(s.blockX0(b)) }
+
+// DiskBatch resolves many blocks at once (placement.BatchStrategy): the
+// per-object random numbers are drawn serially (the X0 source memoizes per
+// seed and is not concurrency-safe), then the compiled REMAP chain sweeps
+// the batch across GOMAXPROCS workers in disjoint ranges, so the output is
+// byte-identical to per-block Disk calls regardless of core count.
+func (s *Scaddar) DiskBatch(blocks []BlockRef, out []int) {
+	if len(out) < len(blocks) {
+		panic("placement: DiskBatch output shorter than input")
+	}
+	chain := s.hist.Compile()
+	if len(blocks) < par.MinParallel || par.Workers() < 2 {
+		// Serial: stream through a stack chunk, no per-call allocation.
+		var xs [256]uint64
+		for base := 0; base < len(blocks); base += len(xs) {
+			n := len(blocks) - base
+			if n > len(xs) {
+				n = len(xs)
+			}
+			for i := 0; i < n; i++ {
+				xs[i] = s.blockX0(blocks[base+i])
+			}
+			chain.LocateBatch(xs[:n], out[base:base+n])
+		}
+		return
+	}
+	xs := make([]uint64, len(blocks))
+	for i, b := range blocks {
+		xs[i] = s.blockX0(b)
+	}
+	par.Ranges(len(xs), func(lo, hi int) {
+		chain.LocateBatch(xs[lo:hi], out[lo:hi])
+	})
+}
 
 // Rebaseline performs the complete redistribution the paper recommends once
 // the Section 4.3 budget is exhausted: the operation log is cleared (N0

@@ -1,0 +1,105 @@
+package reorg
+
+import (
+	"reflect"
+	"testing"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+)
+
+// serialOnly hides a strategy's bulk path: only the plain Strategy methods
+// are promoted, so placement.Snapshot falls back to the per-block loop. The
+// determinism tests plan the same operations through both faces and demand
+// byte-identical plans.
+type serialOnly struct{ placement.Strategy }
+
+// planUniverse builds a block universe large enough to cross the
+// par.MinParallel threshold, so the batch face really fans out.
+func planUniverse(nobj, blocksPer int) []placement.BlockRef {
+	blocks := make([]placement.BlockRef, 0, nobj*blocksPer)
+	for o := 0; o < nobj; o++ {
+		for i := 0; i < blocksPer; i++ {
+			blocks = append(blocks, placement.BlockRef{Seed: uint64(o + 1), Index: uint64(i)})
+		}
+	}
+	return blocks
+}
+
+func newPlanStrategy(t *testing.T, n0 int) *placement.Scaddar {
+	t.Helper()
+	x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+	strat, err := placement.NewScaddar(n0, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strat
+}
+
+func TestPlanAddParallelMatchesSerial(t *testing.T) {
+	blocks := planUniverse(30, 100)
+	serial, parallel := newPlanStrategy(t, 10), newPlanStrategy(t, 10)
+	ps, err := PlanAdd(serialOnly{serial}, blocks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := PlanAdd(parallel, blocks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps, pp) {
+		t.Fatalf("parallel PlanAdd diverged from serial:\n serial:   %d moves\n parallel: %d moves",
+			len(ps.Moves), len(pp.Moves))
+	}
+}
+
+func TestPlanRemoveParallelMatchesSerial(t *testing.T) {
+	blocks := planUniverse(30, 100)
+	serial, parallel := newPlanStrategy(t, 10), newPlanStrategy(t, 10)
+	ps, err := PlanRemove(serialOnly{serial}, blocks, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := PlanRemove(parallel, blocks, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps, pp) {
+		t.Fatalf("parallel PlanRemove diverged from serial:\n serial:   %d moves\n parallel: %d moves",
+			len(ps.Moves), len(pp.Moves))
+	}
+}
+
+func TestPlanScheduleParallelMatchesSerial(t *testing.T) {
+	// A whole scaling schedule, planned through both faces: every plan must
+	// match at every step, not just after one operation.
+	blocks := planUniverse(25, 100)
+	serial, parallel := newPlanStrategy(t, 8), newPlanStrategy(t, 8)
+	type step struct {
+		add     int
+		removes []int
+	}
+	schedule := []step{{add: 4}, {removes: []int{1, 6}}, {add: 2}, {removes: []int{0}}, {add: 5}}
+	for si, st := range schedule {
+		var ps, pp *Plan
+		var err error
+		if st.add > 0 {
+			if ps, err = PlanAdd(serialOnly{serial}, blocks, st.add); err != nil {
+				t.Fatal(err)
+			}
+			if pp, err = PlanAdd(parallel, blocks, st.add); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if ps, err = PlanRemove(serialOnly{serial}, blocks, st.removes...); err != nil {
+				t.Fatal(err)
+			}
+			if pp, err = PlanRemove(parallel, blocks, st.removes...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(ps, pp) {
+			t.Fatalf("step %d: parallel plan diverged from serial", si)
+		}
+	}
+}

@@ -211,6 +211,15 @@ func (e *Executor) PendingSources() map[placement.BlockRef]int {
 	return out
 }
 
+// PendingList returns a copy of the not-yet-executed moves in plan order.
+// Unlike PendingSources it is a flat slice, so bulk consumers (the cm
+// snapshot builder) can partition it into ranges and index it in parallel.
+func (e *Executor) PendingList() []Move {
+	out := make([]Move, len(e.pending))
+	copy(out, e.pending)
+	return out
+}
+
 // Done reports whether every move has been executed.
 func (e *Executor) Done() bool { return len(e.pending) == 0 }
 

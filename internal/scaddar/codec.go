@@ -36,7 +36,12 @@ func (h *History) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
+	old := h.version
 	*h = *r
+	// Keep the version counter strictly increasing across a decode, so any
+	// compiled chain built against the previous contents is invalidated even
+	// when the decoded log happens to have the same operation count.
+	h.version = old + r.version + 1
 	return nil
 }
 
@@ -179,6 +184,10 @@ func (h *History) UnmarshalBinary(data []byte) error {
 	if rd.Len() != 0 {
 		return fmt.Errorf("scaddar: binary history: %d trailing bytes", rd.Len())
 	}
+	old := h.version
 	*h = *out
+	// As in UnmarshalJSON: a decode must invalidate any compiled chain built
+	// against the previous contents.
+	h.version = old + out.version + 1
 	return nil
 }

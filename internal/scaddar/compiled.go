@@ -1,0 +1,363 @@
+package scaddar
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// This file compiles the interpreted REMAP chain into straight-line integer
+// arithmetic. The interpreted path (History.Step) pays, per operation and
+// per lookup: a kind switch, two or three hardware divisions by the
+// operation's disk counts, and — for removals — a linear scan over the
+// removed-index list. All of those inputs are fixed the moment the
+// operation is recorded, so a History can be compiled once into:
+//
+//   - Granlund–Montgomery multiply-shift reciprocals for every div/mod
+//     (see magicdiv.go), and
+//   - a flat survivor-rank table new[r] → (newIndex | gone) per removal,
+//     replacing the per-lookup scan with one indexed load.
+//
+// The compiled form is immutable and therefore trivially safe for any
+// number of concurrent readers; a version counter on History invalidates it
+// when the log grows (see History.Compile).
+
+// survivorTableBudget caps the total survivor-rank table entries one
+// compiled chain may materialize. Real histories (arrays of thousands of
+// disks, tens of operations) use a tiny fraction of it; only forged or
+// synthetic logs — huge additions followed by long runs of removals, which
+// the codecs accept — can exhaust it. Removal operations beyond the budget
+// fall back to binary search over the removed list, keeping Compile's
+// memory bounded at a few megabytes no matter what the log claims.
+const survivorTableBudget = 1 << 20
+
+// compiledOp is one REMAP operation lowered to precomputed arithmetic.
+type compiledOp struct {
+	kind    OpKind
+	nBefore uint64
+	nAfter  uint64
+	dBefore magicDiv // div/mod by NBefore
+	dAfter  magicDiv // additions: the q mod NAfter step
+	// dBoth is the addition fast path: a reciprocal for NBefore*NAfter.
+	// Since ⌊⌊x/a⌋/b⌋ = ⌊x/(ab)⌋, the quotient q = x/NBefore and the
+	// product quotient qab = x/(NBefore·NAfter) can be computed from x in
+	// parallel, and the staying block's next value is NAfter·qab + x mod
+	// NBefore — two independent multiply-highs instead of a serial chain of
+	// two. Only set (fused=true) when the product fits in 64 bits.
+	dBoth magicDiv
+	fused bool
+	// survivor is the removal's rank table: survivor[r] is disk r's index
+	// in the compacted post-removal numbering, or -1 if r was removed.
+	// nil for additions and for removals wider than survivorTableMax.
+	survivor []int32
+	// removed backs the binary-search fallback when survivor is nil.
+	removed []int
+}
+
+// CompiledChain is an immutable compiled form of a History's REMAP chain.
+// Locate, Final, Moved, and LocateBatch are allocation-free and safe for
+// unlimited concurrent readers. A chain answers for the exact log contents
+// it was compiled from; once the source History records another operation,
+// Valid reports false and History.Compile builds a fresh chain.
+type CompiledChain struct {
+	hist    *History
+	version uint64
+	n0      uint64
+	n       uint64 // N_j, the current disk count
+	nPrev   uint64 // N_{j-1}, for Moved's before-disk
+	ops     []compiledOp
+	dN      magicDiv // mod by N_j
+	dNPrev  magicDiv // mod by N_{j-1}
+}
+
+// chainCache is the holder History keeps its compiled form in. It is a
+// separate allocation (not an embedded atomic) so the codecs' whole-struct
+// assignment of History stays legal, and so concurrent readers can publish
+// a freshly compiled chain without coordinating.
+type chainCache struct {
+	p atomic.Pointer[CompiledChain]
+}
+
+// Version returns the history's mutation counter. Every recorded operation
+// (and every codec decode) increases it; a CompiledChain is valid exactly
+// while its recorded version matches.
+func (h *History) Version() uint64 { return h.version }
+
+// Compile returns a compiled chain for the history's current contents,
+// reusing the cached one when it is still valid. Readers may call Compile
+// concurrently with each other (compilation is deterministic, so a racing
+// publish is harmless); like all History reads it must not run concurrently
+// with mutation.
+func (h *History) Compile() *CompiledChain {
+	if c := h.cc.p.Load(); c != nil && c.version == h.version {
+		return c
+	}
+	c := compileChain(h)
+	h.cc.p.Store(c)
+	return c
+}
+
+// compileChain lowers every recorded operation.
+func compileChain(h *History) *CompiledChain {
+	c := &CompiledChain{
+		hist:    h,
+		version: h.version,
+		n0:      uint64(h.n0),
+		n:       uint64(h.N()),
+		nPrev:   uint64(h.NAt(maxInt(len(h.ops)-1, 0))),
+		ops:     make([]compiledOp, len(h.ops)),
+	}
+	c.dN = newMagicDiv(c.n)
+	c.dNPrev = newMagicDiv(c.nPrev)
+	budget := survivorTableBudget
+	for i, op := range h.ops {
+		co := compiledOp{
+			kind:    op.Kind,
+			nBefore: uint64(op.NBefore),
+			nAfter:  uint64(op.NAfter),
+			dBefore: newMagicDiv(uint64(op.NBefore)),
+		}
+		switch op.Kind {
+		case OpAdd:
+			co.dAfter = newMagicDiv(uint64(op.NAfter))
+			if hi, lo := bits.Mul64(co.nBefore, co.nAfter); hi == 0 {
+				co.dBoth = newMagicDiv(lo)
+				co.fused = true
+			}
+		case OpRemove:
+			if op.NBefore <= budget {
+				co.survivor = survivorTable(op.NBefore, op.Removed)
+				budget -= op.NBefore
+			} else {
+				co.removed = op.Removed
+			}
+		}
+		c.ops[i] = co
+	}
+	return c
+}
+
+// survivorTable materializes the paper's new() function for one removal:
+// t[r] is the compacted index of pre-removal disk r, or -1 if removed.
+func survivorTable(nBefore int, removed []int) []int32 {
+	t := make([]int32, nBefore)
+	ri, shift := 0, int32(0)
+	for r := 0; r < nBefore; r++ {
+		if ri < len(removed) && removed[ri] == r {
+			t[r] = -1
+			ri++
+			shift++
+			continue
+		}
+		t[r] = int32(r) - shift
+	}
+	return t
+}
+
+// survivorSearch is the table-free fallback: binary search over the sorted
+// removed list for rank and membership.
+func survivorSearch(r uint64, removed []int) (newIndex uint64, gone bool) {
+	lo, hi := 0, len(removed)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if uint64(removed[mid]) < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(removed) && uint64(removed[lo]) == r {
+		return 0, true
+	}
+	return r - uint64(lo), false
+}
+
+// Valid reports whether the chain still matches its source history, i.e.
+// no operation has been recorded since compilation.
+func (c *CompiledChain) Valid() bool { return c.version == c.hist.version }
+
+// N returns the disk count the chain locates into.
+func (c *CompiledChain) N() int { return int(c.n) }
+
+// Ops returns the number of compiled operations (the paper's j).
+func (c *CompiledChain) Ops() int { return len(c.ops) }
+
+// step applies one compiled operation.
+func (op *compiledOp) step(x uint64) (xj uint64, moved bool) {
+	q, r := op.dBefore.divmod(x)
+	if op.kind == OpAdd {
+		if t := op.dAfter.mod(q); t < op.nBefore {
+			return q - t + r, false
+		}
+		return q, true
+	}
+	if op.survivor != nil {
+		if nr := op.survivor[r]; nr >= 0 {
+			return q*op.nAfter + uint64(nr), false
+		}
+		return q, true
+	}
+	nr, gone := survivorSearch(r, op.removed)
+	if gone {
+		return q, true
+	}
+	return q*op.nAfter + nr, false
+}
+
+// applyOps remaps x through every compiled operation. The per-op arithmetic
+// is written out inline (mirroring compiledOp.step, which stays as the
+// single-step form Moved needs) because the chain walk is the hottest loop
+// in the system: step is beyond the compiler's inlining budget, and a call
+// per operation roughly doubles the cost of a lookup.
+func (c *CompiledChain) applyOps(x uint64) uint64 {
+	for i := range c.ops {
+		op := &c.ops[i]
+		if op.fused {
+			// Both outcomes are computed and the winner selected, so the
+			// data-dependent stay/move decision compiles to a conditional
+			// move instead of an unpredictable branch.
+			q := op.dBefore.div(x)
+			qab := op.dBoth.div(x)
+			stay := op.nAfter*qab + (x - q*op.nBefore)
+			if q-op.nAfter*qab < op.nBefore {
+				x = stay
+			} else {
+				x = q
+			}
+			continue
+		}
+		q, r := op.dBefore.divmod(x)
+		switch {
+		case op.kind == OpAdd:
+			stay := q - op.dAfter.mod(q) + r
+			if op.dAfter.mod(q) < op.nBefore {
+				x = stay
+			} else {
+				x = q
+			}
+		case op.survivor != nil:
+			nr := op.survivor[r]
+			stay := q*op.nAfter + uint64(uint32(nr))
+			if nr >= 0 {
+				x = stay
+			} else {
+				x = q
+			}
+		default:
+			if nr, gone := survivorSearch(r, op.removed); !gone {
+				x = q*op.nAfter + nr
+			} else {
+				x = q
+			}
+		}
+	}
+	return x
+}
+
+// Locate is the compiled access function AF(): the block's current logical
+// disk, allocation-free in O(j) multiply-shift operations.
+func (c *CompiledChain) Locate(x0 uint64) int {
+	return int(c.dN.mod(c.applyOps(x0)))
+}
+
+// Final returns the fully remapped random value X_j and the block's current
+// logical disk.
+func (c *CompiledChain) Final(x0 uint64) (xj uint64, disk int) {
+	x := c.applyOps(x0)
+	return x, int(c.dN.mod(x))
+}
+
+// Moved reports whether the most recent operation moved the block, and its
+// disks before and after that operation — the compiled form of
+// History.Moved, the predicate RF() builds move plans with.
+func (c *CompiledChain) Moved(x0 uint64) (moved bool, before, after int) {
+	x := x0
+	if len(c.ops) == 0 {
+		d := int(c.dN.mod(x))
+		return false, d, d
+	}
+	for i := 0; i < len(c.ops)-1; i++ {
+		x, _ = c.ops[i].step(x)
+	}
+	before = int(c.dNPrev.mod(x))
+	xj, movedStep := c.ops[len(c.ops)-1].step(x)
+	return movedStep, before, int(c.dN.mod(xj))
+}
+
+// batchChunk is the block count LocateBatch processes per pass. Chunks keep
+// the working set inside L1 while letting each operation's inner loop run
+// branch-uniform over many blocks (the kind dispatch is hoisted out of the
+// per-block loop).
+const batchChunk = 256
+
+// LocateBatch locates len(x0s) blocks into out, allocation-free:
+// out[i] = Locate(x0s[i]). It iterates operation-major over fixed-size
+// chunks, which is substantially faster than per-block Locate calls for
+// bulk sweeps. out must be at least as long as x0s.
+func (c *CompiledChain) LocateBatch(x0s []uint64, out []int) {
+	if len(out) < len(x0s) {
+		panic("scaddar: LocateBatch output shorter than input")
+	}
+	var buf [batchChunk]uint64
+	for base := 0; base < len(x0s); base += batchChunk {
+		n := len(x0s) - base
+		if n > batchChunk {
+			n = batchChunk
+		}
+		copy(buf[:n], x0s[base:base+n])
+		for oi := range c.ops {
+			op := &c.ops[oi]
+			switch {
+			case op.fused:
+				for i := 0; i < n; i++ {
+					x := buf[i]
+					q := op.dBefore.div(x)
+					qab := op.dBoth.div(x)
+					if q-op.nAfter*qab < op.nBefore {
+						buf[i] = op.nAfter*qab + (x - q*op.nBefore)
+					} else {
+						buf[i] = q
+					}
+				}
+			case op.kind == OpAdd:
+				for i := 0; i < n; i++ {
+					x := buf[i]
+					q, r := op.dBefore.divmod(x)
+					if t := op.dAfter.mod(q); t < op.nBefore {
+						buf[i] = q - t + r
+					} else {
+						buf[i] = q
+					}
+				}
+			case op.survivor != nil:
+				for i := 0; i < n; i++ {
+					q, r := op.dBefore.divmod(buf[i])
+					if nr := op.survivor[r]; nr >= 0 {
+						buf[i] = q*op.nAfter + uint64(nr)
+					} else {
+						buf[i] = q
+					}
+				}
+			default:
+				for i := 0; i < n; i++ {
+					q, r := op.dBefore.divmod(buf[i])
+					if nr, gone := survivorSearch(r, op.removed); !gone {
+						buf[i] = q*op.nAfter + nr
+					} else {
+						buf[i] = q
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			out[base+i] = int(c.dN.mod(buf[i]))
+		}
+	}
+}
+
+// maxInt is a tiny pre-generics helper.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

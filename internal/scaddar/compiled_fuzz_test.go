@@ -1,0 +1,101 @@
+package scaddar
+
+import "testing"
+
+// FuzzCompiledChain differentially tests the compiled REMAP chain against
+// the interpreted one: over a history derived from the fuzz schedule, Locate,
+// Final, Moved, and LocateBatch must agree exactly with the per-operation
+// Step walk, and mutating the history must invalidate the compiled form.
+// Seed inputs live in testdata/fuzz/FuzzCompiledChain.
+func FuzzCompiledChain(f *testing.F) {
+	f.Add(uint64(28), uint8(6), uint32(0x1234), uint16(3))
+	f.Add(uint64(41), uint8(6), uint32(0xFFFFFFFF), uint16(0xFFFF))
+	f.Add(^uint64(0), uint8(2), uint32(1), uint16(0))
+	f.Add(uint64(0), uint8(0), uint32(0xAAAAAAAA), uint16(7))
+	f.Fuzz(func(t *testing.T, x0 uint64, n0Raw uint8, schedule uint32, removeSel uint16) {
+		n0 := int(n0Raw%16) + 1
+		h := MustNewHistory(n0)
+		// Derive up to 12 operations from the schedule bits: 00/01 add,
+		// 10 remove one disk, 11 remove up to three disks.
+		for op := 0; op < 12; op++ {
+			bits := (schedule >> (op * 2)) & 3
+			switch {
+			case bits == 0:
+				if _, err := h.Add(1); err != nil {
+					t.Fatal(err)
+				}
+			case bits == 1:
+				if _, err := h.Add(int(schedule>>16)%7 + 2); err != nil {
+					t.Fatal(err)
+				}
+			case h.N() > 1:
+				k := 1
+				if bits == 3 {
+					k = int(removeSel%3) + 1
+					if k > h.N()-1 {
+						k = h.N() - 1
+					}
+				}
+				idx := make([]int, 0, k)
+				used := make(map[int]bool, k)
+				for i := 0; len(idx) < k; i++ {
+					cand := (int(removeSel) + op + i) % h.N()
+					if !used[cand] {
+						used[cand] = true
+						idx = append(idx, cand)
+					}
+				}
+				if _, err := h.Remove(idx...); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if _, err := h.Add(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		chain := h.Compile()
+		if !chain.Valid() {
+			t.Fatal("fresh chain reports invalid")
+		}
+		if chain.N() != h.N() || chain.Ops() != h.Ops() {
+			t.Fatalf("chain shape (%d,%d) != history (%d,%d)", chain.N(), chain.Ops(), h.N(), h.Ops())
+		}
+		// Probe the fuzzed value and a spread of its neighbors.
+		xs := []uint64{x0, x0 + 1, x0 ^ 0xFFFF, x0 >> 1, x0 * 0x9E3779B97F4A7C15, 0, 1, ^uint64(0)}
+		for _, x := range xs {
+			if got, want := chain.Locate(x), interpLocate(h, x); got != want {
+				t.Fatalf("%v: compiled Locate(%d) = %d, interpreted %d", h, x, got, want)
+			}
+			gx, gd := chain.Final(x)
+			wx, wd := interpFinal(h, x)
+			if gx != wx || gd != wd {
+				t.Fatalf("%v: compiled Final(%d) = (%d,%d), interpreted (%d,%d)", h, x, gx, gd, wx, wd)
+			}
+			gm, gb, ga := chain.Moved(x)
+			wm, wb, wa := interpMoved(h, x)
+			if gm != wm || gb != wb || ga != wa {
+				t.Fatalf("%v: compiled Moved(%d) = (%v,%d,%d), interpreted (%v,%d,%d)",
+					h, x, gm, gb, ga, wm, wb, wa)
+			}
+		}
+		out := make([]int, len(xs))
+		chain.LocateBatch(xs, out)
+		for i, x := range xs {
+			if want := interpLocate(h, x); out[i] != want {
+				t.Fatalf("%v: batch[%d] = %d, interpreted %d", h, i, out[i], want)
+			}
+		}
+		// Mutation must invalidate; the recompiled chain must agree again.
+		if _, err := h.Add(1); err != nil {
+			t.Fatal(err)
+		}
+		if chain.Valid() {
+			t.Fatal("chain still valid after mutation")
+		}
+		if got, want := h.Compile().Locate(x0), interpLocate(h, x0); got != want {
+			t.Fatalf("recompiled Locate(%d) = %d, interpreted %d", x0, got, want)
+		}
+	})
+}

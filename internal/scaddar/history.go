@@ -55,9 +55,18 @@ func (o Op) Count() int {
 // A History is not safe for concurrent mutation; concurrent readers are fine
 // once mutation stops. The continuous-media server layer serializes scaling
 // operations, which the paper assumes to be infrequent events.
+//
+// Lookups (Locate, Final, Moved) run on a compiled form of the chain —
+// multiply-shift reciprocals instead of hardware divisions, flat
+// survivor-rank tables instead of removed-list scans (see compiled.go).
+// Every mutation bumps an internal version counter that invalidates the
+// compiled form; the next lookup transparently recompiles. Call Compile
+// directly to hold a pinned compiled chain across many lookups.
 type History struct {
-	n0  int
-	ops []Op
+	n0      int
+	ops     []Op
+	version uint64
+	cc      *chainCache
 }
 
 // NewHistory creates a History for an array that starts with n0 >= 1 disks
@@ -66,7 +75,7 @@ func NewHistory(n0 int) (*History, error) {
 	if n0 < 1 {
 		return nil, fmt.Errorf("scaddar: initial disk count %d, need at least 1", n0)
 	}
-	return &History{n0: n0}, nil
+	return &History{n0: n0, cc: &chainCache{}}, nil
 }
 
 // MustNewHistory is NewHistory for statically valid arguments; it panics on
@@ -108,6 +117,7 @@ func (h *History) Add(count int) (Op, error) {
 	}
 	op := Op{Kind: OpAdd, NBefore: h.N(), NAfter: h.N() + count}
 	h.ops = append(h.ops, op)
+	h.version++
 	return op, nil
 }
 
@@ -136,6 +146,7 @@ func (h *History) Remove(indices ...int) (Op, error) {
 	}
 	op := Op{Kind: OpRemove, NBefore: n, NAfter: n - len(removed), Removed: removed}
 	h.ops = append(h.ops, op)
+	h.version++
 	return op, nil
 }
 
@@ -155,23 +166,16 @@ func (h *History) Step(j int, x uint64) (xj uint64, moved bool) {
 
 // Locate is the access function AF(): it remaps the block's original random
 // number x0 through every recorded operation and returns the block's current
-// logical disk index. Cost is O(j) integer operations (AO1).
+// logical disk index. Cost is O(j) integer operations (AO1), with every
+// division compiled to a multiply-shift reciprocal (see Compile).
 func (h *History) Locate(x0 uint64) int {
-	x := x0
-	for j := 1; j <= len(h.ops); j++ {
-		x, _ = h.Step(j, x)
-	}
-	return int(x % uint64(h.N()))
+	return h.Compile().Locate(x0)
 }
 
 // Final returns both the fully remapped random value X_j and the block's
 // current logical disk.
 func (h *History) Final(x0 uint64) (xj uint64, disk int) {
-	x := x0
-	for j := 1; j <= len(h.ops); j++ {
-		x, _ = h.Step(j, x)
-	}
-	return x, int(x % uint64(h.N()))
+	return h.Compile().Final(x0)
 }
 
 // DiskAt returns the block's logical disk after only the first j operations;
@@ -202,24 +206,13 @@ func (h *History) Trace(x0 uint64) []uint64 {
 // original random value x0, and the block's disks before and after that
 // operation. It is the predicate RF() uses to build move plans.
 func (h *History) Moved(x0 uint64) (moved bool, before, after int) {
-	j := len(h.ops)
-	if j == 0 {
-		d := int(x0 % uint64(h.n0))
-		return false, d, d
-	}
-	x := x0
-	for i := 1; i < j; i++ {
-		x, _ = h.Step(i, x)
-	}
-	before = int(x % uint64(h.NAt(j-1)))
-	xj, movedStep := h.Step(j, x)
-	after = int(xj % uint64(h.N()))
-	return movedStep, before, after
+	return h.Compile().Moved(x0)
 }
 
-// Clone returns a deep copy of the history.
+// Clone returns a deep copy of the history. The clone carries its own
+// compiled-chain cache, so compiling one never disturbs the other.
 func (h *History) Clone() *History {
-	c := &History{n0: h.n0, ops: make([]Op, len(h.ops))}
+	c := &History{n0: h.n0, ops: make([]Op, len(h.ops)), version: h.version, cc: &chainCache{}}
 	copy(c.ops, h.ops)
 	for i := range c.ops {
 		if len(h.ops[i].Removed) > 0 {

@@ -1,0 +1,93 @@
+package scaddar
+
+import "math/bits"
+
+// This file implements Granlund–Montgomery ("magic number") division:
+// truncated division of an arbitrary uint64 by a divisor known ahead of
+// time, compiled into a multiply-high and a shift. The REMAP chain performs
+// two or three divisions per operation per lookup, all by disk counts that
+// are fixed once the operation is recorded — exactly the shape this
+// technique wants. The algorithm is the classical round-up/round-down
+// magic-number construction (Granlund & Montgomery, PLDI '94; the same one
+// compilers emit for division by constants and libdivide implements at
+// runtime).
+
+// divAlg selects the post-multiply fixup a compiled divisor needs.
+type divAlg uint8
+
+const (
+	// algDown: round-down magic number, q = mulhi(x, m) >> s. Powers of two
+	// 2^k (k >= 1) are folded into this form with m = 2^(64-k), s = 0,
+	// since mulhi(x, 2^(64-k)) is exactly x >> k — one arm fewer on the
+	// lookup hot path.
+	algDown divAlg = iota
+	// algUp: round-up magic number (the 65-bit case),
+	// q = ((x - mulhi(x, m))/2 + mulhi(x, m)) >> s.
+	algUp
+	// algOne: divisor 1, q = x.
+	algOne
+)
+
+// magicDiv is a compiled reciprocal for one fixed divisor. The zero value
+// is invalid; build with newMagicDiv.
+type magicDiv struct {
+	m   uint64 // magic multiplier (algDown, algUp)
+	d   uint64 // the divisor itself, for remainder computation
+	s   uint8  // post shift
+	alg divAlg
+}
+
+// newMagicDiv compiles a reciprocal for divisor d >= 1.
+func newMagicDiv(d uint64) magicDiv {
+	if d == 0 {
+		panic("scaddar: magic division by zero")
+	}
+	if d == 1 {
+		return magicDiv{d: 1, alg: algOne}
+	}
+	if d&(d-1) == 0 {
+		k := uint(bits.TrailingZeros64(d))
+		return magicDiv{m: uint64(1) << (64 - k), d: d, alg: algDown}
+	}
+	// floor(log2 d) for a non-power-of-two divisor; 2^l < d < 2^(l+1).
+	l := uint8(63 - bits.LeadingZeros64(d))
+	// proposed = floor(2^(64+l) / d), rem its remainder. The numerator's
+	// high word 2^l is < d, as bits.Div64 requires.
+	proposed, rem := bits.Div64(uint64(1)<<l, 0, d)
+	if e := d - rem; e < uint64(1)<<l {
+		// Rounding the magic up by one stays within 64 bits.
+		return magicDiv{m: proposed + 1, d: d, s: l, alg: algDown}
+	}
+	// The 65-bit case: double precision, re-deriving the rounding carry
+	// from the doubled remainder, and recover the lost top bit with the
+	// add-and-halve fixup in div.
+	m := 2*proposed + 1
+	if twiceRem := rem + rem; twiceRem >= d || twiceRem < rem {
+		m++
+	}
+	return magicDiv{m: m, d: d, s: l, alg: algUp}
+}
+
+// div returns x / d. The shift counts are masked to 63 so the compiler can
+// elide its variable-shift overflow guard on the hot path.
+func (mv magicDiv) div(x uint64) uint64 {
+	switch mv.alg {
+	case algDown:
+		hi, _ := bits.Mul64(x, mv.m)
+		return hi >> (mv.s & 63)
+	case algUp:
+		hi, _ := bits.Mul64(x, mv.m)
+		return (((x - hi) >> 1) + hi) >> (mv.s & 63)
+	default: // algOne
+		return x
+	}
+}
+
+// mod returns x % d.
+func (mv magicDiv) mod(x uint64) uint64 { return x - mv.div(x)*mv.d }
+
+// divmod returns x / d and x % d with one reciprocal multiply.
+func (mv magicDiv) divmod(x uint64) (q, r uint64) {
+	q = mv.div(x)
+	return q, x - q*mv.d
+}

@@ -1,0 +1,83 @@
+package scaddar
+
+import (
+	"math"
+	"testing"
+)
+
+// divisorCases collects divisors that exercise every compiled algorithm:
+// 1, powers of two, both magic roundings, values adjacent to powers of two,
+// and very large divisors.
+func divisorCases() []uint64 {
+	ds := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17,
+		31, 32, 33, 63, 64, 65, 100, 127, 128, 129, 255, 256, 257,
+		641, 1000, 4095, 4096, 4097, 65535, 65536, 65537,
+		1<<20 - 1, 1 << 20, 1<<20 + 1, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+		1<<63 - 1, 1 << 63, math.MaxUint64 - 1, math.MaxUint64}
+	for d := uint64(1); d <= 512; d++ {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// dividendCases returns boundary dividends for a divisor: multiples of d
+// and their neighbors, extremes, and a deterministic pseudo-random spread.
+func dividendCases(d uint64) []uint64 {
+	xs := []uint64{0, 1, 2, d - 1, d, d + 1, 2*d - 1, 2 * d, 2*d + 1,
+		math.MaxUint64, math.MaxUint64 - 1, math.MaxUint64 / 2}
+	if q := math.MaxUint64 / d; true {
+		xs = append(xs, q*d-1, q*d, q*d+1) // the largest multiple of d
+	}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 200; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		xs = append(xs, x, x%(2*d+1))
+	}
+	return xs
+}
+
+// TestMagicDivMatchesHardware checks div, mod, and divmod against the
+// hardware instructions over boundary-heavy divisor/dividend pairs.
+func TestMagicDivMatchesHardware(t *testing.T) {
+	for _, d := range divisorCases() {
+		mv := newMagicDiv(d)
+		for _, x := range dividendCases(d) {
+			if got, want := mv.div(x), x/d; got != want {
+				t.Fatalf("div(%d / %d) = %d, want %d (alg %d m %d s %d)", x, d, got, want, mv.alg, mv.m, mv.s)
+			}
+			if got, want := mv.mod(x), x%d; got != want {
+				t.Fatalf("mod(%d %% %d) = %d, want %d", x, d, got, want)
+			}
+			q, r := mv.divmod(x)
+			if q != x/d || r != x%d {
+				t.Fatalf("divmod(%d, %d) = (%d, %d), want (%d, %d)", x, d, q, r, x/d, x%d)
+			}
+		}
+	}
+}
+
+// TestMagicDivExhaustiveSmall runs every dividend in [0, 4096) against
+// every divisor in [1, 128] — complete coverage of the small-array regime
+// the REMAP chain actually sees.
+func TestMagicDivExhaustiveSmall(t *testing.T) {
+	for d := uint64(1); d <= 128; d++ {
+		mv := newMagicDiv(d)
+		for x := uint64(0); x < 4096; x++ {
+			if mv.div(x) != x/d || mv.mod(x) != x%d {
+				t.Fatalf("d=%d x=%d: (%d,%d) want (%d,%d)", d, x, mv.div(x), mv.mod(x), x/d, x%d)
+			}
+		}
+	}
+}
+
+// TestMagicDivZeroPanics pins the constructor contract.
+func TestMagicDivZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newMagicDiv(0) did not panic")
+		}
+	}()
+	newMagicDiv(0)
+}

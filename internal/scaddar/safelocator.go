@@ -17,6 +17,10 @@ import (
 // layer performs them between rounds), so the caller provides that
 // synchronization — typically by quiescing lookups around a scaling
 // operation or by swapping in a cloned History.
+//
+// Lookups run on the history's compiled chain (multiply-shift reciprocals
+// and survivor-rank tables; compiled eagerly at construction), so the
+// steady-state read path does zero interpretation and zero allocation.
 type SafeLocator struct {
 	hist    *History
 	factory SourceFactory
@@ -26,7 +30,10 @@ type SafeLocator struct {
 	seqs sync.Map // uint64 seed -> prng.Indexed with concurrent-safe At
 }
 
-// NewSafeLocator creates a concurrent locator over the given history.
+// NewSafeLocator creates a concurrent locator over the given history. The
+// history's REMAP chain is compiled eagerly, so the very first concurrent
+// lookup already runs the allocation-free multiply-shift path — the
+// property the gateway's read path depends on.
 func NewSafeLocator(hist *History, factory SourceFactory) (*SafeLocator, error) {
 	if hist == nil {
 		return nil, fmt.Errorf("scaddar: locator needs a history")
@@ -34,11 +41,17 @@ func NewSafeLocator(hist *History, factory SourceFactory) (*SafeLocator, error) 
 	if factory == nil {
 		return nil, fmt.Errorf("scaddar: locator needs a source factory")
 	}
+	hist.Compile()
 	return &SafeLocator{hist: hist, factory: factory}, nil
 }
 
 // History returns the underlying operation log.
 func (l *SafeLocator) History() *History { return l.hist }
+
+// Chain returns the history's compiled REMAP chain. Read paths that resolve
+// many blocks (the cm snapshot, the gateway) hold on to it so each lookup
+// skips even the cached-compile version check.
+func (l *SafeLocator) Chain() *CompiledChain { return l.hist.Compile() }
 
 // sequence returns (creating once) the concurrent-safe indexed sequence for
 // a seed.

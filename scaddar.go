@@ -79,6 +79,14 @@ type Budget = scaddar.Budget
 // disk.
 type Locator = scaddar.Locator
 
+// CompiledChain is a History's REMAP chain lowered to straight-line
+// arithmetic: per-operation multiply-shift reciprocals replace every div/mod
+// and flat survivor-rank tables replace the per-removal scan, so Locate,
+// Final, Moved, and LocateBatch run allocation-free. Obtain one with
+// History.Compile; it caches per history version and is invalidated (and
+// transparently recompiled) when the history records another operation.
+type CompiledChain = scaddar.CompiledChain
+
 // SourceFactory builds the per-object generator p_r(s_m).
 type SourceFactory = scaddar.SourceFactory
 

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON object on stdout: benchmark name → {ns_op, allocs_op,
+// bytes_op} (allocs/bytes only when -benchmem printed them). Lines that are
+// not benchmark results — package headers, PASS/ok trailers, custom
+// b.ReportMetric values — are ignored, so the tool can sit directly behind
+// `go test -bench ./...` in the Makefile's bench target.
+//
+// Names are normalized by stripping the trailing GOMAXPROCS suffix
+// (BenchmarkLocate/ops=16-8 → BenchmarkLocate/ops=16) so captures taken on
+// machines with different core counts diff cleanly. Keys are emitted sorted
+// so the output is byte-stable for a given input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line's parsed measurements.
+type result struct {
+	NsOp     float64  `json:"ns_op"`
+	BytesOp  *float64 `json:"bytes_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+}
+
+// benchLine matches `Benchmark<name>-<procs> <iters> <value> ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// procSuffix is the trailing -<GOMAXPROCS> go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Emit in sorted key order by building an ordered document by hand;
+	// encoding/json would serialize map keys sorted too, but doing it
+	// explicitly keeps the two-space indentation stable as well.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		entry, err := json.Marshal(results[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, entry)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	os.Stdout.WriteString(b.String())
+}
+
+// parse reads benchmark lines from the scanner. A repeated name (the same
+// benchmark run in several packages, which go test names identically only
+// across -count runs) keeps the last occurrence.
+func parse(sc *bufio.Scanner) (map[string]result, error) {
+	results := make(map[string]result)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[2])
+		var r result
+		seen := false
+		// Measurements come as value-unit pairs: `123 ns/op 4 B/op ...`.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsOp, seen = v, true
+			case "B/op":
+				val := v
+				r.BytesOp = &val
+			case "allocs/op":
+				val := v
+				r.AllocsOp = &val
+			}
+		}
+		if seen {
+			results[name] = r
+		}
+	}
+	return results, sc.Err()
+}
