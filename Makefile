@@ -17,17 +17,23 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./tools/missingdoc
 
-# Tier-1+ gate: lint plus the full suite under the race detector, then the
-# gateway example end to end (live HTTP scaling + failure drill + drain;
-# it exits non-zero if any concurrent read fails) and the crash-recovery
+# Tier-1+ gate: lint plus the full suite under the race detector — which
+# includes the replication chaos harness (internal/repl TestChaosConvergence:
+# seeded network faults + a leader kill/restart, byte-identical convergence)
+# — then the gateway example end to end (live HTTP scaling + failure drill +
+# drain; it exits non-zero if any concurrent read fails), the crash-recovery
 # example (journal bootstrap, torn-write crash mid-migration, recovery with
-# every block location verified). Run this before merging anything that
-# touches the server, the rebuild executor, the fault injector, the
-# gateway, or the store — the concurrency- and durability-sensitive layers.
+# every block location verified), and the replication example (journal
+# shipping through the fault injector with a leader restart, every block
+# location compared). Run this before merging anything that touches the
+# server, the rebuild executor, the fault injectors, the gateway, the store,
+# or the replication layer — the concurrency- and durability-sensitive
+# layers.
 verify: lint
 	$(GO) test -race ./...
 	$(GO) run ./examples/gateway -duration 200ms
 	$(GO) run ./examples/recovery
+	$(GO) run ./examples/replication
 
 # Regenerate the committed experiment-table capture (the source for the
 # tables quoted in README.md and EXPERIMENTS.md), so docs cannot silently

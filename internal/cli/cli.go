@@ -49,6 +49,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdForecast(args[1:], stdout)
 	case "serve":
 		err = cmdServe(args[1:], stdout)
+	case "follow":
+		err = cmdFollow(args[1:], stdout)
 	case "recover":
 		err = cmdRecover(args[1:], stdout)
 	case "loadgen":
@@ -81,6 +83,7 @@ commands:
   trace     generate | replay | show deterministic session traces
   forecast  predict movement and budget for a planned operation sequence
   serve     run the concurrent HTTP gateway over a live server
+  follow    tail a leader's journal and serve epoch-fenced replica reads
   recover   inspect a durable state directory and rebuild the server from it
   loadgen   generate concurrent load against a running gateway and report`)
 }

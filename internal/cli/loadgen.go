@@ -21,6 +21,7 @@ import (
 // call runLoadgen directly.
 type loadgenOptions struct {
 	addr     string
+	follower string
 	clients  int
 	duration time.Duration
 	zipf     float64
@@ -36,6 +37,7 @@ func cmdLoadgen(args []string, w io.Writer) error {
 	fs.SetOutput(w)
 	var opts loadgenOptions
 	fs.StringVar(&opts.addr, "addr", "http://127.0.0.1:8080", "gateway base URL")
+	fs.StringVar(&opts.follower, "follower", "", "replica base URL (scaddar follow) to spread reads onto and report replication lag percentiles (empty = leader only)")
 	fs.IntVar(&opts.clients, "clients", 8, "concurrent client goroutines")
 	fs.DurationVar(&opts.duration, "duration", 10*time.Second, "how long to generate load")
 	fs.Float64Var(&opts.zipf, "zipf", 0.729, "Zipf skew θ for object popularity")
@@ -61,6 +63,7 @@ type sample struct {
 type lgClient struct {
 	http    *http.Client
 	base    string
+	replica string // when non-empty, every other block read goes here
 	zipf    *workload.Zipf
 	rng     prng.Source
 	objects []lgObject
@@ -68,7 +71,29 @@ type lgClient struct {
 	samples []sample
 	opened  int
 	reject  int
+	retries int
 	start   time.Time
+}
+
+// retryAfterHint reads the server's Retry-After header; absent or
+// malformed, back off one second.
+func retryAfterHint(h http.Header) time.Duration {
+	if s := h.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return time.Second
+}
+
+// jitter spreads a backoff hint over [d/2, d] so clients pushed back at the
+// same instant don't return in lockstep and re-create the overload.
+func (c *lgClient) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = time.Second
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Next()%uint64(half+1))
 }
 
 type lgObject struct {
@@ -120,7 +145,7 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 			return err
 		}
 		c := &lgClient{
-			http: hc, base: base, zipf: z,
+			http: hc, base: base, replica: opts.follower, zipf: z,
 			rng:     prng.NewSplitMix64(opts.seed*31 + uint64(i)),
 			objects: objects, perSess: opts.perSess, start: start,
 		}
@@ -168,6 +193,28 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 		close(dashDone)
 	}
 
+	// With a follower in play, sample its replication lag through the run;
+	// percentiles land in the final report next to the latency ones.
+	lagDone := make(chan struct{})
+	var lagSamples []uint64
+	if opts.follower != "" {
+		go func() {
+			defer close(lagDone)
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			for now := range tick.C {
+				if !now.Before(deadline) {
+					return
+				}
+				if lag, err := fetchFollowerLag(hc, opts.follower); err == nil {
+					lagSamples = append(lagSamples, lag)
+				}
+			}
+		}()
+	} else {
+		close(lagDone)
+	}
+
 	// Mid-run scale-up over HTTP, with the reorganization window measured
 	// by polling /v1/status.
 	var reorgStart, reorgEnd time.Duration
@@ -199,22 +246,24 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 	}
 	wg.Wait()
 	<-dashDone
+	<-lagDone
 	elapsed := time.Since(start)
 
 	// Merge per-client tallies.
 	var all []sample
-	var opened, rejected int
+	var opened, rejected, retries int
 	codes := map[int]int{}
 	for _, c := range clients {
 		all = append(all, c.samples...)
 		opened += c.opened
 		rejected += c.reject
+		retries += c.retries
 		for _, s := range c.samples {
 			codes[s.code]++
 		}
 	}
-	fmt.Fprintf(w, "requests %d in %s (%.1f req/s)  sessions opened %d  rejected %d\n",
-		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds(), opened, rejected)
+	fmt.Fprintf(w, "requests %d in %s (%.1f req/s)  sessions opened %d  rejected %d  retries after 503 %d\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds(), opened, rejected, retries)
 	keys := make([]int, 0, len(codes))
 	for k := range codes {
 		keys = append(keys, k)
@@ -250,7 +299,46 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 		report("  during reorg:", func(s sample) bool { return s.at >= reorgStart && s.at < reorgEnd })
 		report("  after reorg:", func(s sample) bool { return s.at >= reorgEnd })
 	}
+	if len(lagSamples) > 0 {
+		sort.Slice(lagSamples, func(i, j int) bool { return lagSamples[i] < lagSamples[j] })
+		q := func(p float64) uint64 {
+			i := int(p * float64(len(lagSamples)-1))
+			return lagSamples[i]
+		}
+		fmt.Fprintf(w, "replication lag (events) n=%-7d p50 %-9d p95 %-9d p99 %d  max %d\n",
+			len(lagSamples), q(0.50), q(0.95), q(0.99), lagSamples[len(lagSamples)-1])
+	}
 	return nil
+}
+
+// lgReplStatus is the slice of the replica's /v1/replication JSON the lag
+// sampler cares about.
+type lgReplStatus struct {
+	Follower struct {
+		AppliedLSN uint64 `json:"appliedLsn"`
+		LeaderLSN  uint64 `json:"leaderLsn"`
+	} `json:"follower"`
+}
+
+// fetchFollowerLag reads the replica's position and returns how many
+// journal events it trails the leader's advertised frontier by.
+func fetchFollowerLag(hc *http.Client, base string) (uint64, error) {
+	resp, err := hc.Get(base + "/v1/replication")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("replication status %d", resp.StatusCode)
+	}
+	var st lgReplStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	if st.Follower.LeaderLSN <= st.Follower.AppliedLSN {
+		return 0, nil
+	}
+	return st.Follower.LeaderLSN - st.Follower.AppliedLSN, nil
 }
 
 // run is one client loop: open a session on a Zipf-popular object, walk its
@@ -261,15 +349,20 @@ func (c *lgClient) run(deadline time.Time) {
 		sess, retryAfter, ok := c.openSession(obj.ID)
 		if !ok {
 			c.reject++
-			time.Sleep(retryAfter)
+			c.retries++
+			time.Sleep(c.jitter(retryAfter))
 			continue
 		}
 		c.opened++
 		pos := int(c.rng.Next() % uint64(obj.Blocks))
 		for i := 0; i < c.perSess && time.Now().Before(deadline); i++ {
 			idx := (pos + i) % obj.Blocks
+			target := c.base
+			if c.replica != "" && i%2 == 1 {
+				target = c.replica
+			}
 			t0 := time.Now()
-			resp, err := c.http.Get(fmt.Sprintf("%s/v1/objects/%d/blocks/%d", c.base, obj.ID, idx))
+			resp, err := c.http.Get(fmt.Sprintf("%s/v1/objects/%d/blocks/%d", target, obj.ID, idx))
 			if err != nil {
 				return
 			}
@@ -280,6 +373,13 @@ func (c *lgClient) run(deadline time.Time) {
 				lat:  time.Since(t0),
 				code: resp.StatusCode,
 			})
+			// A 503 is the server pushing back, not a miss: honor its
+			// Retry-After hint with jitter and retry the same block.
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				c.retries++
+				time.Sleep(c.jitter(retryAfterHint(resp.Header)))
+				i--
+			}
 		}
 		req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/sessions/%d", c.base, sess), nil)
 		if resp, err := c.http.Do(req); err == nil {
@@ -300,13 +400,7 @@ func (c *lgClient) openSession(object int) (id int, retryAfter time.Duration, ok
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		io.Copy(io.Discard, resp.Body)
-		retry := time.Second
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n > 0 {
-				retry = time.Duration(n) * time.Second
-			}
-		}
-		return 0, retry, false
+		return 0, retryAfterHint(resp.Header), false
 	}
 	var out struct {
 		Session int `json:"session"`

@@ -15,8 +15,10 @@ import (
 
 	"scaddar/internal/cm"
 	"scaddar/internal/gateway"
+	"scaddar/internal/obs"
 	"scaddar/internal/placement"
 	"scaddar/internal/prng"
+	"scaddar/internal/repl"
 	"scaddar/internal/store"
 	"scaddar/internal/workload"
 )
@@ -37,6 +39,7 @@ type serveOptions struct {
 	dataDir         string
 	checkpointEvery int
 	debugAddr       string
+	replAddr        string
 	bits            uint
 	eps             float64
 }
@@ -58,6 +61,7 @@ func cmdServe(args []string, w io.Writer) error {
 	fs.StringVar(&opts.dataDir, "data-dir", "", "durable state directory (journal + checkpoints); empty = memory-only")
 	fs.IntVar(&opts.checkpointEvery, "checkpoint-every", 1024, "journal events between automatic checkpoints")
 	fs.StringVar(&opts.debugAddr, "debug-addr", "", "debug listen address serving /metrics and /debug/pprof (empty = off)")
+	fs.StringVar(&opts.replAddr, "repl-addr", "", "replication listen address streaming the journal to followers (requires -data-dir; empty = off)")
 	fs.UintVar(&opts.bits, "bits", 64, "generator width b; below 64 enables Section 4.3 budget tracking")
 	fs.Float64Var(&opts.eps, "eps", 0.05, "unfairness tolerance ε for the randomness budget (used with -bits < 64)")
 	if err := fs.Parse(args); err != nil {
@@ -158,6 +162,9 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	if opts.dataDir != "" && opts.bits != 64 {
 		return fmt.Errorf("-bits %d is incompatible with -data-dir: recovery regenerates X0 chains with the full-width generator family", opts.bits)
 	}
+	if opts.replAddr != "" && opts.dataDir == "" {
+		return fmt.Errorf("-repl-addr requires -data-dir: followers stream the durable journal")
+	}
 
 	// With -data-dir the server's state lives in a durable store: an
 	// existing journal is recovered (the library flags are ignored — the
@@ -212,6 +219,30 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	if opts.bits < 64 {
 		factory = func(seed uint64) prng.Source { return prng.Truncate(prng.NewSplitMix64(seed), opts.bits) }
 	}
+	// The replication leader shares the gateway's metrics registry so one
+	// /metrics scrape covers serving and shipping.
+	reg := obs.NewRegistry()
+	var ldr *repl.Leader
+	if opts.replAddr != "" {
+		ldr, err = repl.NewLeader(repl.LeaderConfig{
+			Store:    st,
+			Registry: reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(w, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		rln, err := net.Listen("tcp", opts.replAddr)
+		if err != nil {
+			return err
+		}
+		ldr.Serve(rln)
+		defer ldr.Close()
+		fmt.Fprintf(w, "serve: replication listening on %s\n", rln.Addr())
+	}
+
 	g, err := gateway.New(srv, gateway.Config{
 		Factory:         factory,
 		Round:           opts.round,
@@ -219,6 +250,8 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 		RequestTimeout:  opts.timeout,
 		Store:           st,
 		CheckpointEvery: opts.checkpointEvery,
+		Registry:        reg,
+		ReplLeader:      ldr,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},

@@ -29,4 +29,16 @@ var (
 	// down (or its copy not yet rebuilt): the block is temporarily
 	// unreadable at its placed location, not misplaced.
 	ErrDegradedRead = errors.New("cm: block degraded")
+	// ErrEpochFenced is returned by a follower replica refusing a lookup
+	// that would straddle a scaling operation it has not applied yet: the
+	// leader's placement epoch is ahead of the replica's, so answering from
+	// the stale snapshot could name a disk the block has already left. The
+	// condition clears as soon as the replica applies through the scaling
+	// event — retry after a short backoff.
+	ErrEpochFenced = errors.New("cm: read fenced across unapplied scaling epoch")
+	// ErrStaleRead is returned by a follower replica whose applied position
+	// lags the leader beyond the configured staleness budget. The answer
+	// would still be epoch-consistent, but older than the caller agreed to
+	// tolerate — retry after a short backoff, or read from the leader.
+	ErrStaleRead = errors.New("cm: replica lag exceeds staleness budget")
 )

@@ -82,6 +82,20 @@ func (k EventKind) String() string {
 	}
 }
 
+// IsEpochEvent reports whether an event kind begins or ends a scaling
+// operation — the placement-epoch boundaries replication fences reads on. A
+// follower that has not applied an epoch event the leader has journaled must
+// refuse lookups (ErrEpochFenced) rather than serve locations computed under
+// the superseded operation log. Per-block migration events deliberately do
+// not count: mid-drain moves are what bounded staleness covers.
+func IsEpochEvent(k EventKind) bool {
+	switch k {
+	case EventScaleUpStarted, EventScaleDownStarted, EventRedistributeStarted, EventReorgCompleted:
+		return true
+	}
+	return false
+}
+
 // BlockPos identifies one block by catalog coordinates. Events use it
 // instead of placement references because seeds are already durable in the
 // catalog and plan ordering is not deterministic across restarts.

@@ -34,6 +34,7 @@ import (
 
 	"scaddar/internal/cm"
 	"scaddar/internal/obs"
+	"scaddar/internal/repl"
 	"scaddar/internal/scaddar"
 	"scaddar/internal/store"
 )
@@ -85,6 +86,11 @@ type Config struct {
 	// Pass the ring the store replayed into during recovery and the live
 	// trace continues where the retrace ended.
 	TraceRing *obs.Ring
+	// ReplLeader, when non-nil, is the journal-shipping replication leader
+	// running beside this gateway; its follower connections are reported at
+	// GET /v1/replication. The leader's lifecycle is the caller's (serve
+	// starts and stops it with the store).
+	ReplLeader *repl.Leader
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }

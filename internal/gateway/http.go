@@ -37,6 +37,19 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("POST /v1/disks/{id}/fail", g.handleDiskFail)
 	g.mux.HandleFunc("POST /v1/disks/{id}/repair", g.handleDiskRepair)
 	g.mux.HandleFunc("POST /v1/admin/checkpoint", g.handleCheckpoint)
+	g.mux.HandleFunc("GET /v1/replication", g.handleReplication)
+}
+
+// handleReplication reports the journal-shipping leader's view: durable
+// frontier, replication epoch, and every live follower connection. 501
+// when this gateway runs without a replication leader.
+func (g *Gateway) handleReplication(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.ReplLeader == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			map[string]string{"error": "gateway: replication not enabled (serve -repl-addr)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"role": "leader", "leader": g.cfg.ReplLeader.Status()})
 }
 
 // Handler returns the gateway's HTTP handler with the per-request deadline
@@ -77,7 +90,11 @@ func (g *Gateway) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, cm.ErrAdmissionRejected),
 		errors.Is(err, ErrOverloaded),
-		errors.Is(err, ErrDraining):
+		errors.Is(err, ErrDraining),
+		errors.Is(err, cm.ErrEpochFenced),
+		errors.Is(err, cm.ErrStaleRead):
+		// Fenced and stale replica reads are retryable by contract: the
+		// condition clears as soon as the replica applies further.
 		w.Header().Set("Retry-After", g.retryAfterSeconds())
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, cm.ErrBusy),

@@ -1,0 +1,213 @@
+package gateway
+
+// Replica front-end tests: a real leader (store + replication listener)
+// with a follower tailing it, wrapped in the Replica HTTP surface. The
+// interesting part is the error contract — fenced and stale reads must
+// come back as retryable 503s with Retry-After, exactly like the leader
+// gateway's admission pushback.
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/obs"
+	"scaddar/internal/placement"
+	"scaddar/internal/repl"
+	"scaddar/internal/store"
+)
+
+// newReplicaUnderTest stands up leader store + replication listener + one
+// follower and returns the replica handler plus the leader pieces.
+func newReplicaUnderTest(t *testing.T) (*cm.Server, *store.Store, *repl.Follower, *Replica) {
+	t.Helper()
+	srv := newTestServer(t, 4, 4, 6, nil)
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	ldr, err := repl.NewLeader(repl.LeaderConfig{Store: st, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr.Serve(ln)
+	t.Cleanup(func() { ldr.Close() })
+
+	reg := obs.NewRegistry()
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Addr:     ln.Addr().String(),
+		X0:       placement.NewX0Func(testFactory),
+		Factory:  testFactory,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+
+	rp, err := NewReplica(ReplicaConfig{Follower: f, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, st, f, rp
+}
+
+// waitReplicaApplied polls the follower until it reaches the leader's
+// durable frontier.
+func waitReplicaApplied(t *testing.T, st *store.Store, f *repl.Follower) {
+	t.Helper()
+	durable, _ := st.Durable()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if v := f.View(); v != nil && v.AppliedLSN >= durable {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower never reached durable LSN %d; status %+v", durable, f.Status())
+}
+
+func TestReplicaValidation(t *testing.T) {
+	if _, err := NewReplica(ReplicaConfig{}); err == nil {
+		t.Error("nil follower accepted")
+	}
+}
+
+func TestReplicaServesReads(t *testing.T) {
+	srv, st, f, rp := newReplicaUnderTest(t)
+	waitReplicaApplied(t, st, f)
+
+	rec, body := doJSON(t, rp.Handler(), http.MethodGet, "/v1/objects/0/blocks/2", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read: %d %s", rec.Code, rec.Body.String())
+	}
+	// The replica's answer must match the leader's locator for the block.
+	sn, err := srv.BuildSnapshot(testFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sn.Locate(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(body["disk"].(float64)); got != want {
+		t.Fatalf("replica read disk %d, leader locator %d", got, want)
+	}
+	if _, ok := body["appliedLsn"]; !ok {
+		t.Fatalf("read response missing appliedLsn: %v", body)
+	}
+
+	rec, _ = doJSON(t, rp.Handler(), http.MethodGet, "/v1/objects/99/blocks/0", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown object: %d, want 404", rec.Code)
+	}
+	rec, _ = doJSON(t, rp.Handler(), http.MethodGet, "/v1/objects/0/blocks/999", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("out-of-range block: %d, want 404", rec.Code)
+	}
+
+	rec, body = doJSON(t, rp.Handler(), http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", rec.Code, body)
+	}
+	rec, body = doJSON(t, rp.Handler(), http.MethodGet, "/v1/replication", nil)
+	if rec.Code != http.StatusOK || body["role"] != "replica" {
+		t.Fatalf("replication: %d %v", rec.Code, body)
+	}
+	rec, _ = doJSON(t, rp.Handler(), http.MethodGet, "/v1/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+}
+
+// TestReplicaErrorContract pins the retryable mapping: fenced and stale
+// reads are 503 with Retry-After, unknown names are 404, anything else is
+// a plain 500. The fencing semantics themselves (when Locate returns these
+// errors) are pinned by the repl package; this is the HTTP contract.
+func TestReplicaErrorContract(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		err   error
+		code  int
+		retry bool
+	}{
+		{"fenced", cm.ErrEpochFenced, http.StatusServiceUnavailable, true},
+		{"stale", cm.ErrStaleRead, http.StatusServiceUnavailable, true},
+		{"unknown", cm.ErrUnknownObject, http.StatusNotFound, false},
+		{"range", cm.ErrBlockOutOfRange, http.StatusNotFound, false},
+		{"other", errTestOpaque, http.StatusInternalServerError, false},
+	} {
+		rec, _ := doJSON(t, errorHandler(tc.err), http.MethodGet, "/", nil)
+		if rec.Code != tc.code {
+			t.Fatalf("%s: %d, want %d", tc.name, rec.Code, tc.code)
+		}
+		if got := rec.Header().Get("Retry-After") != ""; got != tc.retry {
+			t.Fatalf("%s: Retry-After present=%v, want %v", tc.name, got, tc.retry)
+		}
+	}
+}
+
+var errTestOpaque = errors.New("opaque failure")
+
+// errorHandler adapts writeReplicaError for direct contract tests.
+func errorHandler(err error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeReplicaError(w, err)
+	})
+}
+
+// TestReplicaNotBootstrapped drives the full HTTP stack against a follower
+// that cannot reach its leader: every read is a retryable 503 and healthz
+// reports bootstrapping, so load balancers keep the replica out of rotation
+// until it has state.
+func TestReplicaNotBootstrapped(t *testing.T) {
+	// A listener we immediately close gives a port nothing accepts on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Addr:        addr,
+		X0:          placement.NewX0Func(testFactory),
+		Factory:     testFactory,
+		DialTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	rp, err := NewReplica(ReplicaConfig{Follower: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, _ := doJSON(t, rp.Handler(), http.MethodGet, "/v1/objects/0/blocks/0", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("read before bootstrap: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("read before bootstrap: missing Retry-After")
+	}
+	rec, body := doJSON(t, rp.Handler(), http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable || body["status"] != "bootstrapping" {
+		t.Fatalf("healthz before bootstrap: %d %v", rec.Code, body)
+	}
+	rec, _ = doJSON(t, rp.Handler(), http.MethodGet, "/v1/objects", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("objects before bootstrap: %d, want 503", rec.Code)
+	}
+}

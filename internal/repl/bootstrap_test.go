@@ -1,0 +1,161 @@
+package repl
+
+// Follower bootstrap across the store's checkpoint-retention states:
+//
+//   1. a fresh store — only the bootstrap checkpoint, events all in the
+//      journal tail
+//   2. the newest checkpoint corrupted on disk — the store's retain-2
+//      policy falls back to its predecessor, and the follower bootstraps
+//      from the older checkpoint with a longer tail replay
+//   3. a healthy checkpoint plus a partial tail past it
+//
+// Each case asserts applied-LSN continuity: the follower lands exactly on
+// the leader's durable frontier having entered at the checkpoint's LSN,
+// and its state is byte-identical (the stream's gap check makes any
+// skipped or repeated LSN a connection error, so arriving at the frontier
+// proves the walk was contiguous).
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scaddar/internal/store"
+)
+
+// appendObjects journals n object adds through the leader's sink.
+func appendObjects(t *testing.T, cl *chaosLeader, startID, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := cl.srv.AddObject(testObject(startID+i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bootstrapAndCheck starts a fresh follower against the leader, waits for
+// it to reach the durable frontier, and asserts continuity + convergence.
+// Returns the bootstrap LSN the follower entered at.
+func bootstrapAndCheck(t *testing.T, cl *chaosLeader, wantCkptLSN uint64) {
+	t.Helper()
+	durable, _ := cl.st.Durable()
+	f := startTestFollower(t, cl.ldr.Addr().String(), nil)
+	waitApplied(t, f, durable, 10*time.Second)
+
+	st := f.Status()
+	if st.Snapshots != 1 {
+		t.Fatalf("follower applied %d snapshots, want exactly 1", st.Snapshots)
+	}
+	ckLSN, _, _, err := cl.st.CheckpointData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckLSN != wantCkptLSN {
+		t.Fatalf("leader serves checkpoint at LSN %d, want %d", ckLSN, wantCkptLSN)
+	}
+	if st.AppliedLSN != durable {
+		t.Fatalf("follower applied LSN %d, leader durable %d", st.AppliedLSN, durable)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, cl.srv, f.Server())
+}
+
+// newBootstrapLeader opens a small-segment store, bootstraps a server into
+// it, and serves replication on a fresh port.
+func newBootstrapLeader(t *testing.T, dir string) *chaosLeader {
+	t.Helper()
+	srv, st, ldr := newLeader(t, dir, store.Config{SegmentBytes: 1 << 10}, 0)
+	return &chaosLeader{t: t, dir: dir, addr: ldr.Addr().String(), srv: srv, st: st, ldr: ldr}
+}
+
+// TestBootstrapFreshStore: state 1 — bootstrap checkpoint only, the whole
+// history rides the tail stream.
+func TestBootstrapFreshStore(t *testing.T) {
+	cl := newBootstrapLeader(t, t.TempDir())
+	appendObjects(t, cl, 0, 12)
+	bootstrapAndCheck(t, cl, 0) // bootstrap checkpoint covers LSN 0
+}
+
+// TestBootstrapRetainFallback: state 2 — the newest checkpoint file is
+// corrupt; reopening the store falls back to the retained predecessor and
+// followers bootstrap from it with the longer replay.
+func TestBootstrapRetainFallback(t *testing.T) {
+	dir := t.TempDir()
+	cl := newBootstrapLeader(t, dir)
+	appendObjects(t, cl, 0, 10)
+	ck1, err := cl.st.Checkpoint(cl.srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendObjects(t, cl, 10, 10)
+	ck2, err := cl.st.Checkpoint(cl.srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2 <= ck1 {
+		t.Fatalf("checkpoints did not advance: %d then %d", ck1, ck2)
+	}
+	appendObjects(t, cl, 20, 5)
+
+	// Crash the leader, corrupt the newest checkpoint on disk, restart.
+	cl.kill()
+	corruptCheckpoint(t, dir, ck2)
+	cl.restart()
+	t.Cleanup(func() { cl.ldr.Close(); cl.st.Close() })
+
+	bootstrapAndCheck(t, cl, ck1)
+}
+
+// TestBootstrapPartialTail: state 3 — healthy checkpoint plus events past
+// it; the follower enters at the checkpoint and streams the partial tail.
+func TestBootstrapPartialTail(t *testing.T) {
+	cl := newBootstrapLeader(t, t.TempDir())
+	appendObjects(t, cl, 0, 8)
+	ck, err := cl.st.Checkpoint(cl.srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendObjects(t, cl, 8, 7)
+	durable, _ := cl.st.Durable()
+	if durable <= ck {
+		t.Fatalf("no tail past the checkpoint (durable %d, ckpt %d)", durable, ck)
+	}
+	bootstrapAndCheck(t, cl, ck)
+}
+
+// corruptCheckpoint flips a byte in the payload of the checkpoint file
+// covering lsn.
+func corruptCheckpoint(t *testing.T, dir string, lsn uint64) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "ckpt-") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLSN, _, _, _, err := store.DecodeCheckpointData(data)
+		if err != nil || gotLSN != lsn {
+			continue
+		}
+		data[len(data)-1] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatalf("no checkpoint covering LSN %d in %s", lsn, dir)
+}

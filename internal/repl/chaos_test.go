@@ -1,0 +1,319 @@
+package repl
+
+// The chaos harness: followers tail a leader through a seeded hostile
+// network (drops, stalls, mid-record truncation, duplicated bytes) while
+// the leader runs scaling operations, checkpoints prune the journal under
+// the stream, and — halfway through — the leader process "dies" and
+// restarts from disk. The run asserts:
+//
+//   - every follower converges byte-identical to the leader
+//     (metadata encoding, integrity, full-locator agreement)
+//   - every successful follower read matches an oracle of the leader's
+//     state at the read's claimed applied LSN — which also proves no read
+//     ever straddled an unapplied scaling epoch
+//   - the fault schedule actually fired (a clean run proves nothing)
+//
+// Staleness bounding is enforced inside Locate (over-budget reads fail
+// with cm.ErrStaleRead) and pinned deterministically by
+// TestStalenessBudget; here over-budget reads simply never enter the
+// oracle check.
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/store"
+)
+
+// probeSet is the fixed block set followers read throughout the run.
+var probeSet = [][2]int{
+	{0, 0}, {0, 2}, {1, 0}, {1, 3}, {2, 1}, {2, 2},
+	{3, 0}, {3, 3}, {4, 1}, {5, 0}, {5, 3}, {6, 2},
+}
+
+// oracle maps journal LSN -> expected disk per probe (-1: probe errored,
+// e.g. object unknown or block degraded at that LSN).
+type oracle map[uint64][]int
+
+// capture records the leader's probe answers at its current LSN.
+func (o oracle) capture(t *testing.T, srv *cm.Server, st *store.Store) {
+	t.Helper()
+	sn, err := srv.BuildSnapshot(testFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := make([]int, len(probeSet))
+	for i, p := range probeSet {
+		d, err := sn.Locate(p[0], p[1])
+		if err != nil {
+			d = -1
+		}
+		locs[i] = d
+	}
+	o[st.LSN()] = locs
+	// Pace the workload: a CPU-bound burst would finish before followers
+	// stream anything live, and an idle wire draws no faults.
+	time.Sleep(time.Millisecond)
+}
+
+// probeRead is one successful follower read: which probe, the answer, and
+// the applied LSN the follower claimed it was valid at.
+type probeRead struct {
+	probe int
+	disk  int
+	lsn   uint64
+}
+
+// prober hammers a follower with the probe set until stopped.
+type prober struct {
+	f     *Follower
+	mu    sync.Mutex
+	reads []probeRead
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func startProber(f *Follower) *prober {
+	p := &prober{f: f, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		for {
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+			for i, pr := range probeSet {
+				disk, lsn, err := p.f.Locate(pr[0], pr[1])
+				if err != nil {
+					continue // fenced, stale, unknown, degraded: not served
+				}
+				p.mu.Lock()
+				p.reads = append(p.reads, probeRead{probe: i, disk: disk, lsn: lsn})
+				p.mu.Unlock()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	return p
+}
+
+func (p *prober) halt() []probeRead {
+	close(p.stop)
+	<-p.done
+	return p.reads
+}
+
+// chaosLeader bundles what the workload needs to drive and restart the
+// leader.
+type chaosLeader struct {
+	t    *testing.T
+	dir  string
+	addr string
+	srv  *cm.Server
+	st   *store.Store
+	ldr  *Leader
+}
+
+func (c *chaosLeader) mutate(f func() error) {
+	c.t.Helper()
+	if err := f(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// drainReorg ticks the migration to completion, capturing the oracle at
+// every event the ticks journal.
+func (c *chaosLeader) drainReorg(o oracle) {
+	c.t.Helper()
+	for i := 0; c.srv.Reorganizing(); i++ {
+		if i > 10000 {
+			c.t.Fatal("migration did not drain")
+		}
+		c.mutate(c.srv.Tick)
+		o.capture(c.t, c.srv, c.st)
+	}
+	c.mutate(c.srv.FinishReorganization)
+	o.capture(c.t, c.srv, c.st)
+}
+
+// kill closes the leader and its store — the crash. restart recovers from
+// disk and rebinds the same address.
+func (c *chaosLeader) kill() {
+	c.t.Helper()
+	c.ldr.Close()
+	if err := c.st.Close(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *chaosLeader) restart() {
+	c.t.Helper()
+	st, err := store.Open(store.Config{Dir: c.dir, SegmentBytes: 2 << 10})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	srv, _, err := st.Recover(testX0())
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ldr, err := NewLeader(LeaderConfig{Store: st, Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ldr.Serve(ln)
+	c.st, c.srv, c.ldr = st, srv, ldr
+}
+
+// TestChaosConvergence is the headline harness. Deterministic fault
+// schedule (fixed seeds), two followers behind the injector, scaling
+// workload with checkpoint pruning, one leader kill/restart.
+func TestChaosConvergence(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st, err := store.Open(store.Config{Dir: dir, SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr, err := NewLeader(LeaderConfig{Store: st, Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr.Serve(ln)
+	cl := &chaosLeader{t: t, dir: dir, addr: ln.Addr().String(), srv: srv, st: st, ldr: ldr}
+	defer func() {
+		cl.ldr.Close()
+		cl.st.Close()
+	}()
+
+	fi, err := StartFaultInjector(FaultConfig{
+		Target:        cl.addr,
+		Seed:          42,
+		DropRate:      0.02,
+		StallRate:     0.004,
+		StallFor:      700 * time.Millisecond,
+		TruncateRate:  0.02,
+		DuplicateRate: 0.08,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fi.Close()
+
+	var followers []*Follower
+	var probers []*prober
+	for i := 0; i < 2; i++ {
+		f := startTestFollower(t, fi.Addr(), func(c *FollowerConfig) {
+			c.ReadTimeout = 500 * time.Millisecond
+			c.MaxLagEvents = 256
+			c.Seed = uint64(i + 1)
+			c.Logf = nil // the fault schedule makes this too chatty
+		})
+		followers = append(followers, f)
+		probers = append(probers, startProber(f))
+	}
+
+	// Let both followers bootstrap before the workload so the stream runs
+	// live (and through the fault schedule) rather than as one bulk replay.
+	durable0, _ := cl.st.Durable()
+	for _, f := range followers {
+		waitApplied(t, f, durable0, 10*time.Second)
+	}
+
+	o := oracle{}
+	o.capture(t, cl.srv, cl.st)
+
+	// Workload: six scaling cycles with object churn; checkpoint (and
+	// prune) every other cycle; leader crash after cycle three.
+	nextID := 0
+	runCycle := func(cycle int) {
+		for i := 0; i < 4; i++ {
+			cl.mutate(func() error { return cl.srv.AddObject(testObject(nextID, 4)) })
+			nextID++
+			o.capture(t, cl.srv, cl.st)
+		}
+		switch cycle % 3 {
+		case 0:
+			cl.mutate(func() error { _, err := cl.srv.ScaleUp(2); return err })
+		case 1:
+			n := cl.srv.N()
+			cl.mutate(func() error { _, err := cl.srv.ScaleDown(n - 1); return err })
+		case 2:
+			cl.mutate(func() error { _, err := cl.srv.FullRedistribute(); return err })
+		}
+		o.capture(t, cl.srv, cl.st)
+		cl.drainReorg(o)
+		if cycle%2 == 1 {
+			cl.mutate(func() error { _, err := cl.st.Checkpoint(cl.srv); return err })
+		}
+	}
+
+	for cycle := 0; cycle < 3; cycle++ {
+		runCycle(cycle)
+	}
+	cl.kill()
+	cl.restart()
+	// Post-restart the oracle keeps accumulating against the recovered
+	// server; followers reconnect through the injector on their own.
+	for cycle := 3; cycle < 6; cycle++ {
+		runCycle(cycle)
+	}
+	if err := cl.st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	durable, epoch := cl.st.Durable()
+	for i, f := range followers {
+		v := waitApplied(t, f, durable, 30*time.Second)
+		if v.Epoch != epoch {
+			t.Fatalf("follower %d at epoch %d, leader durable epoch %d", i, v.Epoch, epoch)
+		}
+	}
+
+	if fi.Faults() == 0 {
+		t.Fatal("fault injector fired zero faults; the run proved nothing")
+	}
+	t.Logf("chaos run: %d faults, leader at LSN %d epoch %d", fi.Faults(), durable, epoch)
+
+	for i, f := range followers {
+		reads := probers[i].halt()
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertConverged(t, cl.srv, f.Server())
+
+		checked, skipped := 0, 0
+		for _, r := range reads {
+			want, ok := o[r.lsn]
+			if !ok {
+				skipped++ // LSN between captures (multi-event mutation)
+				continue
+			}
+			checked++
+			if want[r.probe] != r.disk {
+				t.Fatalf("follower %d read probe %v at LSN %d from disk %d; leader had it on %d",
+					i, probeSet[r.probe], r.lsn, r.disk, want[r.probe])
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("follower %d: no reads were checkable (%d skipped)", i, skipped)
+		}
+		t.Logf("follower %d: %d reads checked against the oracle (%d at uncaptured LSNs), %d reconnects, %d snapshots",
+			i, checked, skipped, f.Status().Reconnects, f.Status().Snapshots)
+	}
+}

@@ -11,10 +11,13 @@ package store
 //
 // The payload opens with the checkpoint's LSN (every event with an LSN at
 // or below it is reflected in the state), cross-checked against the
-// filename. Function-typed config fields (MirrorOffset, the placement X0
-// generator) cannot be persisted: stores refuse configs with a custom
-// mirror offset, and recovery takes the generator factory as an argument —
-// it must match what the original server used.
+// filename, followed by the replication epoch at that LSN (the running
+// count of scaling-operation events since the journal's birth — what
+// follower replicas fence reads on; version 2 added it). Function-typed
+// config fields (MirrorOffset, the placement X0 generator) cannot be
+// persisted: stores refuse configs with a custom mirror offset, and
+// recovery takes the generator factory as an argument — it must match what
+// the original server used.
 
 import (
 	"bytes"
@@ -30,16 +33,17 @@ import (
 
 const (
 	ckptMagic     = "SCCK"
-	ckptVersion   = 1
+	ckptVersion   = 2
 	ckptHeaderLen = 4 + 1 + 4
 )
 
 // encodeCheckpoint renders a complete checkpoint file.
-func encodeCheckpoint(lsn uint64, cfg cm.Config, md *cm.Metadata) ([]byte, error) {
+func encodeCheckpoint(lsn, epoch uint64, cfg cm.Config, md *cm.Metadata) ([]byte, error) {
 	if cfg.MirrorOffset != nil {
 		return nil, fmt.Errorf("store: cannot persist a custom MirrorOffset function")
 	}
 	payload := binary.AppendUvarint(nil, lsn)
+	payload = binary.AppendUvarint(payload, epoch)
 	payload = binary.AppendUvarint(payload, uint64(cfg.Round))
 	payload, err := appendProfile(payload, cfg.Profile)
 	if err != nil {
@@ -73,83 +77,86 @@ func encodeCheckpoint(lsn uint64, cfg cm.Config, md *cm.Metadata) ([]byte, error
 }
 
 // decodeCheckpoint parses and validates a checkpoint file.
-func decodeCheckpoint(data []byte) (lsn uint64, cfg cm.Config, md *cm.Metadata, err error) {
+func decodeCheckpoint(data []byte) (lsn, epoch uint64, cfg cm.Config, md *cm.Metadata, err error) {
 	if len(data) < ckptHeaderLen || string(data[:4]) != ckptMagic {
-		return 0, cfg, nil, fmt.Errorf("store: checkpoint lacks magic %q", ckptMagic)
+		return 0, 0, cfg, nil, fmt.Errorf("store: checkpoint lacks magic %q", ckptMagic)
 	}
 	if data[4] != ckptVersion {
-		return 0, cfg, nil, fmt.Errorf("store: checkpoint format version %d, want %d", data[4], ckptVersion)
+		return 0, 0, cfg, nil, fmt.Errorf("store: checkpoint format version %d, want %d", data[4], ckptVersion)
 	}
 	payload := data[ckptHeaderLen:]
 	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[5:]) {
-		return 0, cfg, nil, fmt.Errorf("store: checkpoint CRC mismatch")
+		return 0, 0, cfg, nil, fmt.Errorf("store: checkpoint CRC mismatch")
 	}
 	r := bytes.NewReader(payload)
 	if lsn, err = binary.ReadUvarint(r); err != nil {
-		return 0, cfg, nil, fmt.Errorf("store: checkpoint LSN: %w", err)
+		return 0, 0, cfg, nil, fmt.Errorf("store: checkpoint LSN: %w", err)
+	}
+	if epoch, err = binary.ReadUvarint(r); err != nil {
+		return 0, 0, cfg, nil, fmt.Errorf("store: checkpoint epoch: %w", err)
 	}
 	round, err := readUint(r, "round length")
 	if err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	cfg.Round = time.Duration(round)
 	if cfg.Profile, err = readProfile(r); err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	blockBytes, err := readUint(r, "block size")
 	if err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	cfg.BlockBytes = int64(blockBytes)
 	if cfg.Utilization, err = readFloat(r, "utilization"); err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	if cfg.OverloadTarget, err = readFloat(r, "overload target"); err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	bits, err := readUint(r, "generator bits")
 	if err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	cfg.GeneratorBits = uint(bits)
 	if cfg.Tolerance, err = readFloat(r, "tolerance"); err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	cacheBlocks, err := readUint(r, "cache blocks")
 	if err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	cfg.CacheBlocks = int(cacheBlocks)
 	measure, err := r.ReadByte()
 	if err != nil {
-		return 0, cfg, nil, fmt.Errorf("store: measure-rounds flag: %w", err)
+		return 0, 0, cfg, nil, fmt.Errorf("store: measure-rounds flag: %w", err)
 	}
 	cfg.MeasureRounds = measure != 0
 	redundancy, err := readUint(r, "redundancy")
 	if err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	cfg.Redundancy = cm.Redundancy(redundancy)
 	parityGroup, err := readUint(r, "parity group")
 	if err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	cfg.ParityGroup = int(parityGroup)
 	mdLen, err := readCount(r, 1, "metadata")
 	if err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	mdBytes := make([]byte, mdLen)
 	if _, err := io.ReadFull(r, mdBytes); err != nil {
-		return 0, cfg, nil, fmt.Errorf("store: checkpoint metadata: %w", err)
+		return 0, 0, cfg, nil, fmt.Errorf("store: checkpoint metadata: %w", err)
 	}
 	if md, err = cm.DecodeMetadataBinary(mdBytes); err != nil {
-		return 0, cfg, nil, err
+		return 0, 0, cfg, nil, err
 	}
 	if r.Len() != 0 {
-		return 0, cfg, nil, fmt.Errorf("store: checkpoint has %d trailing bytes", r.Len())
+		return 0, 0, cfg, nil, fmt.Errorf("store: checkpoint has %d trailing bytes", r.Len())
 	}
-	return lsn, cfg, md, nil
+	return lsn, epoch, cfg, md, nil
 }
 
 // readFloat reads a fixed 8-byte float64 and rejects NaNs (no config field

@@ -118,6 +118,20 @@ func appendBlockList(dst []byte, list []cm.BlockPos) ([]byte, error) {
 // maxInt rejects values that cannot round-trip through int on any platform.
 const maxInt = 1<<62 - 1
 
+// EncodeEvent renders one event in the journal's binary form — the inverse
+// of DecodeEvent, exported for replication tests and tools that synthesize
+// streams.
+func EncodeEvent(ev cm.Event) ([]byte, error) {
+	return appendEvent(nil, ev)
+}
+
+// DecodeEvent parses one event payload (the Event bytes of a TailRecord),
+// rejecting trailing bytes. It is the exported face of the journal's event
+// codec for replication consumers.
+func DecodeEvent(data []byte) (cm.Event, error) {
+	return decodeEvent(data)
+}
+
 // decodeEvent parses one event payload, rejecting trailing bytes.
 func decodeEvent(data []byte) (cm.Event, error) {
 	r := bytes.NewReader(data)

@@ -35,7 +35,7 @@ func (s *Store) Recover(x0 placement.X0Func) (*cm.Server, *RecoveryInfo, error) 
 		if err != nil {
 			return nil, nil, fmt.Errorf("store: event at LSN %d: %w", rec.lsn, err)
 		}
-		if err := applyEvent(srv, ev); err != nil {
+		if err := ApplyEvent(srv, ev); err != nil {
 			return nil, nil, fmt.Errorf("store: replaying %s at LSN %d: %w", ev.Kind, rec.lsn, err)
 		}
 		s.observeReplay(ev)
@@ -54,10 +54,12 @@ func (s *Store) Recover(x0 placement.X0Func) (*cm.Server, *RecoveryInfo, error) 
 	return srv, &info, nil
 }
 
-// applyEvent re-executes one journaled event against a recovering server.
+// ApplyEvent re-executes one journaled event against a recovering server.
 // The dispatch inverts the emit sites in package cm exactly: every event a
-// live server journals must replay here, or recovery diverges.
-func applyEvent(srv *cm.Server, ev cm.Event) error {
+// live server journals must replay here, or recovery diverges. Follower
+// replicas use the same dispatch to apply streamed journal records, which
+// is what keeps a replica byte-identical to leader-side recovery.
+func ApplyEvent(srv *cm.Server, ev cm.Event) error {
 	switch ev.Kind {
 	case cm.EventObjectAdded:
 		return srv.AddObject(ev.Object)

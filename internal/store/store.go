@@ -17,6 +17,9 @@ package store
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -106,6 +109,9 @@ type Status struct {
 	DurableLSN uint64 `json:"durableLsn"`
 	// CheckpointLSN is the LSN of the newest checkpoint.
 	CheckpointLSN uint64 `json:"checkpointLsn"`
+	// Epoch is the replication epoch: scaling-operation events journaled
+	// since the journal's birth.
+	Epoch uint64 `json:"epoch"`
 	// Segments is the number of journal segments in the trusted chain.
 	Segments int `json:"segments"`
 	// EventsSinceCheckpoint is the crash-replay cost right now.
@@ -122,6 +128,7 @@ type Status struct {
 type Store struct {
 	mu  sync.Mutex
 	cfg Config
+	id  string // journal identity (see JournalID); immutable after Open
 
 	segments   []segmentMeta
 	active     *os.File
@@ -133,6 +140,17 @@ type Store struct {
 	ckptLSN    uint64 // newest valid checkpoint's LSN
 	haveCkpt   bool
 	ckpts      []uint64 // valid checkpoint LSNs on disk, ascending
+
+	// epoch counts scaling-operation events (cm.IsEpochEvent) since the
+	// journal's birth; durableEpoch is its value at durableLSN and ckptEpoch
+	// its value at ckptLSN. Replication fences follower reads on it.
+	epoch        uint64
+	durableEpoch uint64
+	ckptEpoch    uint64
+
+	// notify is closed and replaced whenever durableLSN advances, so journal
+	// tails can block for new durable records without polling.
+	notify chan struct{}
 
 	serverCfg cm.Config    // from the newest valid checkpoint
 	metadata  *cm.Metadata // from the newest valid checkpoint
@@ -169,12 +187,58 @@ func Open(cfg Config) (*Store, error) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	s := &Store{cfg: cfg, nextLSN: 1}
+	s := &Store{cfg: cfg, nextLSN: 1, notify: make(chan struct{})}
 	if err := s.load(); err != nil {
+		return nil, err
+	}
+	if err := s.loadJournalID(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
+
+// journalIDName is the data-directory file holding the journal identity.
+const journalIDName = "journal.id"
+
+// loadJournalID reads the directory's journal identity, minting one on the
+// first writable Open. The identity outlives every checkpoint and segment:
+// it names the journal itself, so two directories never share one even when
+// their LSN ranges happen to line up. Replication resume handshakes carry
+// it — a follower that applied journal A must never splice records from
+// journal B onto its state (see internal/repl).
+func (s *Store) loadJournalID() error {
+	path := filepath.Join(s.cfg.Dir, journalIDName)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		id := string(data)
+		if raw, decErr := hex.DecodeString(id); decErr == nil && len(raw) == 16 {
+			s.id = id
+			return nil
+		}
+		// An unreadable identity is treated like a missing one: mint a new
+		// identity, which (safely) forces followers to re-bootstrap.
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.cfg.ReadOnly {
+		return nil // inspection-only open of a legacy directory: no identity
+	}
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return fmt.Errorf("store: minting journal identity: %w", err)
+	}
+	s.id = hex.EncodeToString(raw[:])
+	if err := fsio.WriteFileAtomic(path, []byte(s.id), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// JournalID returns the directory's journal identity: 32 hex characters
+// minted on the first writable Open and stable for the directory's lifetime.
+// Empty only for a ReadOnly open of a directory no writer has touched since
+// identities were introduced.
+func (s *Store) JournalID() string { return s.id }
 
 // load scans the directory: newest valid checkpoint, then the segment
 // chain, truncating at the first torn or corrupt record.
@@ -202,7 +266,7 @@ func (s *Store) load() error {
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		lsn, cfg, md, err := decodeCheckpoint(data)
+		lsn, epoch, cfg, md, err := decodeCheckpoint(data)
 		if err != nil || lsn != ckptLSNs[i] {
 			s.recovery.DroppedCheckpoints++
 			if !s.cfg.ReadOnly {
@@ -213,6 +277,7 @@ func (s *Store) load() error {
 		if !s.haveCkpt {
 			s.haveCkpt = true
 			s.ckptLSN = lsn
+			s.ckptEpoch = epoch
 			s.serverCfg = cfg
 			s.metadata = md
 		}
@@ -309,6 +374,15 @@ func (s *Store) load() error {
 			ErrCorrupt, s.ckptLSN, s.tail[0].lsn)
 	}
 	s.durableLSN = s.nextLSN - 1
+	// The replication epoch resumes from the checkpoint's value plus every
+	// scaling-operation event the surviving tail holds.
+	s.epoch = s.ckptEpoch
+	for _, rec := range s.tail {
+		if kind, n := binary.Uvarint(rec.event); n > 0 && cm.IsEpochEvent(cm.EventKind(kind)) {
+			s.epoch++
+		}
+	}
+	s.durableEpoch = s.epoch
 	return nil
 }
 
@@ -383,6 +457,7 @@ func (s *Store) Status() Status {
 		LSN:                   s.nextLSN - 1,
 		DurableLSN:            s.durableLSN,
 		CheckpointLSN:         s.ckptLSN,
+		Epoch:                 s.epoch,
 		Segments:              len(s.segments),
 		EventsSinceCheckpoint: s.nextLSN - 1 - s.ckptLSN,
 	}
@@ -432,6 +507,9 @@ func (s *Store) Append(ev cm.Event) (uint64, error) {
 	frame := appendRecord(nil, lsn, event)
 	if _, err := s.w.Write(frame); err != nil {
 		return 0, s.fail(err)
+	}
+	if cm.IsEpochEvent(ev.Kind) {
+		s.epoch++
 	}
 	s.activeSize += int64(len(frame))
 	sm := &s.segments[len(s.segments)-1]
@@ -486,8 +564,15 @@ func (s *Store) syncLocked() error {
 		}
 	}
 	batch := s.unsynced
+	advanced := s.nextLSN-1 > s.durableLSN
 	s.durableLSN = s.nextLSN - 1
+	s.durableEpoch = s.epoch
 	s.unsynced = 0
+	if advanced {
+		// Wake journal tails blocked on DurableNotify.
+		close(s.notify)
+		s.notify = make(chan struct{})
+	}
 	s.observeSync(batch, time.Since(start))
 	return nil
 }
@@ -585,7 +670,7 @@ func (s *Store) Checkpoint(srv *cm.Server) (uint64, error) {
 		return 0, ErrReadOnly
 	}
 	lsn := s.nextLSN - 1
-	data, err := encodeCheckpoint(lsn, cfg, md)
+	data, err := encodeCheckpoint(lsn, s.epoch, cfg, md)
 	if err != nil {
 		return 0, err
 	}
@@ -599,6 +684,7 @@ func (s *Store) Checkpoint(srv *cm.Server) (uint64, error) {
 	}
 	s.haveCkpt = true
 	s.ckptLSN = lsn
+	s.ckptEpoch = s.epoch
 	s.serverCfg = cfg
 	s.metadata = md
 	s.tail = nil

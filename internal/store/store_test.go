@@ -705,3 +705,66 @@ func copyDir(t *testing.T, src, dst string) {
 		}
 	}
 }
+
+// TestJournalIdentity: minted once on the first writable Open, stable
+// across reopens, distinct per directory, readable (but never minted) by a
+// ReadOnly open.
+func TestJournalIdentity(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.JournalID()
+	s.Close()
+	if len(id) != 32 {
+		t.Fatalf("journal identity %q is not 32 hex chars", id)
+	}
+
+	s, err = Open(Config{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.JournalID(); got != id {
+		t.Fatalf("reopen read identity %q, minted %q", got, id)
+	}
+	s.Close()
+
+	other, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if other.JournalID() == id {
+		t.Fatalf("two directories share identity %q", id)
+	}
+
+	// ReadOnly open of a directory no writer has touched: no identity, and
+	// no file minted behind the inspector's back.
+	legacy := t.TempDir()
+	ro, err := Open(Config{Dir: legacy, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if got := ro.JournalID(); got != "" {
+		t.Fatalf("ReadOnly open minted identity %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(legacy, journalIDName)); !os.IsNotExist(err) {
+		t.Fatalf("ReadOnly open wrote %s (stat err %v)", journalIDName, err)
+	}
+
+	// A corrupt identity file is replaced, which safely forces followers to
+	// re-bootstrap.
+	if err := os.WriteFile(filepath.Join(dir, journalIDName), []byte("not hex"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.JournalID(); len(got) != 32 || got == id {
+		t.Fatalf("corrupt identity replaced with %q (old %q)", got, id)
+	}
+}

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"scaddar/internal/cm"
+)
+
+// Tests for the journal tail/serve API: durability gating, segment-rotation
+// handoff (the regression this file exists for), resume mid-segment, and
+// the pruned-position signal.
+
+// appendSynced journals one event and makes it durable.
+func appendSynced(t *testing.T, st *Store, ev cm.Event) uint64 {
+	t.Helper()
+	lsn, err := st.Append(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return lsn
+}
+
+// drainTail reads everything durable from the reader and returns it.
+func drainTail(t *testing.T, r *TailReader) []TailRecord {
+	t.Helper()
+	var out []TailRecord
+	for {
+		batch, err := r.Next(7) // small batches exercise re-entry paths
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			return out
+		}
+		out = append(out, batch...)
+	}
+}
+
+// assertContiguous checks the records run first..last with no gap or repeat.
+func assertContiguous(t *testing.T, recs []TailRecord, first, last uint64) {
+	t.Helper()
+	if want := int(last - first + 1); len(recs) != want {
+		t.Fatalf("got %d records, want %d (LSN %d..%d)", len(recs), want, first, last)
+	}
+	for i, rec := range recs {
+		if want := first + uint64(i); rec.LSN != want {
+			t.Fatalf("record %d has LSN %d, want %d", i, rec.LSN, want)
+		}
+	}
+}
+
+// TestTailReaderDurabilityGate: un-synced appends are invisible to the tail.
+func TestTailReaderDurabilityGate(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st, err := Open(Config{Dir: dir, SyncEvery: 1000}) // no auto-sync
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Append(cm.Event{Kind: cm.EventObjectAdded, Object: testObject(0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	r := st.NewTailReader(1)
+	defer r.Close()
+	if recs := drainTail(t, r); len(recs) != 0 {
+		t.Fatalf("tail returned %d records before sync", len(recs))
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs := drainTail(t, r)
+	assertContiguous(t, recs, 1, 1)
+	ev, err := DecodeEvent(recs[0].Event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != cm.EventObjectAdded || ev.Object.ID != 0 {
+		t.Fatalf("decoded %s object %d, want object-added 0", ev.Kind, ev.Object.ID)
+	}
+}
+
+// TestTailReaderAcrossRotation is the rotation regression test: a reader
+// that has drained a segment to its end must hand off to the next segment
+// without re-reading or skipping an LSN, including when the rotation
+// happens mid-tail (after the reader already caught up).
+func TestTailReaderAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st, err := Open(Config{Dir: dir, SegmentBytes: 1 << 10}) // rotate eagerly
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+
+	r := st.NewTailReader(1)
+	defer r.Close()
+
+	// Fill past at least two rotations, draining the tail as we go so the
+	// reader is parked exactly at a sealed segment's end when the next
+	// append opens a fresh segment.
+	var got []TailRecord
+	var lsn uint64
+	for len(mustSegments(st)) < 3 {
+		lsn = appendSynced(t, st, cm.Event{Kind: cm.EventObjectAdded, Object: testObject(int(lsn), 3)})
+		got = append(got, drainTail(t, r)...)
+	}
+	// A few more records after the last rotation, then drain the rest.
+	for i := 0; i < 5; i++ {
+		lsn = appendSynced(t, st, cm.Event{Kind: cm.EventObjectRemoved, ObjectID: int(lsn)})
+	}
+	got = append(got, drainTail(t, r)...)
+	assertContiguous(t, got, 1, lsn)
+
+	// A second reader starting cold from LSN 1 crosses the same sealed
+	// segment boundaries in bulk and must see the identical sequence.
+	r2 := st.NewTailReader(1)
+	defer r2.Close()
+	cold := drainTail(t, r2)
+	assertContiguous(t, cold, 1, lsn)
+	for i := range got {
+		if got[i].LSN != cold[i].LSN || string(got[i].Event) != string(cold[i].Event) {
+			t.Fatalf("record %d differs between incremental and cold tail", i)
+		}
+	}
+}
+
+// TestTailReaderResumeMidSegment: a reader created at an arbitrary LSN
+// (reconnect resume) starts exactly there.
+func TestTailReaderResumeMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st, err := Open(Config{Dir: dir, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 40; i++ {
+		last = appendSynced(t, st, cm.Event{Kind: cm.EventObjectAdded, Object: testObject(i, 2)})
+	}
+	for _, from := range []uint64{1, 2, last / 2, last - 1, last, last + 1} {
+		r := st.NewTailReader(from)
+		recs := drainTail(t, r)
+		r.Close()
+		if from > last {
+			if len(recs) != 0 {
+				t.Fatalf("tail from %d past end returned %d records", from, len(recs))
+			}
+			continue
+		}
+		assertContiguous(t, recs, from, last)
+	}
+}
+
+// TestTailReaderTruncated: a position pruned below the checkpoint horizon
+// reports ErrTailTruncated so the consumer re-bootstraps.
+func TestTailReaderTruncated(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st, err := Open(Config{Dir: dir, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	// Two checkpoint cycles so pruning (retain 2) drops the oldest
+	// segments; keep appending until the oldest surviving segment starts
+	// above LSN 1.
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := 0; i < 20; i++ {
+			if err := srv.AddObject(testObject(cycle*100+i, 2)); err != nil {
+				t.Fatal(err)
+			}
+			appendSynced(t, st, cm.Event{Kind: cm.EventObjectAdded, Object: testObject(cycle*100+i, 2)})
+		}
+		if _, err := st.Checkpoint(srv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := mustSegments(st)
+	if segs[0].first <= 1 {
+		t.Skipf("pruning kept LSN 1 (oldest segment starts at %d)", segs[0].first)
+	}
+	r := st.NewTailReader(1)
+	defer r.Close()
+	if _, err := r.Next(10); !errors.Is(err, ErrTailTruncated) {
+		t.Fatalf("tail from pruned LSN 1: err = %v, want ErrTailTruncated", err)
+	}
+}
+
+// TestDurableNotify: the notify channel fires when the durable frontier
+// advances, and the (lsn, epoch) pair tracks scaling events.
+func TestDurableNotify(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st := openStore(t, dir)
+	defer st.Close()
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	lsn0, ch := st.DurableNotify()
+	select {
+	case <-ch:
+		t.Fatal("notify fired with no durable advance")
+	default:
+	}
+	appendSynced(t, st, cm.Event{Kind: cm.EventScaleUpStarted, Count: 2})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("notify did not fire after sync")
+	}
+	lsn1, epoch := st.Durable()
+	if lsn1 != lsn0+1 {
+		t.Fatalf("durable LSN %d, want %d", lsn1, lsn0+1)
+	}
+	if epoch != 1 {
+		t.Fatalf("durable epoch %d after one scaling event, want 1", epoch)
+	}
+}
+
+// TestCheckpointEpochRoundTrip: the replication epoch survives checkpoint
+// encode/decode and reseeds a reopened store.
+func TestCheckpointEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testConfig(), 4)
+	st := openStore(t, dir)
+	if err := st.Bootstrap(srv); err != nil {
+		t.Fatal(err)
+	}
+	// One full scale-up = two epoch events (started + completed), journaled
+	// through the sink Bootstrap wired.
+	if _, err := srv.ScaleUp(1); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, srv)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint(srv); err != nil {
+		t.Fatal(err)
+	}
+	ckLSN, ckEpoch, data, err := st.CheckpointData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckEpoch != 2 {
+		t.Fatalf("checkpoint epoch %d, want 2", ckEpoch)
+	}
+	dLSN, dEpoch, _, _, err := DecodeCheckpointData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dLSN != ckLSN || dEpoch != ckEpoch {
+		t.Fatalf("decoded (lsn=%d epoch=%d), want (%d, %d)", dLSN, dEpoch, ckLSN, ckEpoch)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	if got := st2.Epoch(); got != 2 {
+		t.Fatalf("reopened store epoch %d, want 2", got)
+	}
+}
+
+// mustSegments snapshots the store's trusted segment chain.
+func mustSegments(st *Store) []segmentMeta {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]segmentMeta(nil), st.segments...)
+}

@@ -41,6 +41,7 @@ import (
 	"scaddar/internal/placement"
 	"scaddar/internal/prng"
 	"scaddar/internal/reorg"
+	"scaddar/internal/repl"
 	"scaddar/internal/scaddar"
 	"scaddar/internal/stats"
 	"scaddar/internal/store"
@@ -382,6 +383,69 @@ func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
 // name.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	return fsio.WriteFileAtomic(path, data, perm)
+}
+
+// ---- Replication (internal/repl) ----
+
+// ReplicationLeader streams a store's journal to follower replicas over
+// TCP: each follower bootstraps from the newest checkpoint and then tails
+// committed records, so read capacity scales without moving or re-deriving
+// any block state — only the operation log ships.
+type ReplicationLeader = repl.Leader
+
+// ReplicationLeaderConfig configures the streaming side of a leader.
+type ReplicationLeaderConfig = repl.LeaderConfig
+
+// ReplicationLeaderStatus reports the leader's followers and frontier.
+type ReplicationLeaderStatus = repl.LeaderStatus
+
+// Follower tails a leader's journal, applies events to a local replica
+// server, and serves lock-free epoch-fenced reads from its own locator
+// snapshot.
+type Follower = repl.Follower
+
+// FollowerConfig configures a follower replica.
+type FollowerConfig = repl.FollowerConfig
+
+// FollowerStatus reports a follower's position, lag, and connection state.
+type FollowerStatus = repl.FollowerStatus
+
+// FollowerView is a follower's immutable published read state.
+type FollowerView = repl.View
+
+// NetworkFaultInjector is a seeded TCP proxy that drops, stalls,
+// truncates, and duplicates leader-to-follower traffic — the chaos
+// harness's network. (FaultInjector is the disk-level injector.)
+type NetworkFaultInjector = repl.FaultInjector
+
+// NetworkFaultConfig sets the injector's target and fault rates.
+type NetworkFaultConfig = repl.FaultConfig
+
+// Replication read errors: both are retryable by design — the follower
+// refuses rather than serves an answer it cannot vouch for.
+var (
+	// ErrEpochFenced rejects reads that would straddle a scaling operation
+	// the follower has not applied yet.
+	ErrEpochFenced = cm.ErrEpochFenced
+	// ErrStaleRead rejects reads beyond the configured staleness budget
+	// (or before the replica has bootstrapped).
+	ErrStaleRead = cm.ErrStaleRead
+)
+
+// NewReplicationLeader builds the journal-streaming service over an open
+// store; call Serve with a listener to accept followers.
+func NewReplicationLeader(cfg ReplicationLeaderConfig) (*ReplicationLeader, error) {
+	return repl.NewLeader(cfg)
+}
+
+// StartFollower connects to a leader and begins bootstrapping and tailing;
+// reads are available once the first snapshot applies.
+func StartFollower(cfg FollowerConfig) (*Follower, error) { return repl.StartFollower(cfg) }
+
+// StartNetworkFaultInjector starts the chaos proxy in front of a leader
+// address.
+func StartNetworkFaultInjector(cfg NetworkFaultConfig) (*NetworkFaultInjector, error) {
+	return repl.StartFaultInjector(cfg)
 }
 
 // ---- Fault tolerance (internal/cm fault injection, internal/disk health) ----

@@ -32,6 +32,7 @@ var defaultDirs = []string{
 	"internal/cm",
 	"internal/gateway",
 	"internal/store",
+	"internal/repl",
 	"internal/obs",
 }
 
