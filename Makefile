@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify benchtables bench fuzz clean
+.PHONY: build test lint verify benchtables bench bench-cluster fuzz clean
 
 # Tier-1 gate: everything must build and the full suite must pass.
 build:
@@ -23,17 +23,23 @@ lint:
 # — then the gateway example end to end (live HTTP scaling + failure drill +
 # drain; it exits non-zero if any concurrent read fails), the crash-recovery
 # example (journal bootstrap, torn-write crash mid-migration, recovery with
-# every block location verified), and the replication example (journal
+# every block location verified), the replication example (journal
 # shipping through the fault injector with a leader restart, every block
-# location compared). Run this before merging anything that touches the
-# server, the rebuild executor, the fault injectors, the gateway, the store,
-# or the replication layer — the concurrency- and durability-sensitive
-# layers.
+# location compared), and the cluster example (a shard joins a 3-shard
+# cluster under live load; moved fraction within 10% of the jump-hash
+# ideal, every object verified on its home shard, zero failed reads). The
+# race-detected suite includes the seeded cluster scale harness
+# (internal/cluster TestClusterScaleUnderLoad: shard add + drain under
+# Zipf load, zero lost blocks, oracle-checked reads). Run this before
+# merging anything that touches the server, the rebuild executor, the
+# fault injectors, the gateway, the store, the replication layer, or the
+# cluster router — the concurrency- and durability-sensitive layers.
 verify: lint
 	$(GO) test -race ./...
 	$(GO) run ./examples/gateway -duration 200ms
 	$(GO) run ./examples/recovery
 	$(GO) run ./examples/replication
+	$(GO) run ./examples/cluster -duration 200ms
 
 # Regenerate the committed experiment-table capture (the source for the
 # tables quoted in README.md and EXPERIMENTS.md), so docs cannot silently
@@ -49,6 +55,15 @@ benchtables:
 bench:
 	$(GO) test -run '^$$' -bench 'Locat|Lookup|Snapshot|PlanAdd|SafeLocator|Strategy|Codec|PRNG|Gateway|Compiled' -benchmem ./... | $(GO) run ./tools/benchjson > BENCH_5.json
 	@echo "regenerated BENCH_5.json"
+
+# Capture the cluster-router benchmarks as BENCH_7.json: the pure routing
+# decision (whitening + jump hash, per shard count) and the full routed
+# read path through a live 3-shard cluster, to compare against the
+# single-gateway BenchmarkGatewayRead baseline in BENCH_5.json. Re-run and
+# commit with any change that moves a number.
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'ClusterRoute|ClusterGatewayRead' -benchmem ./internal/cluster/ | $(GO) run ./tools/benchjson > BENCH_7.json
+	@echo "regenerated BENCH_7.json"
 
 # Short fuzz passes over the History codecs (seed corpora under
 # internal/scaddar/testdata/fuzz/), the compiled-chain differential

@@ -49,6 +49,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdForecast(args[1:], stdout)
 	case "serve":
 		err = cmdServe(args[1:], stdout)
+	case "cluster":
+		err = cmdCluster(args[1:], stdout)
 	case "follow":
 		err = cmdFollow(args[1:], stdout)
 	case "recover":
@@ -83,6 +85,7 @@ commands:
   trace     generate | replay | show deterministic session traces
   forecast  predict movement and budget for a planned operation sequence
   serve     run the concurrent HTTP gateway over a live server
+  cluster   run a sharded multi-array cluster behind one routing gateway
   follow    tail a leader's journal and serve epoch-fenced replica reads
   recover   inspect a durable state directory and rebuild the server from it
   loadgen   generate concurrent load against a running gateway and report`)

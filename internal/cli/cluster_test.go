@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterAndLoadgen boots a 3-shard cluster on ephemeral ports, seeds a
+// small library through the router, and runs the load generator in cluster
+// mode against it with a mid-run scale-up targeted at shard 0. The run must
+// report per-shard read shares and a drained reorganization.
+func TestClusterAndLoadgen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cluster test skipped in -short mode")
+	}
+	opts := clusterOptions{
+		addr:         "127.0.0.1:0",
+		shards:       3,
+		n0:           6,
+		objects:      12,
+		blocks:       64,
+		round:        2 * time.Millisecond,
+		shardTimeout: 5 * time.Second,
+		opTimeout:    time.Minute,
+		probe:        50 * time.Millisecond,
+		timeout:      10 * time.Second,
+	}
+	addrCh := make(chan string, 1)
+	stop := make(chan struct{})
+	clusterDone := make(chan error, 1)
+	var clusterOut syncWriter
+	go func() {
+		clusterDone <- runCluster(opts, &clusterOut, func(a string) { addrCh <- a }, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-clusterDone:
+		t.Fatalf("cluster exited early: %v\n%s", err, clusterOut.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster never became ready")
+	}
+
+	var lgOut strings.Builder
+	err := runLoadgen(loadgenOptions{
+		addr:     "http://" + addr,
+		cluster:  true,
+		clients:  4,
+		duration: 400 * time.Millisecond,
+		zipf:     0.729,
+		seed:     7,
+		scaleAt:  100 * time.Millisecond,
+		add:      2,
+		shard:    0,
+		perSess:  16,
+	}, &lgOut)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, lgOut.String())
+	}
+	out := lgOut.String()
+	for _, want := range []string{
+		"scale-up +2 accepted",
+		"reorganization drained in",
+		"read latency overall:",
+		"per-shard read share",
+		"shard 0",
+		"skew: hottest shard carries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("loadgen output missing %q:\n%s", want, out)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-clusterDone:
+		if err != nil {
+			t.Fatalf("cluster: %v\n%s", err, clusterOut.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster did not shut down")
+	}
+	cout := clusterOut.String()
+	for _, want := range []string{
+		"cluster: shard 0 listening on",
+		"cluster: 12 objects x 64 blocks seeded",
+		"cluster: topology v",
+		"cluster: router listening on",
+	} {
+		if !strings.Contains(cout, want) {
+			t.Errorf("cluster output missing %q:\n%s", want, cout)
+		}
+	}
+}
+
+// TestClusterBadFlags covers validation without booting anything.
+func TestClusterBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := runCluster(clusterOptions{shards: -1}, &out, nil, nil); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if err := runCluster(clusterOptions{shards: 2, dataDir: t.TempDir()}, &out, nil, nil); err == nil {
+		t.Error("data-dir without shard-port accepted")
+	}
+	if err := runCluster(clusterOptions{shards: 0}, &out, nil, nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}

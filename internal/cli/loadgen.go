@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"scaddar/internal/cluster"
 	"scaddar/internal/obs"
 	"scaddar/internal/prng"
 	"scaddar/internal/workload"
@@ -22,12 +23,14 @@ import (
 type loadgenOptions struct {
 	addr     string
 	follower string
+	cluster  bool
 	clients  int
 	duration time.Duration
 	zipf     float64
 	seed     uint64
 	scaleAt  time.Duration
 	add      int
+	shard    int
 	perSess  int
 	dash     time.Duration
 }
@@ -38,12 +41,14 @@ func cmdLoadgen(args []string, w io.Writer) error {
 	var opts loadgenOptions
 	fs.StringVar(&opts.addr, "addr", "http://127.0.0.1:8080", "gateway base URL")
 	fs.StringVar(&opts.follower, "follower", "", "replica base URL (scaddar follow) to spread reads onto and report replication lag percentiles (empty = leader only)")
+	fs.BoolVar(&opts.cluster, "cluster", false, "target is a cluster router: attribute requests to shards via the X-Scaddar-Shard header and report per-shard skew")
 	fs.IntVar(&opts.clients, "clients", 8, "concurrent client goroutines")
 	fs.DurationVar(&opts.duration, "duration", 10*time.Second, "how long to generate load")
 	fs.Float64Var(&opts.zipf, "zipf", 0.729, "Zipf skew θ for object popularity")
 	fs.Uint64Var(&opts.seed, "seed", 1, "client PRNG seed base")
 	fs.DurationVar(&opts.scaleAt, "scale-at", 0, "when to request a scale-up over HTTP (0 = never)")
 	fs.IntVar(&opts.add, "add", 2, "disks to add at -scale-at")
+	fs.IntVar(&opts.shard, "shard", 0, "shard ID the -scale-at request targets in -cluster mode (the router scales one shard at a time)")
 	fs.IntVar(&opts.perSess, "per-session", 32, "block lookups per session before closing it")
 	fs.DurationVar(&opts.dash, "dash", 0, "scrape /v1/metrics and print a live dashboard line at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -54,9 +59,10 @@ func cmdLoadgen(args []string, w io.Writer) error {
 
 // sample is one timed request outcome.
 type sample struct {
-	at   time.Duration // offset from run start
-	lat  time.Duration
-	code int
+	at    time.Duration // offset from run start
+	lat   time.Duration
+	code  int
+	shard string // answering shard (cluster mode; empty otherwise)
 }
 
 // lgClient is the per-goroutine worker state.
@@ -64,6 +70,7 @@ type lgClient struct {
 	http    *http.Client
 	base    string
 	replica string // when non-empty, every other block read goes here
+	cluster bool   // record the answering shard from the response header
 	zipf    *workload.Zipf
 	rng     prng.Source
 	objects []lgObject
@@ -145,7 +152,7 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 			return err
 		}
 		c := &lgClient{
-			http: hc, base: base, replica: opts.follower, zipf: z,
+			http: hc, base: base, replica: opts.follower, cluster: opts.cluster, zipf: z,
 			rng:     prng.NewSplitMix64(opts.seed*31 + uint64(i)),
 			objects: objects, perSess: opts.perSess, start: start,
 		}
@@ -171,22 +178,39 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 				if !now.Before(deadline) {
 					return
 				}
-				ms, err := scrapeMetrics(hc, base)
+				samples, err := scrapeSamples(hc, base)
 				if err != nil {
 					continue
 				}
-				reads, _ := ms.Value("gateway_reads_total")
-				disks, _ := ms.Value("cm_disks")
-				pending, _ := ms.Value("cm_migration_pending")
-				unf, _ := ms.Value("cm_unfairness")
-				line := fmt.Sprintf("dash t=%-7s %7.0f req/s  disks=%.0f  pending=%.0f  unfairness=%.3f",
-					time.Since(start).Round(100*time.Millisecond),
-					(reads-lastReads)/opts.dash.Seconds(), disks, pending, unf)
-				if h, ok := ms.Histogram("gateway_read_seconds", "", ""); ok && h.Count > 0 {
-					line += fmt.Sprintf("  p95=%s", secondsDuration(h.Quantile(0.95)))
+				ms := obs.NewMetricSet(samples)
+				var line string
+				if opts.cluster {
+					// The router's page carries one relabeled copy of each
+					// gateway counter per shard: sum them for the fleet rate.
+					reads := sumSamples(samples, "gateway_reads_total")
+					shards, _ := ms.Value("cluster_shards")
+					unavail, _ := ms.Value("cluster_unavailable_total")
+					line = fmt.Sprintf("dash t=%-7s %7.0f req/s  shards=%.0f  unavailable=%.0f",
+						time.Since(start).Round(100*time.Millisecond),
+						(reads-lastReads)/opts.dash.Seconds(), shards, unavail)
+					if h, ok := ms.Histogram("cluster_proxy_seconds", "", ""); ok && h.Count > 0 {
+						line += fmt.Sprintf("  p95=%s", secondsDuration(h.Quantile(0.95)))
+					}
+					lastReads = reads
+				} else {
+					reads, _ := ms.Value("gateway_reads_total")
+					disks, _ := ms.Value("cm_disks")
+					pending, _ := ms.Value("cm_migration_pending")
+					unf, _ := ms.Value("cm_unfairness")
+					line = fmt.Sprintf("dash t=%-7s %7.0f req/s  disks=%.0f  pending=%.0f  unfairness=%.3f",
+						time.Since(start).Round(100*time.Millisecond),
+						(reads-lastReads)/opts.dash.Seconds(), disks, pending, unf)
+					if h, ok := ms.Histogram("gateway_read_seconds", "", ""); ok && h.Count > 0 {
+						line += fmt.Sprintf("  p95=%s", secondsDuration(h.Quantile(0.95)))
+					}
+					lastReads = reads
 				}
 				fmt.Fprintln(w, line)
-				lastReads = reads
 			}
 		}()
 	} else {
@@ -220,7 +244,12 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 	var reorgStart, reorgEnd time.Duration
 	if opts.scaleAt > 0 && opts.scaleAt < opts.duration {
 		time.Sleep(opts.scaleAt)
-		body, _ := json.Marshal(map[string]int{"add": opts.add})
+		scaleReq := map[string]int{"add": opts.add}
+		if opts.cluster {
+			// The router scales one shard's array at a time.
+			scaleReq["shard"] = opts.shard
+		}
+		body, _ := json.Marshal(scaleReq)
 		reorgStart = time.Since(start)
 		resp, err := hc.Post(base+"/v1/scale", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -234,8 +263,16 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 		} else {
 			fmt.Fprintf(w, "loadgen: scale-up +%d accepted at t=%s\n", opts.add, reorgStart.Round(time.Millisecond))
 			for time.Now().Before(deadline.Add(30 * time.Second)) {
-				st, err := fetchStatus(hc, base)
-				if err == nil && !st.Reorganizing {
+				var reorganizing bool
+				var err error
+				if opts.cluster {
+					reorganizing, err = fetchShardReorganizing(hc, base, opts.shard)
+				} else {
+					var st lgStatus
+					st, err = fetchStatus(hc, base)
+					reorganizing = st.Reorganizing
+				}
+				if err == nil && !reorganizing {
 					reorgEnd = time.Since(start)
 					break
 				}
@@ -299,6 +336,9 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 		report("  during reorg:", func(s sample) bool { return s.at >= reorgStart && s.at < reorgEnd })
 		report("  after reorg:", func(s sample) bool { return s.at >= reorgEnd })
 	}
+	if opts.cluster {
+		reportShardSkew(w, all, report)
+	}
 	if len(lagSamples) > 0 {
 		sort.Slice(lagSamples, func(i, j int) bool { return lagSamples[i] < lagSamples[j] })
 		q := func(p float64) uint64 {
@@ -309,6 +349,48 @@ func runLoadgen(opts loadgenOptions, w io.Writer) error {
 			len(lagSamples), q(0.50), q(0.95), q(0.99), lagSamples[len(lagSamples)-1])
 	}
 	return nil
+}
+
+// reportShardSkew breaks successful reads down by the shard that answered
+// them (the router stamps every proxied response with X-Scaddar-Shard).
+// Object→shard routing is uniform by hash, but Zipf popularity concentrates
+// traffic on whichever shards hold the hot objects — the skew factor shows
+// how far the hottest shard sits above a uniform split.
+func reportShardSkew(w io.Writer, all []sample, report func(string, func(sample) bool)) {
+	counts := map[string]int{}
+	total := 0
+	for _, s := range all {
+		if s.code == http.StatusOK && s.shard != "" {
+			counts[s.shard]++
+			total++
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "per-shard: no attributed reads (is the target a cluster router?)")
+		return
+	}
+	shards := make([]string, 0, len(counts))
+	for id := range counts {
+		shards = append(shards, id)
+	}
+	sort.Slice(shards, func(i, j int) bool {
+		a, _ := strconv.Atoi(shards[i])
+		b, _ := strconv.Atoi(shards[j])
+		return a < b
+	})
+	ideal := 1.0 / float64(len(shards))
+	maxShare := 0.0
+	fmt.Fprintf(w, "per-shard read share (uniform would be %.1f%% each):\n", 100*ideal)
+	for _, id := range shards {
+		share := float64(counts[id]) / float64(total)
+		if share > maxShare {
+			maxShare = share
+		}
+		id := id
+		report(fmt.Sprintf("  shard %-3s %5.1f%%:", id, 100*share),
+			func(s sample) bool { return s.shard == id })
+	}
+	fmt.Fprintf(w, "skew: hottest shard carries %.2fx its uniform share\n", maxShare/ideal)
 }
 
 // lgReplStatus is the slice of the replica's /v1/replication JSON the lag
@@ -368,11 +450,15 @@ func (c *lgClient) run(deadline time.Time) {
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			c.samples = append(c.samples, sample{
+			s := sample{
 				at:   t0.Sub(c.start),
 				lat:  time.Since(t0),
 				code: resp.StatusCode,
-			})
+			}
+			if c.cluster {
+				s.shard = resp.Header.Get(clusterShardHeader)
+			}
+			c.samples = append(c.samples, s)
 			// A 503 is the server pushing back, not a miss: honor its
 			// Retry-After hint with jitter and retry the same block.
 			if resp.StatusCode == http.StatusServiceUnavailable {
@@ -428,18 +514,59 @@ func fetchStatus(hc *http.Client, base string) (lgStatus, error) {
 	return m, json.NewDecoder(resp.Body).Decode(&m)
 }
 
-// scrapeMetrics fetches and parses the gateway's Prometheus exposition.
-func scrapeMetrics(hc *http.Client, base string) (*obs.MetricSet, error) {
+// clusterShardHeader is the response header the cluster router stamps with
+// the ID of the shard that answered a proxied request.
+const clusterShardHeader = cluster.ShardHeader
+
+// scrapeSamples fetches and parses the target's Prometheus exposition.
+func scrapeSamples(hc *http.Client, base string) ([]obs.Sample, error) {
 	resp, err := hc.Get(base + "/v1/metrics")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	samples, err := obs.ParseText(resp.Body)
-	if err != nil {
-		return nil, err
+	return obs.ParseText(resp.Body)
+}
+
+// sumSamples adds up every sample with the given name regardless of labels
+// (a cluster page carries one per-shard copy of each gateway counter).
+func sumSamples(samples []obs.Sample, name string) float64 {
+	var sum float64
+	for _, s := range samples {
+		if s.Name == name {
+			sum += s.Value
+		}
 	}
-	return obs.NewMetricSet(samples), nil
+	return sum
+}
+
+// fetchShardReorganizing reads one shard's embedded status document out of
+// the router's aggregated /v1/status page.
+func fetchShardReorganizing(hc *http.Client, base string, shard int) (bool, error) {
+	resp, err := hc.Get(base + "/v1/status")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Shards []struct {
+			ID     int      `json:"id"`
+			Status lgStatus `json:"status"`
+			Error  string   `json:"error"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return false, err
+	}
+	for _, sh := range doc.Shards {
+		if sh.ID == shard {
+			if sh.Error != "" {
+				return false, fmt.Errorf("shard %d: %s", shard, sh.Error)
+			}
+			return sh.Status.Reorganizing, nil
+		}
+	}
+	return false, fmt.Errorf("shard %d not in cluster status", shard)
 }
 
 // secondsDuration renders a float64 seconds value (the unit obs histograms

@@ -50,7 +50,7 @@ func cmdServe(args []string, w io.Writer) error {
 	var opts serveOptions
 	fs.StringVar(&opts.addr, "addr", "127.0.0.1:8080", "listen address")
 	fs.IntVar(&opts.n0, "n0", 8, "initial disk count")
-	fs.IntVar(&opts.objects, "objects", 12, "number of objects")
+	fs.IntVar(&opts.objects, "objects", 12, "number of objects (0 = empty catalog, e.g. to join a cluster as a fresh shard)")
 	fs.IntVar(&opts.blocks, "blocks", 600, "blocks per object")
 	fs.DurationVar(&opts.round, "round", 100*time.Millisecond, "wall-clock round period")
 	fs.StringVar(&opts.redundancy, "redundancy", "none", "protection scheme: none | mirror | parity")
@@ -128,6 +128,11 @@ func buildLoadedServer(n0, objects, blocks int, bits uint, mutate func(*cm.Confi
 	srv, err := cm.NewServer(cfg, strat)
 	if err != nil {
 		return nil, nil, err
+	}
+	if objects == 0 {
+		// An empty catalog: objects arrive later over the admin API — the
+		// shape a gateway needs to join a cluster as a fresh shard.
+		return srv, nil, nil
 	}
 	lib, err := workload.Library(workload.LibraryConfig{
 		Objects: objects, MinBlocks: blocks, MaxBlocks: blocks,

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// BenchmarkClusterRoute measures the pure routing decision: SplitMix64
+// whitening plus the jump-hash loop. This is the arithmetic the router
+// adds to every request before any network hop.
+func BenchmarkClusterRoute(b *testing.B) {
+	for _, buckets := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", buckets), func(b *testing.B) {
+			b.ReportAllocs()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += RouteSlot(i, buckets)
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+// BenchmarkClusterGatewayRead measures the full routed read path: router
+// handler → owner resolution → HTTP hop to the shard gateway → snapshot
+// lookup → response copy. Compare against the gateway package's
+// BenchmarkGatewayRead to see the router's added cost.
+func BenchmarkClusterGatewayRead(b *testing.B) {
+	c := newTestCluster(b, 3, nil)
+	const n = 32
+	c.seedObjects(b, n, 8)
+	h := c.router.Handler()
+	paths := make([]string, n)
+	for id := 0; id < n; id++ {
+		paths[id] = fmt.Sprintf("/v1/objects/%d/blocks/0", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := rawReq(h, http.MethodGet, paths[i%n])
+		if rec.Code != http.StatusOK {
+			b.Fatalf("read: status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}

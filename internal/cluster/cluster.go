@@ -1,0 +1,115 @@
+// Package cluster scales the system horizontally: K independent shard
+// servers — each a full gateway.Gateway with its own cm.Server, SCADDAR
+// history, durable journal, and round driver — fronted by one Router that
+// maps object IDs to shards with jump consistent hashing (Lamping & Veach).
+//
+// The layering mirrors SCADDAR's own guarantee one level up. Within a
+// shard, SCADDAR's RO1 moves the minimal block fraction when a *disk* is
+// added or removed; across shards, jump hashing moves the minimal key
+// fraction when a *shard* is added or removed, and the relocations are
+// monotone — when the cluster grows from K to K+1 shards, every moved
+// object lands on the new shard, never between survivors. The router
+// therefore needs no per-object directory for placement: an object's home
+// shard is pure arithmetic over its ID, exactly as a block's disk is pure
+// arithmetic over its seed and the operation log.
+//
+// The Router serves the shards' /v1 API transparently: object, session,
+// and read operations route directly to the owning shard, while
+// /v1/metrics, /v1/status, and /v1/trace fan out to every shard with a
+// per-shard deadline and aggregate partial results — one slow or dead
+// shard degrades its own entry, never the whole scrape. Topology changes
+// go through POST /v1/cluster/shards (add, drain, remove), migrating only
+// the jump-hash-moved key fraction and journaling progress in a cluster
+// manifest so a router restart recovers — and completes — the topology.
+// A shard that is down or draining answers 503 with Retry-After at the
+// router, the same backpressure contract the gateway itself uses; the
+// rest of the cluster keeps serving (the DxHash failed-node stance:
+// route around unavailability, do not remap the world for it).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed router errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrNoShards is returned while the cluster has no routable shards.
+	ErrNoShards = errors.New("cluster: no shards attached")
+	// ErrShardDown is returned when the owning shard is unreachable or
+	// failing its health probe; the request is retryable (503+Retry-After).
+	ErrShardDown = errors.New("cluster: shard down")
+	// ErrShardDraining is returned for new work routed at a draining
+	// shard; the condition clears when the drain completes (503+Retry-After).
+	ErrShardDraining = errors.New("cluster: shard draining")
+	// ErrOpInFlight is returned when a topology change is requested while
+	// another one is still migrating keys.
+	ErrOpInFlight = errors.New("cluster: topology operation in flight")
+	// ErrBadShardOp marks a topology request the cluster's rules reject —
+	// draining a non-tail shard, removing an undrained or unknown one,
+	// re-adding a URL already in the topology. These are operator input
+	// errors (4xx), not router failures (5xx).
+	ErrBadShardOp = errors.New("invalid shard operation")
+)
+
+// ShardState is a shard's place in the topology lifecycle.
+type ShardState int
+
+const (
+	// ShardActive: the shard owns a routing slot and serves its keys.
+	ShardActive ShardState = iota
+	// ShardDraining: the shard's keys are being migrated off; new sessions
+	// for its objects are refused with 503+Retry-After, reads keep serving
+	// from wherever each object currently lives.
+	ShardDraining
+	// ShardDrained: the drain completed; the shard owns no keys and only
+	// awaits removal from the topology.
+	ShardDrained
+)
+
+// String returns the manifest spelling of the state.
+func (s ShardState) String() string {
+	switch s {
+	case ShardActive:
+		return "active"
+	case ShardDraining:
+		return "draining"
+	case ShardDrained:
+		return "drained"
+	default:
+		return fmt.Sprintf("ShardState(%d)", int(s))
+	}
+}
+
+// parseShardState inverts String for manifest loading.
+func parseShardState(s string) (ShardState, error) {
+	switch s {
+	case "active":
+		return ShardActive, nil
+	case "draining":
+		return ShardDraining, nil
+	case "drained":
+		return ShardDrained, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown shard state %q", s)
+	}
+}
+
+// ShardInfo is one shard's topology entry: a stable ID (assigned once,
+// never reused), the base URL of its gateway, and its lifecycle state.
+// The order of ShardInfo entries in the manifest IS the routing order —
+// jump hashing maps keys to positions in that sequence.
+type ShardInfo struct {
+	// ID is the stable shard identity; session IDs embed it, so it must
+	// stay below MaxShardID.
+	ID int `json:"id"`
+	// URL is the shard gateway's base URL, e.g. "http://127.0.0.1:8081".
+	URL string `json:"url"`
+	// State is the lifecycle state ("active", "draining", "drained").
+	State string `json:"state"`
+}
+
+// MaxShardID bounds shard IDs so cluster-wide session IDs can embed the
+// owning shard reversibly: cluster session = shard-local session ID *
+// MaxShardID + shard ID.
+const MaxShardID = 1 << 10

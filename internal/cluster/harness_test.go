@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scaddar/internal/prng"
+	"scaddar/internal/workload"
+)
+
+// TestClusterScaleUnderLoad is the seeded integration harness: a 3-shard
+// cluster serving Zipf read traffic while a 4th shard joins and is then
+// drained back out. Invariants checked:
+//
+//   - zero lost blocks: after both operations the catalog union equals the
+//     seeded object set exactly (no loss, no duplication);
+//   - every routed read is oracle-checked against the answering shard's
+//     own state, during the churn and after it;
+//   - the moved-key fraction of each operation is within 10% of the
+//     jump-hash ideal;
+//   - clients only ever observe 200 or retryable 503/409 — never a 404 or
+//     500 for an object that exists.
+//
+// Everything is seeded (object IDs, placement seeds, Zipf draws), so a
+// failure reproduces deterministically.
+func TestClusterScaleUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness")
+	}
+	c := newTestCluster(t, 3, nil)
+	const (
+		objects = 360
+		blocks  = 4
+		readers = 4
+	)
+	c.seedObjects(t, objects, blocks)
+
+	// Boot the joining shard before the readers start: c.shards must not be
+	// appended to while reader goroutines range over it.
+	extra := newTestShard(t)
+	c.shards = append(c.shards, extra)
+
+	var (
+		stop     atomic.Bool
+		reads    atomic.Int64
+		retries  atomic.Int64
+		harnessE = make(chan error, readers)
+		wg       sync.WaitGroup
+	)
+	reader := func(seed uint64) {
+		defer wg.Done()
+		zipf, err := workload.NewZipf(prng.NewSplitMix64(seed), objects, 1.0)
+		if err != nil {
+			harnessE <- err
+			return
+		}
+		for !stop.Load() {
+			id := zipf.Draw()
+			idx := int(seed+uint64(reads.Load())) % blocks
+			if err := c.oracleRead(id, idx, &retries); err != nil {
+				harnessE <- fmt.Errorf("reader %d: %w", seed, err)
+				return
+			}
+			reads.Add(1)
+		}
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go reader(uint64(i + 1))
+	}
+
+	// Let traffic establish, then churn the topology under it.
+	time.Sleep(20 * time.Millisecond)
+	_, addStats, err := c.router.AddShard(context.Background(), extra.srv.URL)
+	if err != nil {
+		t.Fatalf("add under load: %v", err)
+	}
+	if addStats.Objects != objects {
+		t.Errorf("add saw %d objects, want %d", addStats.Objects, objects)
+	}
+	if math.Abs(addStats.Fraction-addStats.Ideal) > 0.1*addStats.Ideal {
+		t.Errorf("add moved fraction %.4f not within 10%% of ideal %.4f",
+			addStats.Fraction, addStats.Ideal)
+	}
+	time.Sleep(20 * time.Millisecond)
+	drainStats, err := c.router.DrainShard(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	if math.Abs(drainStats.Fraction-drainStats.Ideal) > 0.1*drainStats.Ideal {
+		t.Errorf("drain moved fraction %.4f not within 10%% of ideal %.4f",
+			drainStats.Fraction, drainStats.Ideal)
+	}
+	if err := c.router.RemoveShard(3); err != nil {
+		t.Fatalf("remove drained shard: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	stop.Store(true)
+	wg.Wait()
+	close(harnessE)
+	for err := range harnessE {
+		t.Fatal(err)
+	}
+	if reads.Load() == 0 {
+		t.Fatal("harness vacuous: no reads completed")
+	}
+	t.Logf("harness: %d oracle-checked reads, %d retries, add moved %d/%d, drain moved %d/%d",
+		reads.Load(), retries.Load(), addStats.Moved, addStats.Objects,
+		drainStats.Moved, drainStats.Objects)
+
+	// Zero lost blocks: the catalog union is exactly the seeded set.
+	union := make(map[int]int)
+	for _, sh := range c.shards[:3] {
+		for _, id := range catalogOf(t, sh) {
+			union[id]++
+		}
+	}
+	if extra := catalogOf(t, c.shards[3]); len(extra) != 0 {
+		t.Errorf("removed shard still holds %d objects", len(extra))
+	}
+	if len(union) != objects {
+		missing := []int{}
+		for id := 0; id < objects; id++ {
+			if union[id] == 0 {
+				missing = append(missing, id)
+			}
+		}
+		sort.Ints(missing)
+		t.Fatalf("catalog union holds %d/%d objects; missing %v", len(union), objects, missing)
+	}
+	for id, copies := range union {
+		if copies != 1 {
+			t.Errorf("object %d has %d copies", id, copies)
+		}
+	}
+	// Final placement is the 3-wide jump hash again, and every block of
+	// every object reads correctly against its owner.
+	for id := 0; id < objects; id++ {
+		slot := RouteSlot(id, 3)
+		for idx := 0; idx < blocks; idx++ {
+			routed := c.readVia(t, id, idx)
+			direct, code := readDirect(t, c.shards[slot], id, idx)
+			if code != http.StatusOK {
+				t.Fatalf("object %d not on its home shard %d (status %d)", id, slot, code)
+			}
+			if routed["disk"] != direct["disk"] || routed["block"] != direct["block"] {
+				t.Fatalf("object %d block %d: routed %v != direct %v", id, idx, routed, direct)
+			}
+		}
+	}
+}
+
+// oracleRead performs one routed read and verifies the answer against the
+// answering shard directly. 503 (backpressure) and transient mismatches
+// caused by an object moving between the two requests are retried; real
+// errors are returned.
+func (c *testCluster) oracleRead(id, idx int, retries *atomic.Int64) error {
+	path := fmt.Sprintf("/v1/objects/%d/blocks/%d", id, idx)
+	for attempt := 0; attempt < 100; attempt++ {
+		rec := rawReq(c.router.Handler(), http.MethodGet, path)
+		switch rec.Code {
+		case http.StatusOK:
+			var routed map[string]any
+			if err := jsonDecode(rec, &routed); err != nil {
+				return err
+			}
+			if int(routed["object"].(float64)) != id || int(routed["block"].(float64)) != idx {
+				return fmt.Errorf("read %s answered for %v/%v", path, routed["object"], routed["block"])
+			}
+			shardID := rec.Header().Get(ShardHeader)
+			sh := c.shardByLabel(shardID)
+			if sh == nil {
+				return fmt.Errorf("read %s: unknown shard header %q", path, shardID)
+			}
+			drec := rawReq(sh.g.Handler(), http.MethodGet, path)
+			if drec.Code == http.StatusNotFound {
+				// The object moved off that shard between the two requests
+				// (migration in flight); try again.
+				retries.Add(1)
+				continue
+			}
+			if drec.Code != http.StatusOK {
+				return fmt.Errorf("oracle read %s on shard %s: status %d", path, shardID, drec.Code)
+			}
+			var direct map[string]any
+			if err := jsonDecode(drec, &direct); err != nil {
+				return err
+			}
+			if routed["disk"] != direct["disk"] {
+				return fmt.Errorf("read %s: routed disk %v != direct disk %v", path, routed["disk"], direct["disk"])
+			}
+			return nil
+		case http.StatusServiceUnavailable, http.StatusConflict:
+			retries.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		default:
+			return fmt.Errorf("read %s: status %d: %s", path, rec.Code, rec.Body.String())
+		}
+	}
+	return fmt.Errorf("read %s: no success in 100 attempts", path)
+}
+
+// shardByLabel finds a test shard by its router-assigned ID label.
+func (c *testCluster) shardByLabel(label string) *testShard {
+	for i, sh := range c.shards {
+		if shardLabel(i) == label {
+			return sh
+		}
+	}
+	return nil
+}
+
+// rawReq runs one request against a handler without a testing.TB (used on
+// reader goroutines, where t.Fatal is off-limits).
+func rawReq(h http.Handler, method, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// jsonDecode unmarshals a recorder body, again TB-free.
+func jsonDecode(rec *httptest.ResponseRecorder, v any) error {
+	return json.Unmarshal(rec.Body.Bytes(), v)
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"scaddar/internal/fsio"
+)
+
+// Manifest is the cluster's durable topology record: the routing-ordered
+// shard list, the ID allocator's frontier, and any topology operation that
+// was in flight when the record was written. It is rewritten atomically
+// (write-temp + fsync + rename, via fsio.WriteFileAtomic) at every
+// topology transition — before a migration starts and after it completes —
+// so a router restart always finds either the old stable topology, or the
+// new one, or the old one plus a pending-op marker it can finish.
+//
+// Recovery contract: object migration is idempotent (add-to-destination
+// tolerates "already there", delete-from-source tolerates "already gone",
+// destination is written before the source is cleared), so a router that
+// finds Pending non-nil re-walks every key the pending operation moves and
+// completes whichever half-finished migrations it finds. No per-object
+// progress is journaled — the shards' own catalogs are the progress record.
+type Manifest struct {
+	// Version counts topology transitions; it only ever grows.
+	Version int `json:"version"`
+	// NextID is the next shard ID to assign; IDs are never reused.
+	NextID int `json:"nextId"`
+	// Buckets is the number of leading Shards entries that own keys (a
+	// drained tail shard stays listed until removed but owns none).
+	Buckets int `json:"buckets"`
+	// Shards is the routing-ordered shard list.
+	Shards []ShardInfo `json:"shards"`
+	// Pending, when non-nil, records a topology operation whose key
+	// migration had not completed when the manifest was written.
+	Pending *PendingOp `json:"pending,omitempty"`
+}
+
+// PendingOp is the durable marker of an in-flight topology change.
+type PendingOp struct {
+	// Kind is "add" or "drain".
+	Kind string `json:"kind"`
+	// ShardID is the shard being added or drained.
+	ShardID int `json:"shardId"`
+	// OldBuckets and NewBuckets are the routing widths before and after
+	// the operation; the moved key set is exactly the objects whose jump
+	// hash differs between them.
+	OldBuckets int `json:"oldBuckets"`
+	// NewBuckets is the post-operation routing width.
+	NewBuckets int `json:"newBuckets"`
+}
+
+// LoadManifest reads a manifest file. A missing file returns (nil, nil):
+// the router starts with an empty topology and writes the first manifest
+// on the first AddShard.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cluster: parse manifest %s: %w", path, err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("cluster: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Save writes the manifest atomically. An empty path is a no-op (an
+// ephemeral router, used by tests and examples, keeps topology in memory).
+func (m *Manifest) Save(path string) error {
+	if path == "" {
+		return nil
+	}
+	if err := m.validate(); err != nil {
+		return fmt.Errorf("cluster: refusing to save manifest: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsio.WriteFileAtomic(path, append(data, '\n'), 0o644)
+}
+
+// validate checks the structural invariants recovery depends on.
+func (m *Manifest) validate() error {
+	if m.Buckets < 0 || m.Buckets > len(m.Shards) {
+		return fmt.Errorf("buckets %d outside [0,%d]", m.Buckets, len(m.Shards))
+	}
+	seen := make(map[int]bool, len(m.Shards))
+	for i, sh := range m.Shards {
+		if sh.ID < 0 || sh.ID >= MaxShardID {
+			return fmt.Errorf("shard ID %d outside [0,%d)", sh.ID, MaxShardID)
+		}
+		if sh.ID >= m.NextID {
+			return fmt.Errorf("shard ID %d not below NextID %d", sh.ID, m.NextID)
+		}
+		if seen[sh.ID] {
+			return fmt.Errorf("duplicate shard ID %d", sh.ID)
+		}
+		seen[sh.ID] = true
+		if sh.URL == "" {
+			return fmt.Errorf("shard %d has no URL", sh.ID)
+		}
+		if _, err := parseShardState(sh.State); err != nil {
+			return err
+		}
+		// Drained shards may only trail the routing window.
+		if sh.State == ShardDrained.String() && i < m.Buckets {
+			return fmt.Errorf("drained shard %d inside the routing window", sh.ID)
+		}
+	}
+	if p := m.Pending; p != nil {
+		if p.Kind != "add" && p.Kind != "drain" {
+			return fmt.Errorf("pending op kind %q", p.Kind)
+		}
+		if !seen[p.ShardID] {
+			return fmt.Errorf("pending op names unknown shard %d", p.ShardID)
+		}
+		if p.NewBuckets > len(m.Shards) || p.OldBuckets > len(m.Shards) {
+			return fmt.Errorf("pending op widths %d→%d exceed %d shards",
+				p.OldBuckets, p.NewBuckets, len(m.Shards))
+		}
+		if diff := p.NewBuckets - p.OldBuckets; diff != 1 && diff != -1 {
+			return fmt.Errorf("pending op widths %d→%d are not adjacent", p.OldBuckets, p.NewBuckets)
+		}
+	}
+	return nil
+}

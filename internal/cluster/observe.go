@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"strconv"
+
+	"scaddar/internal/obs"
+)
+
+// routerMetrics holds the router's registry cells. Per-shard counter
+// children are resolved once when the shard handle is built (CounterVec.With
+// takes a mutex), so the routed-read hot path touches atomics only.
+type routerMetrics struct {
+	reg *obs.Registry
+
+	routed      *obs.CounterVec
+	routedErrs  *obs.CounterVec
+	fanoutErrs  *obs.CounterVec
+	healthy     *obs.GaugeVec
+	unavailable *obs.Counter
+
+	shards  *obs.Gauge
+	buckets *obs.Gauge
+	version *obs.Gauge
+
+	proxySeconds   *obs.Histogram
+	migrations     *obs.Counter
+	objectsMoved   *obs.Counter
+	migrateSeconds *obs.Histogram
+}
+
+// newRouterMetrics registers the router's metric families in reg.
+func newRouterMetrics(reg *obs.Registry) *routerMetrics {
+	return &routerMetrics{
+		reg: reg,
+		routed: reg.NewCounterVec("cluster_routed_total",
+			"Requests routed to each shard (label: shard ID).", "shard"),
+		routedErrs: reg.NewCounterVec("cluster_routed_errors_total",
+			"Routed requests that failed at the transport (label: shard ID).", "shard"),
+		fanoutErrs: reg.NewCounterVec("cluster_fanout_errors_total",
+			"Fan-out sub-requests that errored or timed out (label: shard ID).", "shard"),
+		healthy: reg.NewGaugeVec("cluster_shard_healthy",
+			"1 when the shard's last health probe (or routed request) succeeded.", "shard"),
+		unavailable: reg.NewCounter("cluster_unavailable_total",
+			"Requests answered 503 because the owning shard was down or draining."),
+		shards:  reg.NewGauge("cluster_shards", "Shards in the topology, including drained tails."),
+		buckets: reg.NewGauge("cluster_buckets", "Routing slots that currently own keys."),
+		version: reg.NewGauge("cluster_manifest_version", "Topology version from the cluster manifest."),
+		proxySeconds: reg.NewHistogram("cluster_proxy_seconds",
+			"Latency of routed shard requests as seen by the router.", obs.LatencyBuckets()),
+		migrations: reg.NewCounter("cluster_migrations_total",
+			"Completed topology operations (shard add/drain)."),
+		objectsMoved: reg.NewCounter("cluster_objects_moved_total",
+			"Objects migrated between shards by topology operations."),
+		migrateSeconds: reg.NewHistogram("cluster_migrate_seconds",
+			"Wall-clock duration of topology-operation key migrations.",
+			obs.ExpBuckets(0.001, 4, 12)),
+	}
+}
+
+// shardLabel renders a shard ID as its metric label.
+func shardLabel(id int) string { return strconv.Itoa(id) }

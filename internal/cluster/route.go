@@ -1,0 +1,37 @@
+package cluster
+
+// Key routing: object ID → shard slot, via jump consistent hashing over a
+// mixed 64-bit key. This is the cluster-level analogue of SCADDAR's access
+// function — arithmetic only, no directory, minimal movement on growth.
+
+// RouteKey maps an object ID to the 64-bit key jump hashing consumes. The
+// SplitMix64 finalizer whitens the small dense ID space so the jump-hash
+// LCG sees uniformly distributed keys; without it, consecutive IDs would
+// correlate through the multiplier and skew small clusters.
+func RouteKey(object int) uint64 {
+	z := uint64(object) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// JumpHash is the Lamping-Veach loop: the key doubles as LCG state and the
+// candidate bucket jumps forward with geometrically increasing strides.
+// It returns a bucket in [0, buckets); buckets must be positive. Growing
+// buckets by one relocates each key with probability 1/(buckets+1), and
+// every relocated key moves to the new bucket — the property the shard
+// scaling operations and their tests rely on.
+func JumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// RouteSlot returns the routing slot of an object among `buckets` shards.
+func RouteSlot(object, buckets int) int {
+	return JumpHash(RouteKey(object), buckets)
+}

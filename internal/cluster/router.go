@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaddar/internal/obs"
+)
+
+// RouterConfig tunes the cluster router.
+type RouterConfig struct {
+	// ManifestPath is the cluster manifest file; topology changes are
+	// persisted there atomically so a router restart recovers (and, if a
+	// migration was cut short, completes) the topology. Empty means an
+	// ephemeral in-memory topology (tests, examples).
+	ManifestPath string
+	// ShardTimeout bounds every routed or fanned-out sub-request to one
+	// shard. Zero means 2s.
+	ShardTimeout time.Duration
+	// OpTimeout bounds a whole topology operation (shard add/drain),
+	// including its key migration. Zero means 2 minutes.
+	OpTimeout time.Duration
+	// ProbeInterval is the health-probe period. Zero means 1s; negative
+	// disables active probing (passive marking from routed requests still
+	// applies).
+	ProbeInterval time.Duration
+	// RequestTimeout is the per-request deadline applied by Handler to
+	// data-path requests. Zero means 10s.
+	RequestTimeout time.Duration
+	// Registry, when non-nil, receives the router's metrics (and is served
+	// at GET /v1/metrics alongside the per-shard scrape). Nil means a
+	// fresh registry owned by the router.
+	Registry *obs.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// shard is the router's runtime handle on one shard gateway.
+type shard struct {
+	id  int
+	url string
+
+	state   atomic.Int32 // ShardState
+	healthy atomic.Bool
+
+	routed     *obs.Counter
+	routedErrs *obs.Counter
+	fanoutErrs *obs.Counter
+	healthyG   *obs.Gauge
+}
+
+// State returns the shard's lifecycle state.
+func (s *shard) State() ShardState { return ShardState(s.state.Load()) }
+
+// setState transitions the lifecycle state.
+func (s *shard) setState(st ShardState) { s.state.Store(int32(st)) }
+
+// setHealthy records a probe or routed-request outcome.
+func (s *shard) setHealthy(ok bool) {
+	s.healthy.Store(ok)
+	if ok {
+		s.healthyG.Set(1)
+	} else {
+		s.healthyG.Set(0)
+	}
+}
+
+// info renders the shard as its manifest entry.
+func (s *shard) info() ShardInfo {
+	return ShardInfo{ID: s.id, URL: s.url, State: s.State().String()}
+}
+
+// pendingOp is the in-memory view of a topology change whose key migration
+// is still running: the old and new routing widths, and the set of moved
+// objects already landed on their new home. Reads consult it lock-free —
+// an object routes to its old home until the instant its migration
+// completes, then to the new one.
+type pendingOp struct {
+	kind       string // "add" | "drain"
+	oldBuckets int
+	newBuckets int
+	target     *shard
+	moved      sync.Map // object ID → struct{}
+}
+
+// topology is the atomically-published routing state: the ordered shard
+// slots, how many of them own keys, and any in-flight operation.
+type topology struct {
+	version int
+	slots   []*shard
+	buckets int
+	pending *pendingOp
+}
+
+// shardFor routes an object to its owning shard, honoring a pending
+// operation's per-object migration progress. Returns nil when the cluster
+// has no routable shards.
+func (t *topology) shardFor(object int) *shard {
+	if t == nil {
+		return nil
+	}
+	if p := t.pending; p != nil {
+		key := RouteKey(object)
+		if p.oldBuckets == 0 {
+			return t.slots[JumpHash(key, p.newBuckets)]
+		}
+		oldSlot := JumpHash(key, p.oldBuckets)
+		newSlot := JumpHash(key, p.newBuckets)
+		if oldSlot == newSlot {
+			return t.slots[oldSlot]
+		}
+		if _, ok := p.moved.Load(object); ok {
+			return t.slots[newSlot]
+		}
+		return t.slots[oldSlot]
+	}
+	if t.buckets == 0 {
+		return nil
+	}
+	return t.slots[JumpHash(RouteKey(object), t.buckets)]
+}
+
+// shardByID finds a shard handle by stable ID.
+func (t *topology) shardByID(id int) *shard {
+	if t == nil {
+		return nil
+	}
+	for _, s := range t.slots {
+		if s.id == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// Router is the cluster front door: one HTTP surface over K shard
+// gateways, with jump-consistent-hash placement, health probing, fan-out
+// aggregation, and manifest-journaled topology operations.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+	mux    *http.ServeMux
+	reg    *obs.Registry
+	m      *routerMetrics
+
+	topo atomic.Pointer[topology]
+
+	// opMu serializes topology operations and manifest writes; nextID is
+	// the shard ID allocator, guarded by it.
+	opMu   sync.Mutex
+	nextID int
+
+	stop      chan struct{}
+	proberEnd chan struct{}
+	stopOnce  sync.Once
+}
+
+// NewRouter creates a router, recovering topology from the manifest when
+// one exists. If the manifest records a pending operation, the router
+// resumes serving immediately — routing reads around the half-finished
+// migration — and completes the migration in the background (Reconcile
+// runs it synchronously if preferred).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.ShardTimeout == 0 {
+		cfg.ShardTimeout = 2 * time.Second
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 2 * time.Minute
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &Router{
+		cfg:       cfg,
+		client:    &http.Client{},
+		reg:       reg,
+		m:         newRouterMetrics(reg),
+		stop:      make(chan struct{}),
+		proberEnd: make(chan struct{}),
+	}
+	man, err := LoadManifest(cfg.ManifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		r.publish(&topology{})
+	} else {
+		if err := r.restore(man); err != nil {
+			return nil, err
+		}
+	}
+	r.routes()
+	if cfg.ProbeInterval > 0 {
+		go r.probeLoop()
+	} else {
+		close(r.proberEnd)
+	}
+	if r.topo.Load().pending != nil {
+		go r.reconcileLoop()
+	}
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// newShard builds a runtime handle with its metric children resolved.
+func (r *Router) newShard(id int, url string, st ShardState) *shard {
+	s := &shard{
+		id:         id,
+		url:        url,
+		routed:     r.m.routed.With(shardLabel(id)),
+		routedErrs: r.m.routedErrs.With(shardLabel(id)),
+		fanoutErrs: r.m.fanoutErrs.With(shardLabel(id)),
+		healthyG:   r.m.healthy.With(shardLabel(id)),
+	}
+	s.setState(st)
+	// Optimistic until the first probe or routed request says otherwise.
+	s.setHealthy(true)
+	return s
+}
+
+// restore rebuilds the runtime topology from a loaded manifest.
+func (r *Router) restore(man *Manifest) error {
+	slots := make([]*shard, len(man.Shards))
+	for i, info := range man.Shards {
+		st, err := parseShardState(info.State)
+		if err != nil {
+			return err
+		}
+		slots[i] = r.newShard(info.ID, info.URL, st)
+	}
+	t := &topology{version: man.Version, slots: slots, buckets: man.Buckets}
+	if p := man.Pending; p != nil {
+		target := t.shardByID(p.ShardID)
+		if target == nil {
+			return fmt.Errorf("cluster: pending op names unknown shard %d", p.ShardID)
+		}
+		t.pending = &pendingOp{
+			kind: p.Kind, oldBuckets: p.OldBuckets, newBuckets: p.NewBuckets, target: target,
+		}
+	}
+	r.nextID = man.NextID
+	r.publish(t)
+	r.logf("cluster: restored topology v%d: %d shards, %d routing slots, pending=%v",
+		man.Version, len(man.Shards), man.Buckets, man.Pending != nil)
+	return nil
+}
+
+// publish installs a topology and refreshes the summary gauges.
+func (r *Router) publish(t *topology) {
+	r.topo.Store(t)
+	r.m.shards.Set(float64(len(t.slots)))
+	r.m.buckets.Set(float64(t.buckets))
+	r.m.version.Set(float64(t.version))
+}
+
+// manifestLocked renders the current topology as a manifest. opMu held.
+func (r *Router) manifestLocked() *Manifest {
+	t := r.topo.Load()
+	man := &Manifest{
+		Version: t.version,
+		NextID:  r.nextID,
+		Buckets: t.buckets,
+		Shards:  make([]ShardInfo, len(t.slots)),
+	}
+	for i, s := range t.slots {
+		man.Shards[i] = s.info()
+	}
+	if p := t.pending; p != nil {
+		man.Pending = &PendingOp{
+			Kind: p.kind, ShardID: p.target.id,
+			OldBuckets: p.oldBuckets, NewBuckets: p.newBuckets,
+		}
+	}
+	return man
+}
+
+// saveLocked persists the current topology. opMu held.
+func (r *Router) saveLocked() error {
+	return r.manifestLocked().Save(r.cfg.ManifestPath)
+}
+
+// Registry returns the registry the router publishes into.
+func (r *Router) Registry() *obs.Registry { return r.reg }
+
+// Topology returns the current manifest-shaped view of the topology.
+func (r *Router) Topology() Manifest {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	return *r.manifestLocked()
+}
+
+// Close stops the prober and background reconciliation. It does not touch
+// the shards — they are independent processes with their own lifecycles.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.proberEnd
+}
+
+// probeLoop marks shard health from periodic /v1/healthz probes.
+func (r *Router) probeLoop() {
+	defer close(r.proberEnd)
+	tick := time.NewTicker(r.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			for _, s := range r.topo.Load().slots {
+				s.setHealthy(r.probe(s) == nil)
+			}
+		}
+	}
+}
+
+// probe checks one shard's health endpoint.
+func (r *Router) probe(s *shard) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: shard %d healthz status %d", s.id, resp.StatusCode)
+	}
+	return nil
+}
+
+// reconcileLoop finishes a pending topology operation found in the
+// manifest at startup, retrying until it succeeds or the router closes.
+func (r *Router) reconcileLoop() {
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
+		err := r.Reconcile(ctx)
+		cancel()
+		if err == nil {
+			return
+		}
+		r.logf("cluster: reconcile: %v (retrying in %s)", err, backoff)
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// sessionID encodes a shard-local session as a cluster-wide one.
+func sessionID(shardID, local int) int { return local*MaxShardID + shardID }
+
+// splitSessionID inverts sessionID.
+func splitSessionID(cluster int) (shardID, local int) {
+	return cluster % MaxShardID, cluster / MaxShardID
+}

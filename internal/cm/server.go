@@ -426,7 +426,7 @@ func (s *Server) RemoveObject(id int) error {
 	}
 	for _, st := range s.streams {
 		if st.Object == id && st.State == StreamPlaying {
-			return fmt.Errorf("cm: object %d has active streams", id)
+			return fmt.Errorf("%w: object %d has active streams", ErrBusy, id)
 		}
 	}
 	for i, logical := range objectLayout(s.strat, obj) {
@@ -443,6 +443,34 @@ func (s *Server) RemoveObject(id int) error {
 	delete(s.seedOf, obj.Seed)
 	s.emit(Event{Kind: EventObjectRemoved, ObjectID: id})
 	return nil
+}
+
+// Catalog returns every loaded object sorted by ID — the full metadata a
+// peer needs to recreate the catalog elsewhere (cluster migration ships
+// objects between shards with it).
+func (s *Server) Catalog() []workload.Object {
+	out := make([]workload.Object, 0, len(s.objects))
+	for _, obj := range s.objects {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// StopObjectStreams stops every playing stream on the given object and
+// returns how many it stopped. It is the forced-eviction prologue to
+// RemoveObject: a cluster migration moves the object's home shard out from
+// under its viewers, who re-open through the router and land on the new
+// home.
+func (s *Server) StopObjectStreams(object int) int {
+	n := 0
+	for _, st := range s.streams {
+		if st.Object == object && st.State == StreamPlaying {
+			st.State = StreamStopped
+			n++
+		}
+	}
+	return n
 }
 
 // Object returns an object by ID.

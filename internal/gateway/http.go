@@ -9,11 +9,13 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"scaddar/internal/cm"
 	"scaddar/internal/disk"
 	"scaddar/internal/reorg"
+	"scaddar/internal/workload"
 )
 
 // maxBodyBytes bounds control-request bodies; every legitimate body here is
@@ -37,7 +39,110 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("POST /v1/disks/{id}/fail", g.handleDiskFail)
 	g.mux.HandleFunc("POST /v1/disks/{id}/repair", g.handleDiskRepair)
 	g.mux.HandleFunc("POST /v1/admin/checkpoint", g.handleCheckpoint)
+	g.mux.HandleFunc("GET /v1/admin/objects", g.handleAdminObjects)
+	g.mux.HandleFunc("POST /v1/admin/objects", g.handleAdminAddObject)
+	g.mux.HandleFunc("DELETE /v1/admin/objects/{id}", g.handleAdminRemoveObject)
 	g.mux.HandleFunc("GET /v1/replication", g.handleReplication)
+}
+
+// adminObject is the full catalog entry shipped over the admin surface —
+// everything a peer server needs to recreate the object, including the
+// placement seed the read-only /v1/objects listing withholds.
+type adminObject struct {
+	ID                int    `json:"id"`
+	Seed              uint64 `json:"seed"`
+	Blocks            int    `json:"blocks"`
+	BlockBytes        int64  `json:"blockBytes"`
+	BitrateBitsPerSec int64  `json:"bitrateBitsPerSec"`
+}
+
+// handleAdminObjects lists the full catalog (IDs, seeds, sizes, bitrates).
+// It reads through the command mailbox, not the snapshot, so the answer is
+// serialized with any in-flight catalog mutation — the consistency a
+// cluster migration needs when it enumerates a source shard.
+func (g *Gateway) handleAdminObjects(w http.ResponseWriter, r *http.Request) {
+	v, err := g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
+		cat := s.Catalog()
+		out := make([]adminObject, len(cat))
+		for i, obj := range cat {
+			out[i] = adminObject{
+				ID: obj.ID, Seed: obj.Seed, Blocks: obj.Blocks,
+				BlockBytes: obj.BlockBytes, BitrateBitsPerSec: obj.BitrateBitsPerSec,
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleAdminAddObject loads one object into the catalog. A zero blockBytes
+// adopts the server's configured block size. 409 on a duplicate ID or seed;
+// the event is journaled (and synced before the reply) like every other
+// mutating control op.
+func (g *Gateway) handleAdminAddObject(w http.ResponseWriter, r *http.Request) {
+	var req adminObject
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	_, err := g.exec(r.Context(), true, func(s *cm.Server) (any, error) {
+		obj := workload.Object{
+			ID: req.ID, Seed: req.Seed, Blocks: req.Blocks,
+			BlockBytes: req.BlockBytes, BitrateBitsPerSec: req.BitrateBitsPerSec,
+		}
+		if obj.BlockBytes == 0 {
+			obj.BlockBytes = s.Config().BlockBytes
+		}
+		return nil, s.AddObject(obj)
+	})
+	if err != nil {
+		if isDuplicateObject(err) {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"object": req.ID})
+}
+
+// isDuplicateObject recognizes the catalog's duplicate-ID/seed rejections,
+// which carry no typed sentinel (they predate the admin surface). Mapped to
+// 409 so a migration retry can treat "already there" as success.
+func isDuplicateObject(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "duplicate object")
+}
+
+// handleAdminRemoveObject deletes an object and its blocks. Removal with
+// active streams is refused with 409 unless ?force=1, which stops the
+// object's streams first — the semantics a cluster migration wants when it
+// evicts an object from its old home shard.
+func (g *Gateway) handleAdminRemoveObject(w http.ResponseWriter, r *http.Request) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	force := r.URL.Query().Get("force") == "1"
+	v, err := g.exec(r.Context(), true, func(s *cm.Server) (any, error) {
+		stopped := 0
+		if force {
+			stopped = s.StopObjectStreams(id)
+		}
+		if err := s.RemoveObject(id); err != nil {
+			return nil, err
+		}
+		return map[string]int{"object": id, "streamsStopped": stopped}, nil
+	})
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 // handleReplication reports the journal-shipping leader's view: durable

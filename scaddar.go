@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 
+	"scaddar/internal/cluster"
 	"scaddar/internal/cm"
 	"scaddar/internal/disk"
 	"scaddar/internal/fsio"
@@ -570,3 +571,48 @@ func CoV(loads []int) float64 { return stats.CoVInts(loads) }
 // Unfairness returns (max/min - 1) of a load vector — the Section 4.3
 // metric.
 func Unfairness(loads []int) (float64, error) { return stats.UnfairnessInts(loads) }
+
+// ---- Horizontal sharding (internal/cluster) ----
+
+// ClusterRouter fronts K independent shard gateways with one /v1 surface:
+// object-addressed requests are proxied to the shard that jump-hash owns
+// the object, aggregate endpoints fan out with per-shard deadlines, and
+// shard add/drain operations migrate only the minimally moved key fraction
+// — SCADDAR's RO1 property applied one level up, across arrays.
+type ClusterRouter = cluster.Router
+
+// ClusterRouterConfig tunes the router: manifest path, per-shard and
+// topology-operation deadlines, and the health-probe interval.
+type ClusterRouterConfig = cluster.RouterConfig
+
+// ClusterShardInfo describes one shard in the cluster manifest.
+type ClusterShardInfo = cluster.ShardInfo
+
+// ClusterManifest is the durable topology record the router journals every
+// shard operation through; on restart it is the recovery contract.
+type ClusterManifest = cluster.Manifest
+
+// ClusterPendingOp marks an in-flight topology operation inside the
+// manifest, so a crashed migration resumes instead of vanishing.
+type ClusterPendingOp = cluster.PendingOp
+
+// ClusterMigrationStats reports how many objects a topology operation
+// moved, against the jump-hash ideal fraction.
+type ClusterMigrationStats = cluster.MigrationStats
+
+// ClusterTopologyView is the live topology document served at
+// GET /v1/cluster/shards.
+type ClusterTopologyView = cluster.TopologyView
+
+// ClusterShardHeader is the response header the router stamps with the ID
+// of the shard that answered a proxied request.
+const ClusterShardHeader = cluster.ShardHeader
+
+// NewClusterRouter builds a router over the manifest at cfg.ManifestPath
+// (or an empty topology) and starts its health prober.
+func NewClusterRouter(cfg ClusterRouterConfig) (*ClusterRouter, error) { return cluster.NewRouter(cfg) }
+
+// ClusterRouteSlot returns the routing slot that owns an object ID among
+// `buckets` shards: SplitMix64 whitening followed by jump consistent hash,
+// so growing K to K+1 relocates only ~1/(K+1) of the keys.
+func ClusterRouteSlot(object, buckets int) int { return cluster.RouteSlot(object, buckets) }

@@ -31,6 +31,7 @@ var defaultDirs = []string{
 	".",
 	"internal/cm",
 	"internal/gateway",
+	"internal/cluster",
 	"internal/store",
 	"internal/repl",
 	"internal/obs",
