@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify benchtables bench bench-cluster fuzz clean
+.PHONY: build test lint verify benchtables bench bench-cluster bench-stream fuzz clean
 
 # Tier-1 gate: everything must build and the full suite must pass.
 build:
@@ -25,12 +25,15 @@ lint:
 # example (journal bootstrap, torn-write crash mid-migration, recovery with
 # every block location verified), the replication example (journal
 # shipping through the fault injector with a leader restart, every block
-# location compared), and the cluster example (a shard joins a 3-shard
+# location compared), the cluster example (a shard joins a 3-shard
 # cluster under live load; moved fraction within 10% of the jump-hash
-# ideal, every object verified on its home shard, zero failed reads). The
-# race-detected suite includes the seeded cluster scale harness
-# (internal/cluster TestClusterScaleUnderLoad: shard add + drain under
-# Zipf load, zero lost blocks, oracle-checked reads). Run this before
+# ideal, every object verified on its home shard, zero failed reads), and
+# the streaming example (real segment-store bytes paced to concurrent
+# chunked sessions through a scale-up and a disk fail/rebuild; every chunk
+# oracle-verified, delivery accounted chunk-for-chunk against the server's
+# counters). The race-detected suite includes the seeded cluster scale
+# harness (internal/cluster TestClusterScaleUnderLoad: shard add + drain
+# under Zipf load, zero lost blocks, oracle-checked reads). Run this before
 # merging anything that touches the server, the rebuild executor, the
 # fault injectors, the gateway, the store, the replication layer, or the
 # cluster router — the concurrency- and durability-sensitive layers.
@@ -40,6 +43,7 @@ verify: lint
 	$(GO) run ./examples/recovery
 	$(GO) run ./examples/replication
 	$(GO) run ./examples/cluster -duration 200ms
+	$(GO) run -race ./examples/streaming -round 60ms -sessions 48 -disks 12 -add 2 -objects 24 -blocks 12
 
 # Regenerate the committed experiment-table capture (the source for the
 # tables quoted in README.md and EXPERIMENTS.md), so docs cannot silently
@@ -64,6 +68,15 @@ bench:
 bench-cluster:
 	$(GO) test -run '^$$' -bench 'ClusterRoute|ClusterGatewayRead' -benchmem ./internal/cluster/ | $(GO) run ./tools/benchjson > BENCH_7.json
 	@echo "regenerated BENCH_7.json"
+
+# Capture the streaming data-plane benchmarks as BENCH_8.json: the
+# per-chunk hot path (session buffer → wire frame → client decode, the
+# work every session pays once per round) and the locator feed's
+# publish/catch-up cycle, alone and fanning out to 64 parked long-pollers.
+# Re-run and commit with any change that moves a number.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'StreamChunk|DeltaFeed' -benchmem ./internal/dataplane/ | $(GO) run ./tools/benchjson > BENCH_8.json
+	@echo "regenerated BENCH_8.json"
 
 # Short fuzz passes over the History codecs (seed corpora under
 # internal/scaddar/testdata/fuzz/), the compiled-chain differential

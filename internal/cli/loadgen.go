@@ -33,6 +33,8 @@ type loadgenOptions struct {
 	shard    int
 	perSess  int
 	dash     time.Duration
+	stream   bool
+	deadline time.Duration
 }
 
 func cmdLoadgen(args []string, w io.Writer) error {
@@ -51,8 +53,13 @@ func cmdLoadgen(args []string, w io.Writer) error {
 	fs.IntVar(&opts.shard, "shard", 0, "shard ID the -scale-at request targets in -cluster mode (the router scales one shard at a time)")
 	fs.IntVar(&opts.perSess, "per-session", 32, "block lookups per session before closing it")
 	fs.DurationVar(&opts.dash, "dash", 0, "scrape /v1/metrics and print a live dashboard line at this interval (0 = off)")
+	fs.BoolVar(&opts.stream, "stream", false, "drive chunked streaming sessions (GET /v1/sessions/{id}/stream) instead of block lookups, tracking placement via the snapshot+delta locator feed and verifying every chunk against the content oracle")
+	fs.DurationVar(&opts.deadline, "deadline", 0, "client-side chunk deadline for the -stream hiccup count (0 = server round pacing only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if opts.stream {
+		return runStreamLoad(opts, w)
 	}
 	return runLoadgen(opts, w)
 }

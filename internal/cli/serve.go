@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"scaddar/internal/cm"
+	"scaddar/internal/dataplane"
 	"scaddar/internal/gateway"
 	"scaddar/internal/obs"
 	"scaddar/internal/placement"
@@ -42,6 +43,10 @@ type serveOptions struct {
 	replAddr        string
 	bits            uint
 	eps             float64
+	payloadDir      string
+	blockBytes      int64
+	streamBuffer    int
+	streamEvict     int
 }
 
 func cmdServe(args []string, w io.Writer) error {
@@ -64,6 +69,10 @@ func cmdServe(args []string, w io.Writer) error {
 	fs.StringVar(&opts.replAddr, "repl-addr", "", "replication listen address streaming the journal to followers (requires -data-dir; empty = off)")
 	fs.UintVar(&opts.bits, "bits", 64, "generator width b; below 64 enables Section 4.3 budget tracking")
 	fs.Float64Var(&opts.eps, "eps", 0.05, "unfairness tolerance ε for the randomness budget (used with -bits < 64)")
+	fs.StringVar(&opts.payloadDir, "payload-dir", "", "per-disk segment store root carrying real block bytes; empty = metadata-only")
+	fs.Int64Var(&opts.blockBytes, "block-bytes", 0, "block size in bytes (0 = server default; smaller blocks make -payload-dir cheap to try)")
+	fs.IntVar(&opts.streamBuffer, "stream-buffer", 0, "per-session chunk buffer for GET /v1/sessions/{id}/stream (0 = default 4)")
+	fs.IntVar(&opts.streamEvict, "stream-evict-after", 0, "consecutive deadline misses before a slow streaming client is evicted (0 = default 8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,6 +211,9 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 			if opts.utilization > 0 {
 				c.Utilization = opts.utilization
 			}
+			if opts.blockBytes > 0 {
+				c.BlockBytes = opts.blockBytes
+			}
 			if opts.bits < 64 {
 				c.GeneratorBits = opts.bits
 				c.Tolerance = opts.eps
@@ -216,6 +228,22 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 			}
 			fmt.Fprintf(w, "serve: bootstrapped %s at LSN %d\n", opts.dataDir, st.LSN())
 		}
+	}
+	// With -payload-dir every disk gets a real segment store: ingest writes
+	// actual bytes, migrations and rebuilds move them, and streaming sessions
+	// serve them. Attach after recovery so the startup reconcile can GC
+	// orphan payloads and re-materialize missing ones against the recovered
+	// catalog (the metadata journal is the system of record).
+	if opts.payloadDir != "" {
+		mgr, err := dataplane.NewManager(opts.payloadDir, dataplane.Options{})
+		if err != nil {
+			return err
+		}
+		defer mgr.Close()
+		if err := srv.AttachPayloads(mgr.Factory(), dataplane.SeededContent); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "serve: payload stores at %s (%d bytes live)\n", opts.payloadDir, mgr.LiveBytes())
 	}
 	// Snapshot the banner facts before the gateway's owner goroutine takes
 	// over the server.
@@ -249,14 +277,16 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	}
 
 	g, err := gateway.New(srv, gateway.Config{
-		Factory:         factory,
-		Round:           opts.round,
-		MailboxDepth:    opts.mailbox,
-		RequestTimeout:  opts.timeout,
-		Store:           st,
-		CheckpointEvery: opts.checkpointEvery,
-		Registry:        reg,
-		ReplLeader:      ldr,
+		Factory:          factory,
+		Round:            opts.round,
+		MailboxDepth:     opts.mailbox,
+		RequestTimeout:   opts.timeout,
+		Store:            st,
+		CheckpointEvery:  opts.checkpointEvery,
+		Registry:         reg,
+		ReplLeader:       ldr,
+		StreamBuffer:     opts.streamBuffer,
+		StreamEvictAfter: opts.streamEvict,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},

@@ -1,0 +1,444 @@
+package cli
+
+// loadgen -stream: the streaming-mode load generator. Instead of timed block
+// lookups it opens real playback sessions and drains their chunked streams,
+// exactly the way a population of viewers would:
+//
+//   - every client shares ONE dataplane.ClientLocator kept current by a
+//     single delta subscription (GET /v1/locator/snapshot once, then
+//     GET /v1/locator/deltas long-polls) — ten thousand sessions tracking a
+//     live reorganization cost the server one feed, not 10k lookups/round;
+//   - every received chunk is CRC-checked by the wire framing and verified
+//     byte-for-byte against the seeded content oracle at its block index, so
+//     a migration or rebuild that served the wrong bytes is caught here;
+//   - chunk inter-arrival gaps are sampled and reported as percentiles,
+//     split by the reorganization window when -scale-at fires mid-run — the
+//     client-side view of hiccups that ROADMAP experiment E19 records.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"scaddar/internal/dataplane"
+	"scaddar/internal/obs"
+	"scaddar/internal/prng"
+	"scaddar/internal/workload"
+)
+
+// streamTally is one streaming client's outcome counters.
+type streamTally struct {
+	opened    int
+	rejected  int
+	done      int
+	evicted   int
+	stopped   int
+	chunks    int
+	bytes     int64
+	frameErrs int
+	oracleErr int
+	locateErr int
+	gaps      []sample // lat = inter-chunk gap, at = offset from run start
+	misses    int      // gaps above the -deadline threshold
+}
+
+// streamClient drains whole sessions until the run deadline.
+type streamClient struct {
+	http     *http.Client
+	base     string
+	loc      *dataplane.ClientLocator
+	objects  []lgObject
+	zipf     *workload.Zipf
+	rng      prng.Source
+	deadline time.Duration // client-side gap threshold; 0 = off
+	start    time.Time
+	tally    streamTally
+}
+
+// runStreamLoad drives concurrent streaming sessions against a gateway and
+// reports chunk integrity plus pacing percentiles.
+func runStreamLoad(opts loadgenOptions, w io.Writer) error {
+	if opts.clients < 1 {
+		return fmt.Errorf("clients %d", opts.clients)
+	}
+	if opts.duration <= 0 {
+		return fmt.Errorf("duration %s", opts.duration)
+	}
+	base := opts.addr
+	hc := &http.Client{} // no global timeout: streams legitimately outlive any fixed budget
+	factory := func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) }
+	loc := dataplane.NewClientLocator(factory)
+
+	snap, err := fetchLocatorSnapshot(hc, base)
+	if err != nil {
+		return err
+	}
+	if err := loc.ApplySnapshot(snap); err != nil {
+		return err
+	}
+	if len(snap.Objects) == 0 {
+		return fmt.Errorf("gateway has no objects loaded")
+	}
+	objects := make([]lgObject, len(snap.Objects))
+	for i, o := range snap.Objects {
+		objects[i] = lgObject{ID: o.ID, Blocks: o.Blocks}
+	}
+
+	fmt.Fprintf(w, "loadgen: %d streaming clients against %s for %s (%d objects, Zipf θ=%g, one shared locator)\n",
+		opts.clients, base, opts.duration, len(objects), opts.zipf)
+
+	start := time.Now()
+	deadline := start.Add(opts.duration)
+	runCtx, cancelRun := context.WithDeadline(context.Background(), deadline)
+	defer cancelRun()
+
+	// One delta subscription keeps the shared locator current for everyone.
+	var resyncs int
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		resyncs = followLocatorFeed(runCtx, hc, base, loc)
+	}()
+
+	clients := make([]*streamClient, opts.clients)
+	var wg sync.WaitGroup
+	for i := range clients {
+		z, err := workload.NewZipf(prng.NewSplitMix64(opts.seed+uint64(i)*2654435761), len(objects), opts.zipf)
+		if err != nil {
+			return err
+		}
+		c := &streamClient{
+			http: hc, base: base, loc: loc, objects: objects, zipf: z,
+			rng:      prng.NewSplitMix64(opts.seed*31 + uint64(i)),
+			deadline: opts.deadline, start: start,
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.run(runCtx, deadline)
+		}()
+	}
+
+	// Mid-run scale-up, with the reorganization window measured by status
+	// polls — the same shape as lookup mode.
+	var reorgStart, reorgEnd time.Duration
+	if opts.scaleAt > 0 && opts.scaleAt < opts.duration {
+		time.Sleep(opts.scaleAt)
+		body, _ := json.Marshal(map[string]int{"add": opts.add})
+		reorgStart = time.Since(start)
+		resp, err := hc.Post(base+"/v1/scale", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("scale: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			fmt.Fprintf(w, "loadgen: scale-up rejected with status %d\n", resp.StatusCode)
+			reorgStart = 0
+		} else {
+			fmt.Fprintf(w, "loadgen: scale-up +%d accepted at t=%s\n", opts.add, reorgStart.Round(time.Millisecond))
+			for time.Now().Before(deadline.Add(30 * time.Second)) {
+				st, err := fetchStatus(hc, base)
+				if err == nil && !st.Reorganizing {
+					reorgEnd = time.Since(start)
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			fmt.Fprintf(w, "loadgen: reorganization drained in %s\n", (reorgEnd - reorgStart).Round(time.Millisecond))
+		}
+	}
+	wg.Wait()
+	cancelRun()
+	<-subDone
+	elapsed := time.Since(start)
+
+	// Merge tallies.
+	var t streamTally
+	var gaps []sample
+	for _, c := range clients {
+		t.opened += c.tally.opened
+		t.rejected += c.tally.rejected
+		t.done += c.tally.done
+		t.evicted += c.tally.evicted
+		t.stopped += c.tally.stopped
+		t.chunks += c.tally.chunks
+		t.bytes += c.tally.bytes
+		t.frameErrs += c.tally.frameErrs
+		t.oracleErr += c.tally.oracleErr
+		t.locateErr += c.tally.locateErr
+		t.misses += c.tally.misses
+		gaps = append(gaps, c.tally.gaps...)
+	}
+	fmt.Fprintf(w, "sessions opened %d (rejected %d): %d done, %d evicted, %d stopped\n",
+		t.opened, t.rejected, t.done, t.evicted, t.stopped)
+	fmt.Fprintf(w, "chunks %d (%.1f MiB, %.1f chunks/s)  frame errors %d  oracle mismatches %d  locate errors %d  feed resyncs %d\n",
+		t.chunks, float64(t.bytes)/(1<<20), float64(t.chunks)/elapsed.Seconds(),
+		t.frameErrs, t.oracleErr, t.locateErr, resyncs)
+	if t.frameErrs > 0 || t.oracleErr > 0 {
+		fmt.Fprintf(w, "loadgen: INTEGRITY FAILURES DETECTED\n")
+	}
+	if opts.deadline > 0 {
+		fmt.Fprintf(w, "client deadline %s: %d chunk gaps missed it\n", opts.deadline, t.misses)
+	}
+
+	// Pacing percentiles: chunk inter-arrival gaps, split by the reorg
+	// window when one was driven.
+	report := func(label string, keep func(sample) bool) {
+		h := obs.MustNewHistogram(obs.LatencyBuckets())
+		for _, s := range gaps {
+			if keep(s) {
+				h.ObserveDuration(s.lat)
+			}
+		}
+		if h.Count() == 0 {
+			return
+		}
+		sn := h.Snapshot()
+		fmt.Fprintf(w, "%-22s n=%-7d p50 %-9s p95 %-9s p99 %s\n", label, sn.Count,
+			secondsDuration(sn.Quantile(0.50)),
+			secondsDuration(sn.Quantile(0.95)),
+			secondsDuration(sn.Quantile(0.99)))
+	}
+	report("chunk gap overall:", func(sample) bool { return true })
+	if reorgEnd > reorgStart {
+		report("  before reorg:", func(s sample) bool { return s.at < reorgStart })
+		report("  during reorg:", func(s sample) bool { return s.at >= reorgStart && s.at < reorgEnd })
+		report("  after reorg:", func(s sample) bool { return s.at >= reorgEnd })
+	}
+
+	// The server's own data-plane counters close the loop: its deadline
+	// misses (hiccups) and evictions should explain any client-side gaps.
+	if st, err := fetchStreamCounters(hc, base); err == nil {
+		fmt.Fprintf(w, "server: %d chunks buffered, %d deadline misses, %d evictions, %d locator deltas\n",
+			st.StreamChunks, st.StreamMisses, st.StreamEvictions, st.DeltasPublished)
+	}
+	return nil
+}
+
+// run is one streaming client loop: open a session on a Zipf-popular
+// object, drain its chunk stream verifying every frame, repeat.
+func (c *streamClient) run(ctx context.Context, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		obj := c.objects[c.zipf.Draw()]
+		sess, retryAfter, ok := c.openStream(obj.ID)
+		if !ok {
+			c.tally.rejected++
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(c.jitterGap(retryAfter)):
+			}
+			continue
+		}
+		c.tally.opened++
+		c.drainStream(ctx, sess, obj)
+	}
+}
+
+// jitterGap spreads a backoff hint over [d/2, d].
+func (c *streamClient) jitterGap(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = time.Second
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Next()%uint64(half+1))
+}
+
+// openStream opens a session for an object.
+func (c *streamClient) openStream(object int) (id int, retryAfter time.Duration, ok bool) {
+	body, _ := json.Marshal(map[string]int{"object": object})
+	resp, err := c.http.Post(c.base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, time.Second, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		io.Copy(io.Discard, resp.Body)
+		return 0, retryAfterHint(resp.Header), false
+	}
+	var out struct {
+		Session int `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, time.Second, false
+	}
+	return out.Session, 0, true
+}
+
+// drainStream reads a session's chunk stream to its end frame (or the run
+// deadline), verifying framing, oracle bytes, and the shared locator.
+func (c *streamClient) drainStream(ctx context.Context, sess int, obj lgObject) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/sessions/%d/stream", c.base, sess), nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	info, haveInfo := c.loc.Object(obj.ID)
+	br := bufio.NewReader(resp.Body)
+	var prev time.Time
+	for {
+		f, err := dataplane.ReadFrame(br)
+		if err != nil {
+			// A deadline cancellation mid-frame is the run ending, not a
+			// protocol failure.
+			if ctx.Err() == nil && err != io.EOF {
+				c.tally.frameErrs++
+			}
+			return
+		}
+		now := time.Now()
+		if f.End {
+			switch f.Reason {
+			case dataplane.CloseDone:
+				c.tally.done++
+			case dataplane.CloseEvicted:
+				c.tally.evicted++
+			default:
+				c.tally.stopped++
+			}
+			return
+		}
+		c.tally.chunks++
+		c.tally.bytes += int64(len(f.Data))
+		if haveInfo && !dataplane.VerifySeededContent(f.Data, info.Seed, uint64(f.Index)) {
+			c.tally.oracleErr++
+		}
+		// Exercise the shared locator exactly as a smart client would: the
+		// block that just arrived must be locatable without asking the
+		// server.
+		if _, err := c.loc.Locate(obj.ID, f.Index); err != nil {
+			c.tally.locateErr++
+		}
+		if !prev.IsZero() {
+			gap := now.Sub(prev)
+			c.tally.gaps = append(c.tally.gaps, sample{at: prev.Sub(c.start), lat: gap})
+			if c.deadline > 0 && gap > c.deadline {
+				c.tally.misses++
+			}
+		}
+		prev = now
+	}
+}
+
+// fetchLocatorSnapshot fetches the full wire-format locator snapshot.
+func fetchLocatorSnapshot(hc *http.Client, base string) (*dataplane.Snapshot, error) {
+	resp, err := hc.Get(base + "/v1/locator/snapshot")
+	if err != nil {
+		return nil, fmt.Errorf("locator snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("locator snapshot: status %d", resp.StatusCode)
+	}
+	var snap dataplane.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("locator snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// followLocatorFeed long-polls the delta feed and applies every delta to the
+// shared locator until ctx ends. A 410 (cursor fell out of the bounded ring)
+// or a sequence gap triggers a full snapshot refetch; the count of those
+// resyncs is returned.
+func followLocatorFeed(ctx context.Context, hc *http.Client, base string, loc *dataplane.ClientLocator) int {
+	resyncs := 0
+	after := loc.Seq()
+	resync := func() bool {
+		snap, err := fetchLocatorSnapshot(hc, base)
+		if err != nil {
+			return false
+		}
+		if err := loc.ApplySnapshot(snap); err != nil {
+			return false
+		}
+		after = loc.Seq()
+		resyncs++
+		return true
+	}
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/v1/locator/deltas?after=%d", base, after), nil)
+		if err != nil {
+			return resyncs
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusGone {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			resync()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var dr struct {
+			Deltas []dataplane.Delta `json:"deltas"`
+			Seq    uint64            `json:"seq"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&dr)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, d := range dr.Deltas {
+			if err := loc.Apply(d); err != nil {
+				resync()
+				break
+			}
+		}
+		if s := loc.Seq(); s > after {
+			after = s
+		} else if dr.Seq > after {
+			after = dr.Seq
+		}
+	}
+	return resyncs
+}
+
+// fetchStreamCounters pulls the gateway's data-plane counters from
+// /v1/status.
+func fetchStreamCounters(hc *http.Client, base string) (struct {
+	StreamChunks    int64 `json:"streamChunks"`
+	StreamMisses    int64 `json:"streamMisses"`
+	StreamEvictions int64 `json:"streamEvictions"`
+	DeltasPublished int64 `json:"deltasPublished"`
+}, error) {
+	var out struct {
+		Gateway struct {
+			StreamChunks    int64 `json:"streamChunks"`
+			StreamMisses    int64 `json:"streamMisses"`
+			StreamEvictions int64 `json:"streamEvictions"`
+			DeltasPublished int64 `json:"deltasPublished"`
+		} `json:"gateway"`
+	}
+	resp, err := hc.Get(base + "/v1/status")
+	if err != nil {
+		return out.Gateway, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out.Gateway, err
+}

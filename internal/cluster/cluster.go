@@ -21,6 +21,11 @@
 // go through POST /v1/cluster/shards (add, drain, remove), migrating only
 // the jump-hash-moved key fraction and journaling progress in a cluster
 // manifest so a router restart recovers — and completes — the topology.
+// Individual objects can be placed by hand with POST
+// /v1/cluster/objects/{id}/move, which relocates one object with the same
+// copy→flip-routing→delete sequence and records the override as a pin in
+// the manifest; pinned objects route to their pinned shard ahead of the
+// hash and sit out topology migrations until moved back home.
 // A shard that is down or draining answers 503 with Retry-After at the
 // router, the same backpressure contract the gateway itself uses; the
 // rest of the cluster keeps serving (the DxHash failed-node stance:

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -40,16 +41,17 @@ func (r *Router) routes() {
 	r.mux.HandleFunc("DELETE /v1/admin/objects/{id}", r.handleAdminRemoveObject)
 	r.mux.HandleFunc("GET /v1/cluster/shards", r.handleShards)
 	r.mux.HandleFunc("POST /v1/cluster/shards", r.handleShardOp)
+	r.mux.HandleFunc("POST /v1/cluster/objects/{id}/move", r.handleMoveObject)
 }
 
 // Handler returns the router's HTTP handler with the per-request deadline
-// applied to data-path requests. Topology operations (POST
-// /v1/cluster/shards) run under the separate, longer OpTimeout — they
+// applied to data-path requests. Topology and object-move operations (POST
+// under /v1/cluster/) run under the separate, longer OpTimeout — they
 // migrate keys.
 func (r *Router) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		timeout := r.cfg.RequestTimeout
-		if req.Method == http.MethodPost && req.URL.Path == "/v1/cluster/shards" {
+		if req.Method == http.MethodPost && strings.HasPrefix(req.URL.Path, "/v1/cluster/") {
 			timeout = r.cfg.OpTimeout
 		}
 		ctx, cancel := context.WithTimeout(req.Context(), timeout)
@@ -83,6 +85,8 @@ func (r *Router) writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrBadShardOp):
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrUnknownObject):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
 	default:
@@ -478,6 +482,36 @@ func (r *Router) handleShardOp(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// handleMoveObject executes a cross-shard object move: copy the object to
+// the requested shard, flip routing by persisting a pin in the cluster
+// manifest, then clear the source copy. Runs under OpTimeout.
+func (r *Router) handleMoveObject(w http.ResponseWriter, req *http.Request) {
+	id, err := pathInt(req, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	body, err := readBody(w, req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var mv struct {
+		Shard *int `json:"shard"`
+	}
+	if err := json.Unmarshal(body, &mv); err != nil || mv.Shard == nil {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": `cluster: move needs a "shard" field naming the destination shard`})
+		return
+	}
+	res, err := r.MoveObject(req.Context(), id, *mv.Shard)
+	if err != nil {
+		r.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 // ShardView is one shard's entry in GET /v1/cluster/shards: topology
 // position plus live health and routing counters.
 type ShardView struct {
@@ -503,6 +537,8 @@ type TopologyView struct {
 	Buckets int `json:"buckets"`
 	// Pending is the in-flight topology operation, if any.
 	Pending *PendingOp `json:"pending,omitempty"`
+	// Pins maps explicitly placed object IDs to their shard.
+	Pins map[int]int `json:"pins,omitempty"`
 	// Shards lists every shard in routing order.
 	Shards []ShardView `json:"shards"`
 }
@@ -510,7 +546,10 @@ type TopologyView struct {
 // topologyView renders the current topology with live counters.
 func (r *Router) topologyView() TopologyView {
 	t := r.topo.Load()
-	out := TopologyView{Version: t.version, Buckets: t.buckets, Shards: make([]ShardView, len(t.slots))}
+	out := TopologyView{
+		Version: t.version, Buckets: t.buckets,
+		Pins: copyPins(t.pins), Shards: make([]ShardView, len(t.slots)),
+	}
 	if p := t.pending; p != nil {
 		out.Pending = &PendingOp{Kind: p.kind, ShardID: p.target.id,
 			OldBuckets: p.oldBuckets, NewBuckets: p.newBuckets}

@@ -35,6 +35,12 @@ type Manifest struct {
 	// Pending, when non-nil, records a topology operation whose key
 	// migration had not completed when the manifest was written.
 	Pending *PendingOp `json:"pending,omitempty"`
+	// Pins maps object IDs to the shard that explicitly holds them,
+	// overriding jump-hash placement. A pin is written by the cross-shard
+	// move API (flip-routing happens by persisting the pin before the
+	// source copy is deleted) and erased when the object is moved back to
+	// its natural home. Pinned objects are skipped by topology migrations.
+	Pins map[int]int `json:"pins,omitempty"`
 }
 
 // PendingOp is the durable marker of an in-flight topology change.
@@ -114,6 +120,20 @@ func (m *Manifest) validate() error {
 		// Drained shards may only trail the routing window.
 		if sh.State == ShardDrained.String() && i < m.Buckets {
 			return fmt.Errorf("drained shard %d inside the routing window", sh.ID)
+		}
+	}
+	states := make(map[int]string, len(m.Shards))
+	for _, sh := range m.Shards {
+		states[sh.ID] = sh.State
+	}
+	for obj, id := range m.Pins {
+		if !seen[id] {
+			return fmt.Errorf("pin for object %d names unknown shard %d", obj, id)
+		}
+		// The drain guard refuses to drain a shard with pins, so a pin to a
+		// drained shard can only come from hand-editing — reject it.
+		if states[id] == ShardDrained.String() {
+			return fmt.Errorf("pin for object %d names drained shard %d", obj, id)
 		}
 	}
 	if p := m.Pending; p != nil {

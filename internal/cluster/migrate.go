@@ -92,6 +92,7 @@ func (r *Router) AddShard(ctx context.Context, url string) (ShardInfo, Migration
 		slots:   slots,
 		buckets: t.buckets,
 		pending: &pendingOp{kind: "add", oldBuckets: t.buckets, newBuckets: t.buckets + 1, target: sh},
+		pins:    t.pins,
 	}
 	r.publish(nt)
 	if err := r.saveLocked(); err != nil {
@@ -132,12 +133,21 @@ func (r *Router) DrainShard(ctx context.Context, id int) (MigrationStats, error)
 	if t.buckets == 1 {
 		return stats, fmt.Errorf("cluster: refusing to drain the last routing shard %d: %w", id, ErrBadShardOp)
 	}
+	// Pinned objects are placed by operator decision, not by the hash, so
+	// the drain must not silently overrule it; refuse until they are moved.
+	for obj, pinned := range t.pins {
+		if pinned == tail.id {
+			return stats, fmt.Errorf("cluster: object %d is pinned to shard %d; move it before draining: %w",
+				obj, pinned, ErrBadShardOp)
+		}
+	}
 	tail.setState(ShardDraining)
 	nt := &topology{
 		version: t.version,
 		slots:   t.slots,
 		buckets: t.buckets,
 		pending: &pendingOp{kind: "drain", oldBuckets: t.buckets, newBuckets: t.buckets - 1, target: tail},
+		pins:    t.pins,
 	}
 	r.publish(nt)
 	if err := r.saveLocked(); err != nil {
@@ -175,7 +185,7 @@ func (r *Router) RemoveShard(id int) error {
 		return fmt.Errorf("cluster: shard %d still owns routing slot %d; drain it first: %w", id, idx, ErrBadShardOp)
 	}
 	slots := append(append([]*shard(nil), t.slots[:idx]...), t.slots[idx+1:]...)
-	r.publish(&topology{version: t.version + 1, slots: slots, buckets: t.buckets})
+	r.publish(&topology{version: t.version + 1, slots: slots, buckets: t.buckets, pins: t.pins})
 	return r.saveLocked()
 }
 
@@ -209,7 +219,7 @@ func (r *Router) completePendingLocked(ctx context.Context) (MigrationStats, err
 	if p.kind == "drain" {
 		p.target.setState(ShardDrained)
 	}
-	r.publish(&topology{version: t.version + 1, slots: t.slots, buckets: p.newBuckets})
+	r.publish(&topology{version: t.version + 1, slots: t.slots, buckets: p.newBuckets, pins: t.pins})
 	return stats, r.saveLocked()
 }
 
@@ -252,8 +262,14 @@ func (r *Router) migrateKeys(ctx context.Context, t *topology) (MigrationStats, 
 			meta[obj.ID] = obj
 		}
 	}
+	// Pinned objects sit where the operator put them regardless of the
+	// routing width, so they are not part of the movable population (and
+	// must not skew the moved-fraction accounting).
 	ids := make([]int, 0, len(holder))
 	for id := range holder {
+		if _, pinned := t.pins[id]; pinned {
+			continue
+		}
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Cross-shard object move: relocate one object to an operator-chosen shard,
+// overriding jump-hash placement with a pin. The move reuses the topology
+// migration's copy→flip-routing→delete sequence and inherits its crash
+// contract: the destination is written first, the pin (the routing flip) is
+// persisted in the manifest second, and the source copy is cleared last,
+// so every crash window leaves either the old routing with the old copy
+// intact or the new routing with the new copy intact — re-running the same
+// move finishes whichever half remains.
+
+// ErrUnknownObject is returned when a move names an object no shard's
+// catalog holds.
+var ErrUnknownObject = errors.New("cluster: unknown object")
+
+// MoveResult reports one cross-shard object move.
+type MoveResult struct {
+	// Object is the moved object's ID.
+	Object int `json:"object"`
+	// From is the shard that held the object before the move.
+	From ShardInfo `json:"from"`
+	// To is the shard holding the object after the move.
+	To ShardInfo `json:"to"`
+	// Moved reports whether the object actually changed shards (false when
+	// it already lived on the destination).
+	Moved bool `json:"moved"`
+	// Pinned reports whether the object is now pinned: true unless the
+	// destination is the object's natural jump-hash home, in which case the
+	// move erases any previous pin and hash routing takes back over.
+	Pinned bool `json:"pinned"`
+}
+
+// MoveObject relocates an object onto the named shard and records the
+// placement override as a pin in the cluster manifest. Moving an object to
+// its natural jump-hash home erases its pin instead — that is also how an
+// earlier override is undone. Pinned objects are skipped by topology
+// migrations and block a drain of their shard until moved off it.
+//
+// The operation is idempotent: re-running a move that crashed between any
+// two of its steps (copy, pin flip, source delete) completes it, because
+// the destination add tolerates "already there", the delete sweep tolerates
+// "already gone", and the pin write is an atomic manifest rewrite.
+func (r *Router) MoveObject(ctx context.Context, object, shardID int) (MoveResult, error) {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	var res MoveResult
+	t := r.topo.Load()
+	if t.pending != nil {
+		return res, ErrOpInFlight
+	}
+	if t.buckets == 0 {
+		return res, ErrNoShards
+	}
+	dst := t.shardByID(shardID)
+	if dst == nil {
+		return res, fmt.Errorf("cluster: no shard %d: %w", shardID, ErrBadShardOp)
+	}
+	if dst.State() != ShardActive {
+		return res, fmt.Errorf("cluster: shard %d is %s: %w", shardID, dst.State(), ErrBadShardOp)
+	}
+	src := t.shardFor(object)
+	res.Object, res.From, res.To = object, src.info(), dst.info()
+
+	// The routed home holds the object in every reachable state: an
+	// untouched object sits at its hash (or previously pinned) home, a move
+	// that crashed before the pin flip left it there too, and one that
+	// crashed after the flip routes — via the new pin — to the destination
+	// where the copy already landed.
+	cat, err := r.fetchCatalog(ctx, src)
+	if err != nil {
+		return res, fmt.Errorf("cluster: catalog of shard %d: %w", src.id, err)
+	}
+	var meta catalogObject
+	found := false
+	for _, obj := range cat {
+		if obj.ID == object {
+			meta, found = obj, true
+			break
+		}
+	}
+	if !found {
+		return res, fmt.Errorf("cluster: object %d is not in shard %d's catalog: %w",
+			object, src.id, ErrUnknownObject)
+	}
+
+	// Copy: land the object on the destination ("already there" is success,
+	// covering both a same-shard move and a resumed crashed one).
+	if err := r.addObject(ctx, dst, meta); err != nil {
+		return res, fmt.Errorf("cluster: add object %d to shard %d: %w", object, dst.id, err)
+	}
+
+	// Flip routing: persist the pin before any source copy is cleared. A
+	// move onto the natural hash home erases the pin — the override is no
+	// longer carrying information the hash doesn't.
+	pins := copyPins(t.pins)
+	natural := t.slots[RouteSlot(object, t.buckets)]
+	if dst == natural {
+		delete(pins, object)
+	} else {
+		if pins == nil {
+			pins = make(map[int]int, 1)
+		}
+		pins[object] = dst.id
+	}
+	res.Pinned = dst != natural
+	r.publish(&topology{version: t.version + 1, slots: t.slots, buckets: t.buckets, pins: pins})
+	if err := r.saveLocked(); err != nil {
+		return res, err
+	}
+
+	// Delete: sweep the stale copy wherever it sits. The common case is one
+	// targeted delete from the old home, but sweeping every other shard in
+	// the same pass also clears duplicates an earlier crashed move left
+	// behind — shard counts are small and "already gone" is free.
+	for _, s := range t.slots {
+		if s == dst {
+			continue
+		}
+		if err := r.deleteObject(ctx, s, object); err != nil {
+			return res, fmt.Errorf("cluster: remove object %d from shard %d: %w", object, s.id, err)
+		}
+	}
+	res.Moved = src != dst
+	if res.Moved {
+		r.m.objectMoves.Inc()
+		r.logf("cluster: object %d moved from shard %d to shard %d (pinned=%v)",
+			object, src.id, dst.id, res.Pinned)
+	}
+	return res, nil
+}

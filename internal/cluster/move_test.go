@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"testing"
+)
+
+// moveVia drives POST /v1/cluster/objects/{id}/move through the router's
+// HTTP surface and decodes the result.
+func (c *testCluster) moveVia(t testing.TB, object, shard int) (MoveResult, *int) {
+	t.Helper()
+	rec := c.do(t, http.MethodPost, pathMove(object), map[string]any{"shard": shard})
+	if rec.Code != http.StatusOK {
+		code := rec.Code
+		return MoveResult{}, &code
+	}
+	var res MoveResult
+	decode(t, rec, &res)
+	return res, nil
+}
+
+func pathMove(object int) string {
+	return "/v1/cluster/objects/" + itoa(object) + "/move"
+}
+
+func itoa(v int) string { return shardLabel(v) }
+
+// holders returns which of the cluster's shards list the object.
+func (c *testCluster) holders(t testing.TB, object int) []int {
+	t.Helper()
+	var out []int
+	for i, sh := range c.shards {
+		for _, id := range catalogOf(t, sh) {
+			if id == object {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// offHomeObject returns an object in [0, n) whose natural home among
+// `buckets` shards is NOT `slot` — a candidate for pinning onto slot.
+func offHomeObject(t testing.TB, n, buckets, slot int) int {
+	t.Helper()
+	for id := 0; id < n; id++ {
+		if RouteSlot(id, buckets) != slot {
+			return id
+		}
+	}
+	t.Fatalf("no object in [0,%d) routes away from slot %d", n, slot)
+	return -1
+}
+
+// TestMoveObjectPinsAndUnpins moves an object off its natural home and
+// back: the pin must appear in the topology view, reads must route to the
+// pinned shard, exactly one copy must exist throughout, and moving the
+// object home again must erase the pin.
+func TestMoveObjectPinsAndUnpins(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	const objects = 12
+	c.seedObjects(t, objects, 2)
+
+	id := offHomeObject(t, objects, 2, 1)
+	home := RouteSlot(id, 2)
+
+	res, code := c.moveVia(t, id, 1)
+	if code != nil {
+		t.Fatalf("move: status %d", *code)
+	}
+	if !res.Moved || !res.Pinned {
+		t.Fatalf("move result %+v: want Moved and Pinned", res)
+	}
+	if res.From.ID != home || res.To.ID != 1 {
+		t.Errorf("move result %+v: want from shard %d to shard 1", res, home)
+	}
+	if got := c.holders(t, id); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("object %d held by shards %v, want exactly [1]", id, got)
+	}
+	var view TopologyView
+	decode(t, c.do(t, http.MethodGet, "/v1/cluster/shards", nil), &view)
+	if view.Pins[id] != 1 {
+		t.Errorf("topology pins %v missing object %d → shard 1", view.Pins, id)
+	}
+
+	// Routed reads now land on the pinned shard, and agree with it.
+	routed := c.readVia(t, id, 0)
+	direct, status := readDirect(t, c.shards[1], id, 0)
+	if status != http.StatusOK {
+		t.Fatalf("pinned shard does not serve object %d: status %d", id, status)
+	}
+	if routed["disk"] != direct["disk"] || routed["block"] != direct["block"] {
+		t.Errorf("routed read %v != pinned shard's answer %v", routed, direct)
+	}
+
+	// Moving the object back to its natural home erases the pin.
+	res, code = c.moveVia(t, id, home)
+	if code != nil {
+		t.Fatalf("move home: status %d", *code)
+	}
+	if !res.Moved || res.Pinned {
+		t.Fatalf("move home result %+v: want Moved and not Pinned", res)
+	}
+	if got := c.holders(t, id); len(got) != 1 || got[0] != home {
+		t.Fatalf("object %d held by shards %v, want exactly [%d]", id, got, home)
+	}
+	var after TopologyView
+	decode(t, c.do(t, http.MethodGet, "/v1/cluster/shards", nil), &after)
+	if len(after.Pins) != 0 {
+		t.Errorf("pins %v not erased after moving home", after.Pins)
+	}
+}
+
+// TestMoveObjectIdempotent re-runs a move: the second pass must be a
+// harmless no-op reporting Moved=false, with still exactly one copy.
+func TestMoveObjectIdempotent(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	c.seedObjects(t, 8, 2)
+	id := offHomeObject(t, 8, 2, 1)
+
+	if res, code := c.moveVia(t, id, 1); code != nil || !res.Moved {
+		t.Fatalf("first move: code=%v res=%+v", code, res)
+	}
+	res, code := c.moveVia(t, id, 1)
+	if code != nil {
+		t.Fatalf("second move: status %d", *code)
+	}
+	if res.Moved || !res.Pinned {
+		t.Errorf("second move %+v: want not Moved, still Pinned", res)
+	}
+	if got := c.holders(t, id); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("object %d held by shards %v, want exactly [1]", id, got)
+	}
+}
+
+// TestMoveObjectErrors checks the operator-input failure modes: unknown
+// object (404), unknown destination shard (400), missing body field (400).
+func TestMoveObjectErrors(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	c.seedObjects(t, 4, 2)
+
+	if _, code := c.moveVia(t, 999, 1); code == nil || *code != http.StatusNotFound {
+		t.Errorf("unknown object: code %v, want 404", code)
+	}
+	if _, code := c.moveVia(t, 0, 7); code == nil || *code != http.StatusBadRequest {
+		t.Errorf("unknown shard: code %v, want 400", code)
+	}
+	rec := c.do(t, http.MethodPost, pathMove(0), map[string]any{})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing shard field: status %d, want 400", rec.Code)
+	}
+	if _, err := c.router.MoveObject(context.Background(), 999, 1); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("MoveObject(999): %v, want ErrUnknownObject", err)
+	}
+}
+
+// TestPinnedObjectSitsOutTopologyChanges pins an object that jump hashing
+// would relocate on the next shard add, then adds a shard: the pinned
+// object must stay put, routed reads must keep hitting its pin, and the
+// migration stats must exclude it from the movable population.
+func TestPinnedObjectSitsOutTopologyChanges(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	const objects = 24
+	c.seedObjects(t, objects, 2)
+
+	// Find an object that WOULD move when the cluster grows 2→3 shards,
+	// and pin it where it already lives.
+	mover := -1
+	for id := 0; id < objects; id++ {
+		if RouteSlot(id, 2) != RouteSlot(id, 3) {
+			mover = id
+			break
+		}
+	}
+	if mover < 0 {
+		t.Fatal("no object relocates on 2→3 growth")
+	}
+	homeSlot := RouteSlot(mover, 2)
+	if res, code := c.moveVia(t, mover, homeSlot); code != nil || res.Pinned {
+		t.Fatalf("pin-in-place setup: code=%v res=%+v", code, res)
+	}
+	// Moving home doesn't pin; move it to the OTHER original shard so the
+	// pin exists and survives the growth.
+	other := 1 - homeSlot
+	if res, code := c.moveVia(t, mover, other); code != nil || !res.Pinned {
+		t.Fatalf("pin setup: code=%v res=%+v", code, res)
+	}
+
+	_, stats := c.addShard(t)
+	if stats.Objects != objects-1 {
+		t.Errorf("migration saw %d movable objects, want %d (pinned object excluded)",
+			stats.Objects, objects-1)
+	}
+	if got := c.holders(t, mover); len(got) != 1 || got[0] != other {
+		t.Fatalf("pinned object %d held by shards %v after growth, want [%d]", mover, got, other)
+	}
+	routed := c.readVia(t, mover, 0)
+	direct, status := readDirect(t, c.shards[other], mover, 0)
+	if status != http.StatusOK {
+		t.Fatalf("pinned shard lost object %d: status %d", mover, status)
+	}
+	if routed["disk"] != direct["disk"] {
+		t.Errorf("routed read %v != pinned shard's answer %v", routed, direct)
+	}
+}
+
+// TestDrainRefusedWhilePinned pins an object to the tail shard and asserts
+// the drain is refused until the object is moved off it.
+func TestDrainRefusedWhilePinned(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	const objects = 16
+	c.seedObjects(t, objects, 2)
+
+	id := offHomeObject(t, objects, 3, 2)
+	if res, code := c.moveVia(t, id, 2); code != nil || !res.Pinned {
+		t.Fatalf("pin to tail: code=%v res=%+v", code, res)
+	}
+	if _, err := c.router.DrainShard(context.Background(), 2); !errors.Is(err, ErrBadShardOp) {
+		t.Fatalf("drain with pinned object: %v, want ErrBadShardOp", err)
+	}
+	// Move the object back home; the drain must then proceed.
+	if _, code := c.moveVia(t, id, RouteSlot(id, 3)); code != nil {
+		t.Fatalf("unpin: status %d", *code)
+	}
+	if _, err := c.router.DrainShard(context.Background(), 2); err != nil {
+		t.Fatalf("drain after unpin: %v", err)
+	}
+}
+
+// TestPinPersistsAcrossRestart moves an object, restarts the router from
+// its manifest, and checks the pin still routes the object.
+func TestPinPersistsAcrossRestart(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "cluster.json")
+	c := newTestCluster(t, 2, func(cfg *RouterConfig) { cfg.ManifestPath = manifest })
+	const objects = 8
+	c.seedObjects(t, objects, 2)
+	id := offHomeObject(t, objects, 2, 1)
+	if res, code := c.moveVia(t, id, 1); code != nil || !res.Pinned {
+		t.Fatalf("move: code=%v res=%+v", code, res)
+	}
+
+	c.router.Close()
+	r2, err := NewRouter(RouterConfig{ManifestPath: manifest, ProbeInterval: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r2.Close)
+	topo := r2.Topology()
+	if topo.Pins[id] != 1 {
+		t.Fatalf("restored manifest pins %v, want object %d → shard 1", topo.Pins, id)
+	}
+	rec := doReq(t, r2.Handler(), http.MethodGet, pathBlocks(id, 0), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("routed read after restart: status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(ShardHeader); got != shardLabel(1) {
+		t.Errorf("read routed to shard %q, want pinned shard 1", got)
+	}
+}
+
+func pathBlocks(id, idx int) string {
+	return "/v1/objects/" + itoa(id) + "/blocks/" + itoa(idx)
+}
+
+// TestManifestRejectsBadPins exercises the manifest validation of the pins
+// table: unknown and drained pin targets are refused.
+func TestManifestRejectsBadPins(t *testing.T) {
+	base := Manifest{
+		Version: 1, NextID: 2, Buckets: 1,
+		Shards: []ShardInfo{
+			{ID: 0, URL: "http://a", State: "active"},
+			{ID: 1, URL: "http://b", State: "drained"},
+		},
+	}
+	ok := base
+	ok.Pins = map[int]int{7: 0}
+	if err := ok.validate(); err != nil {
+		t.Errorf("valid pin rejected: %v", err)
+	}
+	unknown := base
+	unknown.Pins = map[int]int{7: 9}
+	if err := unknown.validate(); err == nil {
+		t.Error("pin to unknown shard accepted")
+	}
+	drained := base
+	drained.Pins = map[int]int{7: 1}
+	if err := drained.validate(); err == nil {
+		t.Error("pin to drained shard accepted")
+	}
+}

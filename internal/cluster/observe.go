@@ -26,6 +26,9 @@ type routerMetrics struct {
 	migrations     *obs.Counter
 	objectsMoved   *obs.Counter
 	migrateSeconds *obs.Histogram
+
+	pins        *obs.Gauge
+	objectMoves *obs.Counter
 }
 
 // newRouterMetrics registers the router's metric families in reg.
@@ -54,6 +57,10 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 		migrateSeconds: reg.NewHistogram("cluster_migrate_seconds",
 			"Wall-clock duration of topology-operation key migrations.",
 			obs.ExpBuckets(0.001, 4, 12)),
+		pins: reg.NewGauge("cluster_object_pins",
+			"Objects pinned to an explicit shard, overriding jump-hash placement."),
+		objectMoves: reg.NewCounter("cluster_object_moves_total",
+			"Completed cross-shard object moves via the move API."),
 	}
 }
 

@@ -88,20 +88,29 @@ type pendingOp struct {
 }
 
 // topology is the atomically-published routing state: the ordered shard
-// slots, how many of them own keys, and any in-flight operation.
+// slots, how many of them own keys, any in-flight operation, and the
+// pinned-object overrides. The pins map is immutable once published — a
+// move installs a fresh topology with a fresh map.
 type topology struct {
 	version int
 	slots   []*shard
 	buckets int
 	pending *pendingOp
+	pins    map[int]int // object ID → shard ID, overriding jump hash
 }
 
-// shardFor routes an object to its owning shard, honoring a pending
-// operation's per-object migration progress. Returns nil when the cluster
-// has no routable shards.
+// shardFor routes an object to its owning shard: a pin wins outright,
+// otherwise jump hashing decides, honoring a pending operation's
+// per-object migration progress. Returns nil when the cluster has no
+// routable shards.
 func (t *topology) shardFor(object int) *shard {
 	if t == nil {
 		return nil
+	}
+	if id, ok := t.pins[object]; ok {
+		if sh := t.shardByID(id); sh != nil {
+			return sh
+		}
 	}
 	if p := t.pending; p != nil {
 		key := RouteKey(object)
@@ -244,7 +253,7 @@ func (r *Router) restore(man *Manifest) error {
 		}
 		slots[i] = r.newShard(info.ID, info.URL, st)
 	}
-	t := &topology{version: man.Version, slots: slots, buckets: man.Buckets}
+	t := &topology{version: man.Version, slots: slots, buckets: man.Buckets, pins: copyPins(man.Pins)}
 	if p := man.Pending; p != nil {
 		target := t.shardByID(p.ShardID)
 		if target == nil {
@@ -267,6 +276,20 @@ func (r *Router) publish(t *topology) {
 	r.m.shards.Set(float64(len(t.slots)))
 	r.m.buckets.Set(float64(t.buckets))
 	r.m.version.Set(float64(t.version))
+	r.m.pins.Set(float64(len(t.pins)))
+}
+
+// copyPins clones a pin map; nil and empty both come back nil so empty
+// topologies stay allocation-free and manifests omit the field.
+func copyPins(pins map[int]int) map[int]int {
+	if len(pins) == 0 {
+		return nil
+	}
+	out := make(map[int]int, len(pins))
+	for obj, id := range pins {
+		out[obj] = id
+	}
+	return out
 }
 
 // manifestLocked renders the current topology as a manifest. opMu held.
@@ -281,6 +304,7 @@ func (r *Router) manifestLocked() *Manifest {
 	for i, s := range t.slots {
 		man.Shards[i] = s.info()
 	}
+	man.Pins = copyPins(t.pins)
 	if p := t.pending; p != nil {
 		man.Pending = &PendingOp{
 			Kind: p.kind, ShardID: p.target.id,

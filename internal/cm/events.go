@@ -155,6 +155,16 @@ type EventSink func(Event)
 // group-commit window, never committed state.
 func (s *Server) SetEventSink(sink EventSink) { s.events = sink }
 
+// AddEventSink tees an additional, non-durable observer behind the primary
+// sink: it sees every event the journal does, after the journal's sink. The
+// gateway's delta feed uses this to learn about migrated blocks and epoch
+// boundaries without displacing the durable store.
+func (s *Server) AddEventSink(sink EventSink) {
+	if sink != nil {
+		s.extraSinks = append(s.extraSinks, sink)
+	}
+}
+
 // emit delivers an event to the sink, if any, after teeing it into the
 // observability layer: the observer's per-kind counter and the trace ring
 // (tagged with the current round) both see every event the journal does.
@@ -169,6 +179,9 @@ func (s *Server) emit(ev Event) {
 	}
 	if s.events != nil {
 		s.events(ev)
+	}
+	for _, sink := range s.extraSinks {
+		sink(ev)
 	}
 }
 

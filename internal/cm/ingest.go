@@ -107,6 +107,12 @@ func (s *Server) stepIngests(used []int, caps []int) error {
 			if err := d.Store(blockID(in.Object.ID, uint64(in.Written))); err != nil {
 				return err
 			}
+			// Data and metadata move together: the block's real bytes land
+			// in the disk's payload store in the same step. (A crash between
+			// the two leaves an orphan payload the recovery reconcile GCs.)
+			if err := s.putPayload(d, blockID(in.Object.ID, uint64(in.Written))); err != nil {
+				return err
+			}
 			used[logical]++
 			in.Written++
 			wrote++

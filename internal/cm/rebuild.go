@@ -172,6 +172,12 @@ func (s *Server) stepRebuild(spare []int) error {
 			if err := target.Store(it.bid); err != nil {
 				return fmt.Errorf("cm: rebuild: %w", err)
 			}
+			// Reconstruction produces the block's actual bytes (redundant
+			// copies are computable): the replacement disk's payload store
+			// gets real data, not just a metadata entry.
+			if err := s.putPayload(target, it.bid); err != nil {
+				return fmt.Errorf("cm: rebuild: %w", err)
+			}
 			target.RecordMigration()
 			s.metrics.BlocksRebuilt++
 		}

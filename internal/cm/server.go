@@ -103,6 +103,11 @@ const (
 	StreamDone
 	// StreamStopped streams were terminated by the viewer.
 	StreamStopped
+	// StreamPaused streams hold an admission slot but are not served;
+	// playback begins at ResumeStream. Opening paused lets a client
+	// reserve capacity first and attach its consumer before any round
+	// paces a block out — nothing is delivered to nobody.
+	StreamPaused
 )
 
 // String names the stream state.
@@ -114,6 +119,8 @@ func (s StreamState) String() string {
 		return "done"
 	case StreamStopped:
 		return "stopped"
+	case StreamPaused:
+		return "paused"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -185,6 +192,12 @@ type Metrics struct {
 	// RoundsToRepair accumulates, over completed rebuilds, the rounds from
 	// repair arrival to rebuild completion.
 	RoundsToRepair int
+	// PayloadBytesServed counts real block bytes handed to the delivery
+	// sink (only non-zero with a data plane attached).
+	PayloadBytesServed int64
+	// SessionsEvicted counts streams stopped because the delivery sink
+	// reported the client hopelessly behind.
+	SessionsEvicted int
 }
 
 // Server is the continuous-media server simulator.
@@ -227,8 +240,16 @@ type Server struct {
 	rebuild *rebuilder
 	// lost records blocks that are permanently unrecoverable.
 	lost map[disk.BlockID]bool
-	// events is the optional durable-event sink (see events.go).
-	events EventSink
+	// events is the optional durable-event sink and extraSinks the
+	// non-durable observers teed behind it (see events.go).
+	events     EventSink
+	extraSinks []EventSink
+	// payloads, content, and delivery wire the real data plane: per-disk
+	// byte stores, the deterministic content oracle, and the sink served
+	// bytes are handed to (see dataplane.go).
+	payloads disk.PayloadFactory
+	content  ContentFunc
+	delivery DeliverySink
 	// obsv is the optional metrics observer and trace the optional span ring
 	// (see observe.go).
 	obsv  *Observer
@@ -397,6 +418,10 @@ func (s *Server) AddObject(obj workload.Object) error {
 	if obj.ID < 0 || obj.ID >= 1<<24 || uint64(obj.Blocks) >= 1<<40 {
 		return fmt.Errorf("cm: object %d outside addressable range", obj.ID)
 	}
+	// Reserve the identity before the block loop so the payload oracle can
+	// resolve the object's seed for the bytes being written.
+	s.objects[obj.ID] = obj
+	s.seedOf[obj.Seed] = obj.ID
 	for i, logical := range objectLayout(s.strat, obj) {
 		d, err := s.array.Disk(logical)
 		if err != nil {
@@ -405,9 +430,10 @@ func (s *Server) AddObject(obj workload.Object) error {
 		if err := d.Store(blockID(obj.ID, uint64(i))); err != nil {
 			return err
 		}
+		if err := s.putPayload(d, blockID(obj.ID, uint64(i))); err != nil {
+			return err
+		}
 	}
-	s.objects[obj.ID] = obj
-	s.seedOf[obj.Seed] = obj.ID
 	s.emit(Event{Kind: EventObjectAdded, Object: obj})
 	return nil
 }
@@ -435,6 +461,9 @@ func (s *Server) RemoveObject(id int) error {
 			return err
 		}
 		if err := d.Remove(blockID(obj.ID, uint64(i))); err != nil {
+			return err
+		}
+		if err := s.deletePayload(d, blockID(obj.ID, uint64(i))); err != nil {
 			return err
 		}
 		s.blockCache.Remove(blockID(obj.ID, uint64(i)))
@@ -615,20 +644,63 @@ func (s *Server) ActiveStreams() int {
 }
 
 // StartStream admits a new playback session for an object, or rejects it if
-// the server is at its admission limit.
+// the server is at its admission limit. The stream plays from the next
+// round on, attached consumer or not.
 func (s *Server) StartStream(object int) (*Stream, error) {
+	return s.startStream(object, StreamPlaying)
+}
+
+// StartStreamPaused admits a session that holds its admission slot but is
+// not served until ResumeStream — the client reserves capacity first and
+// connects its consumer before the pacer delivers anything.
+func (s *Server) StartStreamPaused(object int) (*Stream, error) {
+	return s.startStream(object, StreamPaused)
+}
+
+func (s *Server) startStream(object int, state StreamState) (*Stream, error) {
 	if _, ok := s.objects[object]; !ok {
 		return nil, fmt.Errorf("%w: object %d", ErrUnknownObject, object)
 	}
-	if s.ActiveStreams() >= s.capacityStreams() {
+	// Paused streams count against admission: the slot is reserved the
+	// moment the session exists, not when playback starts.
+	if s.admittedStreams() >= s.capacityStreams() {
 		s.metrics.StreamsRejected++
 		return nil, fmt.Errorf("%w: object %d (%d active, capacity %d)",
-			ErrAdmissionRejected, object, s.ActiveStreams(), s.capacityStreams())
+			ErrAdmissionRejected, object, s.admittedStreams(), s.capacityStreams())
 	}
-	st := &Stream{ID: s.nextSID, Object: object}
+	st := &Stream{ID: s.nextSID, Object: object, State: state}
 	s.nextSID++
 	s.streams[st.ID] = st
 	return st, nil
+}
+
+// admittedStreams counts the sessions holding admission slots: playing
+// streams plus paused ones whose playback has not started yet.
+func (s *Server) admittedStreams() int {
+	n := 0
+	for _, st := range s.streams {
+		if st.State == StreamPlaying || st.State == StreamPaused {
+			n++
+		}
+	}
+	return n
+}
+
+// ResumeStream starts playback of a paused stream; resuming a stream that
+// is already playing is a no-op. Finished streams cannot be resumed.
+func (s *Server) ResumeStream(id int) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("%w: stream %d", ErrUnknownStream, id)
+	}
+	switch st.State {
+	case StreamPaused:
+		st.State = StreamPlaying
+	case StreamPlaying:
+	default:
+		return fmt.Errorf("cannot resume stream %d: %s", id, st.State)
+	}
+	return nil
 }
 
 // StopStream terminates a stream (viewer pressed stop).
@@ -637,7 +709,7 @@ func (s *Server) StopStream(id int) error {
 	if !ok {
 		return fmt.Errorf("%w: stream %d", ErrUnknownStream, id)
 	}
-	if st.State == StreamPlaying {
+	if st.State == StreamPlaying || st.State == StreamPaused {
 		st.State = StreamStopped
 	}
 	return nil
@@ -682,31 +754,38 @@ const (
 
 // serveRead attempts one block read against the current array state: the
 // home disk when it is healthy (or rebuilding and already restored), with a
-// seeded transient-error roll; otherwise failover to the mirror copy or
-// parity reconstruction, charging one read on every source disk. used is
+// transient-error roll — fired on the real segment-file read when a payload
+// store is attached; otherwise failover to the mirror copy or parity
+// reconstruction, charging one read on every source disk. used is
 // decremented-into per-disk round accounting shared with ingest and the
-// spare pool.
+// spare pool. On readServed, data carries the block's real bytes when a
+// payload store served them (nil means the caller materializes from the
+// oracle if it needs bytes).
 func (s *Server) serveRead(st *Stream, ref placement.BlockRef, bid disk.BlockID,
-	used, caps []int, roundReqs map[int][]schedule.Request) (readOutcome, error) {
+	used, caps []int, roundReqs map[int][]schedule.Request) (readOutcome, []byte, error) {
 	if s.lost[bid] {
-		return readLost, nil
+		return readLost, nil, nil
 	}
 	logical := s.locate(ref)
 	d, err := s.array.Disk(logical)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	present := d.Health() != disk.Failed && d.Has(bid)
 	if !present {
 		// Absent blocks are legal only in degraded mode: the home disk
 		// failed, or the block awaits re-materialization.
 		if d.Health() == disk.Healthy && !s.rebuildPending(rebuildKey{kind: rebuildPrimary, ref: ref}) {
-			return 0, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
+			return 0, nil, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
 				st.ID, st.Object, st.Position, d.ID())
 		}
 		return s.failover(ref, bid, used, caps, false)
 	}
-	if s.faults != nil && s.faults.transientError() {
+	ps := d.Payload()
+	if ps == nil && s.faults != nil && s.faults.transientError() {
+		// Pure metadata simulation: roll the transient fault here. With a
+		// payload store attached the roll fires inside ps.Get instead, on
+		// the real read (see attachPayload).
 		s.metrics.TransientReadErrors++
 		// The failed attempt still occupied the disk for a service slot.
 		if used[logical] < caps[logical] {
@@ -716,44 +795,59 @@ func (s *Server) serveRead(st *Stream, ref placement.BlockRef, bid disk.BlockID,
 		return s.failover(ref, bid, used, caps, true)
 	}
 	if used[logical] >= caps[logical] {
-		return readHiccup, nil
+		return readHiccup, nil, nil
 	}
 	if !d.Read(bid) {
-		return 0, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
+		return 0, nil, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
 			st.ID, st.Object, st.Position, d.ID())
+	}
+	var data []byte
+	if ps != nil {
+		got, rerr := ps.Get(bid)
+		if rerr != nil {
+			// The real read failed — injected fault or a corrupt frame. The
+			// attempt consumed the slot; recover via redundancy.
+			s.metrics.TransientReadErrors++
+			used[logical]++
+			d.RecordFailoverRead()
+			return s.failover(ref, bid, used, caps, true)
+		}
+		data = got
 	}
 	s.blockCache.Put(bid)
 	if roundReqs != nil {
 		lba, err := schedule.LBAFor(bid, int64(s.cfg.Profile.CapacityBlocks(s.cfg.BlockBytes)))
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		roundReqs[d.ID()] = append(roundReqs[d.ID()], schedule.Request{Block: bid, LBA: lba})
 	}
 	used[logical]++
-	return readServed, nil
+	return readServed, data, nil
 }
 
 // failover serves a read from redundant copies. dataIntact marks transient
 // failures of a still-present block: those never report readLost — the data
-// survives, so a blocked failover just retries next round.
+// survives, so a blocked failover just retries next round. Served bytes are
+// re-materialized from the content oracle: redundant copies are virtual
+// (computable), so reconstruction produces exactly the bytes ingest wrote.
 func (s *Server) failover(ref placement.BlockRef, bid disk.BlockID,
-	used, caps []int, dataIntact bool) (readOutcome, error) {
+	used, caps []int, dataIntact bool) (readOutcome, []byte, error) {
 	if s.cfg.Redundancy == RedundancyNone {
 		if dataIntact {
-			return readHiccup, nil
+			return readHiccup, nil, nil
 		}
-		return readLost, nil
+		return readLost, nil, nil
 	}
 	sources, ok, err := s.failoverSources(ref)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if !ok {
 		if dataIntact {
-			return readHiccup, nil
+			return readHiccup, nil, nil
 		}
-		return readLost, nil
+		return readLost, nil, nil
 	}
 	// All-or-nothing budget: a parity reconstruction needs every source in
 	// the same round. Degraded reads that overflow a round hiccup and retry.
@@ -763,21 +857,21 @@ func (s *Server) failover(ref placement.BlockRef, bid disk.BlockID,
 	}
 	for src, n := range need {
 		if used[src]+n > caps[src] {
-			return readHiccup, nil
+			return readHiccup, nil, nil
 		}
 	}
 	for _, src := range sources {
 		used[src]++
 		d, err := s.array.Disk(src)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		d.RecordFailoverRead()
 	}
 	s.metrics.DegradedReads++
 	s.metrics.FailoverReads += len(sources)
 	s.blockCache.Put(bid)
-	return readServed, nil
+	return readServed, s.contentFor(bid), nil
 }
 
 // Tick advances one scheduling round: scheduled fault events fire first;
@@ -828,20 +922,28 @@ func (s *Server) Tick() error {
 		obj := s.objects[st.Object]
 		bid := blockID(st.Object, uint64(st.Position))
 		// A block-buffer hit serves the stream without touching a disk (the
-		// buffer is RAM: it survives disk failures).
+		// buffer is RAM: it survives disk failures; its bytes come from the
+		// oracle inside deliver).
 		if s.blockCache.Get(bid) {
 			s.metrics.CacheHits++
-			s.advanceStream(st, obj.Blocks, true)
+			s.deliver(st, nil)
+			if st.State == StreamPlaying {
+				s.advanceStream(st, obj.Blocks, true)
+			}
+			s.notifyClosed(st)
 			continue
 		}
 		ref := placement.BlockRef{Seed: obj.Seed, Index: uint64(st.Position)}
-		outcome, err := s.serveRead(st, ref, bid, used, caps, roundReqs)
+		outcome, data, err := s.serveRead(st, ref, bid, used, caps, roundReqs)
 		if err != nil {
 			return err
 		}
 		switch outcome {
 		case readServed:
-			s.advanceStream(st, obj.Blocks, true)
+			s.deliver(st, data)
+			if st.State == StreamPlaying {
+				s.advanceStream(st, obj.Blocks, true)
+			}
 		case readHiccup:
 			st.Hiccups++
 			s.metrics.Hiccups++
@@ -851,6 +953,7 @@ func (s *Server) Tick() error {
 			s.metrics.UnrecoverableReads++
 			s.advanceStream(st, obj.Blocks, false)
 		}
+		s.notifyClosed(st)
 	}
 
 	// Writes of in-progress recordings share the round's leftover budget.
@@ -955,7 +1058,10 @@ func (s *Server) ScaleUp(count int) (*reorg.Plan, error) {
 	if _, err := s.array.Add(count, s.cfg.Profile); err != nil {
 		return nil, err
 	}
-	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	if err := s.attachAddedPayloads(s.N() - count); err != nil {
+		return nil, err
+	}
+	exec, err := s.newExecutor(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -1001,7 +1107,10 @@ func (s *Server) ScaleUpProfile(count int, profile disk.Profile) (*reorg.Plan, e
 	if _, err := s.array.Add(count, profile); err != nil {
 		return nil, err
 	}
-	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	if err := s.attachAddedPayloads(s.N() - count); err != nil {
+		return nil, err
+	}
+	exec, err := s.newExecutor(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -1037,7 +1146,7 @@ func (s *Server) ScaleDown(indices ...int) (*reorg.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	exec, err := s.newExecutor(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -1101,7 +1210,7 @@ func (s *Server) FullRedistribute() (*reorg.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	exec, err := reorg.NewExecutor(plan, s.blockIDOf, s.array.Disk)
+	exec, err := s.newExecutor(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -1135,6 +1244,20 @@ func (s *Server) CompleteScaleDown() error {
 		}
 		if d.Len() != 0 {
 			return fmt.Errorf("cm: disk %d still holds %d blocks", d.ID(), d.Len())
+		}
+	}
+	// The drained disks leave the array for good: their payload footprint
+	// goes with them.
+	for _, logical := range s.pendingRemoval {
+		d, err := s.array.Disk(logical)
+		if err != nil {
+			return err
+		}
+		if ps := d.Payload(); ps != nil {
+			if err := ps.Destroy(); err != nil {
+				return fmt.Errorf("cm: destroy payload store of disk %d: %w", d.ID(), err)
+			}
+			d.AttachPayload(nil)
 		}
 	}
 	if _, err := s.array.Remove(s.pendingRemoval...); err != nil {

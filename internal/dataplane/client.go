@@ -1,0 +1,215 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scaddar/internal/placement"
+	"scaddar/internal/scaddar"
+)
+
+// ErrSnapshotRequired is returned when a client locator detects a gap in
+// the delta sequence (or has no snapshot yet) and must refetch the full
+// snapshot before locating again.
+var ErrSnapshotRequired = errors.New("dataplane: client locator needs a fresh snapshot")
+
+// ClientLocator is the client side of the snapshot+delta protocol: a local,
+// pure-function replica of the server's block locator. ApplySnapshot
+// installs a full Snapshot (reconstructing the placement strategy from the
+// operation log exactly as cm.RestoreServer does); Apply folds in feed
+// deltas — dropping moved blocks from the pending set, or swapping in the
+// fresh snapshot an epoch delta carries. Locate is safe for any number of
+// concurrent readers; many streaming sessions share one ClientLocator, so a
+// reorganization costs one delta subscription, not one lookup per session
+// per round.
+type ClientLocator struct {
+	factory scaddar.SourceFactory
+
+	mu      sync.RWMutex
+	seq     uint64
+	n       int
+	reorg   bool
+	objects map[int]ObjectInfo
+	loc     *scaddar.SafeLocator
+	chain   *scaddar.CompiledChain
+	pending map[[2]int]int // (object, index) → pre-operation disk
+	preOf   []int
+}
+
+// NewClientLocator creates an empty locator over the given generator
+// family, which must match the server's (the serve CLI uses SplitMix64).
+func NewClientLocator(factory scaddar.SourceFactory) *ClientLocator {
+	return &ClientLocator{factory: factory}
+}
+
+// ApplySnapshot installs a full snapshot, replacing all local state.
+func (c *ClientLocator) ApplySnapshot(snap *Snapshot) error {
+	hist := &scaddar.History{}
+	if err := hist.UnmarshalBinary(snap.History); err != nil {
+		return fmt.Errorf("dataplane: snapshot history: %w", err)
+	}
+	strat, err := placement.NewScaddar(hist.N0(), placement.NewX0Func(c.factory))
+	if err != nil {
+		return err
+	}
+	if snap.Bits != 0 {
+		if err := strat.SetBits(snap.Bits); err != nil {
+			return err
+		}
+	}
+	for e := uint64(0); e < snap.Epoch; e++ {
+		if err := strat.Rebaseline(); err != nil {
+			return err
+		}
+	}
+	for j := 1; j <= hist.Ops(); j++ {
+		op := hist.Op(j)
+		switch op.Kind {
+		case scaddar.OpAdd:
+			if err := strat.AddDisks(op.Count()); err != nil {
+				return err
+			}
+		case scaddar.OpRemove:
+			if err := strat.RemoveDisks(op.Removed...); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dataplane: snapshot op %d has unknown kind", j)
+		}
+	}
+	loc, err := strat.ConcurrentLocator(c.factory)
+	if err != nil {
+		return err
+	}
+	objects := make(map[int]ObjectInfo, len(snap.Objects))
+	for _, o := range snap.Objects {
+		objects[o.ID] = o
+	}
+	pending := make(map[[2]int]int, len(snap.Pending))
+	for _, p := range snap.Pending {
+		pending[[2]int{p.Object, p.Index}] = p.From
+	}
+	var preOf []int
+	if snap.PreOf != nil {
+		preOf = append([]int(nil), snap.PreOf...)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq = snap.Seq
+	c.n = snap.N
+	c.reorg = snap.Reorganizing
+	c.objects = objects
+	c.loc = loc
+	c.chain = loc.Chain()
+	c.pending = pending
+	c.preOf = preOf
+	return nil
+}
+
+// Apply folds one feed delta into the locator. Deltas must arrive in
+// sequence; a gap returns ErrSnapshotRequired and the caller refetches the
+// snapshot. Already-seen deltas are ignored.
+func (c *ClientLocator) Apply(d Delta) error {
+	if d.Kind == DeltaSnapshot {
+		if d.Snapshot == nil {
+			return fmt.Errorf("dataplane: snapshot delta %d without snapshot", d.Seq)
+		}
+		snap := *d.Snapshot
+		snap.Seq = d.Seq
+		return c.ApplySnapshot(&snap)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.loc == nil {
+		return ErrSnapshotRequired
+	}
+	if d.Seq <= c.seq {
+		return nil
+	}
+	if d.Seq != c.seq+1 {
+		return fmt.Errorf("%w: have seq %d, got delta %d", ErrSnapshotRequired, c.seq, d.Seq)
+	}
+	if d.Kind == DeltaMoves {
+		for _, m := range d.Moves {
+			delete(c.pending, [2]int{m.Object, m.Index})
+		}
+	}
+	c.seq = d.Seq
+	return nil
+}
+
+// Seq returns the feed sequence the locator reflects.
+func (c *ClientLocator) Seq() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.seq
+}
+
+// N returns the logical disk count.
+func (c *ClientLocator) N() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Reorganizing reports whether a migration was draining at the reflected
+// sequence.
+func (c *ClientLocator) Reorganizing() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.reorg
+}
+
+// PendingCount returns the number of blocks still awaiting their move.
+func (c *ClientLocator) PendingCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.pending)
+}
+
+// Object returns the catalog entry for an object.
+func (c *ClientLocator) Object(id int) (ObjectInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	o, ok := c.objects[id]
+	return o, ok
+}
+
+// Objects returns the number of cataloged objects.
+func (c *ClientLocator) Objects() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.objects)
+}
+
+// Locate computes the logical disk currently holding a block, applying the
+// same mid-migration rules as the server's LocatorSnapshot: pending blocks
+// resolve to their pre-operation home, and scale-down drains translate
+// through the pre-removal numbering. Safe for concurrent callers.
+func (c *ClientLocator) Locate(object, index int) (int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.loc == nil {
+		return 0, ErrSnapshotRequired
+	}
+	obj, ok := c.objects[object]
+	if !ok {
+		return 0, fmt.Errorf("dataplane: unknown object %d", object)
+	}
+	if index < 0 || index >= obj.Blocks {
+		return 0, fmt.Errorf("dataplane: object %d has no block %d", object, index)
+	}
+	if from, pending := c.pending[[2]int{object, index}]; pending {
+		return from, nil
+	}
+	x0, err := c.loc.X0(obj.Seed, uint64(index))
+	if err != nil {
+		return 0, err
+	}
+	d := c.chain.Locate(x0)
+	if c.preOf != nil {
+		return c.preOf[d], nil
+	}
+	return d, nil
+}

@@ -1,0 +1,71 @@
+package dataplane
+
+import (
+	"encoding/binary"
+
+	"scaddar/internal/prng"
+)
+
+// This file is the seeded content oracle. Block payloads are a pure
+// function of (object seed, block index, block size), which gives the data
+// plane the same property SCADDAR gives placement: nothing needs to be
+// looked up to know what a block *should* contain. Ingest writes oracle
+// bytes, rebuild re-materializes lost blocks from the oracle (standing in
+// for reading the redundant copy, whose bytes are by construction
+// identical), and streaming clients verify every delivered chunk against
+// the oracle end to end.
+
+// FillSeededContent fills dst with the deterministic payload of the block
+// (seed, index): a SplitMix64-style stream keyed by prng.Combine(seed,
+// index). The same (seed, index) always yields the same bytes for any
+// prefix length.
+func FillSeededContent(dst []byte, seed, index uint64) {
+	base := prng.Combine(seed, index)
+	var w uint64
+	for len(dst) >= 8 {
+		binary.LittleEndian.PutUint64(dst, prng.Hash64(base+w))
+		dst = dst[8:]
+		w++
+	}
+	if len(dst) > 0 {
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], prng.Hash64(base+w))
+		copy(dst, tail[:])
+	}
+}
+
+// SeededContent returns the deterministic payload of block (seed, index)
+// at the given block size.
+func SeededContent(seed, index uint64, blockBytes int64) []byte {
+	if blockBytes <= 0 {
+		return nil
+	}
+	dst := make([]byte, blockBytes)
+	FillSeededContent(dst, seed, index)
+	return dst
+}
+
+// VerifySeededContent reports whether data is exactly the oracle payload of
+// block (seed, index). It compares incrementally without allocating the
+// expected payload.
+func VerifySeededContent(data []byte, seed, index uint64) bool {
+	base := prng.Combine(seed, index)
+	var w uint64
+	for len(data) >= 8 {
+		if binary.LittleEndian.Uint64(data) != prng.Hash64(base+w) {
+			return false
+		}
+		data = data[8:]
+		w++
+	}
+	if len(data) > 0 {
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], prng.Hash64(base+w))
+		for i, b := range data {
+			if b != tail[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,23 @@
+// Package dataplane is the byte-moving layer under the continuous-media
+// simulator: per-disk segment stores that hold real block payloads, the
+// seeded content oracle that makes every payload reproducible, bounded
+// per-session chunk buffers for round-paced streaming delivery, the chunk
+// wire framing, and the snapshot+delta locator feed that lets thousands of
+// streaming clients track a reorganization without re-asking the server for
+// placement every round.
+//
+// The design splits durability responsibilities with the metadata journal
+// (internal/store): the journal is the system of record for *which* blocks
+// exist and where they live (SCADDAR re-derives placement by computation),
+// while the segment stores hold the payload bytes. Payloads are
+// re-materializable from the content oracle, so segment appends are not
+// fsynced on the hot path; after a crash, recovery reconciles each disk's
+// payload inventory against the replayed metadata — orphaned payloads (an
+// ingest killed between data append and journal append) are garbage
+// collected, missing payloads are re-materialized.
+//
+// Segment files reuse the store's CRC-framed record idiom: a 13-byte header
+// (magic, version, segment sequence) followed by length- and CRC-32C-framed
+// records. Recovery trusts the longest valid prefix of each segment and
+// truncates at the first torn or corrupt record.
+package dataplane

@@ -1,0 +1,186 @@
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// This file is the server side of the snapshot+delta locator protocol.
+// Clients fetch one full Snapshot (the operation log, object catalog, and
+// in-flight pending set), then follow the Feed: per-round "moves" deltas
+// while a reorganization drains, and rare "snapshot" deltas at epoch
+// boundaries (scale start/finish, object changes) that carry a fresh
+// Snapshot. Placement itself is a pure function of the snapshot — the
+// jump-consistent-hash lesson — so 10k sessions tracking a reorg cost the
+// server one small delta broadcast per round instead of 10k lookups.
+
+// ObjectInfo describes one object in a locator snapshot, seed included —
+// the seed is what lets a client compute placement (and the content
+// oracle) locally.
+type ObjectInfo struct {
+	// ID is the object's identity.
+	ID int `json:"id"`
+	// Seed drives the object's block randomness and content oracle.
+	Seed uint64 `json:"seed"`
+	// Blocks is the object's extent.
+	Blocks int `json:"blocks"`
+	// BlockBytes is the block size.
+	BlockBytes int64 `json:"blockBytes"`
+}
+
+// PendingBlock is one block whose migration move has not executed yet: it
+// is still served from its pre-operation disk From.
+type PendingBlock struct {
+	// Object is the owning object's ID.
+	Object int `json:"object"`
+	// Index is the block index within the object.
+	Index int `json:"index"`
+	// From is the pre-operation logical disk still holding the block.
+	From int `json:"from"`
+}
+
+// MovedBlock is one block whose migration move executed this round — it
+// now lives at its post-operation home.
+type MovedBlock struct {
+	// Object is the owning object's ID.
+	Object int `json:"object"`
+	// Index is the block index within the object.
+	Index int `json:"index"`
+}
+
+// Snapshot is the full client-side locator state at one feed sequence
+// number. History is the scaddar operation-log binary codec; together with
+// Epoch and Bits it reconstructs the placement function exactly as
+// cm.RestoreServer does.
+type Snapshot struct {
+	// Seq is the feed sequence this snapshot reflects.
+	Seq uint64 `json:"seq"`
+	// N is the logical disk count.
+	N int `json:"n"`
+	// Epoch counts complete redistributions.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Bits is the generator width.
+	Bits uint `json:"bits"`
+	// Reorganizing reports an in-flight migration.
+	Reorganizing bool `json:"reorganizing,omitempty"`
+	// History is the scaling-operation log (scaddar binary codec).
+	History []byte `json:"history"`
+	// Objects is the catalog with seeds.
+	Objects []ObjectInfo `json:"objects"`
+	// Pending lists blocks still at their pre-operation homes.
+	Pending []PendingBlock `json:"pending,omitempty"`
+	// PreOf translates post-removal logical indices to the pre-removal
+	// numbering while a scale-down drain is in flight.
+	PreOf []int `json:"preOf,omitempty"`
+}
+
+// Delta kinds.
+const (
+	// DeltaMoves carries the blocks whose moves executed this round.
+	DeltaMoves = "moves"
+	// DeltaSnapshot carries a fresh full snapshot at an epoch boundary
+	// (scale op start/finish, rebaseline, object add/remove).
+	DeltaSnapshot = "snapshot"
+)
+
+// Delta is one feed entry.
+type Delta struct {
+	// Seq is the entry's position in the feed, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Kind is DeltaMoves or DeltaSnapshot.
+	Kind string `json:"kind"`
+	// Moves is set for DeltaMoves.
+	Moves []MovedBlock `json:"moves,omitempty"`
+	// Snapshot is set for DeltaSnapshot.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+// ErrDeltaGone is returned by Since when the requested sequence has been
+// evicted from the bounded feed ring — the client must refetch the full
+// snapshot.
+var ErrDeltaGone = errors.New("dataplane: delta sequence no longer retained")
+
+// Feed is a bounded, sequence-numbered delta log with long-poll support.
+// Publish is called by the owner goroutine; Since and Wait are safe for any
+// number of concurrent readers.
+type Feed struct {
+	mu    sync.Mutex
+	ring  []Delta
+	cap   int
+	start uint64 // seq of ring[0]; 1-based
+	seq   uint64 // last published seq
+	// wake is closed and replaced on every publish (broadcast idiom).
+	wake chan struct{}
+}
+
+// NewFeed creates a feed retaining up to capacity deltas (minimum 16).
+func NewFeed(capacity int) *Feed {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Feed{cap: capacity, start: 1, wake: make(chan struct{})}
+}
+
+// Publish appends a delta, stamping and returning its sequence number.
+func (f *Feed) Publish(d Delta) uint64 {
+	f.mu.Lock()
+	f.seq++
+	d.Seq = f.seq
+	f.ring = append(f.ring, d)
+	if len(f.ring) > f.cap {
+		drop := len(f.ring) - f.cap
+		f.ring = append(f.ring[:0], f.ring[drop:]...)
+		f.start += uint64(drop)
+	}
+	wake := f.wake
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+	close(wake)
+	return d.Seq
+}
+
+// Seq returns the last published sequence number.
+func (f *Feed) Seq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// Since returns every retained delta with sequence greater than after,
+// plus the latest sequence. If after predates the ring, ErrDeltaGone tells
+// the client to refetch the snapshot.
+func (f *Feed) Since(after uint64) ([]Delta, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if after+1 < f.start {
+		return nil, f.seq, ErrDeltaGone
+	}
+	if after >= f.seq {
+		return nil, f.seq, nil
+	}
+	from := int(after + 1 - f.start)
+	out := make([]Delta, f.seq-after)
+	copy(out, f.ring[from:])
+	return out, f.seq, nil
+}
+
+// Wait blocks until a delta newer than after is available or the context
+// ends, then behaves like Since. A long-poll handler calls it with the
+// request context.
+func (f *Feed) Wait(ctx context.Context, after uint64) ([]Delta, uint64, error) {
+	for {
+		f.mu.Lock()
+		wake := f.wake
+		ready := f.seq > after || after+1 < f.start
+		f.mu.Unlock()
+		if ready {
+			return f.Since(after)
+		}
+		select {
+		case <-ctx.Done():
+			return f.Since(after)
+		case <-wake:
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFeedSinceAndEviction(t *testing.T) {
+	f := NewFeed(16)
+	for i := 0; i < 40; i++ {
+		f.Publish(Delta{Kind: DeltaMoves, Moves: []MovedBlock{{Object: 1, Index: i}}})
+	}
+	if f.Seq() != 40 {
+		t.Fatalf("Seq = %d, want 40", f.Seq())
+	}
+	// Recent history is served.
+	ds, seq, err := f.Since(30)
+	if err != nil || seq != 40 || len(ds) != 10 {
+		t.Fatalf("Since(30) = %d deltas, seq %d, %v", len(ds), seq, err)
+	}
+	if ds[0].Seq != 31 || ds[9].Seq != 40 {
+		t.Fatalf("Since(30) seqs = %d..%d", ds[0].Seq, ds[9].Seq)
+	}
+	// Evicted history demands a snapshot refetch.
+	if _, _, err := f.Since(3); !errors.Is(err, ErrDeltaGone) {
+		t.Fatalf("Since(3) = %v, want ErrDeltaGone", err)
+	}
+	// Caught-up client gets nothing.
+	ds, _, err = f.Since(40)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("Since(40) = %d deltas, %v", len(ds), err)
+	}
+}
+
+func TestFeedWaitWakesOnPublish(t *testing.T) {
+	f := NewFeed(16)
+	f.Publish(Delta{Kind: DeltaMoves})
+	done := make(chan int, 1)
+	go func() {
+		ds, _, _ := f.Wait(context.Background(), 1)
+		done <- len(ds)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Publish(Delta{Kind: DeltaMoves})
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("Wait returned %d deltas, want 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on publish")
+	}
+	// A cancelled wait returns promptly with nothing new.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ds, seq, err := f.Wait(ctx, seqOf(f))
+	if err != nil || len(ds) != 0 || seq != f.Seq() {
+		t.Fatalf("cancelled Wait = %d deltas, seq %d, %v", len(ds), seq, err)
+	}
+}
+
+// seqOf is a tiny helper for readability.
+func seqOf(f *Feed) uint64 { return f.Seq() }

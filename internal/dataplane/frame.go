@@ -1,0 +1,134 @@
+package dataplane
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the chunk wire framing a streaming session speaks over HTTP:
+// the same length + CRC-32C record idiom as the segment files, so a client
+// can verify every chunk independently of the transport. A stream is a
+// sequence of data frames (block index + payload) terminated by one end
+// frame carrying the close reason.
+
+// Frame payload tags.
+const (
+	frameData = 0
+	frameEnd  = 1
+)
+
+// CloseReason says why a streaming session ended.
+type CloseReason byte
+
+// Close reasons, carried in the stream's end frame.
+const (
+	// CloseDone: the stream played to its last block.
+	CloseDone CloseReason = iota
+	// CloseStopped: the stream was stopped by a control operation.
+	CloseStopped
+	// CloseEvicted: the client fell too far behind the round pacer and was
+	// evicted to protect the round (backpressure limit).
+	CloseEvicted
+)
+
+// String names the close reason.
+func (r CloseReason) String() string {
+	switch r {
+	case CloseDone:
+		return "done"
+	case CloseStopped:
+		return "stopped"
+	case CloseEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("reason(%d)", byte(r))
+	}
+}
+
+// ErrFrameCorrupt is returned when a received frame fails its structural or
+// CRC checks.
+var ErrFrameCorrupt = errors.New("dataplane: corrupt stream frame")
+
+// maxFrameLen bounds a received frame so a corrupt length cannot force a
+// huge allocation.
+const maxFrameLen = maxPayloadRecord
+
+// AppendDataFrame appends one chunk frame (block index + payload) to dst
+// and returns the extended slice.
+func AppendDataFrame(dst []byte, index int, data []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = append(dst, frameData)
+	dst = binary.AppendUvarint(dst, uint64(index))
+	dst = append(dst, data...)
+	payload := dst[start+recHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, payloadCRC))
+	return dst
+}
+
+// AppendEndFrame appends the terminal frame carrying the close reason.
+func AppendEndFrame(dst []byte, reason CloseReason) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = append(dst, frameEnd, byte(reason))
+	payload := dst[start+recHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, payloadCRC))
+	return dst
+}
+
+// Frame is one decoded stream frame.
+type Frame struct {
+	// End marks the terminal frame; Reason is set and Index/Data are not.
+	End bool
+	// Reason is the close reason of an end frame.
+	Reason CloseReason
+	// Index is the block index of a data frame.
+	Index int
+	// Data is the block payload of a data frame.
+	Data []byte
+}
+
+// ReadFrame reads and verifies one frame from the stream. It returns
+// io.EOF (possibly wrapped) if the stream closes cleanly between frames.
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var hdr [recHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, fmt.Errorf("%w: torn frame header", ErrFrameCorrupt)
+		}
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if n == 0 || n > maxFrameLen {
+		return Frame{}, fmt.Errorf("%w: frame length %d", ErrFrameCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: torn frame body", ErrFrameCorrupt)
+	}
+	if crc32.Checksum(payload, payloadCRC) != crc {
+		return Frame{}, fmt.Errorf("%w: CRC mismatch", ErrFrameCorrupt)
+	}
+	switch payload[0] {
+	case frameData:
+		idx, k := binary.Uvarint(payload[1:])
+		if k <= 0 {
+			return Frame{}, fmt.Errorf("%w: bad block index", ErrFrameCorrupt)
+		}
+		return Frame{Index: int(idx), Data: payload[1+k:]}, nil
+	case frameEnd:
+		if len(payload) != 2 {
+			return Frame{}, fmt.Errorf("%w: bad end frame", ErrFrameCorrupt)
+		}
+		return Frame{End: true, Reason: CloseReason(payload[1])}, nil
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown frame tag %d", ErrFrameCorrupt, payload[0])
+	}
+}

@@ -1,0 +1,154 @@
+package dataplane
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"scaddar/internal/disk"
+)
+
+// Manager owns the per-disk segment stores under one root directory, one
+// subdirectory per stable disk ID. It is the disk.PayloadFactory the CM
+// server uses to attach payload backends as disks join the array.
+type Manager struct {
+	root string
+	opts Options
+
+	mu     sync.Mutex
+	stores map[int]*Store
+	closed bool
+}
+
+// NewManager creates a manager rooted at dir, creating it if needed.
+func NewManager(root string, opts Options) (*Manager, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("dataplane: create payload root: %w", err)
+	}
+	return &Manager{root: root, opts: opts, stores: make(map[int]*Store)}, nil
+}
+
+// diskDir names the directory holding one disk's segments.
+func (m *Manager) diskDir(id int) string {
+	return filepath.Join(m.root, fmt.Sprintf("disk-%05d", id))
+}
+
+// Open opens (or creates) the store for one disk, recovering its index.
+// Opening the same disk twice returns the same store.
+func (m *Manager) Open(id int) (*Store, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrStoreClosed
+	}
+	if st, ok := m.stores[id]; ok {
+		return st, nil
+	}
+	st, err := OpenStore(m.diskDir(id), m.opts)
+	if err != nil {
+		return nil, err
+	}
+	m.stores[id] = st
+	return st, nil
+}
+
+// Factory adapts the manager to the disk.PayloadFactory the CM server
+// expects.
+func (m *Manager) Factory() disk.PayloadFactory {
+	return func(id int) (disk.PayloadStore, error) { return m.Open(id) }
+}
+
+// Store returns the already-open store for a disk, or nil.
+func (m *Manager) Store(id int) *Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stores[id]
+}
+
+// DiskIDs lists every disk that has a payload directory on disk, open or
+// not, in ascending order.
+func (m *Manager) DiskIDs() ([]int, error) {
+	entries, err := os.ReadDir(m.root)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: read payload root: %w", err)
+	}
+	var ids []int
+	for _, de := range entries {
+		name := de.Name()
+		if !de.IsDir() || !strings.HasPrefix(name, "disk-") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(name, "disk-"))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Retain destroys the payload directories of every disk NOT in keep — the
+// reconcile step that garbage-collects directories left behind by disks
+// that were scaled out (or never replayed) before a crash.
+func (m *Manager) Retain(keep []int) error {
+	keepSet := make(map[int]bool, len(keep))
+	for _, id := range keep {
+		keepSet[id] = true
+	}
+	ids, err := m.DiskIDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if keepSet[id] {
+			continue
+		}
+		m.mu.Lock()
+		st := m.stores[id]
+		delete(m.stores, id)
+		m.mu.Unlock()
+		if st != nil {
+			if err := st.Destroy(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := os.RemoveAll(m.diskDir(id)); err != nil {
+			return fmt.Errorf("dataplane: remove stale payload dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// LiveBytes sums the live payload bytes across all open stores.
+func (m *Manager) LiveBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, st := range m.stores {
+		n += st.LiveBytes()
+	}
+	return n
+}
+
+// Close closes every open store (checkpointing their indexes).
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var firstErr error
+	for _, st := range m.stores {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

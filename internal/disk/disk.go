@@ -156,6 +156,33 @@ func (p Profile) CapacityBlocks(blockBytes int64) int {
 	return int(p.CapacityBytes / blockBytes)
 }
 
+// PayloadStore is the optional byte-bearing backend of a disk: real block
+// payloads in per-disk segment files (internal/dataplane implements it).
+// Without one attached, the disk is a pure metadata simulation, as in the
+// original reproduction.
+type PayloadStore interface {
+	// Put stores (or replaces) a block's payload.
+	Put(BlockID, []byte) error
+	// Get reads a block's payload, verifying its integrity frame.
+	Get(BlockID) ([]byte, error)
+	// Delete removes a block's payload; absent blocks are a no-op.
+	Delete(BlockID) error
+	// Blocks lists every stored payload's ID in unspecified order.
+	Blocks() []BlockID
+	// Wipe discards all payloads, leaving an empty usable store — the
+	// data-loss half of a whole-disk failure.
+	Wipe() error
+	// Destroy wipes the store and removes its on-disk footprint — the
+	// disk left the array for good.
+	Destroy() error
+	// Close releases resources, persisting what should persist.
+	Close() error
+}
+
+// PayloadFactory opens the payload store for a disk by its stable ID —
+// how the CM server attaches backends as disks join the array.
+type PayloadFactory func(diskID int) (PayloadStore, error)
+
 // Disk is one simulated disk: a profile, a stable identity, and the
 // inventory of blocks currently stored on it.
 type Disk struct {
@@ -163,6 +190,7 @@ type Disk struct {
 	profile Profile
 	blocks  map[BlockID]struct{}
 	health  Health
+	payload PayloadStore
 
 	// Round accounting, reset by ResetRound.
 	reads    int
@@ -188,8 +216,9 @@ func (d *Disk) Len() int { return len(d.blocks) }
 func (d *Disk) Health() Health { return d.health }
 
 // Fail transitions the disk to Failed and wipes its contents — a whole-disk
-// fault loses the data. It returns the IDs of the blocks that were lost so
-// the recovery layer can plan their re-materialization.
+// fault loses the data, payload bytes included when a payload store is
+// attached. It returns the IDs of the blocks that were lost so the recovery
+// layer can plan their re-materialization.
 func (d *Disk) Fail() ([]BlockID, error) {
 	if d.health == Failed {
 		return nil, fmt.Errorf("%w: disk %d is already failed", ErrBadHealthTransition, d.id)
@@ -197,8 +226,19 @@ func (d *Disk) Fail() ([]BlockID, error) {
 	lost := d.Blocks()
 	d.blocks = make(map[BlockID]struct{})
 	d.health = Failed
+	if d.payload != nil {
+		if err := d.payload.Wipe(); err != nil {
+			return nil, fmt.Errorf("disk %d: wipe payload on failure: %w", d.id, err)
+		}
+	}
 	return lost, nil
 }
+
+// AttachPayload attaches (or detaches, with nil) the disk's payload store.
+func (d *Disk) AttachPayload(ps PayloadStore) { d.payload = ps }
+
+// Payload returns the attached payload store, or nil.
+func (d *Disk) Payload() PayloadStore { return d.payload }
 
 // StartRebuild transitions a Failed disk to Rebuilding: the replacement
 // hardware arrived empty and re-materialization may begin.

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"scaddar/internal/cm"
+	"scaddar/internal/dataplane"
 	"scaddar/internal/obs"
 	"scaddar/internal/repl"
 	"scaddar/internal/scaddar"
@@ -91,6 +92,16 @@ type Config struct {
 	// GET /v1/replication. The leader's lifecycle is the caller's (serve
 	// starts and stops it with the store).
 	ReplLeader *repl.Leader
+	// StreamBuffer is the per-session chunk buffer capacity for streaming
+	// consumers (GET /v1/sessions/{id}/stream). Zero means the dataplane
+	// default (4 chunks).
+	StreamBuffer int
+	// StreamEvictAfter is how many consecutive deadline misses evict a
+	// streaming session. Zero means the dataplane default (8).
+	StreamEvictAfter int
+	// FeedCapacity bounds the locator delta feed ring; clients further
+	// behind than this must refetch the full snapshot. Zero means 1024.
+	FeedCapacity int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -98,9 +109,19 @@ type Config struct {
 // command is one serialized control operation: a closure executed by the
 // owner goroutine with its result sent back on a buffered reply channel.
 type command struct {
+	// ctx is the submitter's context: a command whose waiter has already
+	// given up (mailbox queue wait outran the request deadline) is skipped
+	// instead of executed, so its side effects — an attached stream
+	// consumer, an opened session — cannot leak with nobody to own them.
+	ctx     context.Context
 	fn      func(*cm.Server) (any, error)
 	mutates bool
 	reply   chan cmdResult
+	// discard, when set, receives the command's successful result if the
+	// submitter gave up before the reply arrived — the compensation that
+	// undoes side effects (an attached consumer, an opened session) the
+	// skip in execute could not prevent because fn was already running.
+	discard func(v any)
 }
 
 type cmdResult struct {
@@ -123,6 +144,16 @@ type Counters struct {
 	SessionsRejected int64 `json:"sessionsRejected"`
 	// TickErrors counts rounds whose Tick returned an error.
 	TickErrors int64 `json:"tickErrors"`
+	// StreamChunks counts chunks delivered into session buffers.
+	StreamChunks int64 `json:"streamChunks"`
+	// StreamBytes counts payload bytes written to streaming responses.
+	StreamBytes int64 `json:"streamBytes"`
+	// StreamMisses counts round-deadline misses (dropped chunks).
+	StreamMisses int64 `json:"streamMisses"`
+	// StreamEvictions counts sessions evicted for falling behind the pacer.
+	StreamEvictions int64 `json:"streamEvictions"`
+	// DeltasPublished counts locator feed entries.
+	DeltasPublished int64 `json:"deltasPublished"`
 }
 
 // Status is the owner-published view of the server, extended with gateway
@@ -179,6 +210,10 @@ type Gateway struct {
 	reg   *obs.Registry
 	trace *obs.Ring
 	m     *gwMetrics
+
+	// dp is the streaming data plane: per-session chunk buffers fed by the
+	// server's delivery sink, and the snapshot+delta locator feed (stream.go).
+	dp *dataPlane
 
 	// inFlight tracks a started scaling operation until it is finished and
 	// cleared; owner-goroutine only.
@@ -250,6 +285,13 @@ func New(srv *cm.Server, cfg Config) (*Gateway, error) {
 	if err := g.publishSnapshot(); err != nil {
 		return nil, err
 	}
+	// Wire the streaming data plane: delivery sink, event-sink tee, and the
+	// initial wire-format locator snapshot (fails fast for the same reason).
+	dp, err := newDataPlane(g, srv)
+	if err != nil {
+		return nil, err
+	}
+	g.dp = dp
 	g.publishStatus()
 	g.routes()
 	go g.run()
@@ -267,6 +309,9 @@ func (g *Gateway) logf(format string, args ...any) {
 // between them.
 func (g *Gateway) run() {
 	defer close(g.closed)
+	// Unblock every streaming handler on exit: nobody else will ever close
+	// their chunk channels once the owner loop is gone.
+	defer g.dp.closeAll(dataplane.CloseStopped)
 	ticker := time.NewTicker(g.round)
 	defer ticker.Stop()
 	for {
@@ -302,6 +347,7 @@ func (g *Gateway) tick() {
 	if g.inFlight || g.srv.Degraded() {
 		g.republish()
 	}
+	g.dp.flush()
 	g.syncStore()
 	g.publishStatus()
 }
@@ -338,10 +384,22 @@ func (g *Gateway) syncStore() {
 // made durable before the reply is sent, so the acknowledgement never
 // outruns the journal; group commit stays for per-round data events only.
 // A failed sync is sticky in the store and surfaces via healthz.
+//
+// A command abandoned by its submitter (context already expired while it
+// sat in the queue) is answered with the context error and never run: the
+// submitter can only have reported failure, so running the command would
+// detach its side effects from any owner. The check is best-effort — a
+// deadline landing between it and the reply still wins — but it closes the
+// seconds-wide queue-wait window that matters under an open stampede.
 func (g *Gateway) execute(c command) {
+	if c.ctx != nil && c.ctx.Err() != nil {
+		c.reply <- cmdResult{err: c.ctx.Err()}
+		return
+	}
 	v, err := c.fn(g.srv)
 	if err == nil && c.mutates {
 		g.republish()
+		g.dp.flush()
 		if st := g.cfg.Store; st != nil {
 			if serr := st.Sync(); serr != nil {
 				g.logf("gateway: journal sync after control op: %v", serr)
@@ -403,6 +461,11 @@ func (g *Gateway) Status() Status {
 		SessionsOpened:   int64(g.m.sessionsOpened.Value()),
 		SessionsRejected: int64(g.m.sessionsRejected.Value()),
 		TickErrors:       int64(g.m.tickErrors.Value()),
+		StreamChunks:     int64(g.m.streamChunks.Value()),
+		StreamBytes:      int64(g.m.streamBytes.Value()),
+		StreamMisses:     int64(g.m.streamMisses.Value()),
+		StreamEvictions:  int64(g.m.streamEvictions.Value()),
+		DeltasPublished:  int64(g.m.deltasPublished.Value()),
 	}
 	return st
 }
@@ -421,7 +484,18 @@ func (g *Gateway) TraceRing() *obs.Ring { return g.trace }
 // ErrOverloaded immediately — backpressure at the edge instead of an
 // unbounded queue.
 func (g *Gateway) exec(ctx context.Context, mutates bool, fn func(*cm.Server) (any, error)) (any, error) {
-	c := command{fn: fn, mutates: mutates, reply: make(chan cmdResult, 1)}
+	return g.execDiscard(ctx, mutates, fn, nil)
+}
+
+// execDiscard is exec for commands with side effects that must not outlive
+// their submitter. A reply that raced the deadline is preferred over the
+// deadline (the command ran; report its true outcome rather than a timeout
+// the side effects don't match). If the command is truly abandoned —
+// deadline fired before fn finished — discard receives the eventual
+// successful result so the handler's compensation (detach, stop) can run;
+// a nil discard makes this identical to exec.
+func (g *Gateway) execDiscard(ctx context.Context, mutates bool, fn func(*cm.Server) (any, error), discard func(v any)) (any, error) {
+	c := command{ctx: ctx, fn: fn, mutates: mutates, reply: make(chan cmdResult, 1), discard: discard}
 	select {
 	case <-g.closed:
 		return nil, ErrDraining
@@ -437,10 +511,50 @@ func (g *Gateway) exec(ctx context.Context, mutates bool, fn func(*cm.Server) (a
 	case r := <-c.reply:
 		return r.v, r.err
 	case <-ctx.Done():
+		select {
+		case r := <-c.reply:
+			return r.v, r.err
+		default:
+		}
+		g.abandon(c)
 		return nil, ctx.Err()
 	case <-g.closed:
+		select {
+		case r := <-c.reply:
+			return r.v, r.err
+		default:
+		}
 		return nil, ErrDraining
 	}
+}
+
+// abandon watches a command whose submitter gave up before the reply
+// arrived. execute skips expired commands when it can, but a command
+// already running when the deadline fires completes with side effects
+// nobody owns — the watcher waits for the reply every queued command
+// eventually gets and hands a successful result to the discard hook.
+// On gateway shutdown queued commands are never answered and closeAll
+// tears the sessions down anyway, so the watcher just exits.
+func (g *Gateway) abandon(c command) {
+	if c.discard == nil {
+		return
+	}
+	go func() {
+		select {
+		case r := <-c.reply:
+			if r.err == nil {
+				c.discard(r.v)
+			}
+		case <-g.closed:
+			select {
+			case r := <-c.reply:
+				if r.err == nil {
+					c.discard(r.v)
+				}
+			default:
+			}
+		}
+	}()
 }
 
 // Exec runs fn serialized with the round driver — the only sanctioned way

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"scaddar/internal/cm"
+	"scaddar/internal/dataplane"
 	"scaddar/internal/disk"
 	"scaddar/internal/reorg"
 	"scaddar/internal/workload"
@@ -33,6 +34,9 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /v1/objects/{id}/blocks/{idx}", g.handleRead)
 	g.mux.HandleFunc("POST /v1/sessions", g.handleOpenSession)
 	g.mux.HandleFunc("GET /v1/sessions/{id}", g.handleGetSession)
+	g.mux.HandleFunc("GET /v1/sessions/{id}/stream", g.handleStream)
+	g.mux.HandleFunc("GET /v1/locator/snapshot", g.handleLocatorSnapshot)
+	g.mux.HandleFunc("GET /v1/locator/deltas", g.handleLocatorDeltas)
 	g.mux.HandleFunc("POST /v1/sessions/{id}/seek", g.handleSeek)
 	g.mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleCloseSession)
 	g.mux.HandleFunc("POST /v1/scale", g.handleScale)
@@ -132,6 +136,7 @@ func (g *Gateway) handleAdminRemoveObject(w http.ResponseWriter, r *http.Request
 		stopped := 0
 		if force {
 			stopped = s.StopObjectStreams(id)
+			g.dp.closeObject(id)
 		}
 		if err := s.RemoveObject(id); err != nil {
 			return nil, err
@@ -158,13 +163,28 @@ func (g *Gateway) handleReplication(w http.ResponseWriter, r *http.Request) {
 }
 
 // Handler returns the gateway's HTTP handler with the per-request deadline
-// applied.
+// applied. Long-lived endpoints — chunked session streams and locator delta
+// long-polls — are exempt: a stream lives as long as its session plays, and
+// a delta poll parks until the feed moves; both bound themselves.
 func (g *Gateway) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isLongLived(r) {
+			g.mux.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
 		defer cancel()
 		g.mux.ServeHTTP(w, r.WithContext(ctx))
 	})
+}
+
+// isLongLived recognizes the endpoints exempt from the per-request deadline.
+func isLongLived(r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		return false
+	}
+	return r.URL.Path == "/v1/locator/deltas" ||
+		(strings.HasPrefix(r.URL.Path, "/v1/sessions/") && strings.HasSuffix(r.URL.Path, "/stream"))
 }
 
 // writeJSON writes v as a JSON response with the given status.
@@ -203,6 +223,7 @@ func (g *Gateway) writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", g.retryAfterSeconds())
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, cm.ErrBusy),
+		errors.Is(err, ErrStreamAttached),
 		errors.Is(err, disk.ErrBadHealthTransition),
 		errors.Is(err, disk.ErrDiskRebuilding):
 		status = http.StatusConflict
@@ -394,13 +415,33 @@ func (g *Gateway) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Object   int  `json:"object"`
 		Position *int `json:"position"`
+		// Paused admits the session without starting playback: the slot is
+		// reserved now, the pacer delivers nothing until a consumer attaches
+		// (GET …/stream resumes it). The cure for admission-to-attach head
+		// drops when the two requests race the round driver.
+		Paused bool `json:"paused"`
 	}
 	if err := decodeBody(w, r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	v, err := g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
-		st, err := s.StartStream(req.Object)
+	// The discard hook stops a stream whose opener has already been told the
+	// open timed out: the client will retry and get a fresh session, so the
+	// orphan must not play on, holding round capacity nobody is counting.
+	discard := func(v any) {
+		id := v.(sessionResponse).Session
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.RequestTimeout)
+		defer cancel()
+		_, _ = g.exec(ctx, false, func(s *cm.Server) (any, error) {
+			return nil, s.StopStream(id)
+		})
+	}
+	v, err := g.execDiscard(r.Context(), false, func(s *cm.Server) (any, error) {
+		start := s.StartStream
+		if req.Paused {
+			start = s.StartStreamPaused
+		}
+		st, err := start(req.Object)
 		if err != nil {
 			return nil, err
 		}
@@ -415,7 +456,7 @@ func (g *Gateway) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return sessionBody(st, obj.Blocks), nil
-	})
+	}, discard)
 	if err != nil {
 		g.m.sessionsRejected.Inc()
 		g.writeError(w, err)
@@ -490,7 +531,13 @@ func (g *Gateway) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, err = g.exec(r.Context(), false, func(s *cm.Server) (any, error) {
-		return nil, s.StopStream(id)
+		if err := s.StopStream(id); err != nil {
+			return nil, err
+		}
+		// StopStream outside Tick emits no StreamClosed; end any attached
+		// streaming consumer here, on the owner goroutine.
+		g.dp.closeStream(id, dataplane.CloseStopped)
+		return nil, nil
 	})
 	if err != nil {
 		g.writeError(w, err)

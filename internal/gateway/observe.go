@@ -18,6 +18,18 @@ type gwMetrics struct {
 	sessionsRejected *obs.Counter
 	tickErrors       *obs.Counter
 
+	// Streaming data plane (stream.go): chunk deliveries into session
+	// buffers, deadline misses (hiccups), backpressure evictions, bytes
+	// written to streaming responses, and the locator feed's traffic.
+	streamsAttached *obs.Counter
+	streamChunks    *obs.Counter
+	streamBytes     *obs.Counter
+	streamMisses    *obs.Counter
+	streamEvictions *obs.Counter
+	deltasPublished *obs.Counter
+	snapshotFetches *obs.Counter
+	deltaPolls      *obs.Counter
+
 	tickTime *obs.Histogram
 
 	readTotal     *obs.Histogram
@@ -38,6 +50,15 @@ func newGwMetrics(reg *obs.Registry) *gwMetrics {
 		sessionsOpened:   reg.NewCounter("gateway_sessions_opened_total", "Successful session admissions."),
 		sessionsRejected: reg.NewCounter("gateway_sessions_rejected_total", "Session admissions refused (admission control, overload, draining)."),
 		tickErrors:       reg.NewCounter("gateway_tick_errors_total", "Rounds whose Tick returned an error."),
+
+		streamsAttached: reg.NewCounter("gateway_streams_attached_total", "Streaming consumers attached to sessions."),
+		streamChunks:    reg.NewCounter("gateway_stream_chunks_total", "Chunks delivered into session buffers by the round driver."),
+		streamBytes:     reg.NewCounter("gateway_stream_bytes_total", "Payload bytes written to streaming responses."),
+		streamMisses:    reg.NewCounter("gateway_stream_misses_total", "Round-deadline misses (chunks dropped because a session buffer was full)."),
+		streamEvictions: reg.NewCounter("gateway_stream_evictions_total", "Sessions evicted after too many consecutive deadline misses."),
+		deltasPublished: reg.NewCounter("gateway_locator_deltas_total", "Deltas published to the locator feed."),
+		snapshotFetches: reg.NewCounter("gateway_locator_snapshots_total", "Full locator snapshot fetches served."),
+		deltaPolls:      reg.NewCounter("gateway_locator_polls_total", "Locator delta long-poll requests served."),
 
 		tickTime: reg.NewHistogram("gateway_tick_seconds",
 			"Wall-clock time the owner goroutine spent executing one round.", obs.LatencyBuckets()),

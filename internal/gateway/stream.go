@@ -1,0 +1,294 @@
+package gateway
+
+// This file is the gateway's data plane: it bridges the cm server's
+// round-paced block deliveries into per-session bounded buffers drained by
+// streaming HTTP handlers, and publishes the snapshot+delta locator feed
+// that lets thousands of clients track a live reorganization without
+// re-asking the server per block.
+//
+// Two sink interfaces wire it under the owner goroutine:
+//
+//   - cm.DeliverySink: Tick hands each served block's bytes to Deliver,
+//     which offers them to the session's bounded channel without blocking.
+//     A slow client misses the round's deadline (the chunk is dropped and
+//     counted as a hiccup); enough consecutive misses evict the session —
+//     backpressure protects the round, never the laggard.
+//   - cm.EventSink (teed via AddEventSink): migrated-block events accumulate
+//     into per-round "moves" deltas, epoch events (scale start/finish,
+//     catalog changes) mark the feed dirty; flush — called after every tick
+//     and mutating command — publishes them and refreshes the cached full
+//     snapshot that GET /v1/locator/snapshot serves without touching the
+//     mailbox.
+//
+// The pacer is the round driver itself: chunks arrive at session buffers
+// once per round, so a client that keeps up reads one block per round and a
+// client that doesn't hiccups. No timers exist on the stream path.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/dataplane"
+)
+
+// ErrStreamAttached is returned when a second consumer tries to attach to a
+// session's stream; each session has exactly one chunk consumer.
+var ErrStreamAttached = fmt.Errorf("gateway: stream already has a consumer")
+
+// dataPlane is the gateway-side state of the streaming data plane.
+type dataPlane struct {
+	g    *Gateway
+	feed *dataplane.Feed
+	// snap is the cached full locator snapshot, republished by flush so the
+	// snapshot endpoint never pays for the mailbox (10k clients fetching
+	// their baseline must not serialize behind the round driver).
+	snap atomic.Pointer[dataplane.Snapshot]
+
+	mu       sync.Mutex
+	sessions map[int]*dataplane.Session // stream ID → attached consumer
+
+	// moves and dirty accumulate event-sink updates between flushes.
+	// Owner-goroutine only.
+	moves []dataplane.MovedBlock
+	dirty bool
+}
+
+// newDataPlane wires the delivery and event sinks into the server and
+// caches the initial snapshot. Called from New before the round driver
+// starts, on the soon-to-be owner goroutine.
+func newDataPlane(g *Gateway, srv *cm.Server) (*dataPlane, error) {
+	capacity := g.cfg.FeedCapacity
+	if capacity == 0 {
+		capacity = 1024
+	}
+	dp := &dataPlane{
+		g:        g,
+		feed:     dataplane.NewFeed(capacity),
+		sessions: make(map[int]*dataplane.Session),
+	}
+	srv.SetDeliverySink(dp)
+	srv.AddEventSink(dp.onEvent)
+	snap, err := dp.buildSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	dp.snap.Store(snap)
+	return dp, nil
+}
+
+// WantsPayload implements cm.DeliverySink: the server materializes bytes
+// only for streams with a live consumer.
+func (dp *dataPlane) WantsPayload(stream int) bool {
+	dp.mu.Lock()
+	s := dp.sessions[stream]
+	dp.mu.Unlock()
+	return s != nil && !s.Closed()
+}
+
+// Deliver implements cm.DeliverySink: offer the round's chunk to the
+// session buffer without blocking. Returning true evicts the stream.
+func (dp *dataPlane) Deliver(stream, object int, index int, data []byte) bool {
+	dp.mu.Lock()
+	s := dp.sessions[stream]
+	dp.mu.Unlock()
+	if s == nil || s.Closed() {
+		return false
+	}
+	delivered, evict := s.Offer(dataplane.Chunk{Index: index, Data: data})
+	switch {
+	case delivered:
+		dp.g.m.streamChunks.Inc()
+	case evict:
+		// The consecutive-miss limit: close toward the handler first so the
+		// end frame says "evicted", then tell the server to stop the stream.
+		dp.g.m.streamMisses.Inc()
+		dp.g.m.streamEvictions.Inc()
+		s.Close(dataplane.CloseEvicted)
+		return true
+	default:
+		dp.g.m.streamMisses.Inc()
+	}
+	return false
+}
+
+// StreamClosed implements cm.DeliverySink: a stream left StreamPlaying
+// during Tick; propagate the reason to the attached consumer. Close is
+// idempotent and first-reason-wins, so an eviction already recorded by
+// Deliver is preserved.
+func (dp *dataPlane) StreamClosed(stream int, state cm.StreamState) {
+	dp.mu.Lock()
+	s := dp.sessions[stream]
+	dp.mu.Unlock()
+	if s == nil {
+		return
+	}
+	reason := dataplane.CloseStopped
+	if state == cm.StreamDone {
+		reason = dataplane.CloseDone
+	}
+	s.Close(reason)
+}
+
+// attach registers a consumer session for a stream. Owner goroutine only
+// (run inside an exec closure so registration is serialized with Tick and
+// no round's delivery falls between the state check and the map insert).
+func (dp *dataPlane) attach(s *dataplane.Session) error {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if cur, ok := dp.sessions[s.Stream()]; ok && !cur.Closed() {
+		return ErrStreamAttached
+	}
+	dp.sessions[s.Stream()] = s
+	return nil
+}
+
+// detach removes a stream's consumer registration (the handler's deferred
+// cleanup; safe from any goroutine).
+func (dp *dataPlane) detach(stream int, s *dataplane.Session) {
+	dp.mu.Lock()
+	if dp.sessions[stream] == s {
+		delete(dp.sessions, stream)
+	}
+	dp.mu.Unlock()
+}
+
+// closeStream closes a stream's consumer with the given reason. Owner
+// goroutine only (Session.Close contract).
+func (dp *dataPlane) closeStream(stream int, reason dataplane.CloseReason) {
+	dp.mu.Lock()
+	s := dp.sessions[stream]
+	dp.mu.Unlock()
+	if s != nil {
+		s.Close(reason)
+	}
+}
+
+// closeObject closes every consumer playing the given object — the
+// force-remove path stops the object's streams outside Tick, so no
+// StreamClosed notification will arrive. Owner goroutine only.
+func (dp *dataPlane) closeObject(object int) {
+	dp.mu.Lock()
+	var victims []*dataplane.Session
+	for _, s := range dp.sessions {
+		if s.Object() == object {
+			victims = append(victims, s)
+		}
+	}
+	dp.mu.Unlock()
+	for _, s := range victims {
+		s.Close(dataplane.CloseStopped)
+	}
+}
+
+// closeAll ends every consumer session; the owner loop calls it on exit so
+// no handler blocks on a channel nobody will ever close again.
+func (dp *dataPlane) closeAll(reason dataplane.CloseReason) {
+	dp.mu.Lock()
+	victims := make([]*dataplane.Session, 0, len(dp.sessions))
+	for _, s := range dp.sessions {
+		victims = append(victims, s)
+	}
+	dp.mu.Unlock()
+	for _, s := range victims {
+		s.Close(reason)
+	}
+}
+
+// onEvent is the cm.EventSink tee: accumulate migrated blocks for the next
+// moves delta; mark the feed dirty at every boundary that changes the
+// placement function or the catalog. Owner goroutine only; must not call
+// back into the server (flush does the LocatorStateExport, after the
+// mutation completes).
+func (dp *dataPlane) onEvent(ev cm.Event) {
+	switch ev.Kind {
+	case cm.EventBlocksMigrated:
+		for _, m := range ev.Moves {
+			dp.moves = append(dp.moves, dataplane.MovedBlock{Object: m.Object, Index: int(m.Index)})
+		}
+	case cm.EventObjectAdded, cm.EventObjectRemoved, cm.EventIngestCommitted:
+		dp.dirty = true
+	default:
+		if cm.IsEpochEvent(ev.Kind) {
+			dp.dirty = true
+		}
+	}
+}
+
+// flush publishes accumulated deltas and keeps the cached snapshot current.
+// Owner goroutine only, called after every tick and mutating command.
+//
+// Moves publish before any snapshot: within a round the server migrates
+// blocks and may then complete the reorganization, and a client replaying
+// the feed must see the same order. After publishing moves the cached
+// snapshot is rebuilt (without a feed entry) so a freshly connecting client
+// starts at the current sequence instead of replaying the whole drain —
+// that refresh is also what keeps long migrations from outrunning the
+// bounded feed ring and forcing ErrDeltaGone resyncs.
+func (dp *dataPlane) flush() {
+	moved := len(dp.moves) > 0
+	if moved {
+		dp.feed.Publish(dataplane.Delta{Kind: dataplane.DeltaMoves, Moves: dp.moves})
+		dp.g.m.deltasPublished.Inc()
+		dp.moves = nil
+	}
+	if !dp.dirty && !moved {
+		return
+	}
+	snap, err := dp.buildSnapshot()
+	if err != nil {
+		dp.g.logf("gateway: locator snapshot: %v", err)
+		return
+	}
+	if dp.dirty {
+		dp.dirty = false
+		// Stamp the sequence Publish is about to assign (flush is the feed's
+		// only publisher): once the delta is in the ring, concurrent pollers
+		// encode the shared snapshot, so it must never be written again.
+		snap.Seq = dp.feed.Seq() + 1
+		dp.feed.Publish(dataplane.Delta{Kind: dataplane.DeltaSnapshot, Snapshot: snap})
+		dp.g.m.deltasPublished.Inc()
+	} else {
+		snap.Seq = dp.feed.Seq()
+	}
+	dp.snap.Store(snap)
+}
+
+// buildSnapshot converts the server's locator state into the wire snapshot.
+// Owner goroutine only.
+func (dp *dataPlane) buildSnapshot() (*dataplane.Snapshot, error) {
+	ls, err := dp.g.srv.LocatorStateExport()
+	if err != nil {
+		return nil, err
+	}
+	snap := &dataplane.Snapshot{
+		Seq:          dp.feed.Seq(),
+		N:            ls.N,
+		Epoch:        ls.Epoch,
+		Bits:         ls.Bits,
+		Reorganizing: ls.Reorganizing,
+		History:      ls.History,
+		PreOf:        ls.PreOf,
+	}
+	snap.Objects = make([]dataplane.ObjectInfo, len(ls.Objects))
+	for i, o := range ls.Objects {
+		snap.Objects[i] = dataplane.ObjectInfo{
+			ID: o.ID, Seed: o.Seed, Blocks: o.Blocks, BlockBytes: o.BlockBytes,
+		}
+	}
+	if len(ls.Pending) > 0 {
+		snap.Pending = make([]dataplane.PendingBlock, len(ls.Pending))
+		for i, p := range ls.Pending {
+			snap.Pending[i] = dataplane.PendingBlock{Object: p.Object, Index: int(p.Index), From: p.From}
+		}
+	}
+	return snap, nil
+}
+
+// Feed returns the locator delta feed (exposed for tests and embedding).
+func (g *Gateway) Feed() *dataplane.Feed { return g.dp.feed }
+
+// LocatorSnapshotWire returns the currently cached wire-format locator
+// snapshot — the same value GET /v1/locator/snapshot serves.
+func (g *Gateway) LocatorSnapshotWire() *dataplane.Snapshot { return g.dp.snap.Load() }

@@ -1,0 +1,202 @@
+package gateway
+
+// HTTP handlers for the streaming data plane (stream.go): the chunked
+// round-paced session stream and the snapshot+delta locator side channel.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/dataplane"
+)
+
+// maxDeltaWait bounds a locator delta long-poll: an idle feed parks the
+// request at most this long before answering with whatever it has (usually
+// nothing), so clients see liveness without the server pinning connections
+// forever.
+const maxDeltaWait = 30 * time.Second
+
+// handleStream serves a session's playback as a chunked stream of CRC-framed
+// blocks, paced by the round driver: one data frame per round while the
+// client keeps up, then one end frame saying why the stream finished (done,
+// stopped, or evicted for falling behind). Exempt from the request deadline
+// (see Handler); the response lives as long as the session plays.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError,
+			map[string]string{"error": "gateway: response writer cannot stream"})
+		return
+	}
+	// Attach through the mailbox so registration is serialized with Tick:
+	// delivery starts with the next round's block, never between a state
+	// check and the map insert. Admission gets a bounded deadline even
+	// though the stream itself has none.
+	actx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	// The discard hook compensates an attach that lands after this handler
+	// has already reported a timeout: without it the phantom consumer holds
+	// ErrStreamAttached against every reconnect until eviction. Detach only
+	// — the client saw a 504 and is retrying this same session, so the
+	// stream must keep playing (unattended, so no byte work) for the retry
+	// to pick up; stopping it here would hand the reconnect a dead stream.
+	discard := func(v any) {
+		g.dp.detach(id, v.(*dataplane.Session))
+	}
+	v, err := g.execDiscard(actx, false, func(s *cm.Server) (any, error) {
+		st, err := s.Stream(id)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := s.Object(st.Object)
+		if err != nil {
+			return nil, err
+		}
+		sess := dataplane.NewSession(st.ID, st.Object, obj.BlockBytes, dataplane.SessionBufferConfig{
+			Buffer:     g.cfg.StreamBuffer,
+			EvictAfter: g.cfg.StreamEvictAfter,
+		})
+		// A stream that already finished gets an immediate end frame.
+		if st.State != cm.StreamPlaying && st.State != cm.StreamPaused {
+			reason := dataplane.CloseStopped
+			if st.State == cm.StreamDone {
+				reason = dataplane.CloseDone
+			}
+			sess.Close(reason)
+		}
+		if err := g.dp.attach(sess); err != nil {
+			return nil, err
+		}
+		// A paused-open session starts playing only now, with its consumer
+		// in place — the next round's block is the first one paced out, so
+		// nothing was ever delivered to nobody. Resuming after attach keeps
+		// a lost 409 race from starting playback for the loser.
+		if st.State == cm.StreamPaused {
+			if err := s.ResumeStream(id); err != nil {
+				g.dp.detach(id, sess)
+				return nil, err
+			}
+		}
+		return sess, nil
+	}, discard)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	sess := v.(*dataplane.Session)
+	defer g.dp.detach(id, sess)
+	g.m.streamsAttached.Inc()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	buf := make([]byte, 0, int(sess.BlockBytes())+64)
+	for {
+		select {
+		case c, open := <-sess.Chunks():
+			if !open {
+				buf = dataplane.AppendEndFrame(buf[:0], sess.Reason())
+				if _, werr := w.Write(buf); werr == nil {
+					flusher.Flush()
+				}
+				return
+			}
+			buf = dataplane.AppendDataFrame(buf[:0], c.Index, c.Data)
+			if _, werr := w.Write(buf); werr != nil {
+				// The connection is gone; stop the server-side stream so it
+				// does not play on (and burn round bandwidth) for nobody.
+				g.stopAbandonedStream(id, sess)
+				return
+			}
+			g.m.streamBytes.Add(uint64(len(buf)))
+			flusher.Flush()
+		case <-r.Context().Done():
+			g.stopAbandonedStream(id, sess)
+			return
+		}
+	}
+}
+
+// stopAbandonedStream ends the server-side stream of a client that
+// disconnected mid-playback. Best-effort: the gateway may be draining or the
+// mailbox full, in which case the stream plays out unattended (WantsPayload
+// is already false once the session detaches).
+func (g *Gateway) stopAbandonedStream(id int, sess *dataplane.Session) {
+	if sess.Closed() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.RequestTimeout)
+	defer cancel()
+	_, _ = g.exec(ctx, false, func(s *cm.Server) (any, error) {
+		g.dp.closeStream(id, dataplane.CloseStopped)
+		return nil, s.StopStream(id)
+	})
+}
+
+// handleLocatorSnapshot serves the cached full locator snapshot — the
+// baseline of the snapshot+delta protocol. One atomic load, no mailbox: ten
+// thousand clients bootstrapping cost the round driver nothing.
+func (g *Gateway) handleLocatorSnapshot(w http.ResponseWriter, r *http.Request) {
+	g.m.snapshotFetches.Inc()
+	writeJSON(w, http.StatusOK, g.dp.snap.Load())
+}
+
+// deltaResponse is the payload of the locator delta long-poll.
+type deltaResponse struct {
+	// Deltas are the feed entries after the requested sequence, in order.
+	Deltas []dataplane.Delta `json:"deltas"`
+	// Seq is the newest published sequence; poll again with after=Seq.
+	Seq uint64 `json:"seq"`
+}
+
+// handleLocatorDeltas long-polls the locator feed: ?after=N parks until a
+// delta newer than N exists (bounded by maxDeltaWait and the client's own
+// context), then returns everything newer. 410 Gone when N has fallen out of
+// the bounded ring — the client refetches the snapshot and resubscribes.
+func (g *Gateway) handleLocatorDeltas(w http.ResponseWriter, r *http.Request) {
+	after, err := queryUint(r, "after")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	g.m.deltaPolls.Inc()
+	ctx, cancel := context.WithTimeout(r.Context(), maxDeltaWait)
+	defer cancel()
+	deltas, seq, derr := g.dp.feed.Wait(ctx, after)
+	if derr != nil {
+		if errors.Is(derr, dataplane.ErrDeltaGone) {
+			writeJSON(w, http.StatusGone, map[string]any{"error": derr.Error(), "seq": seq})
+			return
+		}
+		g.writeError(w, derr)
+		return
+	}
+	if deltas == nil {
+		deltas = []dataplane.Delta{}
+	}
+	writeJSON(w, http.StatusOK, deltaResponse{Deltas: deltas, Seq: seq})
+}
+
+// queryUint parses an optional unsigned query parameter (absent means 0).
+func queryUint(r *http.Request, name string) (uint64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, errors.New("bad " + name + " " + strconv.Quote(s))
+	}
+	return v, nil
+}

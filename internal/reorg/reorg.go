@@ -157,6 +157,12 @@ type BlockIDFunc func(placement.BlockRef) disk.BlockID
 // execution time.
 type DiskFunc func(logical int) (*disk.Disk, error)
 
+// PayloadMoveFunc relocates a block's real bytes alongside its metadata
+// move. It runs after the metadata has moved (src.Remove + dst.Store), with
+// both physical disks resolved; implementations read the source payload,
+// write the destination, and drop the source copy.
+type PayloadMoveFunc func(b placement.BlockRef, id disk.BlockID, src, dst *disk.Disk) error
+
 // Executor carries out a plan move by move, optionally throttled by
 // per-disk I/O budgets so that migration shares each round's bandwidth with
 // stream service.
@@ -164,6 +170,7 @@ type Executor struct {
 	plan      *Plan
 	blockID   BlockIDFunc
 	diskOf    DiskFunc
+	payload   PayloadMoveFunc
 	pending   []Move
 	pendingBy map[placement.BlockRef]int // block -> current source disk
 	moved     int
@@ -189,6 +196,11 @@ func NewExecutor(plan *Plan, blockID BlockIDFunc, diskOf DiskFunc) (*Executor, e
 	}
 	return &Executor{plan: plan, blockID: blockID, diskOf: diskOf, pending: pending, pendingBy: pendingBy}, nil
 }
+
+// SetPayloadMover installs the optional hook that moves each block's real
+// bytes with its metadata. Install it before the first Step/ExecuteAll call;
+// a nil mover (the default) keeps the executor a pure metadata simulation.
+func (e *Executor) SetPayloadMover(fn PayloadMoveFunc) { e.payload = fn }
 
 // PendingSource reports the logical disk a block must still be read from
 // because its move has not executed yet. This is what keeps the access
@@ -350,6 +362,11 @@ func (e *Executor) executeOne(m Move) error {
 	}
 	if err := dst.Store(id); err != nil {
 		return fmt.Errorf("reorg: %w", err)
+	}
+	if e.payload != nil {
+		if err := e.payload(m.Block, id, src, dst); err != nil {
+			return fmt.Errorf("reorg: %w", err)
+		}
 	}
 	src.RecordMigration()
 	dst.RecordMigration()

@@ -27,11 +27,13 @@
 package scaddar
 
 import (
+	"bufio"
 	"io"
 	"os"
 
 	"scaddar/internal/cluster"
 	"scaddar/internal/cm"
+	"scaddar/internal/dataplane"
 	"scaddar/internal/disk"
 	"scaddar/internal/fsio"
 	"scaddar/internal/gateway"
@@ -572,6 +574,79 @@ func CoV(loads []int) float64 { return stats.CoVInts(loads) }
 // metric.
 func Unfairness(loads []int) (float64, error) { return stats.UnfairnessInts(loads) }
 
+// ---- Streaming data plane (internal/dataplane) ----
+
+// PayloadManager owns per-disk segment stores under one root directory —
+// the real bytes beneath the metadata simulator. Pass Manager.Factory() and
+// SeededContent to Server.AttachPayloads to put byte-bearing stores under
+// every disk; ingest, reorganization, and rebuild then move actual payloads.
+type PayloadManager = dataplane.Manager
+
+// PayloadOptions tunes segment-store sizing and durability.
+type PayloadOptions = dataplane.Options
+
+// StreamFrame is one decoded frame of a session's chunked stream: either a
+// data frame carrying a block's bytes or the end frame carrying the close
+// reason.
+type StreamFrame = dataplane.Frame
+
+// StreamCloseReason says why a session's stream ended.
+type StreamCloseReason = dataplane.CloseReason
+
+// Stream close reasons: played to completion, stopped (client or operator),
+// or evicted for falling hopelessly behind the round pace.
+const (
+	StreamCloseDone    = dataplane.CloseDone
+	StreamCloseStopped = dataplane.CloseStopped
+	StreamCloseEvicted = dataplane.CloseEvicted
+)
+
+// StreamClientLocator is the client side of the snapshot+delta locator
+// protocol: a local pure-function replica of the server's placement,
+// refreshed by feed deltas instead of per-block server round trips.
+type StreamClientLocator = dataplane.ClientLocator
+
+// StreamLocatorSnapshot is the full locator baseline served at
+// GET /v1/locator/snapshot.
+type StreamLocatorSnapshot = dataplane.Snapshot
+
+// StreamLocatorDelta is one feed entry from GET /v1/locator/deltas:
+// moved-block batches during a reorganization, or a fresh snapshot at epoch
+// boundaries.
+type StreamLocatorDelta = dataplane.Delta
+
+// ErrStreamSnapshotRequired reports a client locator that has fallen off
+// the bounded delta feed and must re-fetch the full snapshot.
+var ErrStreamSnapshotRequired = dataplane.ErrSnapshotRequired
+
+// NewPayloadManager opens (creating if needed) the per-disk segment stores
+// rooted at dir.
+func NewPayloadManager(dir string, opts PayloadOptions) (*PayloadManager, error) {
+	return dataplane.NewManager(dir, opts)
+}
+
+// SeededContent returns the deterministic payload oracle's bytes for block
+// index of an object with the given placement seed — what ingest writes is
+// what this computes, so any layer can verify a delivered chunk.
+func SeededContent(seed, index uint64, blockBytes int64) []byte {
+	return dataplane.SeededContent(seed, index, blockBytes)
+}
+
+// VerifySeededContent reports whether data is byte-identical to the oracle
+// bytes for (seed, index).
+func VerifySeededContent(data []byte, seed, index uint64) bool {
+	return dataplane.VerifySeededContent(data, seed, index)
+}
+
+// ReadStreamFrame decodes the next frame from a session stream body.
+func ReadStreamFrame(br *bufio.Reader) (StreamFrame, error) { return dataplane.ReadFrame(br) }
+
+// NewStreamClientLocator creates an empty client locator; install a
+// baseline with ApplySnapshot, then fold in feed deltas with Apply.
+func NewStreamClientLocator(factory SourceFactory) *StreamClientLocator {
+	return dataplane.NewClientLocator(factory)
+}
+
 // ---- Horizontal sharding (internal/cluster) ----
 
 // ClusterRouter fronts K independent shard gateways with one /v1 surface:
@@ -603,6 +678,11 @@ type ClusterMigrationStats = cluster.MigrationStats
 // ClusterTopologyView is the live topology document served at
 // GET /v1/cluster/shards.
 type ClusterTopologyView = cluster.TopologyView
+
+// ClusterMoveResult reports a cross-shard object move (POST
+// /v1/cluster/objects/{id}/move): source and destination shard, and whether
+// the object is now pinned against jump-hash placement.
+type ClusterMoveResult = cluster.MoveResult
 
 // ClusterShardHeader is the response header the router stamps with the ID
 // of the shard that answered a proxied request.

@@ -30,6 +30,7 @@ import (
 var defaultDirs = []string{
 	".",
 	"internal/cm",
+	"internal/dataplane",
 	"internal/gateway",
 	"internal/cluster",
 	"internal/store",
