@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify benchtables bench bench-cluster bench-stream fuzz clean
+.PHONY: build test lint verify benchtables bench bench-cluster bench-stream bench-bin fuzz clean
 
 # Tier-1 gate: everything must build and the full suite must pass.
 build:
@@ -9,13 +9,17 @@ build:
 test: build
 	$(GO) test ./...
 
-# Static gates: vet plus the exported-surface documentation check — every
+# Static gates: vet, the exported-surface documentation check — every
 # exported identifier in the facade and in the concurrency/durability
-# packages (internal/cm, internal/gateway, internal/store, internal/obs)
-# must carry a doc comment stating its contract.
+# packages (internal/cm, internal/gateway, internal/binproto,
+# internal/store, internal/obs) must carry a doc comment stating its
+# contract — and the wire-spec sync check: every exported opcode, error
+# code, and flag constant in internal/binproto must be mentioned in
+# docs/PROTOCOL.md, so the spec cannot silently fall behind the code.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./tools/missingdoc
+	$(GO) run ./tools/speclink
 
 # Tier-1+ gate: lint plus the full suite under the race detector — which
 # includes the replication chaos harness (internal/repl TestChaosConvergence:
@@ -44,6 +48,7 @@ verify: lint
 	$(GO) run ./examples/replication
 	$(GO) run ./examples/cluster -duration 200ms
 	$(GO) run -race ./examples/streaming -round 60ms -sessions 48 -disks 12 -add 2 -objects 24 -blocks 12
+	$(GO) run ./examples/binlookup
 
 # Regenerate the committed experiment-table capture (the source for the
 # tables quoted in README.md and EXPERIMENTS.md), so docs cannot silently
@@ -78,14 +83,26 @@ bench-stream:
 	$(GO) test -run '^$$' -bench 'StreamChunk|DeltaFeed' -benchmem ./internal/dataplane/ | $(GO) run ./tools/benchjson > BENCH_8.json
 	@echo "regenerated BENCH_8.json"
 
+# Capture the binary-lookup-protocol benchmarks as BENCH_9.json: frame
+# encode/decode alone, then the full client/server round trip over
+# loopback TCP — single pipelined lookups and 64-lookup batches — next to
+# the HTTP read path (BenchmarkGatewayRead) they are measured against in
+# EXPERIMENTS.md E20. Re-run and commit with any change that moves a
+# number.
+bench-bin:
+	$(GO) test -run '^$$' -bench 'GatewayRead|EncodeBatch|DecodeBatch' -benchmem ./internal/gateway/ ./internal/binproto/ | $(GO) run ./tools/benchjson > BENCH_9.json
+	@echo "regenerated BENCH_9.json"
+
 # Short fuzz passes over the History codecs (seed corpora under
 # internal/scaddar/testdata/fuzz/), the compiled-chain differential
-# fuzzer (compiled vs interpreted lookups), and the write-ahead-journal
-# reader.
+# fuzzer (compiled vs interpreted lookups), the write-ahead-journal
+# reader, and the binary-protocol frame handler (hostile frames against a
+# live server; the connection must survive or die per spec, never panic).
 fuzz:
 	$(GO) test ./internal/scaddar/ -fuzz FuzzCodec -fuzztime 30s
 	$(GO) test ./internal/scaddar/ -fuzz FuzzCompiledChain -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzJournal -fuzztime 30s
+	$(GO) test ./internal/binproto/ -fuzz FuzzBinProto -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,227 @@
+// Binlookup: the binary lookup protocol against the HTTP read path.
+//
+// The HTTP/JSON gateway costs two orders of magnitude more per lookup than
+// the SCADDAR placement computation it wraps. This example boots one
+// gateway with both front ends — HTTP on a test server, the binary
+// protocol (docs/PROTOCOL.md) on a loopback listener — and proves two
+// things about the binary path:
+//
+//  1. Agreement: every batched binary answer matches the HTTP answer for
+//     the same (object, block), and after a scale-up both paths agree
+//     again under the new placement, with the response epoch advanced.
+//  2. Speed: batched binary lookups beat serial HTTP by at least 10×
+//     throughput, the headline claim reproduced in EXPERIMENTS.md (E20).
+//
+// The process exits non-zero on any mismatch or if the speedup falls
+// short, so `make verify` gates on both.
+//
+// Run with: go run ./examples/binlookup
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"scaddar"
+)
+
+var (
+	round   = flag.Duration("round", 2*time.Millisecond, "wall-clock round period")
+	lookups = flag.Int("lookups", 12000, "lookups per measured phase")
+	batch   = flag.Int("batch", 64, "lookups per binary batch frame")
+)
+
+const (
+	nDisks  = 6
+	objects = 12
+	blocks  = 400
+)
+
+func main() {
+	flag.Parse()
+
+	// One server, two front ends.
+	x0 := scaddar.NewX0Func(func(seed uint64) scaddar.Source {
+		return scaddar.NewSplitMix64(seed)
+	})
+	strat, err := scaddar.NewScaddarStrategy(nDisks, x0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := scaddar.NewServer(scaddar.DefaultServerConfig(), strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	libCfg := scaddar.DefaultLibraryConfig()
+	libCfg.Objects, libCfg.MinBlocks, libCfg.MaxBlocks = objects, blocks, blocks
+	lib, err := scaddar.Library(libCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, obj := range lib {
+		if err := srv.AddObject(obj); err != nil {
+			log.Fatal(err)
+		}
+	}
+	gw, err := scaddar.NewGateway(srv, scaddar.GatewayConfig{
+		Factory: func(seed uint64) scaddar.Source { return scaddar.NewSplitMix64(seed) },
+		Round:   *round,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := gw.ServeBin(ln); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway: %d disks, %d objects x %d blocks; HTTP on %s, binary on %s\n",
+		nDisks, objects, blocks, ts.URL, ln.Addr())
+
+	// The same lookup sequence drives both paths.
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]scaddar.BlockAddr, *lookups)
+	for i := range addrs {
+		addrs[i] = scaddar.BlockAddr{Object: rng.Intn(objects), Index: rng.Intn(blocks)}
+	}
+
+	httpDisks, httpDur := httpPhase(ts, addrs)
+	httpRate := float64(len(addrs)) / httpDur.Seconds()
+	fmt.Printf("http:      %d lookups in %v (%.0f lookups/s)\n", len(addrs), httpDur.Round(time.Millisecond), httpRate)
+
+	c, err := scaddar.DialBin(ln.Addr().String(), scaddar.BinClientConfig{RequestTimeout: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	binDisks, epoch1, binDur := binPhase(c, addrs, *batch)
+	binRate := float64(len(addrs)) / binDur.Seconds()
+	fmt.Printf("bin batch%d: %d lookups in %v (%.0f lookups/s), epoch %d\n",
+		*batch, len(addrs), binDur.Round(time.Millisecond), binRate, epoch1)
+
+	mismatches := 0
+	for i := range addrs {
+		if httpDisks[i] != binDisks[i] {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		log.Fatalf("FAIL: %d/%d binary answers disagree with HTTP", mismatches, len(addrs))
+	}
+	fmt.Printf("agree:     all %d answers match across both paths\n", len(addrs))
+
+	// Scale up over HTTP, then show both paths agreeing under the new
+	// placement, with the binary epoch advanced past the pre-scale one.
+	resp, err := ts.Client().Post(ts.URL+"/v1/scale", "application/json",
+		strings.NewReader(`{"add": 2}`))
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("scale: err=%v status=%v", err, respCode(resp))
+	}
+	resp.Body.Close()
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		st := gw.Status()
+		if !st.Reorganizing && st.Disks == nDisks+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("scale-up never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	httpDisks, _ = httpPhase(ts, addrs)
+	binDisks, epoch2, _ := binPhase(c, addrs, *batch)
+	for i := range addrs {
+		if httpDisks[i] != binDisks[i] {
+			log.Fatalf("FAIL: post-scale disagreement at %v", addrs[i])
+		}
+	}
+	if epoch2 <= epoch1 {
+		log.Fatalf("FAIL: epoch did not advance across the scale-up (%d -> %d)", epoch1, epoch2)
+	}
+	fmt.Printf("scale:     +2 disks; both paths agree again, epoch %d -> %d\n", epoch1, epoch2)
+
+	speedup := binRate / httpRate
+	fmt.Printf("speedup:   batched binary is %.1fx serial HTTP\n", speedup)
+	if speedup < 10 {
+		log.Fatalf("FAIL: speedup %.1fx is below the documented 10x floor", speedup)
+	}
+	fmt.Println("OK: binary protocol agrees with HTTP, tracks epochs, and clears 10x")
+}
+
+// httpPhase answers every lookup through GET /v1/objects/{o}/blocks/{i},
+// serially on one connection — the baseline a simple HTTP client gets.
+func httpPhase(ts *httptest.Server, addrs []scaddar.BlockAddr) ([]int, time.Duration) {
+	client := ts.Client()
+	disks := make([]int, len(addrs))
+	start := time.Now()
+	for i, a := range addrs {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/objects/%d/blocks/%d", ts.URL, a.Object, a.Index))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var body struct {
+			Disk int `json:"disk"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || resp.StatusCode != http.StatusOK {
+			log.Fatalf("lookup %v: status %d err %v", a, resp.StatusCode, err)
+		}
+		resp.Body.Close()
+		disks[i] = body.Disk
+	}
+	return disks, time.Since(start)
+}
+
+// binPhase answers the same lookups through OpLocateBatch frames of the
+// given size on one persistent connection.
+func binPhase(c *scaddar.BinClient, addrs []scaddar.BlockAddr, batch int) ([]int, uint64, time.Duration) {
+	disks := make([]int, 0, len(addrs))
+	results := make([]scaddar.BinResult, batch)
+	buf := make([]scaddar.BlockAddr, 0, batch)
+	var epoch uint64
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		e, err := c.LocateBatch(buf, results[:len(buf)])
+		if err != nil {
+			log.Fatalf("batch: %v", err)
+		}
+		epoch = e
+		for _, r := range results[:len(buf)] {
+			if r.Code != 0 {
+				log.Fatalf("batch entry failed with code %d", r.Code)
+			}
+			disks = append(disks, r.Disk)
+		}
+		buf = buf[:0]
+	}
+	start := time.Now()
+	for _, a := range addrs {
+		buf = append(buf, a)
+		if len(buf) == batch {
+			flush()
+		}
+	}
+	flush()
+	return disks, epoch, time.Since(start)
+}
+
+func respCode(r *http.Response) any {
+	if r == nil {
+		return "nil"
+	}
+	return r.StatusCode
+}

@@ -1,0 +1,476 @@
+package binproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"scaddar/internal/cm"
+	"scaddar/internal/obs"
+)
+
+// Server defaults.
+const (
+	// DefaultWriteTimeout is how long one reply write may block before the
+	// connection is evicted as a slow reader.
+	DefaultWriteTimeout = 5 * time.Second
+	// DefaultIdleTimeout is how long a connection may sit with no
+	// complete request before it is closed.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultWriteBuffer is the per-connection bounded pending-reply
+	// queue, in bytes. Replies beyond it block on the socket under the
+	// write deadline instead of growing memory.
+	DefaultWriteBuffer = 64 << 10
+)
+
+// ServerConfig configures a binary lookup server. Snapshot is the only
+// required field.
+type ServerConfig struct {
+	// Snapshot returns the current locator snapshot; every request frame
+	// is answered from exactly one call, so a batch is atomic with
+	// respect to the placement epoch it echoes. The gateway's Snapshot
+	// method satisfies this directly.
+	Snapshot func() *cm.LocatorSnapshot
+	// Draining, when non-nil and true, makes the server refuse new
+	// lookups with ErrCodeDraining while still answering ping and drain.
+	Draining func() bool
+	// Registry receives the bin_* counters and histograms; nil creates a
+	// private registry.
+	Registry *obs.Registry
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+	// MaxBatch overrides the per-frame lookup bound (default MaxBatch).
+	MaxBatch int
+	// WriteTimeout overrides DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// IdleTimeout overrides DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// WriteBuffer overrides DefaultWriteBuffer.
+	WriteBuffer int
+}
+
+// Server answers binary lookup requests over persistent TCP connections.
+// Each connection is owned by one goroutine: it reads a frame, answers it
+// from one snapshot load, and flushes when the pipelined burst is drained.
+type Server struct {
+	cfg ServerConfig
+	m   *binMetrics
+
+	mu     sync.Mutex
+	closed bool
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer validates the config and applies defaults.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Snapshot == nil {
+		return nil, errors.New("binproto: ServerConfig.Snapshot is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = MaxBatch
+	}
+	if cfg.MaxBatch > MaxBatch {
+		return nil, fmt.Errorf("binproto: MaxBatch %d exceeds protocol bound %d", cfg.MaxBatch, MaxBatch)
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.WriteBuffer <= 0 {
+		cfg.WriteBuffer = DefaultWriteBuffer
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Server{
+		cfg:   cfg,
+		m:     newBinMetrics(reg),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// closes. It blocks, like http.Server.Serve; run it in its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("binproto: server closed")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(nc)
+	}
+}
+
+// Close stops all listeners, closes every live connection, and waits for
+// their handlers to return.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// srvConn is one connection's reusable state: input frame buffer, response
+// scratch, and the batch-lookup working set. Everything here is touched by
+// the single handler goroutine only, so steady-state request handling
+// allocates nothing.
+type srvConn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	in  []byte
+	out []byte
+	// batch working set, grown once to the client's steady batch size.
+	addrs   []cm.BlockAddr
+	disks   []int32
+	status  []uint8
+	scratch cm.BatchScratch
+}
+
+// handleConn owns one connection from handshake to close.
+func (s *Server) handleConn(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.m.connsActive.Add(-1)
+		s.wg.Done()
+	}()
+	s.m.connsTotal.Inc()
+	s.m.connsActive.Add(1)
+
+	nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	ver, err := readHandshake(nc)
+	if err != nil {
+		s.logf("binproto: %s: %v", nc.RemoteAddr(), err)
+		return
+	}
+	if ver != Version {
+		// Unsupported version: answer with ours and hang up; the client
+		// reports the mismatch.
+		writeHandshake(nc, Version)
+		s.logf("binproto: %s: unsupported version %d", nc.RemoteAddr(), ver)
+		return
+	}
+	if err := writeHandshake(nc, Version); err != nil {
+		return
+	}
+
+	c := &srvConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, s.cfg.WriteBuffer),
+	}
+	for {
+		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		payload, err := readFrameInto(c.br, &c.in, MaxFrameLen)
+		if err != nil {
+			if errors.Is(err, errBadFrame) {
+				s.m.badFrames.Inc()
+				s.logf("binproto: %s: %v", nc.RemoteAddr(), err)
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("binproto: %s: read: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		drain, err := s.handleFrame(c, payload)
+		if err != nil {
+			// A reply write failed: the peer is gone or too slow to keep
+			// its bounded reply queue moving.
+			if isTimeout(err) {
+				s.m.slowEvictions.Inc()
+				s.logf("binproto: %s: evicting slow reader: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		// Flush when the pipelined burst is drained: more buffered input
+		// means more replies are coming, so batching them into one write
+		// is free.
+		if c.br.Buffered() == 0 || drain {
+			if err := s.flush(c); err != nil {
+				if isTimeout(err) {
+					s.m.slowEvictions.Inc()
+					s.logf("binproto: %s: evicting slow reader: %v", nc.RemoteAddr(), err)
+				}
+				return
+			}
+		}
+		if drain {
+			return
+		}
+	}
+}
+
+// handleFrame answers one request payload. It returns drain=true when the
+// connection should close after the pending replies flush.
+func (s *Server) handleFrame(c *srvConn, payload []byte) (drain bool, err error) {
+	start := time.Now()
+	s.m.frames.Inc()
+	cur := wireCursor{buf: payload}
+	op := cur.u8()
+	corr := cur.u32()
+	if cur.bad {
+		// Too short to even carry a correlation ID; answer corr 0.
+		s.m.errorFrames.Inc()
+		return false, s.writeReply(c, appendError(c.out[:0], 0, ErrCodeMalformed, op, "frame shorter than header"))
+	}
+
+	draining := s.cfg.Draining != nil && s.cfg.Draining()
+	switch op {
+	case OpLocate:
+		if draining {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeDraining, op, "server draining"))
+		}
+		object, index := cur.u32(), cur.u32()
+		if !cur.done() {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeMalformed, op, "locate body is object u32, block u32"))
+		}
+		sn := s.cfg.Snapshot()
+		s.m.lookups.Inc()
+		d, lerr := sn.Locate(int(object), int(index))
+		if lerr != nil {
+			s.m.lookupErrors.Inc()
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, CodeForError(lerr), op, lerr.Error()))
+		}
+		out := appendHeader(c.out[:0], op|RespFlag, corr)
+		out = appendU64(out, sn.Epoch())
+		out = appendU32(out, uint32(d))
+		out = append(out, snapFlags(sn)|diskFlag(sn, d))
+		err = s.writeReply(c, out)
+
+	case OpLocateBatch:
+		if draining {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeDraining, op, "server draining"))
+		}
+		count := int(cur.u32())
+		if cur.bad {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeMalformed, op, "batch body lacks count"))
+		}
+		if count > s.cfg.MaxBatch {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeTooLarge, op,
+				fmt.Sprintf("batch of %d exceeds limit %d", count, s.cfg.MaxBatch)))
+		}
+		c.addrs = growAddrs(c.addrs, count)
+		for i := 0; i < count; i++ {
+			c.addrs[i] = cm.BlockAddr{Object: int(cur.u32()), Index: int(cur.u32())}
+		}
+		if !cur.done() {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeMalformed, op, "batch body is count u32 then count (object u32, block u32) pairs"))
+		}
+		c.disks = growInt32s(c.disks, count)
+		c.status = growBytes(c.status, count)
+		sn := s.cfg.Snapshot()
+		s.m.lookups.Add(uint64(count))
+		sn.LocateBatch(c.addrs[:count], c.disks, c.status, &c.scratch)
+		out := appendHeader(c.out[:0], op|RespFlag, corr)
+		out = appendU64(out, sn.Epoch())
+		out = append(out, snapFlags(sn))
+		out = appendU32(out, uint32(count))
+		for i := 0; i < count; i++ {
+			st := entryStatusForLocate(c.status[i])
+			if st != 0 {
+				s.m.lookupErrors.Inc()
+			} else if !sn.Healthy(int(c.disks[i])) {
+				st = EntryUnhealthy
+			}
+			out = appendU32(out, uint32(c.disks[i]))
+			out = append(out, st)
+		}
+		err = s.writeReply(c, out)
+
+	case OpEpoch:
+		if !cur.done() {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeMalformed, op, "epoch request has no body"))
+		}
+		sn := s.cfg.Snapshot()
+		out := appendHeader(c.out[:0], op|RespFlag, corr)
+		out = appendU64(out, sn.Epoch())
+		out = append(out, snapFlags(sn))
+		out = appendU32(out, uint32(sn.N()))
+		out = appendU32(out, uint32(len(sn.Objects())))
+		err = s.writeReply(c, out)
+
+	case OpPing:
+		body := cur.rest()
+		if len(body) > maxPingBody {
+			s.m.errorFrames.Inc()
+			return false, s.writeReply(c, appendError(c.out[:0], corr, ErrCodeMalformed, op,
+				fmt.Sprintf("ping body of %d exceeds %d bytes", len(body), maxPingBody)))
+		}
+		out := appendHeader(c.out[:0], op|RespFlag, corr)
+		out = append(out, body...)
+		err = s.writeReply(c, out)
+
+	case OpDrain:
+		out := appendHeader(c.out[:0], op|RespFlag, corr)
+		return true, s.writeReply(c, out)
+
+	default:
+		// Unknown opcode: the frame boundary was sound, so answer a typed
+		// error and keep the connection.
+		s.m.errorFrames.Inc()
+		err = s.writeReply(c, appendError(c.out[:0], corr, ErrCodeUnknownOpcode, op,
+			fmt.Sprintf("unknown opcode 0x%02x", op)))
+	}
+	if err == nil {
+		s.m.frameSeconds.ObserveDuration(time.Since(start))
+	}
+	return false, err
+}
+
+// writeReply frames one response into the connection's bounded reply
+// buffer, arming the write deadline first so that a full buffer draining
+// to a stalled peer errors out instead of blocking forever. c.out is
+// retained as the next response's scratch.
+func (s *Server) writeReply(c *srvConn, payload []byte) error {
+	c.out = payload[:0]
+	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return writeFrame(c.bw, payload)
+}
+
+// flush pushes buffered replies to the socket under the write deadline.
+func (s *Server) flush(c *srvConn) error {
+	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return c.bw.Flush()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// snapFlags renders a snapshot's state bits.
+func snapFlags(sn *cm.LocatorSnapshot) uint8 {
+	var f uint8
+	if sn.Reorganizing() {
+		f |= FlagReorganizing
+	}
+	if sn.Degraded() {
+		f |= FlagDegraded
+	}
+	return f
+}
+
+// diskFlag renders the single-locate health bit.
+func diskFlag(sn *cm.LocatorSnapshot, d int) uint8 {
+	if sn.Healthy(d) {
+		return 0
+	}
+	return FlagUnhealthyDisk
+}
+
+// isTimeout reports whether an error is a net timeout (slow-reader
+// eviction rather than a peer hangup).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func growAddrs(s []cm.BlockAddr, n int) []cm.BlockAddr {
+	if cap(s) < n {
+		return make([]cm.BlockAddr, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBytes(s []byte, n int) []byte {
+	if cap(s) < n {
+		return make([]byte, n)
+	}
+	return s[:n]
+}
+
+// binMetrics holds the binary path's observability cells, resolved once at
+// construction like the gateway's gwMetrics — never looked up on the hot
+// path.
+type binMetrics struct {
+	connsTotal    *obs.Counter
+	connsActive   *obs.Gauge
+	frames        *obs.Counter
+	lookups       *obs.Counter
+	lookupErrors  *obs.Counter
+	errorFrames   *obs.Counter
+	badFrames     *obs.Counter
+	slowEvictions *obs.Counter
+	frameSeconds  *obs.Histogram
+}
+
+func newBinMetrics(reg *obs.Registry) *binMetrics {
+	return &binMetrics{
+		connsTotal:    reg.NewCounter("bin_connections_total", "Binary protocol connections accepted."),
+		connsActive:   reg.NewGauge("bin_connections_active", "Binary protocol connections currently open."),
+		frames:        reg.NewCounter("bin_frames_total", "Binary protocol request frames handled."),
+		lookups:       reg.NewCounter("bin_lookups_total", "Block lookups answered over the binary protocol."),
+		lookupErrors:  reg.NewCounter("bin_lookup_errors_total", "Binary protocol lookups that failed (unknown object, out of range)."),
+		errorFrames:   reg.NewCounter("bin_error_frames_total", "Typed error frames sent."),
+		badFrames:     reg.NewCounter("bin_bad_frames_total", "Structurally invalid frames received (connection dropped)."),
+		slowEvictions: reg.NewCounter("bin_slow_evictions_total", "Connections evicted because reply writes hit the write deadline."),
+		frameSeconds:  reg.NewHistogram("bin_frame_seconds", "Binary protocol per-frame service time.", obs.LatencyBuckets()),
+	}
+}

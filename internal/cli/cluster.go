@@ -42,6 +42,7 @@ type clusterOptions struct {
 	opTimeout    time.Duration
 	probe        time.Duration
 	timeout      time.Duration
+	bin          bool
 }
 
 func cmdCluster(args []string, w io.Writer) error {
@@ -62,6 +63,7 @@ func cmdCluster(args []string, w io.Writer) error {
 	fs.DurationVar(&opts.opTimeout, "op-timeout", 2*time.Minute, "topology-operation deadline (shard add/drain incl. migration)")
 	fs.DurationVar(&opts.probe, "probe", time.Second, "shard health-probe interval (negative = off)")
 	fs.DurationVar(&opts.timeout, "timeout", 10*time.Second, "router per-request deadline")
+	fs.BoolVar(&opts.bin, "bin", false, "give every in-process shard a binary lookup listener (docs/PROTOCOL.md) on an ephemeral port, advertised via each shard's /v1/status")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +86,7 @@ type shardProc struct {
 	hs  *http.Server
 	st  *store.Store
 	url string
+	bin string // binary lookup address, when -bin is set
 }
 
 func (p *shardProc) close() {
@@ -159,9 +162,29 @@ func bootClusterShard(opts clusterOptions, i int, w io.Writer) (*shardProc, erro
 		g.Close()
 		return fail(err)
 	}
+	// With -bin, each shard also answers binary lookups (docs/PROTOCOL.md)
+	// on an ephemeral port. The address is advertised in the shard's own
+	// /v1/status (and through the router's aggregated status page), so it
+	// does not need a stable port even with -data-dir.
+	binAddr := ""
+	if opts.bin {
+		bln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ln.Close()
+			g.Close()
+			return fail(err)
+		}
+		if _, err := g.ServeBin(bln); err != nil {
+			bln.Close()
+			ln.Close()
+			g.Close()
+			return fail(err)
+		}
+		binAddr = bln.Addr().String()
+	}
 	hs := &http.Server{Handler: g.Handler()}
 	go hs.Serve(ln)
-	return &shardProc{g: g, hs: hs, st: st, url: "http://" + ln.Addr().String()}, nil
+	return &shardProc{g: g, hs: hs, st: st, url: "http://" + ln.Addr().String(), bin: binAddr}, nil
 }
 
 // runCluster boots the shard fleet (or joins an external one), fronts it
@@ -191,6 +214,9 @@ func runCluster(opts clusterOptions, w io.Writer, ready func(addr string), stop 
 		defer p.close()
 		urls = append(urls, p.url)
 		fmt.Fprintf(w, "cluster: shard %d listening on %s\n", i, p.url)
+		if p.bin != "" {
+			fmt.Fprintf(w, "cluster: shard %d binary lookups on %s\n", i, p.bin)
+		}
 	}
 	for _, u := range strings.Split(opts.join, ",") {
 		if u = strings.TrimSpace(u); u != "" {

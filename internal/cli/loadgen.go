@@ -35,6 +35,8 @@ type loadgenOptions struct {
 	dash     time.Duration
 	stream   bool
 	deadline time.Duration
+	bin      bool
+	batch    int
 }
 
 func cmdLoadgen(args []string, w io.Writer) error {
@@ -55,8 +57,16 @@ func cmdLoadgen(args []string, w io.Writer) error {
 	fs.DurationVar(&opts.dash, "dash", 0, "scrape /v1/metrics and print a live dashboard line at this interval (0 = off)")
 	fs.BoolVar(&opts.stream, "stream", false, "drive chunked streaming sessions (GET /v1/sessions/{id}/stream) instead of block lookups, tracking placement via the snapshot+delta locator feed and verifying every chunk against the content oracle")
 	fs.DurationVar(&opts.deadline, "deadline", 0, "client-side chunk deadline for the -stream hiccup count (0 = server round pacing only)")
+	fs.BoolVar(&opts.bin, "bin", false, "compare the HTTP read path against the binary lookup protocol (docs/PROTOCOL.md): one HTTP phase, one binary single-lookup phase, and one binary batched phase, reported side by side")
+	fs.IntVar(&opts.batch, "batch", 64, "lookups per frame in the -bin batched phase")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if opts.bin && opts.stream {
+		return fmt.Errorf("-bin and -stream are mutually exclusive")
+	}
+	if opts.bin {
+		return runBinLoad(opts, w)
 	}
 	if opts.stream {
 		return runStreamLoad(opts, w)
@@ -507,8 +517,9 @@ func (c *lgClient) openSession(object int) (id int, retryAfter time.Duration, ok
 // lgStatus is the slice of the /v1/status JSON the load generator cares
 // about.
 type lgStatus struct {
-	Disks        int  `json:"disks"`
-	Reorganizing bool `json:"reorganizing"`
+	Disks        int    `json:"disks"`
+	Reorganizing bool   `json:"reorganizing"`
+	BinAddr      string `json:"binAddr"`
 }
 
 func fetchStatus(hc *http.Client, base string) (lgStatus, error) {

@@ -41,6 +41,7 @@ type serveOptions struct {
 	checkpointEvery int
 	debugAddr       string
 	replAddr        string
+	binAddr         string
 	bits            uint
 	eps             float64
 	payloadDir      string
@@ -67,6 +68,7 @@ func cmdServe(args []string, w io.Writer) error {
 	fs.IntVar(&opts.checkpointEvery, "checkpoint-every", 1024, "journal events between automatic checkpoints")
 	fs.StringVar(&opts.debugAddr, "debug-addr", "", "debug listen address serving /metrics and /debug/pprof (empty = off)")
 	fs.StringVar(&opts.replAddr, "repl-addr", "", "replication listen address streaming the journal to followers (requires -data-dir; empty = off)")
+	fs.StringVar(&opts.binAddr, "bin-addr", "", "binary lookup listen address speaking the wire protocol in docs/PROTOCOL.md (empty = off)")
 	fs.UintVar(&opts.bits, "bits", 64, "generator width b; below 64 enables Section 4.3 budget tracking")
 	fs.Float64Var(&opts.eps, "eps", 0.05, "unfairness tolerance ε for the randomness budget (used with -bits < 64)")
 	fs.StringVar(&opts.payloadDir, "payload-dir", "", "per-disk segment store root carrying real block bytes; empty = metadata-only")
@@ -299,6 +301,21 @@ func serveGateway(opts serveOptions, w io.Writer, ready func(addr string), stop 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
+	}
+
+	// The binary lookup listener serves the same locator snapshot as the
+	// HTTP read path, minus the HTTP overhead (docs/PROTOCOL.md). The
+	// gateway shuts it down with itself and advertises the bound address
+	// in GET /v1/status so loadgen -bin can discover it.
+	if opts.binAddr != "" {
+		bln, err := net.Listen("tcp", opts.binAddr)
+		if err != nil {
+			return err
+		}
+		if _, err := g.ServeBin(bln); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "serve: binary lookups listening on %s\n", bln.Addr())
 	}
 
 	// The debug listener is deliberately separate from the service address:

@@ -1,0 +1,152 @@
+package cm
+
+import "testing"
+
+// assertBatchAgrees checks that LocateBatch returns, for every loaded block,
+// exactly what serial Locate returns.
+func assertBatchAgrees(t *testing.T, sn *LocatorSnapshot, objects, blocks int) {
+	t.Helper()
+	var addrs []BlockAddr
+	for o := 0; o < objects; o++ {
+		for i := 0; i < blocks; i++ {
+			addrs = append(addrs, BlockAddr{Object: o, Index: i})
+		}
+	}
+	disks := make([]int32, len(addrs))
+	status := make([]uint8, len(addrs))
+	var sc BatchScratch
+	sn.LocateBatch(addrs, disks, status, &sc)
+	for k, a := range addrs {
+		want, err := sn.Locate(a.Object, a.Index)
+		if err != nil {
+			t.Fatalf("Locate(%d,%d): %v", a.Object, a.Index, err)
+		}
+		if status[k] != LocateOK {
+			t.Fatalf("block %d/%d: batch status %d, want OK", a.Object, a.Index, status[k])
+		}
+		if int(disks[k]) != want {
+			t.Fatalf("block %d/%d: batch disk %d, serial Locate %d", a.Object, a.Index, disks[k], want)
+		}
+	}
+}
+
+func TestLocateBatchAgreesDuringScaleUp(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 6, 300)
+	assertBatchAgrees(t, buildSnap(t, srv), 6, 300)
+	if _, err := srv.ScaleUp(2); err != nil {
+		t.Fatal(err)
+	}
+	for srv.Reorganizing() {
+		assertBatchAgrees(t, buildSnap(t, srv), 6, 300)
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	assertBatchAgrees(t, buildSnap(t, srv), 6, 300)
+}
+
+func TestLocateBatchAgreesDuringScaleDown(t *testing.T) {
+	srv := newServer(t, 6)
+	loadObjects(t, srv, 6, 300)
+	if _, err := srv.ScaleDown(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	for srv.Reorganizing() {
+		assertBatchAgrees(t, buildSnap(t, srv), 6, 300)
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertBatchAgrees(t, buildSnap(t, srv), 6, 300)
+	if err := srv.CompleteScaleDown(); err != nil {
+		t.Fatal(err)
+	}
+	assertBatchAgrees(t, buildSnap(t, srv), 6, 300)
+}
+
+func TestLocateBatchStatuses(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 2, 50)
+	sn := buildSnap(t, srv)
+	addrs := []BlockAddr{
+		{Object: 0, Index: 0},
+		{Object: 99, Index: 0},
+		{Object: 1, Index: 50},
+		{Object: 1, Index: -1},
+		{Object: 1, Index: 49},
+	}
+	disks := make([]int32, len(addrs))
+	status := make([]uint8, len(addrs))
+	sn.LocateBatch(addrs, disks, status, &BatchScratch{})
+	want := []uint8{LocateOK, LocateUnknownObject, LocateOutOfRange, LocateOutOfRange, LocateOK}
+	for i, w := range want {
+		if status[i] != w {
+			t.Fatalf("entry %d: status %d, want %d", i, status[i], w)
+		}
+	}
+	for _, i := range []int{1, 2, 3} {
+		if disks[i] != 0 {
+			t.Fatalf("failed entry %d: disk %d, want 0", i, disks[i])
+		}
+	}
+}
+
+func TestLocateBatchZeroAlloc(t *testing.T) {
+	srv := newServer(t, 8)
+	loadObjects(t, srv, 4, 200)
+	sn := buildSnap(t, srv)
+	addrs := make([]BlockAddr, 64)
+	for i := range addrs {
+		addrs[i] = BlockAddr{Object: i % 4, Index: (i * 37) % 200}
+	}
+	disks := make([]int32, len(addrs))
+	status := make([]uint8, len(addrs))
+	var sc BatchScratch
+	sn.LocateBatch(addrs, disks, status, &sc) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		sn.LocateBatch(addrs, disks, status, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("LocateBatch allocates %.1f per batch, want 0", allocs)
+	}
+}
+
+func TestPlacementEpochAdvances(t *testing.T) {
+	srv := newServer(t, 4)
+	loadObjects(t, srv, 2, 100)
+	if got := srv.PlacementEpoch(); got != 0 {
+		t.Fatalf("epoch after load: %d, want 0 (object adds are not epoch events)", got)
+	}
+	sn0 := buildSnap(t, srv)
+	if sn0.Epoch() != 0 {
+		t.Fatalf("snapshot epoch %d, want 0", sn0.Epoch())
+	}
+	if _, err := srv.ScaleUp(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.PlacementEpoch(); got != 1 {
+		t.Fatalf("epoch after ScaleUp: %d, want 1", got)
+	}
+	for srv.Reorganizing() {
+		if err := srv.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per-block migration progress must not advance the epoch.
+	if got := srv.PlacementEpoch(); got != 1 {
+		t.Fatalf("epoch after drain ticks: %d, want 1", got)
+	}
+	if err := srv.FinishReorganization(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.PlacementEpoch(); got != 2 {
+		t.Fatalf("epoch after FinishReorganization: %d, want 2", got)
+	}
+	if sn := buildSnap(t, srv); sn.Epoch() != 2 {
+		t.Fatalf("snapshot epoch %d, want 2", sn.Epoch())
+	}
+}

@@ -169,6 +169,9 @@ func (s *Server) AddEventSink(sink EventSink) {
 // observability layer: the observer's per-kind counter and the trace ring
 // (tagged with the current round) both see every event the journal does.
 func (s *Server) emit(ev Event) {
+	if IsEpochEvent(ev.Kind) {
+		s.placementEpoch++
+	}
 	if s.obsv != nil {
 		s.obsv.observeEvent(ev)
 	}
@@ -184,6 +187,15 @@ func (s *Server) emit(ev Event) {
 		sink(ev)
 	}
 }
+
+// PlacementEpoch returns the number of epoch events emitted so far: it
+// advances when a scaling operation starts or finishes (IsEpochEvent), never
+// for per-block migration progress. Crash recovery and follower replay drive
+// the same emitting mutators, so the counter is consistent with the journal
+// suffix it was rebuilt from; it is NOT comparable across processes that
+// replayed from different checkpoints — clients must treat it as an opaque
+// generation tag, not a global sequence number.
+func (s *Server) PlacementEpoch() uint64 { return s.placementEpoch }
 
 // seedOfObject resolves an object ID to its placement seed, consulting
 // in-progress ingests as well as the catalog.

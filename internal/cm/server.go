@@ -244,6 +244,11 @@ type Server struct {
 	// non-durable observers teed behind it (see events.go).
 	events     EventSink
 	extraSinks []EventSink
+	// placementEpoch counts epoch events (IsEpochEvent) emitted so far: it
+	// advances when a scaling operation starts or finishes, never mid-drain.
+	// Snapshots carry it so remote readers can detect that two answers came
+	// from different placement generations (see LocatorSnapshot.Epoch).
+	placementEpoch uint64
 	// payloads, content, and delivery wire the real data plane: per-disk
 	// byte stores, the deterministic content oracle, and the sink served
 	// bytes are handed to (see dataplane.go).

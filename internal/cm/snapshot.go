@@ -52,6 +52,7 @@ type snapObject struct {
 // multiply-shift remap — interprets no operation log and allocates nothing.
 type LocatorSnapshot struct {
 	n            int
+	epoch        uint64
 	reorganizing bool
 	degraded     bool
 	objects      map[int]snapObject
@@ -194,6 +195,7 @@ func (s *Server) BuildSnapshot(factory scaddar.SourceFactory) (*LocatorSnapshot,
 	}
 	sn := &LocatorSnapshot{
 		n:            s.N(),
+		epoch:        s.placementEpoch,
 		reorganizing: s.Reorganizing(),
 		degraded:     s.Degraded(),
 		objects:      objs,
@@ -219,6 +221,12 @@ func (s *Server) BuildSnapshot(factory scaddar.SourceFactory) (*LocatorSnapshot,
 
 // N returns the logical disk count at snapshot time.
 func (sn *LocatorSnapshot) N() int { return sn.n }
+
+// Epoch returns the server's placement epoch at snapshot time (see
+// Server.PlacementEpoch). Two snapshots with equal epochs were built under
+// the same scaling-operation generation; a change tells a remote reader that
+// a reorganization started or finished between its lookups.
+func (sn *LocatorSnapshot) Epoch() uint64 { return sn.epoch }
 
 // Reorganizing reports whether a migration was draining at snapshot time.
 func (sn *LocatorSnapshot) Reorganizing() bool { return sn.reorganizing }

@@ -1,0 +1,40 @@
+package gateway
+
+import (
+	"net"
+
+	"scaddar/internal/binproto"
+)
+
+// This file wires the binary lookup protocol (internal/binproto,
+// docs/PROTOCOL.md) onto a gateway. The binary server needs exactly two
+// things from the gateway — the atomic locator snapshot and the draining
+// flag — so the same placement answers flow out of both listeners: an HTTP
+// read and a binary lookup racing the same reorganization see the same
+// epoch-tagged snapshot pointer.
+
+// ServeBin starts a binary lookup server over this gateway's snapshot on
+// the listener, accepting in a background goroutine. The server shares the
+// gateway's metrics registry (bin_* counters and histograms land next to
+// the gateway_* ones), advertises the bound address as binAddr in
+// GET /v1/status so clients can discover the fast read path, and is shut
+// down when the gateway closes.
+func (g *Gateway) ServeBin(ln net.Listener) (*binproto.Server, error) {
+	bs, err := binproto.NewServer(binproto.ServerConfig{
+		Snapshot: g.Snapshot,
+		Draining: g.Draining,
+		Registry: g.reg,
+		Logf:     g.cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := bs.Serve(ln); err != nil {
+			g.logf("gateway: binary listener: %v", err)
+		}
+	}()
+	g.binAddr.Store(ln.Addr().String())
+	g.onClose(bs.Close)
+	return bs, nil
+}

@@ -179,6 +179,9 @@ type Status struct {
 	RebuildRemaining int `json:"rebuildRemaining"`
 	// Draining reports graceful shutdown in progress.
 	Draining bool `json:"draining"`
+	// BinAddr is the binary lookup listener's address (docs/PROTOCOL.md),
+	// when one is serving. Clients discover the fast read path here.
+	BinAddr string `json:"binAddr,omitempty"`
 	// Server is the simulator's own metrics struct.
 	Server cm.Metrics `json:"server"`
 	// Gateway is the gateway-level counter set.
@@ -203,6 +206,14 @@ type Gateway struct {
 	stop     chan struct{} // closed by Shutdown/Close to end the owner loop
 	closed   chan struct{} // closed by the owner loop on exit
 	stopOnce sync.Once
+
+	// closeHooks are auxiliary shutdowns (the binary lookup listener) run
+	// once after the round driver stops.
+	hooksMu    sync.Mutex
+	closeHooks []func()
+	hooksOnce  sync.Once
+	// binAddr is the advertised binary lookup address (set by ServeBin).
+	binAddr atomic.Value // string
 
 	// reg/trace/m are the observability layer: the registry served at
 	// /v1/metrics, the span ring served at /v1/trace, and the gateway's own
@@ -450,6 +461,9 @@ func (g *Gateway) Snapshot() *cm.LocatorSnapshot { return g.snap.Load() }
 func (g *Gateway) Status() Status {
 	st := *g.status.Load()
 	st.Draining = g.draining.Load()
+	if a, _ := g.binAddr.Load().(string); a != "" {
+		st.BinAddr = a
+	}
 	if g.cfg.Store != nil {
 		js := g.cfg.Store.Status()
 		st.Journal = &js
@@ -613,4 +627,19 @@ func (g *Gateway) Close() {
 func (g *Gateway) halt() {
 	g.stopOnce.Do(func() { close(g.stop) })
 	<-g.closed
+	g.hooksOnce.Do(func() {
+		g.hooksMu.Lock()
+		hooks := g.closeHooks
+		g.hooksMu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
+	})
+}
+
+// onClose registers a shutdown hook run once when the gateway halts.
+func (g *Gateway) onClose(fn func()) {
+	g.hooksMu.Lock()
+	g.closeHooks = append(g.closeHooks, fn)
+	g.hooksMu.Unlock()
 }

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 
+	"scaddar/internal/binproto"
 	"scaddar/internal/cluster"
 	"scaddar/internal/cm"
 	"scaddar/internal/dataplane"
@@ -274,6 +275,43 @@ type LocatorSnapshot = cm.LocatorSnapshot
 // NewGateway wraps a server (objects already loaded) in a gateway and
 // starts its round driver. The gateway takes ownership of the server.
 func NewGateway(srv *Server, cfg GatewayConfig) (*Gateway, error) { return gateway.New(srv, cfg) }
+
+// ---- Binary lookup protocol (internal/binproto) ----
+
+// BinClient is a persistent, pipelining client connection for the binary
+// lookup protocol specified in docs/PROTOCOL.md. Safe for concurrent use.
+type BinClient = binproto.Client
+
+// BinClientConfig tunes DialBin.
+type BinClientConfig = binproto.ClientConfig
+
+// BinClientPool is a fixed set of BinClient connections handed out
+// round-robin, for callers that want more than one pipe per server.
+type BinClientPool = binproto.Pool
+
+// BinResult is one lookup's outcome within a LocateBatch response.
+type BinResult = binproto.Result
+
+// BlockAddr names one block of one catalog object, the unit a batched
+// lookup request carries.
+type BlockAddr = cm.BlockAddr
+
+// BinEpochInfo is the answer to a binary epoch probe.
+type BinEpochInfo = binproto.EpochInfo
+
+// BinServerConfig tunes a standalone binary protocol server; most callers
+// should use Gateway.ServeBin instead, which wires the gateway's snapshot,
+// registry, and lifecycle in automatically.
+type BinServerConfig = binproto.ServerConfig
+
+// DialBin connects and handshakes with a binary lookup listener (started
+// with Gateway.ServeBin or the serve -bin-addr / cluster -bin flags).
+func DialBin(addr string, cfg BinClientConfig) (*BinClient, error) { return binproto.Dial(addr, cfg) }
+
+// DialBinPool opens size binary protocol connections to one address.
+func DialBinPool(addr string, size int, cfg BinClientConfig) (*BinClientPool, error) {
+	return binproto.DialPool(addr, size, cfg)
+}
 
 // ---- Observability (internal/obs) ----
 

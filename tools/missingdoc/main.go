@@ -33,6 +33,7 @@ var defaultDirs = []string{
 	"internal/dataplane",
 	"internal/gateway",
 	"internal/cluster",
+	"internal/binproto",
 	"internal/store",
 	"internal/repl",
 	"internal/obs",
