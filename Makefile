@@ -74,14 +74,18 @@ bench-cluster:
 	$(GO) test -run '^$$' -bench 'ClusterRoute|ClusterGatewayRead' -benchmem ./internal/cluster/ | $(GO) run ./tools/benchjson > BENCH_7.json
 	@echo "regenerated BENCH_7.json"
 
-# Capture the streaming data-plane benchmarks as BENCH_8.json: the
-# per-chunk hot path (session buffer → wire frame → client decode, the
-# work every session pays once per round) and the locator feed's
-# publish/catch-up cycle, alone and fanning out to 64 parked long-pollers.
-# Re-run and commit with any change that moves a number.
+# Capture the streaming data-plane benchmarks as BENCH_10.json: the
+# per-chunk hot path (pooled buffer → session buffer → wire frame →
+# scratch-reuse client decode, zero allocations per chunk), the locator
+# feed's publish/catch-up cycle alone and fanning out to 64 parked
+# long-pollers, and the full round-delivery path (per-disk batched,
+# coalesced segment reads feeding every playing stream) across disk counts
+# plus the unbatched per-block baseline. BENCH_8.json is the pre-pooling
+# capture of the same chunk path, kept as history. Re-run and commit with
+# any change that moves a number.
 bench-stream:
-	$(GO) test -run '^$$' -bench 'StreamChunk|DeltaFeed' -benchmem ./internal/dataplane/ | $(GO) run ./tools/benchjson > BENCH_8.json
-	@echo "regenerated BENCH_8.json"
+	$(GO) test -run '^$$' -bench 'StreamChunk|DeltaFeed|RoundDelivery' -benchmem ./internal/dataplane/ ./internal/cm/ | $(GO) run ./tools/benchjson > BENCH_10.json
+	@echo "regenerated BENCH_10.json"
 
 # Capture the binary-lookup-protocol benchmarks as BENCH_9.json: frame
 # encode/decode alone, then the full client/server round trip over

@@ -93,6 +93,10 @@ func runStreamLoad(opts loadgenOptions, w io.Writer) error {
 	fmt.Fprintf(w, "loadgen: %d streaming clients against %s for %s (%d objects, Zipf θ=%g, one shared locator)\n",
 		opts.clients, base, opts.duration, len(objects), opts.zipf)
 
+	// Snapshot the server's counters before the run so the final report can
+	// attribute flushes and rounds to this run alone.
+	before, beforeErr := fetchStreamCounters(hc, base)
+
 	start := time.Now()
 	deadline := start.Add(opts.duration)
 	runCtx, cancelRun := context.WithDeadline(context.Background(), deadline)
@@ -182,6 +186,9 @@ func runStreamLoad(opts loadgenOptions, w io.Writer) error {
 	fmt.Fprintf(w, "chunks %d (%.1f MiB, %.1f chunks/s)  frame errors %d  oracle mismatches %d  locate errors %d  feed resyncs %d\n",
 		t.chunks, float64(t.bytes)/(1<<20), float64(t.chunks)/elapsed.Seconds(),
 		t.frameErrs, t.oracleErr, t.locateErr, resyncs)
+	mibs := float64(t.bytes) / (1 << 20) / elapsed.Seconds()
+	fmt.Fprintf(w, "throughput %.1f MiB/s aggregate, %.2f MiB/s per client (%d clients)\n",
+		mibs, mibs/float64(opts.clients), opts.clients)
 	if t.frameErrs > 0 || t.oracleErr > 0 {
 		fmt.Fprintf(w, "loadgen: INTEGRITY FAILURES DETECTED\n")
 	}
@@ -215,10 +222,22 @@ func runStreamLoad(opts loadgenOptions, w io.Writer) error {
 	}
 
 	// The server's own data-plane counters close the loop: its deadline
-	// misses (hiccups) and evictions should explain any client-side gaps.
+	// misses (hiccups) and evictions should explain any client-side gaps,
+	// and the flush count shows how hard the coalesced drain worked — an
+	// awake session pays one Write+flush per round regardless of how many
+	// chunks it gathered, so flushes/round ≈ concurrently-drained sessions.
 	if st, err := fetchStreamCounters(hc, base); err == nil {
 		fmt.Fprintf(w, "server: %d chunks buffered, %d deadline misses, %d evictions, %d locator deltas\n",
 			st.StreamChunks, st.StreamMisses, st.StreamEvictions, st.DeltasPublished)
+		if beforeErr == nil {
+			rounds := st.Rounds - before.Rounds
+			flushes := st.StreamFlushes - before.StreamFlushes
+			chunks := st.StreamChunks - before.StreamChunks
+			if rounds > 0 && flushes > 0 {
+				fmt.Fprintf(w, "server: %d flushes over %d rounds (%.2f flushes/round, %.2f chunks/flush)\n",
+					flushes, rounds, float64(flushes)/float64(rounds), float64(chunks)/float64(flushes))
+			}
+		}
 	}
 	return nil
 }
@@ -418,17 +437,24 @@ func followLocatorFeed(ctx context.Context, hc *http.Client, base string, loc *d
 	return resyncs
 }
 
+// streamCounters is the slice of /v1/status the streaming report uses.
+type streamCounters struct {
+	Rounds          int
+	StreamChunks    int64
+	StreamFlushes   int64
+	StreamMisses    int64
+	StreamEvictions int64
+	DeltasPublished int64
+}
+
 // fetchStreamCounters pulls the gateway's data-plane counters from
 // /v1/status.
-func fetchStreamCounters(hc *http.Client, base string) (struct {
-	StreamChunks    int64 `json:"streamChunks"`
-	StreamMisses    int64 `json:"streamMisses"`
-	StreamEvictions int64 `json:"streamEvictions"`
-	DeltasPublished int64 `json:"deltasPublished"`
-}, error) {
+func fetchStreamCounters(hc *http.Client, base string) (streamCounters, error) {
 	var out struct {
+		Rounds  int `json:"rounds"`
 		Gateway struct {
 			StreamChunks    int64 `json:"streamChunks"`
+			StreamFlushes   int64 `json:"streamFlushes"`
 			StreamMisses    int64 `json:"streamMisses"`
 			StreamEvictions int64 `json:"streamEvictions"`
 			DeltasPublished int64 `json:"deltasPublished"`
@@ -436,9 +462,16 @@ func fetchStreamCounters(hc *http.Client, base string) (struct {
 	}
 	resp, err := hc.Get(base + "/v1/status")
 	if err != nil {
-		return out.Gateway, err
+		return streamCounters{}, err
 	}
 	defer resp.Body.Close()
 	err = json.NewDecoder(resp.Body).Decode(&out)
-	return out.Gateway, err
+	return streamCounters{
+		Rounds:          out.Rounds,
+		StreamChunks:    out.Gateway.StreamChunks,
+		StreamFlushes:   out.Gateway.StreamFlushes,
+		StreamMisses:    out.Gateway.StreamMisses,
+		StreamEvictions: out.Gateway.StreamEvictions,
+		DeltasPublished: out.Gateway.DeltasPublished,
+	}, err
 }

@@ -1,0 +1,150 @@
+package cm
+
+import (
+	"testing"
+	"time"
+
+	"scaddar/internal/bufpool"
+	"scaddar/internal/dataplane"
+	"scaddar/internal/disk"
+	"scaddar/internal/placement"
+	"scaddar/internal/prng"
+	"scaddar/internal/workload"
+)
+
+// benchSink is a minimal delivery sink for round benchmarks: it wants every
+// payload, counts the bytes, and releases each buffer immediately — the
+// cheapest well-behaved consumer, so the measured cost is the server's.
+type benchSink struct {
+	bytes int64
+}
+
+func (s *benchSink) WantsPayload(int) bool { return true }
+
+func (s *benchSink) Deliver(stream, object, index int, p bufpool.Payload) bool {
+	s.bytes += int64(len(p.Data))
+	p.Release()
+	return false
+}
+
+func (s *benchSink) StreamClosed(int, StreamState) {}
+
+// unbatchedStore hides a store's BatchReader so disk.ReadBlocksFrom takes
+// the sequential per-block Get fallback — the pre-batching read path, kept
+// as the benchmark baseline.
+type unbatchedStore struct {
+	disk.PayloadStore
+}
+
+// BenchmarkRoundDelivery measures one full scheduling round of the payload
+// path: every playing stream plans its block read, the reads are grouped by
+// disk, coalesced, and executed as per-disk batches running in parallel
+// (one worker per batch, bounded by GOMAXPROCS), and the delivered chunks
+// flow through the sink. The disks subdimension varies how many stores the
+// same stream population is spread over; the seq variant disables batching
+// (per-block Get, one syscall and one allocation per block) to show what
+// coalescing and pooling buy.
+func BenchmarkRoundDelivery(b *testing.B) {
+	type variant struct {
+		name    string
+		disks   int
+		batched bool
+	}
+	variants := []variant{
+		{"disks=1", 1, true},
+		{"disks=2", 2, true},
+		{"disks=4", 4, true},
+		{"disks=8", 8, true},
+		{"disks=4/seq", 4, false},
+	}
+	for _, v := range variants {
+		disks := v.disks
+		b.Run(v.name, func(b *testing.B) {
+			// 128 streams of 128 KiB blocks move 16 MiB per round — enough
+			// CRC-verify work per batch that the per-disk parallelism is
+			// visible over the goroutine fan-out cost. The 2 s round keeps a
+			// single simulated disk's block budget above the stream count so
+			// every sub-benchmark serves the same population.
+			const (
+				blockBytes = 128 << 10
+				objects    = 8
+				blocks     = 64
+				streams    = 128
+			)
+			cfg := DefaultConfig()
+			cfg.BlockBytes = blockBytes
+			cfg.Round = 2 * time.Second
+			cfg.Utilization = 1
+			x0 := placement.NewX0Func(func(seed uint64) prng.Source { return prng.NewSplitMix64(seed) })
+			strat, err := placement.NewScaddar(disks, x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := NewServer(cfg, strat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mgr, err := dataplane.NewManager(b.TempDir(), dataplane.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			factory := mgr.Factory()
+			if !v.batched {
+				inner := factory
+				factory = func(id int) (disk.PayloadStore, error) {
+					ps, err := inner(id)
+					if err != nil {
+						return nil, err
+					}
+					return unbatchedStore{ps}, nil
+				}
+			}
+			if err := srv.AttachPayloads(factory, dataplane.SeededContent); err != nil {
+				b.Fatal(err)
+			}
+			for o := 0; o < objects; o++ {
+				obj := workload.Object{ID: o + 1, Seed: uint64(o)*77 + 5, Blocks: blocks, BlockBytes: blockBytes}
+				if err := srv.AddObject(obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sink := &benchSink{}
+			srv.SetDeliverySink(sink)
+			sts := make([]*Stream, streams)
+			for i := range sts {
+				st, err := srv.StartStream(i%objects + 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Stagger start positions so a round's reads span each
+				// store instead of clustering on one ingest-order run.
+				if err := srv.SeekStream(st.ID, (i*blocks/streams)%blocks); err != nil {
+					b.Fatal(err)
+				}
+				sts[i] = st
+			}
+			b.SetBytes(int64(streams) * blockBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, st := range sts {
+					if st.Position >= blocks-1 {
+						b.StopTimer()
+						if err := srv.SeekStream(st.ID, 0); err != nil {
+							b.Fatal(err)
+						}
+						b.StartTimer()
+					}
+				}
+				if err := srv.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if want := int64(b.N) * int64(streams) * blockBytes; sink.bytes != want {
+				b.Fatalf("sink received %d bytes, want %d", sink.bytes, want)
+			}
+		})
+	}
+}

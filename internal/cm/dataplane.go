@@ -16,6 +16,7 @@ package cm
 import (
 	"fmt"
 
+	"scaddar/internal/bufpool"
 	"scaddar/internal/disk"
 	"scaddar/internal/placement"
 	"scaddar/internal/reorg"
@@ -34,10 +35,14 @@ type DeliverySink interface {
 	// round; the server skips payload materialization for streams nobody is
 	// listening to.
 	WantsPayload(stream int) bool
-	// Deliver hands over one served block's bytes. Returning evict=true
-	// tells the server the client has fallen hopelessly behind: the stream
-	// is stopped (backpressure protects the round, not the laggard).
-	Deliver(stream, object int, index int, data []byte) (evict bool)
+	// Deliver hands over one served block's bytes, transferring ownership
+	// of the payload's buffer reference: the sink must Release it exactly
+	// once (directly, or by handing it down a pipeline that does) — pooled
+	// reads land in shared refcounted buffers, and a leaked reference keeps
+	// a whole coalesced span out of the pool. Returning evict=true tells
+	// the server the client has fallen hopelessly behind: the stream is
+	// stopped (backpressure protects the round, not the laggard).
+	Deliver(stream, object int, index int, p bufpool.Payload) (evict bool)
 	// StreamClosed reports a stream leaving StreamPlaying during Tick, with
 	// its final state.
 	StreamClosed(stream int, state StreamState)
@@ -89,12 +94,20 @@ func (s *Server) attachPayload(d *disk.Disk) error {
 		return fmt.Errorf("cm: payload store for disk %d: %w", d.ID(), err)
 	}
 	d.AttachPayload(ps)
-	// Transient-error injection fires on the real segment-file read, not on
-	// a pre-roll: a faulted Get is indistinguishable from a media error.
+	// Transient-error injection fires on the store's real read path so a
+	// faulted Get is indistinguishable from a media error. During the round
+	// scheduler's parallel batch the hook is suppressed: those reads
+	// pre-rolled their fault at plan time on the owner goroutine (serveRead),
+	// which keeps the injector's draw sequence deterministic — a concurrent
+	// roll per disk would make which stream faults depend on goroutine
+	// scheduling.
 	if fi, ok := ps.(interface {
 		SetReadFault(func(disk.BlockID) error)
 	}); ok {
 		fi.SetReadFault(func(disk.BlockID) error {
+			if s.inBatchRead.Load() {
+				return nil
+			}
 			if s.faults != nil && s.faults.transientError() {
 				return fmt.Errorf("cm: injected transient read fault")
 			}
@@ -242,18 +255,22 @@ func (s *Server) attachAddedPayloads(from int) error {
 	return nil
 }
 
-// deliver hands one served block's bytes to the delivery sink and applies
-// its eviction verdict. data may be nil (no payload store on the serving
-// path); the oracle fills in, so failover and cache hits still deliver.
-func (s *Server) deliver(st *Stream, data []byte) {
+// deliver hands one served block's payload to the delivery sink and
+// applies its eviction verdict. The caller transfers its buffer reference:
+// when no sink wants the stream the reference is released here, and an
+// empty payload (no store on the serving path — failover, cache hit,
+// metadata-only serve) is materialized from the oracle only when a sink is
+// actually listening.
+func (s *Server) deliver(st *Stream, p bufpool.Payload) {
 	if s.delivery == nil || !s.delivery.WantsPayload(st.ID) {
+		p.Release()
 		return
 	}
-	if data == nil {
-		data = s.contentFor(blockID(st.Object, uint64(st.Position)))
+	if p.Data == nil {
+		p = bufpool.Unpooled(s.contentFor(blockID(st.Object, uint64(st.Position))))
 	}
-	s.metrics.PayloadBytesServed += int64(len(data))
-	if s.delivery.Deliver(st.ID, st.Object, st.Position, data) {
+	s.metrics.PayloadBytesServed += int64(len(p.Data))
+	if s.delivery.Deliver(st.ID, st.Object, st.Position, p) {
 		st.State = StreamStopped
 		s.metrics.SessionsEvicted++
 	}

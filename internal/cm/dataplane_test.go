@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"scaddar/internal/bufpool"
 	"scaddar/internal/dataplane"
 	"scaddar/internal/disk"
 	"scaddar/internal/placement"
@@ -96,8 +97,9 @@ func newCaptureSink() *captureSink {
 
 func (c *captureSink) WantsPayload(int) bool { return true }
 
-func (c *captureSink) Deliver(stream, object, index int, data []byte) bool {
-	buf := append([]byte(nil), data...)
+func (c *captureSink) Deliver(stream, object, index int, p bufpool.Payload) bool {
+	buf := append([]byte(nil), p.Data...)
+	p.Release()
 	c.chunks[stream] = append(c.chunks[stream], buf)
 	return false
 }

@@ -15,8 +15,10 @@ package cm
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"scaddar/internal/bufpool"
 	"scaddar/internal/cache"
 	"scaddar/internal/disk"
 	"scaddar/internal/mirror"
@@ -259,6 +261,22 @@ type Server struct {
 	// (see observe.go).
 	obsv  *Observer
 	trace *obs.Ring
+
+	// roundPlan collects the current round's store-backed reads in stream
+	// order; the batch* slices are the scheduler's reusable scratch
+	// (batchread.go). All are owner-goroutine state reused across rounds so
+	// the steady-state round performs no per-stream allocation.
+	roundPlan   []plannedRead
+	batchReqs   []disk.BlockRead
+	batchCounts []int
+	batchStarts []int
+	batchStores []disk.PayloadStore
+	batchGroups []readGroup
+	// inBatchRead suppresses the store-level injected-fault hook while the
+	// parallel batch executes: batched reads pre-roll their faults at plan
+	// time on the owner goroutine (serveRead), keeping the injector's draw
+	// sequence deterministic regardless of batch scheduling.
+	inBatchRead atomic.Bool
 }
 
 // NewServer creates a server over a fresh homogeneous array sized to the
@@ -755,42 +773,46 @@ const (
 	readHiccup
 	// readLost: no copy of the block is available; the stream skips it.
 	readLost
+	// readPlanned: the block is served from a payload store; the read was
+	// queued for the per-disk parallel batch and the stream's delivery
+	// happens after the batch executes (see batchread.go).
+	readPlanned
 )
 
 // serveRead attempts one block read against the current array state: the
 // home disk when it is healthy (or rebuilding and already restored), with a
-// transient-error roll — fired on the real segment-file read when a payload
-// store is attached; otherwise failover to the mirror copy or parity
+// transient-error roll; otherwise failover to the mirror copy or parity
 // reconstruction, charging one read on every source disk. used is
 // decremented-into per-disk round accounting shared with ingest and the
-// spare pool. On readServed, data carries the block's real bytes when a
-// payload store served them (nil means the caller materializes from the
-// oracle if it needs bytes).
+// spare pool. With a payload store on the serving disk the file I/O is not
+// performed here: the read is queued on s.roundPlan (readPlanned) and
+// executed by the per-disk parallel batch after every stream has planned
+// (see batchread.go). Transient faults for those reads are pre-rolled here,
+// on the owner goroutine in stream order, so the injector's draw sequence
+// stays deterministic regardless of how the batch parallelizes.
 func (s *Server) serveRead(st *Stream, ref placement.BlockRef, bid disk.BlockID,
-	used, caps []int, roundReqs map[int][]schedule.Request) (readOutcome, []byte, error) {
+	used, caps []int, roundReqs map[int][]schedule.Request) (readOutcome, error) {
 	if s.lost[bid] {
-		return readLost, nil, nil
+		return readLost, nil
 	}
 	logical := s.locate(ref)
 	d, err := s.array.Disk(logical)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
 	present := d.Health() != disk.Failed && d.Has(bid)
 	if !present {
 		// Absent blocks are legal only in degraded mode: the home disk
 		// failed, or the block awaits re-materialization.
 		if d.Health() == disk.Healthy && !s.rebuildPending(rebuildKey{kind: rebuildPrimary, ref: ref}) {
-			return 0, nil, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
+			return 0, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
 				st.ID, st.Object, st.Position, d.ID())
 		}
 		return s.failover(ref, bid, used, caps, false)
 	}
 	ps := d.Payload()
 	if ps == nil && s.faults != nil && s.faults.transientError() {
-		// Pure metadata simulation: roll the transient fault here. With a
-		// payload store attached the roll fires inside ps.Get instead, on
-		// the real read (see attachPayload).
+		// Pure metadata simulation: roll the transient fault here.
 		s.metrics.TransientReadErrors++
 		// The failed attempt still occupied the disk for a service slot.
 		if used[logical] < caps[logical] {
@@ -800,59 +822,64 @@ func (s *Server) serveRead(st *Stream, ref placement.BlockRef, bid disk.BlockID,
 		return s.failover(ref, bid, used, caps, true)
 	}
 	if used[logical] >= caps[logical] {
-		return readHiccup, nil, nil
+		return readHiccup, nil
 	}
 	if !d.Read(bid) {
-		return 0, nil, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
+		return 0, fmt.Errorf("cm: stream %d: block %d/%d missing from disk %d",
 			st.ID, st.Object, st.Position, d.ID())
 	}
-	var data []byte
-	if ps != nil {
-		got, rerr := ps.Get(bid)
-		if rerr != nil {
-			// The real read failed — injected fault or a corrupt frame. The
-			// attempt consumed the slot; recover via redundancy.
-			s.metrics.TransientReadErrors++
-			used[logical]++
-			d.RecordFailoverRead()
-			return s.failover(ref, bid, used, caps, true)
-		}
-		data = got
+	if ps != nil && s.faults != nil && s.faults.transientError() {
+		// Pre-rolled transient fault for a store-backed read: the attempt
+		// consumed the slot; recover via redundancy. (The store-level hook
+		// is suppressed during the batch so the roll happens exactly once.)
+		s.metrics.TransientReadErrors++
+		used[logical]++
+		d.RecordFailoverRead()
+		return s.failover(ref, bid, used, caps, true)
 	}
 	s.blockCache.Put(bid)
 	if roundReqs != nil {
 		lba, err := schedule.LBAFor(bid, int64(s.cfg.Profile.CapacityBlocks(s.cfg.BlockBytes)))
 		if err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 		roundReqs[d.ID()] = append(roundReqs[d.ID()], schedule.Request{Block: bid, LBA: lba})
 	}
 	used[logical]++
-	return readServed, data, nil
+	if ps != nil {
+		obj := s.objects[st.Object]
+		s.roundPlan = append(s.roundPlan, plannedRead{
+			st: st, blocks: obj.Blocks, ref: ref, bid: bid, logical: logical, d: d,
+		})
+		return readPlanned, nil
+	}
+	return readServed, nil
 }
 
 // failover serves a read from redundant copies. dataIntact marks transient
 // failures of a still-present block: those never report readLost — the data
 // survives, so a blocked failover just retries next round. Served bytes are
-// re-materialized from the content oracle: redundant copies are virtual
-// (computable), so reconstruction produces exactly the bytes ingest wrote.
+// re-materialized from the content oracle inside deliver: redundant copies
+// are virtual (computable), so reconstruction produces exactly the bytes
+// ingest wrote — and streams nobody listens to skip the materialization
+// entirely.
 func (s *Server) failover(ref placement.BlockRef, bid disk.BlockID,
-	used, caps []int, dataIntact bool) (readOutcome, []byte, error) {
+	used, caps []int, dataIntact bool) (readOutcome, error) {
 	if s.cfg.Redundancy == RedundancyNone {
 		if dataIntact {
-			return readHiccup, nil, nil
+			return readHiccup, nil
 		}
-		return readLost, nil, nil
+		return readLost, nil
 	}
 	sources, ok, err := s.failoverSources(ref)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
 	if !ok {
 		if dataIntact {
-			return readHiccup, nil, nil
+			return readHiccup, nil
 		}
-		return readLost, nil, nil
+		return readLost, nil
 	}
 	// All-or-nothing budget: a parity reconstruction needs every source in
 	// the same round. Degraded reads that overflow a round hiccup and retry.
@@ -862,21 +889,21 @@ func (s *Server) failover(ref placement.BlockRef, bid disk.BlockID,
 	}
 	for src, n := range need {
 		if used[src]+n > caps[src] {
-			return readHiccup, nil, nil
+			return readHiccup, nil
 		}
 	}
 	for _, src := range sources {
 		used[src]++
 		d, err := s.array.Disk(src)
 		if err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 		d.RecordFailoverRead()
 	}
 	s.metrics.DegradedReads++
 	s.metrics.FailoverReads += len(sources)
 	s.blockCache.Put(bid)
-	return readServed, s.contentFor(bid), nil
+	return readServed, nil
 }
 
 // Tick advances one scheduling round: scheduled fault events fire first;
@@ -919,6 +946,11 @@ func (s *Server) Tick() error {
 	if s.seek != nil {
 		roundReqs = make(map[int][]schedule.Request)
 	}
+	// Phase 1 — plan: every playing stream resolves its block, charges the
+	// round budget, and either completes immediately (cache hit, failover,
+	// hiccup, metadata-only serve) or queues a store-backed read on the
+	// round plan. No segment-file I/O happens in this loop.
+	s.roundPlan = s.roundPlan[:0]
 	for _, id := range ids {
 		st := s.streams[id]
 		if st.State != StreamPlaying {
@@ -931,7 +963,7 @@ func (s *Server) Tick() error {
 		// oracle inside deliver).
 		if s.blockCache.Get(bid) {
 			s.metrics.CacheHits++
-			s.deliver(st, nil)
+			s.deliver(st, bufpool.Payload{})
 			if st.State == StreamPlaying {
 				s.advanceStream(st, obj.Blocks, true)
 			}
@@ -939,13 +971,13 @@ func (s *Server) Tick() error {
 			continue
 		}
 		ref := placement.BlockRef{Seed: obj.Seed, Index: uint64(st.Position)}
-		outcome, data, err := s.serveRead(st, ref, bid, used, caps, roundReqs)
+		outcome, err := s.serveRead(st, ref, bid, used, caps, roundReqs)
 		if err != nil {
 			return err
 		}
 		switch outcome {
 		case readServed:
-			s.deliver(st, data)
+			s.deliver(st, bufpool.Payload{})
 			if st.State == StreamPlaying {
 				s.advanceStream(st, obj.Blocks, true)
 			}
@@ -957,8 +989,19 @@ func (s *Server) Tick() error {
 			// skips the block rather than stalling forever.
 			s.metrics.UnrecoverableReads++
 			s.advanceStream(st, obj.Blocks, false)
+		case readPlanned:
+			// Deferred to the batch below; notifyClosed fires after
+			// delivery in phase 3.
 		}
 		s.notifyClosed(st)
+	}
+
+	// Phases 2+3 — execute the planned reads as per-disk parallel batches,
+	// then deliver the results in stream-ID order (see batchread.go).
+	if len(s.roundPlan) > 0 {
+		if err := s.runBatchedReads(used, caps); err != nil {
+			return err
+		}
 	}
 
 	// Writes of in-progress recordings share the round's leftover budget.

@@ -6,37 +6,86 @@ import (
 	"context"
 	"sync"
 	"testing"
+
+	"scaddar/internal/bufpool"
 )
 
 // BenchmarkStreamChunk measures the per-chunk cost of the streaming hot
-// path: offer a block into the session buffer, drain it as the handler
-// does, frame it for the wire, and decode+verify the frame as a client
-// does. This is the work one session does once per round; at 10k sessions
-// it runs 10k times per round on the delivery path.
+// path: acquire a pooled payload buffer (as the batched segment reader
+// does), offer it into the session buffer, drain it as the handler does,
+// frame it for the wire, release the buffer back to the pool, and
+// decode+verify the frame as a client does. This is the work one session
+// does once per round; at 10k sessions it runs 10k times per round on the
+// delivery path. Steady state is zero allocations per chunk — guarded by
+// TestStreamChunkZeroAlloc.
 func BenchmarkStreamChunk(b *testing.B) {
 	const blockBytes = 4096
 	s := NewSession(1, 0, blockBytes, SessionBufferConfig{Buffer: 4})
-	data := SeededContent(42, 0, blockBytes)
-	buf := make([]byte, 0, blockBytes+64)
+	seed := SeededContent(42, 0, blockBytes)
+	wb := make([]byte, 0, blockBytes+64)
+	scratch := make([]byte, blockBytes+64)
 	var r bytes.Reader
 	br := bufio.NewReaderSize(&r, blockBytes+64)
 	b.SetBytes(blockBytes)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if delivered, _ := s.Offer(Chunk{Index: i, Data: data}); !delivered {
+		buf := bufpool.Get(blockBytes)
+		copy(buf.Data(), seed)
+		p := bufpool.Payload{Data: buf.Data(), Buf: buf}
+		if delivered, _ := s.Offer(Chunk{Index: i, Payload: p}); !delivered {
 			b.Fatal("chunk not delivered")
 		}
 		c := <-s.Chunks()
-		buf = AppendDataFrame(buf[:0], c.Index, c.Data)
-		r.Reset(buf)
+		wb = AppendDataFrame(wb[:0], c.Index, c.Payload.Data)
+		c.Payload.Release()
+		r.Reset(wb)
 		br.Reset(&r)
-		f, err := ReadFrame(br)
+		f, err := ReadFrameInto(br, scratch)
 		if err != nil {
 			b.Fatalf("frame %d: %v", i, err)
 		}
 		if f.Index != i || len(f.Data) != blockBytes {
 			b.Fatalf("frame %d decoded as index %d, %d bytes", i, f.Index, len(f.Data))
 		}
+	}
+}
+
+// TestStreamChunkZeroAlloc pins the streaming hot path at zero allocations
+// per chunk: pooled buffer acquisition, session offer/drain, wire framing,
+// release, and scratch-reuse decode must all run without touching the heap
+// once the pools are warm.
+func TestStreamChunkZeroAlloc(t *testing.T) {
+	const blockBytes = 4096
+	s := NewSession(1, 0, blockBytes, SessionBufferConfig{Buffer: 4})
+	wb := make([]byte, 0, blockBytes+64)
+	scratch := make([]byte, blockBytes+64)
+	var r bytes.Reader
+	br := bufio.NewReaderSize(&r, blockBytes+64)
+	// Warm the size class so the measured runs hit the pool.
+	bufpool.Get(blockBytes).Release()
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := bufpool.Get(blockBytes)
+		p := bufpool.Payload{Data: buf.Data(), Buf: buf}
+		if delivered, _ := s.Offer(Chunk{Index: i, Payload: p}); !delivered {
+			t.Fatal("chunk not delivered")
+		}
+		c := <-s.Chunks()
+		wb = AppendDataFrame(wb[:0], c.Index, c.Payload.Data)
+		c.Payload.Release()
+		r.Reset(wb)
+		br.Reset(&r)
+		f, err := ReadFrameInto(br, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Index != i || len(f.Data) != blockBytes {
+			t.Fatalf("frame %d decoded as index %d, %d bytes", i, f.Index, len(f.Data))
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("stream chunk path allocates %.1f times per chunk, want 0", allocs)
 	}
 }
 

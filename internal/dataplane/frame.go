@@ -96,20 +96,41 @@ type Frame struct {
 
 // ReadFrame reads and verifies one frame from the stream. It returns
 // io.EOF (possibly wrapped) if the stream closes cleanly between frames.
+// Each call allocates the frame's payload; decoders on a hot loop should
+// use ReadFrameInto with a reused scratch buffer instead.
 func ReadFrame(br *bufio.Reader) (Frame, error) {
-	var hdr [recHeaderLen]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
+	return ReadFrameInto(br, nil)
+}
+
+// ReadFrameInto is ReadFrame with caller-owned scratch: the frame payload
+// is decoded into scratch (grown only when a frame exceeds its capacity),
+// so a steady-state decode loop performs no allocation. The returned
+// Frame's Data aliases scratch and is valid only until the next call with
+// the same buffer.
+func ReadFrameInto(br *bufio.Reader, scratch []byte) (Frame, error) {
+	// Peek+Discard instead of io.ReadFull into a local array: a slice of a
+	// stack array passed through the io.Reader interface escapes to the
+	// heap, and this decoder must stay allocation-free.
+	hdr, err := br.Peek(recHeaderLen)
+	if err != nil {
+		if len(hdr) > 0 && errors.Is(err, io.EOF) {
 			return Frame{}, fmt.Errorf("%w: torn frame header", ErrFrameCorrupt)
 		}
 		return Frame{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:])
 	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if _, err := br.Discard(recHeaderLen); err != nil {
+		return Frame{}, err
+	}
 	if n == 0 || n > maxFrameLen {
 		return Frame{}, fmt.Errorf("%w: frame length %d", ErrFrameCorrupt, n)
 	}
-	payload := make([]byte, n)
+	payload := scratch
+	if uint32(cap(payload)) < n {
+		payload = make([]byte, n)
+	}
+	payload = payload[:n]
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return Frame{}, fmt.Errorf("%w: torn frame body", ErrFrameCorrupt)
 	}

@@ -8,11 +8,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
+	"scaddar/internal/bufpool"
 	"scaddar/internal/disk"
 )
 
@@ -46,6 +48,10 @@ const (
 	// Record kinds: a stored payload and a deletion tombstone.
 	recPut = 0
 	recDel = 1
+	// maxCoalescedSpan caps how many bytes of physically adjacent records a
+	// batched read merges into one ReadAt, bounding the shared buffer a
+	// single slow consumer can pin.
+	maxCoalescedSpan = 4 << 20
 )
 
 // indexFileName is the optional index checkpoint a clean Close writes so
@@ -93,6 +99,14 @@ type segment struct {
 	size int64 // bytes written, header included
 	live int   // live (referenced) records
 	dead int64 // frame bytes belonging to dead records and tombstones
+
+	// pins counts reads in flight outside the store mutex. A pruned
+	// segment with pins outstanding is marked doomed instead of closed:
+	// the file is unlinked immediately but the descriptor stays open until
+	// the last reader unpins, so compaction can never yank a file out from
+	// under a concurrent read.
+	pins   int
+	doomed bool
 }
 
 // Store is one disk's payload store: an append-only set of CRC-framed
@@ -413,35 +427,44 @@ func (s *Store) Put(bid disk.BlockID, data []byte) error {
 	return nil
 }
 
-// Get reads a block payload, verifying its CRC frame. The injected read
-// fault, if any, fires before the file I/O — a transient error on a real
-// segment read.
-func (s *Store) Get(bid disk.BlockID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrStoreClosed
-	}
+// pinLocked resolves a block to its record location and pins the segment
+// so the file survives until unpinLocked, letting the caller perform the
+// read outside the store mutex. The injected read fault, if any, fires
+// here — before the file I/O, like a media error would.
+func (s *Store) pinLocked(bid disk.BlockID) (entry, *segment, error) {
 	if fault := s.readFault; fault != nil {
 		if err := fault(bid); err != nil {
-			return nil, err
+			return entry{}, nil, err
 		}
 	}
 	e, ok := s.index[bid]
 	if !ok {
-		return nil, fmt.Errorf("%w: block %d", ErrPayloadNotFound, bid)
+		return entry{}, nil, fmt.Errorf("%w: block %d", ErrPayloadNotFound, bid)
 	}
 	seg := s.bySeq[e.seg]
 	if seg == nil {
-		return nil, fmt.Errorf("%w: block %d indexed into missing segment %d", ErrCorruptPayload, bid, e.seg)
+		return entry{}, nil, fmt.Errorf("%w: block %d indexed into missing segment %d", ErrCorruptPayload, bid, e.seg)
 	}
-	buf := make([]byte, recHeaderLen+int(e.n))
-	if _, err := seg.f.ReadAt(buf, e.off); err != nil {
-		return nil, fmt.Errorf("dataplane: read %s: %w", seg.path, err)
+	seg.pins++
+	return e, seg, nil
+}
+
+// unpinLocked drops one read pin; the last unpin of a doomed segment
+// closes the (already unlinked) file.
+func (s *Store) unpinLocked(seg *segment) {
+	seg.pins--
+	if seg.pins == 0 && seg.doomed && seg.f != nil {
+		seg.f.Close()
+		seg.f = nil
 	}
-	n := binary.LittleEndian.Uint32(buf[0:])
-	crc := binary.LittleEndian.Uint32(buf[4:])
-	payload := buf[recHeaderLen:]
+}
+
+// verifyRecord checks a framed record read back from a segment and returns
+// the block data inside it.
+func verifyRecord(frame []byte, bid disk.BlockID) ([]byte, error) {
+	n := binary.LittleEndian.Uint32(frame[0:])
+	crc := binary.LittleEndian.Uint32(frame[4:])
+	payload := frame[recHeaderLen:]
 	if int(n) != len(payload) || crc32.Checksum(payload, payloadCRC) != crc {
 		return nil, fmt.Errorf("%w: block %d frame check failed", ErrCorruptPayload, bid)
 	}
@@ -450,6 +473,154 @@ func (s *Store) Get(bid disk.BlockID) ([]byte, error) {
 		return nil, fmt.Errorf("%w: block %d record mismatch", ErrCorruptPayload, bid)
 	}
 	return data, nil
+}
+
+// Get reads a block payload, verifying its CRC frame. The store mutex is
+// held only for the index lookup and segment pin — the file I/O and CRC
+// verification run outside it, so slow media never serializes writers,
+// compaction, or other readers behind this read.
+func (s *Store) Get(bid disk.BlockID) ([]byte, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrStoreClosed
+	}
+	e, seg, err := s.pinLocked(bid)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+
+	buf := make([]byte, recHeaderLen+int(e.n))
+	_, rerr := seg.f.ReadAt(buf, e.off)
+
+	s.mu.Lock()
+	s.unpinLocked(seg)
+	s.mu.Unlock()
+
+	if rerr != nil {
+		return nil, fmt.Errorf("dataplane: read %s: %w", seg.path, rerr)
+	}
+	return verifyRecord(buf, bid)
+}
+
+// pendingRead carries one batch slot from the locked planning pass to the
+// unlocked I/O pass.
+type pendingRead struct {
+	idx int // position in the caller's request slice
+	e   entry
+	seg *segment
+}
+
+// batchScratchPool recycles the planning slice across ReadBlocks calls so
+// the steady-state round pipeline performs no per-batch allocation.
+var batchScratchPool = sync.Pool{New: func() any { return new([]pendingRead) }}
+
+// Compile-time check: Store provides the batched read fast path.
+var _ disk.BatchReader = (*Store)(nil)
+
+// ReadBlocks resolves a batch of payload reads in one pass: under the
+// store mutex it consults the fault hook, looks up and pins every
+// requested record, then outside the lock it sorts the records by
+// (segment, offset), coalesces physically adjacent frames into single
+// ReadAt calls, and verifies each record's CRC frame individually.
+// Coalesced neighbours share one pooled buffer — one reference per
+// successful slot — and a corrupt or faulted record fails only its own
+// slot, never the rest of the span.
+func (s *Store) ReadBlocks(reqs []disk.BlockRead) {
+	scratch := batchScratchPool.Get().(*[]pendingRead)
+	pend := (*scratch)[:0]
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		for i := range reqs {
+			reqs[i].Payload, reqs[i].Err = bufpool.Payload{}, ErrStoreClosed
+		}
+		*scratch = pend
+		batchScratchPool.Put(scratch)
+		return
+	}
+	for i := range reqs {
+		reqs[i].Payload = bufpool.Payload{}
+		e, seg, err := s.pinLocked(reqs[i].Block)
+		if err != nil {
+			reqs[i].Err = err
+			continue
+		}
+		reqs[i].Err = nil
+		pend = append(pend, pendingRead{idx: i, e: e, seg: seg})
+	}
+	s.mu.Unlock()
+
+	slices.SortFunc(pend, func(a, b pendingRead) int {
+		if a.seg.seq != b.seg.seq {
+			if a.seg.seq < b.seg.seq {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.e.off < b.e.off:
+			return -1
+		case a.e.off > b.e.off:
+			return 1
+		default:
+			return 0
+		}
+	})
+
+	for i := 0; i < len(pend); {
+		seg := pend[i].seg
+		spanStart := pend[i].e.off
+		spanEnd := spanStart + recHeaderLen + int64(pend[i].e.n)
+		j := i + 1
+		for j < len(pend) && pend[j].seg == seg {
+			off := pend[j].e.off
+			end := off + recHeaderLen + int64(pend[j].e.n)
+			// Records never overlap, so a follower either duplicates a
+			// frame already inside the span or starts exactly at its end.
+			if off > spanEnd || (end > spanEnd && spanEnd-spanStart >= maxCoalescedSpan) {
+				break
+			}
+			if end > spanEnd {
+				spanEnd = end
+			}
+			j++
+		}
+		buf := bufpool.Get(int(spanEnd - spanStart))
+		data := buf.Data()
+		if _, err := seg.f.ReadAt(data, spanStart); err != nil {
+			for k := i; k < j; k++ {
+				reqs[pend[k].idx].Err = fmt.Errorf("dataplane: read %s: %w", seg.path, err)
+			}
+		} else {
+			for k := i; k < j; k++ {
+				p := pend[k]
+				r := &reqs[p.idx]
+				frame := data[p.e.off-spanStart : p.e.off-spanStart+recHeaderLen+int64(p.e.n)]
+				blockData, verr := verifyRecord(frame, r.Block)
+				if verr != nil {
+					r.Err = verr
+					continue
+				}
+				buf.Retain()
+				r.Payload = bufpool.Payload{Data: blockData, Buf: buf}
+			}
+		}
+		buf.Release() // drop the planning reference; live refs = successful slots
+		i = j
+	}
+
+	s.mu.Lock()
+	for i := range pend {
+		s.unpinLocked(pend[i].seg)
+	}
+	s.mu.Unlock()
+
+	*scratch = pend
+	batchScratchPool.Put(scratch)
 }
 
 // Delete removes a block payload by appending a tombstone. Deleting an
@@ -492,9 +663,11 @@ func (s *Store) retireLocked(e entry) {
 	}
 }
 
-// pruneLocked deletes a fully-dead sealed segment's file.
+// pruneLocked deletes a fully-dead sealed segment. The file is unlinked
+// immediately, but if readers still hold pins the descriptor stays open
+// (doomed) until the last unpin — in-flight reads finish against the
+// unlinked inode instead of racing the close.
 func (s *Store) pruneLocked(dead *segment) {
-	dead.f.Close()
 	os.Remove(dead.path)
 	delete(s.bySeq, dead.seq)
 	for i, seg := range s.segs {
@@ -502,6 +675,11 @@ func (s *Store) pruneLocked(dead *segment) {
 			s.segs = append(s.segs[:i], s.segs[i+1:]...)
 			break
 		}
+	}
+	dead.doomed = true
+	if dead.pins == 0 {
+		dead.f.Close()
+		dead.f = nil
 	}
 }
 
@@ -540,7 +718,7 @@ func (s *Store) LiveBytes() int64 {
 }
 
 // SetReadFault installs (or clears, with nil) the injected read-fault hook
-// consulted before every Get's file I/O.
+// consulted, per block, before every Get's or ReadBlocks' file I/O.
 func (s *Store) SetReadFault(f func(disk.BlockID) error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -737,8 +915,12 @@ func (s *Store) Wipe() error {
 		return ErrStoreClosed
 	}
 	for _, seg := range s.segs {
-		seg.f.Close()
 		os.Remove(seg.path)
+		seg.doomed = true
+		if seg.pins == 0 {
+			seg.f.Close()
+			seg.f = nil
+		}
 	}
 	os.Remove(filepath.Join(s.dir, indexFileName))
 	s.segs = nil

@@ -1,6 +1,10 @@
 package dataplane
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"scaddar/internal/bufpool"
+)
 
 // This file is the per-session delivery buffer between the round driver and
 // a streaming HTTP client. The owner goroutine offers exactly the chunks
@@ -11,12 +15,14 @@ import "sync/atomic"
 // protects the round, the client never stalls it.
 
 // Chunk is one delivered block: its index within the object and its
-// payload.
+// payload. The payload carries one buffer reference; whoever consumes the
+// chunk (the drain loop, or the cleanup path when the session dies with
+// chunks still buffered) must release it exactly once.
 type Chunk struct {
 	// Index is the block index within the object.
 	Index int
-	// Data is the block payload.
-	Data []byte
+	// Payload is the block payload and its pooled backing buffer.
+	Payload bufpool.Payload
 }
 
 // SessionBufferConfig bounds a session's delivery buffer.
@@ -122,6 +128,24 @@ func (s *Session) Reason() CloseReason { return CloseReason(s.reason.Load()) }
 
 // Buffered returns the number of chunks waiting in the buffer.
 func (s *Session) Buffered() int { return len(s.ch) }
+
+// ReleaseBuffered drains and releases every chunk still sitting in the
+// buffer without delivering it. The consumer calls it after detaching (so
+// no new offers can land) on every exit path — disconnect, write error,
+// eviction — to return abandoned payload references to the pool.
+func (s *Session) ReleaseBuffered() {
+	for {
+		select {
+		case c, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			c.Payload.Release()
+		default:
+			return
+		}
+	}
+}
 
 // Misses returns the total deadline misses (dropped chunks).
 func (s *Session) Misses() uint64 { return s.misses.Load() }

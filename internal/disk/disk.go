@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"scaddar/internal/bufpool"
 )
 
 // Typed errors for array surgery and health transitions, so callers can
@@ -177,6 +179,50 @@ type PayloadStore interface {
 	Destroy() error
 	// Close releases resources, persisting what should persist.
 	Close() error
+}
+
+// BlockRead is one request/result slot in a batched payload read. The
+// caller fills Block; the store fills exactly one of Payload or Err. A
+// successful slot's Payload carries one buffer reference owned by the
+// caller — release it (or hand it on) exactly once.
+type BlockRead struct {
+	// Block is the requested block, set by the caller.
+	Block BlockID
+	// Payload is the block's bytes on success. Coalesced implementations
+	// may back several slots with one shared pooled buffer, one reference
+	// per slot.
+	Payload bufpool.Payload
+	// Err is the per-block failure: not-found, integrity, or injected
+	// fault. A fault in one slot must not poison its neighbours.
+	Err error
+}
+
+// BatchReader is the optional batched read fast path of a PayloadStore.
+// ReadBlocks resolves every slot independently — per-block errors, shared
+// buffers for physically adjacent records — letting the round scheduler
+// issue one call per disk instead of one locked Get per stream. Stores
+// that do not implement it are served by a sequential Get fallback.
+type BatchReader interface {
+	// ReadBlocks fills Payload or Err for every request slot.
+	ReadBlocks(reqs []BlockRead)
+}
+
+// ReadBlocksFrom issues a batched read against ps, using the BatchReader
+// fast path when available and falling back to per-block Get otherwise
+// (fallback payloads are unpooled).
+func ReadBlocksFrom(ps PayloadStore, reqs []BlockRead) {
+	if br, ok := ps.(BatchReader); ok {
+		br.ReadBlocks(reqs)
+		return
+	}
+	for i := range reqs {
+		data, err := ps.Get(reqs[i].Block)
+		if err != nil {
+			reqs[i].Payload, reqs[i].Err = bufpool.Payload{}, err
+			continue
+		}
+		reqs[i].Payload, reqs[i].Err = bufpool.Unpooled(data), nil
+	}
 }
 
 // PayloadFactory opens the payload store for a disk by its stable ID —

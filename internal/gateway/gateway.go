@@ -148,6 +148,9 @@ type Counters struct {
 	StreamChunks int64 `json:"streamChunks"`
 	// StreamBytes counts payload bytes written to streaming responses.
 	StreamBytes int64 `json:"streamBytes"`
+	// StreamFlushes counts Write+flush syscall pairs issued by streaming
+	// responses; chunks/flushes is the coalescing factor of the drain loop.
+	StreamFlushes int64 `json:"streamFlushes"`
 	// StreamMisses counts round-deadline misses (dropped chunks).
 	StreamMisses int64 `json:"streamMisses"`
 	// StreamEvictions counts sessions evicted for falling behind the pacer.
@@ -477,6 +480,7 @@ func (g *Gateway) Status() Status {
 		TickErrors:       int64(g.m.tickErrors.Value()),
 		StreamChunks:     int64(g.m.streamChunks.Value()),
 		StreamBytes:      int64(g.m.streamBytes.Value()),
+		StreamFlushes:    int64(g.m.streamFlushes.Value()),
 		StreamMisses:     int64(g.m.streamMisses.Value()),
 		StreamEvictions:  int64(g.m.streamEvictions.Value()),
 		DeltasPublished:  int64(g.m.deltasPublished.Value()),

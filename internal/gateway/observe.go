@@ -24,6 +24,7 @@ type gwMetrics struct {
 	streamsAttached *obs.Counter
 	streamChunks    *obs.Counter
 	streamBytes     *obs.Counter
+	streamFlushes   *obs.Counter
 	streamMisses    *obs.Counter
 	streamEvictions *obs.Counter
 	deltasPublished *obs.Counter
@@ -54,6 +55,7 @@ func newGwMetrics(reg *obs.Registry) *gwMetrics {
 		streamsAttached: reg.NewCounter("gateway_streams_attached_total", "Streaming consumers attached to sessions."),
 		streamChunks:    reg.NewCounter("gateway_stream_chunks_total", "Chunks delivered into session buffers by the round driver."),
 		streamBytes:     reg.NewCounter("gateway_stream_bytes_total", "Payload bytes written to streaming responses."),
+		streamFlushes:   reg.NewCounter("gateway_stream_flushes_total", "Write+flush syscall pairs issued by streaming responses (a coalesced drain covers many chunks per flush)."),
 		streamMisses:    reg.NewCounter("gateway_stream_misses_total", "Round-deadline misses (chunks dropped because a session buffer was full)."),
 		streamEvictions: reg.NewCounter("gateway_stream_evictions_total", "Sessions evicted after too many consecutive deadline misses."),
 		deltasPublished: reg.NewCounter("gateway_locator_deltas_total", "Deltas published to the locator feed."),

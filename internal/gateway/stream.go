@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scaddar/internal/bufpool"
 	"scaddar/internal/cm"
 	"scaddar/internal/dataplane"
 )
@@ -89,25 +90,35 @@ func (dp *dataPlane) WantsPayload(stream int) bool {
 
 // Deliver implements cm.DeliverySink: offer the round's chunk to the
 // session buffer without blocking. Returning true evicts the stream.
-func (dp *dataPlane) Deliver(stream, object int, index int, data []byte) bool {
+//
+// Ownership: a delivered chunk hands its payload reference to the session
+// buffer (the handler's drain loop releases it); a missed or orphaned
+// chunk is released here. The mutex is held across Offer so a detaching
+// handler cannot slip between the lookup and the offer — once detach
+// returns, no further chunk can land in the session, which makes the
+// handler's final ReleaseBuffered sweep authoritative.
+func (dp *dataPlane) Deliver(stream, object int, index int, p bufpool.Payload) bool {
 	dp.mu.Lock()
+	defer dp.mu.Unlock()
 	s := dp.sessions[stream]
-	dp.mu.Unlock()
 	if s == nil || s.Closed() {
+		p.Release()
 		return false
 	}
-	delivered, evict := s.Offer(dataplane.Chunk{Index: index, Data: data})
+	delivered, evict := s.Offer(dataplane.Chunk{Index: index, Payload: p})
 	switch {
 	case delivered:
 		dp.g.m.streamChunks.Inc()
 	case evict:
 		// The consecutive-miss limit: close toward the handler first so the
 		// end frame says "evicted", then tell the server to stop the stream.
+		p.Release()
 		dp.g.m.streamMisses.Inc()
 		dp.g.m.streamEvictions.Inc()
 		s.Close(dataplane.CloseEvicted)
 		return true
 	default:
+		p.Release()
 		dp.g.m.streamMisses.Inc()
 	}
 	return false

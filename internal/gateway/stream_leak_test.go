@@ -1,0 +1,136 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"scaddar/internal/bufpool"
+	"scaddar/internal/dataplane"
+)
+
+// drainToEnd reads a stream response until its end frame and returns the
+// close reason.
+func drainToEnd(t *testing.T, resp *http.Response) dataplane.CloseReason {
+	t.Helper()
+	br := bufio.NewReader(resp.Body)
+	for {
+		f, err := dataplane.ReadFrame(br)
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if f.End {
+			return f.Reason
+		}
+	}
+}
+
+// TestStreamBufferLifecycle pins the payload buffer ownership chain: after
+// exercising every way a chunk's life can end — framed and flushed to a
+// client, dropped on a deadline miss, abandoned in the buffer when the
+// session is evicted, swept when the consumer disconnects mid-stream, and
+// the paused-open attach — the pool's in-use gauge must return to its
+// baseline. Any other outcome means some path dropped (or double-kept) a
+// reference.
+func TestStreamBufferLifecycle(t *testing.T) {
+	base := bufpool.InUse()
+
+	// Short objects for the paths that play to completion.
+	_, tsA := newStreamGateway(t, 4, 2, 16, nil)
+	snapA := fetchWireSnapshot(t, tsA.URL)
+
+	// Full playback: every chunk is framed, flushed, and released.
+	id := openSession(t, tsA.URL, snapA.Objects[0].ID)
+	resp, err := http.Get(fmt.Sprintf("%s/v1/sessions/%d/stream", tsA.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason := drainToEnd(t, resp); reason != dataplane.CloseDone {
+		t.Fatalf("full playback ended %v, want done", reason)
+	}
+	resp.Body.Close()
+
+	// Paused-open: the session exists with no consumer before the stream
+	// attach resumes it; nothing may be delivered (or leaked) in between.
+	body := strings.NewReader(fmt.Sprintf(`{"object":%d, "paused": true}`, snapA.Objects[1].ID))
+	presp, err := http.Post(tsA.URL+"/v1/sessions", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened struct {
+		Session int `json:"session"`
+	}
+	if presp.StatusCode != http.StatusCreated {
+		t.Fatalf("open paused: status %d", presp.StatusCode)
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&opened); err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	resp, err = http.Get(fmt.Sprintf("%s/v1/sessions/%d/stream", tsA.URL, opened.Session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason := drainToEnd(t, resp); reason != dataplane.CloseDone {
+		t.Fatalf("paused-open playback ended %v, want done", reason)
+	}
+	resp.Body.Close()
+
+	// Long objects and a tiny buffer for the paths that abandon mid-stream.
+	gB, tsB := newStreamGateway(t, 4, 2, 2000, func(c *Config) {
+		c.StreamBuffer = 1
+		c.StreamEvictAfter = 4
+	})
+	snapB := fetchWireSnapshot(t, tsB.URL)
+
+	// Eviction: a consumer that never reads. Once the socket and session
+	// buffers fill, every round's chunk is a miss (released by Deliver)
+	// until the consecutive-miss limit evicts the session; whatever is
+	// still buffered then is swept by the handler's exit.
+	idSlow := openSession(t, tsB.URL, snapB.Objects[0].ID)
+	respSlow, err := http.Get(fmt.Sprintf("%s/v1/sessions/%d/stream", tsB.URL, idSlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, gB, "slow client eviction", func(st Status) bool {
+		return st.Gateway.StreamEvictions >= 1
+	})
+	if reason := drainToEnd(t, respSlow); reason != dataplane.CloseEvicted {
+		t.Fatalf("slow stream ended %v, want evicted", reason)
+	}
+	respSlow.Body.Close()
+
+	// Mid-stream disconnect: read a few frames, then hang up. The handler
+	// must stop the server-side stream and release everything it still
+	// holds, including chunks buffered between Deliver and the drain loop.
+	idGone := openSession(t, tsB.URL, snapB.Objects[1].ID)
+	respGone, err := http.Get(fmt.Sprintf("%s/v1/sessions/%d/stream", tsB.URL, idGone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(respGone.Body)
+	for i := 0; i < 3; i++ {
+		if _, err := dataplane.ReadFrame(br); err != nil {
+			t.Fatalf("frame %d before disconnect: %v", i, err)
+		}
+	}
+	respGone.Body.Close()
+	waitStatus(t, gB, "abandoned streams stopped", func(st Status) bool {
+		return st.ActiveStreams == 0
+	})
+
+	// Quiesce: with no consumers and no playing streams, every pooled
+	// buffer must be back in its pool. Poll briefly — the last handler's
+	// cleanup and the final round may still be in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for bufpool.InUse() != base {
+		if time.Now().After(deadline) {
+			t.Fatalf("bufpool in-use = %d, want %d: payload buffers leaked", bufpool.InUse(), base)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
